@@ -1,0 +1,28 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench tables examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+tables:
+	dune exec bin/snlb_cli.exe -- table all --quick
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/fooling_pair.exe
+	dune exec examples/shuffle_vs_batcher.exe
+	dune exec examples/adaptive_duel.exe
+	dune exec examples/zero_one_audit.exe
+	dune exec examples/ascend_machine.exe
+
+clean:
+	dune clean

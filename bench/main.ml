@@ -1,0 +1,182 @@
+(* Benchmark harness.
+
+   Part 1 (Bechamel): one microbenchmark per experiment (E1..E10) timing
+   the computational kernel that regenerates it, plus throughput
+   benchmarks of the substrate kernels (network evaluation per sorter,
+   packed 0-1 verification, tracing, Benes routing).
+
+   Part 2: the full experiment tables of EXPERIMENTS.md, printed via the
+   experiment registry (quick sweeps by default; set SNLB_BENCH_FULL=1
+   for the full sweeps). *)
+
+open Bechamel
+open Toolkit
+
+(* --- benchmark subjects --- *)
+
+let n_bench = 1024
+let d_bench = 10
+
+let pre_rng () = Xoshiro.of_seed 1234
+
+let sorter_eval_tests =
+  List.map
+    (fun e ->
+      let nw = e.Sorter_registry.build n_bench in
+      let rng = pre_rng () in
+      let input = Workload.random_permutation rng ~n:n_bench in
+      Test.make
+        ~name:(Printf.sprintf "eval/%s/n=%d" e.Sorter_registry.name n_bench)
+        (Staged.stage (fun () -> ignore (Network.eval nw input))))
+    Sorter_registry.all
+
+let kernel_tests =
+  let rng = pre_rng () in
+  let nw16 = Bitonic.network ~n:16 in
+  let input_bench = Workload.random_permutation rng ~n:n_bench in
+  let bitonic_big = Bitonic.network ~n:n_bench in
+  let perm = Perm.random rng n_bench in
+  [ Test.make ~name:"verify/zero-one-packed/bitonic-n=16"
+      (Staged.stage (fun () -> ignore (Zero_one.is_sorting_network nw16)));
+    Test.make ~name:"verify/zero-one-packed-4dom/bitonic-n=16"
+      (Staged.stage (fun () ->
+           ignore (Zero_one.is_sorting_network ~domains:4 nw16)));
+    Test.make ~name:"io/serialise+parse/bitonic-n=1024"
+      (Staged.stage (fun () ->
+           match Network_io.of_string (Network_io.to_string bitonic_big) with
+           | Ok _ -> ()
+           | Error e -> failwith e));
+    Test.make ~name:"trace/bitonic/n=1024"
+      (Staged.stage (fun () -> ignore (Trace.run bitonic_big input_bench)));
+    Test.make ~name:"route/benes/n=1024"
+      (Staged.stage (fun () -> ignore (Benes.route perm)));
+    Test.make ~name:"build/bitonic-shuffle-program/n=1024"
+      (Staged.stage (fun () -> ignore (Bitonic.shuffle_program ~n:n_bench)));
+    (let v = Array.init n_bench (fun i -> i) in
+     Test.make ~name:"machine/prefix-scan/n=1024"
+       (Staged.stage (fun () -> ignore (Prefix.scan ~n:n_bench ~op:( + ) v))));
+    (let v = Array.init n_bench (fun i -> i * 37) in
+     Test.make ~name:"machine/ntt-forward/n=1024"
+       (Staged.stage (fun () -> ignore (Ntt.forward ~n:n_bench v)))) ]
+
+(* One kernel bench per experiment table. *)
+let experiment_tests =
+  let rng = pre_rng () in
+  let block_rd =
+    Random_net.reverse_delta rng ~levels:d_bench ~density:0.9 ~swap_prob:0.1
+  in
+  let rand_prog = Shuffle_net.random_program rng ~n:n_bench ~stages:(3 * d_bench) in
+  let rand_it = Shuffle_net.to_iterated rand_prog in
+  let rand_nw = Iterated.to_network rand_it in
+  let bitonic_it = Bitonic.as_iterated ~n:n_bench in
+  let bitonic_prog = Bitonic.shuffle_program ~n:n_bench in
+  let cert_result = Theorem41.run rand_it in
+  let e9_prefix =
+    let stages =
+      List.filteri (fun i _ -> i < 5 * d_bench) (Register_model.stages bitonic_prog)
+    in
+    Register_model.to_network (Register_model.create ~n:n_bench stages)
+  in
+  let e9_input = Workload.random_permutation rng ~n:n_bench in
+  [ Test.make ~name:"E1/lemma41-block/n=1024"
+      (Staged.stage (fun () ->
+           let st = Mset.create ~n:n_bench ~k:d_bench in
+           ignore (Lemma41.run st block_rd)));
+    Test.make ~name:"E2/theorem41-3-blocks/n=1024"
+      (Staged.stage (fun () -> ignore (Theorem41.run rand_it)));
+    Test.make ~name:"E3/certificate-extract+validate/n=1024"
+      (Staged.stage (fun () ->
+           match Certificate.of_pattern cert_result.Theorem41.final_pattern with
+           | Some cert -> assert (Certificate.validate rand_nw cert = Ok ())
+           | None -> ()));
+    Test.make ~name:"E4/naive-adversary/n=1024"
+      (Staged.stage (fun () -> ignore (Naive.run rand_nw)));
+    Test.make ~name:"E5/depth-formulas"
+      (Staged.stage (fun () ->
+           ignore (Bitonic.depth_formula ~n:n_bench);
+           ignore (Theorem41.depth_lower_bound ~n:n_bench)));
+    Test.make ~name:"E6/theorem41-vs-bitonic/n=1024"
+      (Staged.stage (fun () -> ignore (Theorem41.run bitonic_it)));
+    Test.make ~name:"E7/adaptive-steering-2-blocks/n=256"
+      (Staged.stage (fun () ->
+           ignore (Adaptive.run ~n:256 ~blocks:2 Adaptive.steering_killer)));
+    Test.make ~name:"E8/truncated-f=5/n=1024"
+      (Staged.stage (fun () -> ignore (Truncated.run ~f:5 bitonic_prog)));
+    Test.make ~name:"E9/prefix-eval/n=1024"
+      (Staged.stage (fun () -> ignore (Network.eval e9_prefix e9_input)));
+    Test.make ~name:"E10/shuffle-block-parse/n=1024"
+      (Staged.stage (fun () ->
+           ignore (Shuffle_net.to_iterated rand_prog)));
+    Test.make ~name:"E11/min-depth-search/n=4-depth-3"
+      (Staged.stage (fun () ->
+           match Min_depth.search ~n:4 ~depth:3 () with
+           | Min_depth.Sorter _ -> ()
+           | Min_depth.Impossible | Min_depth.Inconclusive -> assert false));
+    Test.make ~name:"E12/shellsort-build/ciura-n=1024"
+      (Staged.stage (fun () ->
+           ignore
+             (Shellsort_net.network ~n:n_bench
+                ~increments:(Shellsort_net.ciura ~n:n_bench)))) ]
+
+let all_tests =
+  Test.make_grouped ~name:"snlb"
+    (experiment_tests @ kernel_tests @ sorter_eval_tests)
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  (* plain-text rendering: ns/run and words/run per test *)
+  let tbl =
+    Ascii_table.create
+      ~columns:
+        [ ("benchmark", Ascii_table.Left);
+          ("time/run", Ascii_table.Right);
+          ("minor-alloc/run", Ascii_table.Right) ]
+  in
+  let value_of results name =
+    match Hashtbl.find_opt results name with
+    | None -> None
+    | Some ols -> (
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> Some est
+        | Some [] | None -> None)
+  in
+  let clock = Hashtbl.find merged (Measure.label Instance.monotonic_clock) in
+  let alloc = Hashtbl.find merged (Measure.label Instance.minor_allocated) in
+  let names = ref [] in
+  Hashtbl.iter (fun name _ -> names := name :: !names) clock;
+  let pp_time ns =
+    if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun name ->
+      let time =
+        match value_of clock name with None -> "-" | Some v -> pp_time v
+      in
+      let words =
+        match value_of alloc name with
+        | None -> "-"
+        | Some v -> Printf.sprintf "%.0f w" v
+      in
+      Ascii_table.add_row tbl [ name; time; words ])
+    (List.sort compare !names);
+  print_endline "=== Bechamel microbenchmarks ===";
+  Ascii_table.print tbl
+
+let () =
+  run_bechamel ();
+  let quick = Sys.getenv_opt "SNLB_BENCH_FULL" = None in
+  Printf.printf "\n=== Experiment tables (%s sweeps; see EXPERIMENTS.md) ===\n"
+    (if quick then "quick" else "full");
+  Registry.run_all ~quick

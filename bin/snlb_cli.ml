@@ -1,0 +1,376 @@
+(* snlb: command-line front end for the sorting-network lower-bound
+   library.  Subcommands: list, sort, verify, certify, table, dot,
+   draw, save, load, search, route. *)
+
+open Cmdliner
+
+let n_arg =
+  let doc = "Input width (must be a power of two for most networks)." in
+  Arg.(value & opt int 16 & info [ "n"; "size" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed; every run is deterministic given the seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let algo_arg =
+  let doc =
+    Printf.sprintf "Sorting network to use; one of: %s."
+      (String.concat ", " Sorter_registry.names)
+  in
+  Arg.(value & opt string "bitonic" & info [ "algo" ] ~docv:"ALGO" ~doc)
+
+let build_sorter algo n =
+  match Sorter_registry.find algo with
+  | None ->
+      Error
+        (Printf.sprintf "unknown network %S; try: %s" algo
+           (String.concat ", " Sorter_registry.names))
+  | Some e ->
+      if e.pow2_only && not (Bitops.is_power_of_two n) then
+        Error (Printf.sprintf "%s requires n to be a power of two" algo)
+      else Ok (e.build n)
+
+let pp_array a =
+  "[" ^ String.concat " " (Array.to_list (Array.map string_of_int a)) ^ "]"
+
+(* sort *)
+
+let sort_cmd =
+  let run algo n seed =
+    match build_sorter algo n with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok nw ->
+        let rng = Xoshiro.of_seed seed in
+        let input = Workload.random_permutation rng ~n in
+        let out = Network.eval nw input in
+        Printf.printf "network : %s\n" algo;
+        Format.printf "stats   : %a@." Network.pp_stats nw;
+        Printf.printf "input   : %s\n" (pp_array input);
+        Printf.printf "output  : %s\n" (pp_array out);
+        Printf.printf "sorted  : %b\n" (Sortedness.is_sorted out);
+        0
+  in
+  let doc = "Build a sorting network and run it on a random input." in
+  Cmd.v (Cmd.info "sort" ~doc) Term.(const run $ algo_arg $ n_arg $ seed_arg)
+
+(* verify *)
+
+let verify_cmd =
+  let run algo n =
+    match build_sorter algo n with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok nw ->
+        Printf.printf "verifying %s on n=%d over all %d zero-one inputs...\n%!"
+          algo n (1 lsl n);
+        let ok = Zero_one.is_sorting_network nw in
+        Printf.printf "sorting network: %b\n" ok;
+        if not ok then begin
+          match Zero_one.failing_input nw with
+          | Some w -> Printf.printf "failing input: %s\n" (pp_array w)
+          | None -> ()
+        end;
+        if ok then 0 else 1
+  in
+  let doc = "Exactly verify a network via the 0-1 principle (n <= 26)." in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ algo_arg $ n_arg)
+
+(* certify *)
+
+let certify_cmd =
+  let kind_arg =
+    let doc = "Network family: all-plus, random, or bitonic." in
+    Arg.(value & opt string "random" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let blocks_arg =
+    let doc = "Number of lg-n-stage shuffle blocks." in
+    Arg.(value & opt int 2 & info [ "blocks" ] ~docv:"B" ~doc)
+  in
+  let run kind n blocks seed =
+    if not (Bitops.is_power_of_two n) then begin
+      prerr_endline "certify: n must be a power of two";
+      1
+    end
+    else begin
+      let d = Bitops.log2_exact n in
+      let rng = Xoshiro.of_seed seed in
+      let prog =
+        match kind with
+        | "all-plus" -> Shuffle_net.all_plus_program ~n ~stages:(blocks * d)
+        | "random" -> Shuffle_net.random_program rng ~n ~stages:(blocks * d)
+        | "bitonic" -> Bitonic.shuffle_program ~n
+        | other ->
+            prerr_endline ("unknown kind " ^ other ^ ", using random");
+            Shuffle_net.random_program rng ~n ~stages:(blocks * d)
+      in
+      let it = Shuffle_net.to_iterated prog in
+      let r = Theorem41.run it in
+      Printf.printf "n=%d, %d blocks of %d shuffle stages\n" n
+        (Iterated.block_count it) d;
+      List.iter
+        (fun (b : Theorem41.block_report) ->
+          Printf.printf "  block %d: |A|=%d |B|=%d sets=%d |D|=%d\n" b.index
+            b.a_size b.b_size b.sets b.d_size)
+        r.reports;
+      Printf.printf "blocks survived: %d / %d\n" r.survived
+        (Iterated.block_count it);
+      match Certificate.of_pattern r.final_pattern with
+      | None ->
+          Printf.printf
+            "adversary defeated: no fooling pair (network may sort).\n";
+          0
+      | Some cert ->
+          let nw = Iterated.to_network it in
+          Printf.printf "fooling pair: swap values %d,%d (wires %d,%d)\n"
+            cert.Certificate.value0 cert.Certificate.value1
+            cert.Certificate.wire0 cert.Certificate.wire1;
+          (match Certificate.validate nw cert with
+          | Ok () ->
+              Printf.printf
+                "certificate VALID: the network is not a sorting network.\n";
+              0
+          | Error e ->
+              Printf.printf "certificate INVALID: %s\n" e;
+              1)
+    end
+  in
+  let doc =
+    "Run the Plaxton-Suel adversary against a shuffle-based network and \
+     emit a validated fooling pair."
+  in
+  Cmd.v (Cmd.info "certify" ~doc)
+    Term.(const run $ kind_arg $ n_arg $ blocks_arg $ seed_arg)
+
+(* table *)
+
+let table_cmd =
+  let id_arg =
+    let doc = "Experiment id (E1..E13) or 'all'." in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
+  in
+  let quick_arg =
+    let doc = "Smaller sweeps (seconds instead of minutes)." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let run id quick =
+    if String.lowercase_ascii id = "all" then begin
+      Registry.run_all ~quick;
+      0
+    end
+    else
+      match Registry.find id with
+      | Some e ->
+          e.Registry.run ~quick;
+          0
+      | None ->
+          Printf.eprintf "unknown experiment %s; known: %s, all\n" id
+            (String.concat ", " (List.map (fun e -> e.Registry.id) Registry.all));
+          1
+  in
+  let doc = "Regenerate an experiment table (see EXPERIMENTS.md)." in
+  Cmd.v (Cmd.info "table" ~doc) Term.(const run $ id_arg $ quick_arg)
+
+(* dot *)
+
+let dot_cmd =
+  let out_arg =
+    let doc = "Output file (stdout if omitted)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run algo n out =
+    match build_sorter algo n with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok nw ->
+        let dot = Network.to_dot nw in
+        (match out with
+        | None -> print_string dot
+        | Some f ->
+            let oc = open_out f in
+            output_string oc dot;
+            close_out oc);
+        0
+  in
+  let doc = "Export a network as Graphviz DOT." in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ algo_arg $ n_arg $ out_arg)
+
+(* draw *)
+
+let draw_cmd =
+  let run algo n =
+    match build_sorter algo n with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok nw ->
+        print_string (Diagram.render nw);
+        0
+  in
+  let doc = "Draw a network as a Knuth-style ASCII diagram (n <= 64)." in
+  Cmd.v (Cmd.info "draw" ~doc) Term.(const run $ algo_arg $ n_arg)
+
+(* save / load *)
+
+let save_cmd =
+  let file_arg =
+    let doc = "Destination file." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run algo n file =
+    match build_sorter algo n with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok nw ->
+        Network_io.save file nw;
+        Printf.printf "wrote %s (%d wires, %d comparators)\n" file
+          (Network.wires nw) (Network.size nw);
+        0
+  in
+  let doc = "Serialise a network to the snlb text format." in
+  Cmd.v (Cmd.info "save" ~doc) Term.(const run $ algo_arg $ n_arg $ file_arg)
+
+let load_cmd =
+  let file_arg =
+    let doc = "Network file in the snlb text format." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    match Network_io.load file with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        1
+    | Ok nw ->
+        Format.printf "%s: %a@." file Network.pp_stats nw;
+        (if Network.wires nw <= 20 then
+           Printf.printf "sorting network: %b\n" (Zero_one.is_sorting_network nw));
+        0
+  in
+  let doc = "Load a serialised network, print stats and verify it." in
+  Cmd.v (Cmd.info "load" ~doc) Term.(const run $ file_arg)
+
+(* search *)
+
+let search_cmd =
+  let depth_arg =
+    let doc = "Stage count to decide (omit to search depths 1..max-depth)." in
+    Arg.(value & opt (some int) None & info [ "depth" ] ~docv:"D" ~doc)
+  in
+  let max_depth_arg =
+    let doc = "Upper bound for iterative deepening." in
+    Arg.(value & opt int 6 & info [ "max-depth" ] ~docv:"D" ~doc)
+  in
+  let budget_arg =
+    let doc = "Search node budget." in
+    Arg.(value & opt int 50_000_000 & info [ "budget" ] ~docv:"NODES" ~doc)
+  in
+  let run n depth max_depth budget =
+    if not (Bitops.is_power_of_two n) || n > 16 then begin
+      prerr_endline "search: n must be a power of two <= 16 (state space is 2^n)";
+      1
+    end
+    else
+      match depth with
+      | Some depth -> (
+          match Min_depth.search ~n ~depth ~node_budget:budget () with
+          | Min_depth.Sorter prog ->
+              Printf.printf "depth-%d shuffle-based sorter EXISTS for n=%d " depth n;
+              Printf.printf "(witness verified: %b)
+" (Min_depth.verify_witness ~n prog);
+              List.iteri
+                (fun i ops ->
+                  Printf.printf "  stage %d: " (i + 1);
+                  Array.iter (fun op -> Format.printf "%a" Register_model.pp_op op) ops;
+                  print_newline ())
+                prog;
+              0
+          | Min_depth.Impossible ->
+              Printf.printf "no depth-%d shuffle-based sorter for n=%d (exhaustive)
+"
+                depth n;
+              0
+          | Min_depth.Inconclusive ->
+              Printf.printf "inconclusive within %d nodes; raise --budget
+" budget;
+              1)
+      | None -> (
+          match Min_depth.minimal_depth ~n ~max_depth ~node_budget:budget () with
+          | Some (depth, _) ->
+              Printf.printf "minimal shuffle-based sorter depth for n=%d: %d (bitonic: %d)
+"
+                n depth (Bitonic.depth_formula ~n);
+              0
+          | None ->
+              Printf.printf "no sorter within %d stages
+" max_depth;
+              0)
+  in
+  let doc =
+    "Exhaustively decide minimal shuffle-based sorter depth for tiny n      (Knuth 5.3.4.47 / the paper's Section 6)."
+  in
+  Cmd.v (Cmd.info "search" ~doc)
+    Term.(const run $ n_arg $ depth_arg $ max_depth_arg $ budget_arg)
+
+(* route *)
+
+let route_cmd =
+  let run n seed =
+    if not (Bitops.is_power_of_two n) then begin
+      prerr_endline "route: n must be a power of two";
+      1
+    end
+    else begin
+      let rng = Xoshiro.of_seed seed in
+      let p = Perm.random rng n in
+      let nw = Benes.route p in
+      Format.printf "permutation: %a@." Perm.pp p;
+      Printf.printf "Benes network: %d exchange levels, %d crossed switches
+"
+        (List.length (Network.levels nw))
+        (Benes.switch_count nw);
+      let out = Network.eval nw (Array.init n (fun i -> i)) in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if out.(Perm.apply p i) <> i then ok := false
+      done;
+      Printf.printf "routing verified: %b
+" !ok;
+      if !ok then 0 else 1
+    end
+  in
+  let doc = "Route a random permutation through a Benes network." in
+  Cmd.v (Cmd.info "route" ~doc) Term.(const run $ n_arg $ seed_arg)
+
+(* list *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "sorting networks:\n";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-16s %s\n" e.Sorter_registry.name
+          (if e.Sorter_registry.pow2_only then "(n = power of two)" else ""))
+      Sorter_registry.all;
+    Printf.printf "experiments:\n";
+    List.iter
+      (fun e -> Printf.printf "  %-4s %s\n" e.Registry.id e.Registry.title)
+      Registry.all;
+    0
+  in
+  let doc = "List available networks and experiments." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let main =
+  let doc =
+    "Sorting networks based on the shuffle permutation: constructions, \
+     verification, and the Plaxton-Suel lower-bound adversary."
+  in
+  Cmd.group (Cmd.info "snlb" ~version:"1.0.0" ~doc)
+    [ list_cmd; sort_cmd; verify_cmd; certify_cmd; table_cmd; dot_cmd;
+      draw_cmd; save_cmd; load_cmd; search_cmd; route_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,57 @@
+(* The other side of the paper's story: why anyone restricts themselves
+   to shuffle-only ("strict ascend") dataflow in the first place.  The
+   introduction's answer: hypercubic machines run parallel prefix and
+   the FFT as single ascend passes.  This example runs both on the
+   shuffle-exchange machine — the same machine whose sorting depth the
+   paper bounds from below.
+
+   Run with:  dune exec examples/ascend_machine.exe *)
+
+let () =
+  let n = 1024 in
+  let d = Bitops.log2_exact n in
+  Printf.printf "shuffle-exchange machine, n=%d registers, one pass = %d steps\n\n" n d;
+
+  (* parallel prefix in one pass *)
+  let v = Array.init n (fun i -> i + 1) in
+  let prefix = Prefix.scan ~n ~op:( + ) v in
+  Printf.printf "prefix-sum of 1..%d in one ascend pass: last = %d (expect %d)\n" n
+    prefix.(n - 1)
+    (n * (n + 1) / 2);
+  assert (prefix.(n - 1) = n * (n + 1) / 2);
+
+  (* ranks via exclusive scan *)
+  let ranks = Prefix.exclusive_scan ~n ~op:( + ) ~zero:0 (Array.make n 1) in
+  assert (ranks.(17) = 17);
+  Printf.printf "exclusive scan of all-ones gives register ranks: ranks[17] = %d\n"
+    ranks.(17);
+
+  (* the FFT (as an exact NTT over Z_p) in one pass *)
+  let rng = Xoshiro.of_seed 31 in
+  let signal = Array.init n (fun _ -> Xoshiro.int rng ~bound:Ntt.modulus) in
+  let spectrum = Ntt.forward ~n signal in
+  let back = Ntt.inverse ~n spectrum in
+  assert (back = signal);
+  Printf.printf "NTT of a random signal round-trips exactly (mod %d)\n" Ntt.modulus;
+
+  (* polynomial multiplication via convolution *)
+  let a = Array.make n 0 and b = Array.make n 0 in
+  (* (1 + x)^2 * (1 - x) coefficients, well inside degree n *)
+  a.(0) <- 1;
+  a.(1) <- 2;
+  a.(2) <- 1;
+  b.(0) <- 1;
+  b.(1) <- Ntt.modulus - 1;
+  let c = Ntt.convolve ~n a b in
+  Printf.printf "(1+x)^2 (1-x) = 1 + %dx + %dx^2 + %dx^3 (mod p: %d = -1)\n"
+    c.(1) c.(2) c.(3) (Ntt.modulus - 1);
+  assert (c.(0) = 1 && c.(1) = 1 && c.(2) = Ntt.modulus - 1 && c.(3) = Ntt.modulus - 1);
+
+  (* and the punchline: the same machine needs Omega(lg^2 n / lglg n)
+     passes-worth of steps to SORT, by the paper's lower bound *)
+  Printf.printf
+    "\none pass (= %d steps) suffices for prefix and FFT, but sorting needs depth\n\
+     >= lg^2 n/(4 lglg n) = %.1f by the paper — and Batcher's %d is the best known.\n"
+    d
+    (Theorem41.depth_lower_bound ~n)
+    (Bitonic.depth_formula ~n)

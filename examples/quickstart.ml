@@ -1,0 +1,42 @@
+(* Quickstart: build a sorting network, sort with it, verify it exactly,
+   and look at its structure.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  let n = 16 in
+
+  (* 1. Build Batcher's bitonic sorter in its classic circuit form. *)
+  let nw = Bitonic.network ~n in
+  Format.printf "bitonic sorter on %d wires: %a@." n Network.pp_stats nw;
+
+  (* 2. Sort a random input. *)
+  let rng = Xoshiro.of_seed 2024 in
+  let input = Workload.random_permutation rng ~n in
+  let output = Network.eval nw input in
+  Format.printf "input : %a@." Perm.pp (Perm.of_array input);
+  Format.printf "output: %a@." Perm.pp (Perm.of_array output);
+  assert (Sortedness.is_sorted output);
+
+  (* 3. Verify it is a sorting network, exactly, via the 0-1 principle
+     (all 2^16 zero-one inputs, evaluated 62 at a time bit-parallel). *)
+  let ok = Zero_one.is_sorting_network nw in
+  Printf.printf "verified over all %d zero-one inputs: %b\n" (1 lsl n) ok;
+  assert ok;
+
+  (* 4. The same sorter as a shuffle-based register program — the class
+     the Plaxton-Suel lower bound is about.  Each of the lg n blocks of
+     lg n shuffle stages is one reverse delta network. *)
+  let prog = Bitonic.shuffle_program ~n in
+  Printf.printf "shuffle form: %d stages of (shuffle, op-vector), depth %d\n"
+    (Register_model.stage_count prog)
+    (Register_model.depth prog);
+  let out2 = Register_model.eval prog input in
+  assert (Sortedness.is_sorted out2);
+
+  (* 5. And its depth against the paper's lower-bound curve. *)
+  Printf.printf "depth %d vs lower bound %.1f vs trivial %d\n"
+    (Bitonic.depth_formula ~n)
+    (Theorem41.depth_lower_bound ~n)
+    (Bitops.log2_exact n);
+  print_endline "quickstart: all checks passed"

@@ -1,0 +1,76 @@
+(* A tour of the topology layer: butterflies, reverse delta networks,
+   the shuffle decomposition, and Benes routing — the substrate the
+   lower bound quantifies over.
+
+   Run with:  dune exec examples/shuffle_vs_batcher.exe *)
+
+let section title = Printf.printf "\n== %s ==\n" title
+
+let () =
+  let n = 32 in
+  let d = Bitops.log2_exact n in
+
+  section "the shuffle permutation";
+  let sh = Perm.shuffle n in
+  Format.printf "shuffle(%d) has order %d (= lg n): " n (Perm.order sh);
+  Format.printf "%d -> %d -> %d -> ...@." 1 (Perm.apply sh 1)
+    (Perm.apply sh (Perm.apply sh 1));
+
+  section "lg n shuffle stages = one reverse delta network";
+  let rng = Xoshiro.of_seed 5 in
+  let prog = Shuffle_net.random_program rng ~n ~stages:d in
+  let opss =
+    List.map (fun st -> st.Register_model.ops) (Register_model.stages prog)
+  in
+  let rd = Shuffle_net.block_of_ops ~n opss in
+  Printf.printf "parsed a %d-stage shuffle program into a %d-level reverse delta\n"
+    d (Reverse_delta.levels rd);
+  Printf.printf "cross elements: %d (%d comparators)\n"
+    (Reverse_delta.cross_count rd)
+    (Reverse_delta.comparator_count rd);
+  (* The two forms compute the same function. *)
+  let nw_rd = Reverse_delta.to_network ~wires:n rd in
+  let nw_prog = Network.flatten (Register_model.to_network prog) in
+  let input = Workload.random_permutation rng ~n in
+  assert (Network.eval nw_rd input = Network.eval nw_prog input);
+  print_endline "register program and reverse delta circuit agree";
+
+  section "the butterfly: delta AND reverse delta";
+  let bf = Butterfly.network ~levels:d in
+  Format.printf "ascend butterfly:  %a@." Network.pp_stats bf;
+  let merger = Butterfly.delta_network ~levels:d in
+  let bitonic_seq = Workload.bitonic_input rng ~n in
+  let merged = Network.eval merger bitonic_seq in
+  Printf.printf "descend butterfly merges a bitonic sequence: %b\n"
+    (Sortedness.is_sorted merged);
+
+  section "Batcher's bitonic sorter = lg n reverse delta blocks";
+  let it = Bitonic.as_iterated ~n in
+  Printf.printf "blocks: %d, levels per block: %d, total comparator depth: %d\n"
+    (Iterated.block_count it)
+    (Iterated.levels_per_block it)
+    (Network.depth (Iterated.to_network it));
+  (* Exact 0-1 verification at a width where 2^n is cheap; sampled
+     check at this one. *)
+  assert (Zero_one.is_sorting_network (Iterated.to_network (Bitonic.as_iterated ~n:16)));
+  let nw_it = Iterated.to_network it in
+  for _ = 1 to 200 do
+    assert (Sortedness.is_sorted (Network.eval nw_it (Workload.random_permutation rng ~n)))
+  done;
+  print_endline "verified: exact 0-1 check at n=16, 200 random inputs here";
+
+  section "free permutations are cheap (Benes routing)";
+  let p = Perm.random rng n in
+  let router = Benes.route p in
+  Printf.printf
+    "a random permutation routed in %d exchange levels (%d crossed switches), \
+     comparator depth %d\n"
+    (List.length (Network.levels router))
+    (Benes.switch_count router)
+    (Network.depth router);
+  let routed = Network.eval router (Array.init n (fun i -> i)) in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if routed.(Perm.apply p i) <> i then ok := false
+  done;
+  Printf.printf "routing correct: %b\n" !ok

@@ -1,0 +1,166 @@
+type builder =
+  stage:int ->
+  state:Mset.state ->
+  pairs:(int * int) array ->
+  Reverse_delta.kind option array
+
+type result = {
+  reports : Theorem41.block_report list;
+  survived : int;
+  final_pattern : Pattern.t;
+  final_m_set : int list;
+  program : Register_model.t;
+}
+
+(* Wires paired at stage [t] of a block on 2^d wires differ in bit
+   [d - t]; the sub0-side wire has that bit 0.  [pair_base d t i]
+   inserts a 0 bit at position [d - t] into [i]. *)
+let pair_base ~d ~t i =
+  let b = d - t in
+  let low = i land ((1 lsl b) - 1) in
+  let high = i lsr b in
+  (high lsl (b + 1)) lor low
+
+let rotl ~width ~count x =
+  let k = count mod width in
+  if k = 0 then x
+  else ((x lsl k) lor (x lsr (width - k))) land ((1 lsl width) - 1)
+
+let op_of_kind = function
+  | None -> Register_model.Zero
+  | Some Reverse_delta.Min_left -> Register_model.Plus
+  | Some Reverse_delta.Min_right -> Register_model.Minus
+  | Some Reverse_delta.Swap -> Register_model.One
+
+let run ?k ~n ~blocks builder =
+  if not (Bitops.is_power_of_two n) || n < 2 then
+    invalid_arg "Adaptive.run: n must be a power of two >= 2";
+  let d = Bitops.log2_exact n in
+  let k = match k with Some k -> k | None -> max 2 d in
+  let st = Mset.create ~n ~k in
+  let stages_ops = ref [] in
+  let reports = ref [] in
+  let survived = ref 0 in
+  (try
+     for index = 0 to blocks - 1 do
+       let a_size = Mset.tracked_count st in
+       (* Per-class collections; a class's key is the low (d - t) + 1
+          bits its wires share before stage t+1 merges it. *)
+       let colls = Hashtbl.create n in
+       for w = 0 to n - 1 do
+         Hashtbl.add colls w (Mset.singleton_collection st w)
+       done;
+       for t = 1 to d do
+         let half = n / 2 in
+         let pairs =
+           Array.init half (fun i ->
+               let o = pair_base ~d ~t i in
+               (o, o lxor (1 lsl (d - t))))
+         in
+         let kinds = builder ~stage:t ~state:st ~pairs in
+         if Array.length kinds <> half then
+           invalid_arg "Adaptive.run: builder returned wrong-length labeling";
+         (* Record the stage as a register-model op vector: the pair
+            with base wire o sits on registers (2m, 2m+1) where
+            2m = rotl^t o. *)
+         let ops = Array.make half Register_model.Zero in
+         Array.iteri
+           (fun i kind ->
+             let o, _ = pairs.(i) in
+             let m = rotl ~width:d ~count:t o / 2 in
+             ops.(m) <- op_of_kind kind)
+           kinds;
+         stages_ops := ops :: !stages_ops;
+         (* Merge sibling classes.  The class of a wire before this
+            stage is its low d-t+1 bits; after, its low d-t bits. *)
+         let key_mask = (1 lsl (d - t)) - 1 in
+         let cross_of = Hashtbl.create 64 in
+         Array.iteri
+           (fun i kind ->
+             match kind with
+             | None -> ()
+             | Some kind ->
+                 let left, right = pairs.(i) in
+                 let key = left land key_mask in
+                 let cur =
+                   Option.value ~default:[] (Hashtbl.find_opt cross_of key)
+                 in
+                 Hashtbl.replace cross_of key
+                   ({ Reverse_delta.left; right; kind } :: cur))
+           kinds;
+         let next = Hashtbl.create (n lsr t) in
+         for key = 0 to (1 lsl (d - t)) - 1 do
+           let left_key = key and right_key = key lor (1 lsl (d - t)) in
+           let left = Hashtbl.find colls left_key in
+           let right = Hashtbl.find colls right_key in
+           let cross =
+             Option.value ~default:[] (Hashtbl.find_opt cross_of key)
+           in
+           let coll, _ = Mset.merge st ~cross ~left ~right in
+           Hashtbl.add next key coll
+         done;
+         Hashtbl.reset colls;
+         Hashtbl.iter (Hashtbl.add colls) next
+       done;
+       let coll = Hashtbl.find colls 0 in
+       let chosen, d_size = Mset.best_set coll in
+       Mset.rho_rename st coll chosen;
+       reports :=
+         { Theorem41.index;
+           a_size;
+           b_size = coll.Mset.total;
+           sets = coll.Mset.t;
+           d_size;
+           paper_bound = Theorem41.paper_bound ~n ~blocks:(index + 1) }
+         :: !reports;
+       if d_size >= 2 then incr survived else raise Exit
+     done
+   with Exit -> ());
+  let program =
+    Register_model.shuffle_program ~n (List.rev !stages_ops)
+  in
+  { reports = List.rev !reports;
+    survived = !survived;
+    final_pattern = Array.copy st.Mset.input_sym;
+    final_m_set = Pattern.m_set st.Mset.input_sym 0;
+    program }
+
+let tracked_set state w =
+  match state.Mset.origin.(w) with
+  | Some iw when state.Mset.tracked.(iw) -> Some state.Mset.set_idx.(iw)
+  | Some _ | None -> None
+
+let oblivious_all_compare ~stage:_ ~state:_ ~pairs =
+  Array.map (fun _ -> Some Reverse_delta.Min_left) pairs
+
+let greedy_killer ~stage:_ ~state ~pairs =
+  Array.map
+    (fun (a, b) ->
+      match (tracked_set state a, tracked_set state b) with
+      | Some sa, Some sb when sa = sb -> Some Reverse_delta.Min_left
+      | (Some _ | None), _ -> None)
+    pairs
+
+let steering_killer ~stage ~state ~pairs =
+  let n = Array.length state.Mset.sym in
+  let d = Bitops.log2_exact n in
+  Array.map
+    (fun (a, b) ->
+      match (tracked_set state a, tracked_set state b) with
+      | Some sa, Some sb when sa = sb -> Some Reverse_delta.Min_left
+      | Some _, Some _ -> None
+      | None, None -> None
+      | (Some set, None | None, Some set) when stage < d ->
+          (* One tracked value; park it where the *next* stage will
+             pair it with a same-set value, if that is possible. *)
+          let next_bit = 1 lsl (d - stage - 1) in
+          let here = if tracked_set state a <> None then a else b in
+          let partner_of w = w lxor next_bit in
+          let same_set_at w = tracked_set state w = Some set in
+          let good_at w = same_set_at (partner_of w) in
+          if good_at here then None (* already parked well: "0" *)
+          else if good_at (if here = a then b else a) then
+            Some Reverse_delta.Swap
+          else None
+      | (Some _ | None), _ -> None)
+    pairs

@@ -1,0 +1,55 @@
+(** The adaptive extension (Section 5, first paragraph).
+
+    The lower-bound argument never assumed the comparator labeling
+    was fixed in advance: the network builder may choose every stage's
+    op vector after seeing everything that happened so far, and the
+    adversary still wins. This module plays that game concretely on
+    shuffle-based networks: the engine alternates between a *builder*
+    (who picks each stage's [+,-,0,1] labeling, with full knowledge of
+    the adversary's bookkeeping — strictly more information than the
+    paper grants) and the Lemma 4.1 adversary (processed stage by
+    stage rather than by recursion, which is the same computation in
+    a different order).
+
+    The chosen labels are recorded, so the adaptively-built network is
+    returned as an ordinary register program and any resulting fooling
+    pair can be validated against it. *)
+
+type builder =
+  stage:int ->
+  state:Mset.state ->
+  pairs:(int * int) array ->
+  Reverse_delta.kind option array
+(** [builder ~stage ~state ~pairs] labels the cross pairs of shuffle
+    stage [stage] (1-indexed within the current block). [pairs.(i)] is
+    the (sub0-wire, sub1-wire) pair in the block's input-wire
+    coordinates; return value [i] labels that pair ([None] = "0"). The
+    builder may inspect the full adversary [state] but must not mutate
+    it. *)
+
+type result = {
+  reports : Theorem41.block_report list;
+  survived : int;
+  final_pattern : Pattern.t;
+  final_m_set : int list;
+  program : Register_model.t;  (** the network the builder produced *)
+}
+
+val run : ?k:int -> n:int -> blocks:int -> builder -> result
+(** Play [blocks] full shuffle blocks on [n = 2^d] wires. Stops early
+    when the special set drops below 2 wires; the returned program
+    covers only the stages actually played. *)
+
+val oblivious_all_compare : builder
+(** Ignores the state: "+" everywhere (the densest fixed network). *)
+
+val greedy_killer : builder
+(** Compares exactly the pairs whose two wires currently hold tracked
+    values of the same set (each such comparison costs the adversary a
+    wire); leaves everything else alone. *)
+
+val steering_killer : builder
+(** {!greedy_killer} plus routing: a pair holding exactly one tracked
+    value uses "0"/"1" to park that value on whichever side will meet
+    a same-set tracked value at the next stage, manufacturing future
+    collisions. *)

@@ -1,0 +1,99 @@
+type t = {
+  input : int array;
+  twin : int array;
+  wire0 : int;
+  wire1 : int;
+  value0 : int;
+  value1 : int;
+  m_set : int list;
+}
+
+let of_pattern p =
+  match Pattern.m_set p 0 with
+  | w0 :: w1 :: _ as m_set ->
+      (* canonical_input gives wires of one symbol consecutive values in
+         wire order, so the two smallest-index M_0 wires receive m and
+         m+1. *)
+      let input, twin = Pattern.input_with_swap p w0 w1 in
+      Some
+        { input;
+          twin;
+          wire0 = w0;
+          wire1 = w1;
+          value0 = input.(w0);
+          value1 = input.(w1);
+          m_set }
+  | [] | [ _ ] -> None
+
+let is_permutation a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun v ->
+      if v < 0 || v >= n || seen.(v) then false
+      else begin
+        seen.(v) <- true;
+        true
+      end)
+    a
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let check cond msg = if cond then Ok () else Error msg
+
+let validate nw cert =
+  let n = Network.wires nw in
+  let* () = check (Array.length cert.input = n) "input length mismatch" in
+  let* () = check (is_permutation cert.input) "input is not a permutation" in
+  let* () =
+    check
+      (cert.value1 = cert.value0 + 1)
+      "witness values are not adjacent"
+  in
+  let* () =
+    check
+      (cert.input.(cert.wire0) = cert.value0
+      && cert.input.(cert.wire1) = cert.value1)
+      "witness wires do not carry the witness values"
+  in
+  let* () =
+    let expected = Array.copy cert.input in
+    expected.(cert.wire0) <- cert.value1;
+    expected.(cert.wire1) <- cert.value0;
+    check (cert.twin = expected) "twin is not input with the stated swap"
+  in
+  let out, trace = Trace.run nw cert.input in
+  let* () =
+    check
+      (not (Trace.compared trace cert.value0 cert.value1))
+      "witness values were compared: certificate is void"
+  in
+  let out' = Network.eval nw cert.twin in
+  let swap v =
+    if v = cert.value0 then cert.value1
+    else if v = cert.value1 then cert.value0
+    else v
+  in
+  let* () =
+    check
+      (Array.for_all2 (fun a b -> b = swap a) out out')
+      "outputs are not identical up to the witness swap"
+  in
+  check
+    (not (Sortedness.is_sorted out && Sortedness.is_sorted out'))
+    "both outputs sorted (impossible)"
+
+let validate_noncolliding nw cert =
+  let _, trace = Trace.run nw cert.input in
+  let values = List.map (fun w -> cert.input.(w)) cert.m_set in
+  let rec pairs = function
+    | [] -> Ok ()
+    | v :: rest ->
+        let bad = List.find_opt (fun u -> Trace.compared trace v u) rest in
+        (match bad with
+        | Some u ->
+            Error
+              (Printf.sprintf "M_0 values %d and %d were compared" v u)
+        | None -> pairs rest)
+  in
+  pairs values

@@ -1,0 +1,45 @@
+(** Fooling-pair certificates (Corollary 4.1.1).
+
+    From a final input pattern whose [M_0]-set [D] has at least two
+    wires and is noncolliding in a network, refine to a concrete input
+    [pi] in which [D]'s wires carry *adjacent* values, pick two of
+    them with values [m] and [m+1], and let [pi'] be [pi] with those
+    two values exchanged. Since the network never compares [m] with
+    [m+1] on input [pi], it performs the identical sequence of moves
+    on both inputs, so it maps them to the same output permutation and
+    cannot sort both.
+
+    {!validate} re-checks all of that *concretely* — by instrumented
+    evaluation of the actual network, with no reliance on the symbolic
+    machinery that produced the pattern. A validated certificate is
+    independent proof that the network is not a sorting network. *)
+
+type t = {
+  input : int array;  (** [pi], a permutation of [0, n) by wire *)
+  twin : int array;  (** [pi'], differing from [pi] on two wires *)
+  wire0 : int;
+  wire1 : int;  (** the two witness wires from [D] *)
+  value0 : int;  (** [m]; [twin] carries it on [wire1] *)
+  value1 : int;  (** [m + 1] *)
+  m_set : int list;  (** all wires of [D], for the noncollision audit *)
+}
+
+val of_pattern : Pattern.t -> t option
+(** [None] when the [M_0]-set has fewer than two wires (the adversary
+    lost). The two witness wires are chosen so their canonical values
+    are consecutive. *)
+
+val validate : Network.t -> t -> (unit, string) result
+(** Checks, by direct evaluation of [nw]:
+    - [input] and [twin] are permutations differing exactly by the
+      stated swap;
+    - values [value0] and [value1] are never compared on [input];
+    - the outputs on [input] and [twin] are identical up to exchanging
+      [value0] and [value1] (same routing permutation);
+    - consequently the two outputs cannot both be sorted.
+    Returns a description of the first failing check. *)
+
+val validate_noncolliding : Network.t -> t -> (unit, string) result
+(** The stronger audit: *no two* values carried by [m_set] wires are
+    ever compared on [input] — i.e. [D] is noncolliding under the
+    canonical refinement, the full Property (2) of Lemma 4.1. *)

@@ -1,0 +1,43 @@
+type stats = {
+  a_size : int;
+  b_size : int;
+  levels : int;
+  sets : int;
+  merges : Mset.merge_stats list;
+}
+
+let run ?(policy = Mset.Argmin) st rd =
+  let a_size =
+    Array.fold_left
+      (fun acc w ->
+        match st.Mset.origin.(w) with
+        | Some iw when st.Mset.tracked.(iw) -> acc + 1
+        | Some _ | None -> acc)
+      0 (Reverse_delta.leaves rd)
+  in
+  let merges = ref [] in
+  let rec go = function
+    | Reverse_delta.Wire w -> Mset.singleton_collection st w
+    | Reverse_delta.Node { sub0; sub1; cross } ->
+        let left = go sub0 in
+        let right = go sub1 in
+        let coll, ms = Mset.merge ~policy st ~cross ~left ~right in
+        merges := ms :: !merges;
+        coll
+  in
+  let coll = go rd in
+  let l = Reverse_delta.levels rd in
+  (* Property (4):  |B| * k^2 >= |A| * (k^2 - l). *)
+  let k2 = st.Mset.k * st.Mset.k in
+  (match policy with
+  | Mset.Argmin | Mset.First_below_average ->
+      assert (coll.Mset.total * k2 >= a_size * (k2 - l))
+  | Mset.Fixed _ -> ());
+  (* t(l) = k^3 + l k^2. *)
+  assert (coll.Mset.t = (st.Mset.k * k2) + (l * k2));
+  ( coll,
+    { a_size;
+      b_size = coll.Mset.total;
+      levels = l;
+      sets = coll.Mset.t;
+      merges = List.rev !merges } )

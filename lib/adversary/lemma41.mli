@@ -1,0 +1,33 @@
+(** Lemma 4.1: one reverse delta network, processed recursively.
+
+    Given adversary state whose pattern, restricted to the block's
+    wires, uses only [S_0 / M_0 / L_0] (the Theorem 4.1 invariant), run
+    the induction of Lemma 4.1 over the recursive structure: leaves
+    yield singleton collections of [t(0) = k^3] sets, and every node
+    combines its two children's collections with {!Mset.merge}.
+
+    On return the state's input pattern has been refined so that the
+    collection's sets are exactly its [M_i]-sets, each noncolliding in
+    the block, with
+
+    [|B| >= |A| - l |A| / k^2]   and   [t(l) = k^3 + l k^2]
+
+    (Properties (1)–(4) of the lemma), both of which {!run} asserts. *)
+
+type stats = {
+  a_size : int;  (** [|A|]: tracked members on the block's wires at entry *)
+  b_size : int;  (** [|B|]: surviving members *)
+  levels : int;  (** [l] *)
+  sets : int;  (** [t(l)] *)
+  merges : Mset.merge_stats list;  (** per-node step records, leaf-to-root order *)
+}
+
+val run :
+  ?policy:Mset.offset_policy ->
+  Mset.state ->
+  Reverse_delta.t ->
+  Mset.collection * stats
+(** Mutates the state (pattern refinement and symbolic routing) and
+    returns the root collection. The lemma's loss bound (Property 4)
+    and set count (implied by Property 1) are asserted unless an
+    ablation [policy] of [Fixed _] is in force. *)

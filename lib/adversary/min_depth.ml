@@ -1,0 +1,149 @@
+type outcome =
+  | Sorter of Register_model.op array list
+  | Impossible
+  | Inconclusive
+
+(* Masks encode one zero-one input/state: bit r = value of register r. *)
+
+let shuffle_mask ~n ~d m =
+  (* content of register j moves to rotl j: bit r of m' = bit rotr r of m *)
+  let m' = ref 0 in
+  for r = 0 to n - 1 do
+    let src = if r = 0 then 0 else ((r lsr 1) lor ((r land 1) lsl (d - 1))) in
+    if (m lsr src) land 1 = 1 then m' := !m' lor (1 lsl r)
+  done;
+  !m'
+
+let apply_ops ~pairs ops m =
+  let m = ref m in
+  for k = 0 to pairs - 1 do
+    let a = 2 * k and b = (2 * k) + 1 in
+    let va = (!m lsr a) land 1 and vb = (!m lsr b) land 1 in
+    let va', vb' =
+      match ops.(k) with
+      | Register_model.Plus -> (va land vb, va lor vb)
+      | Register_model.Minus -> (va lor vb, va land vb)
+      | Register_model.One -> (vb, va)
+      | Register_model.Zero -> (va, vb)
+    in
+    m := !m land lnot ((1 lsl a) lor (1 lsl b));
+    m := !m lor (va' lsl a) lor (vb' lsl b)
+  done;
+  !m
+
+module Int_set = Set.Make (Int)
+
+let sorted_masks n =
+  (* ascending by register index: zeros at low registers *)
+  List.init (n + 1) (fun z -> ((1 lsl z) - 1) lsl (n - z)) |> Int_set.of_list
+
+let all_op_vectors ~pairs =
+  (* enumerate {+,-,0,1}^pairs; Plus first so witnesses favour dense
+     comparator levels *)
+  let ops_of_code code =
+    Array.init pairs (fun k ->
+        match (code lsr (2 * k)) land 3 with
+        | 0 -> Register_model.Plus
+        | 1 -> Register_model.Minus
+        | 2 -> Register_model.One
+        | _ -> Register_model.Zero)
+  in
+  List.init (1 lsl (2 * pairs)) ops_of_code
+
+(* Necessary condition for sorting within [r] more stages: every unit
+   mask's one must sit at a register whose low [d - r] bits are all
+   ones (its committed high position bits must already be correct);
+   dually for single-zero masks. *)
+let prunable ~n ~d ~remaining state =
+  if remaining >= d then false
+  else begin
+    let low_bits = d - remaining in
+    let low_mask = (1 lsl low_bits) - 1 in
+    let full = (1 lsl n) - 1 in
+    Int_set.exists
+      (fun m ->
+        if m <> 0 && m land (m - 1) = 0 then begin
+          (* unit: position of the single one *)
+          let p = Bitops.floor_log2 m in
+          p land low_mask <> low_mask
+        end
+        else
+          let c = full land lnot m in
+          if c <> 0 && c land (c - 1) = 0 then begin
+            let p = Bitops.floor_log2 c in
+            p land low_mask <> 0
+          end
+          else false)
+      state
+  end
+
+let key_of_state state =
+  let b = Buffer.create 64 in
+  Int_set.iter (fun m -> Buffer.add_string b (string_of_int m); Buffer.add_char b ',') state;
+  Buffer.contents b
+
+let search ~n ~depth ?(node_budget = 5_000_000) () =
+  if not (Bitops.is_power_of_two n) || n < 2 || n > 256 then
+    invalid_arg "Min_depth.search: n must be a power of two in [2,256]";
+  let d = Bitops.log2_exact n in
+  let pairs = n / 2 in
+  let sorted = sorted_masks n in
+  let vectors = all_op_vectors ~pairs in
+  let initial = Int_set.of_list (List.init (1 lsl n) (fun m -> m)) in
+  (* memo: state key -> largest remaining budget already refuted *)
+  let refuted : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let nodes = ref 0 in
+  let exception Budget in
+  let rec go state remaining =
+    if Int_set.subset state sorted then Some []
+    else if remaining = 0 then None
+    else if prunable ~n ~d ~remaining state then None
+    else begin
+      incr nodes;
+      if !nodes > node_budget then raise Budget;
+      let key = key_of_state state in
+      match Hashtbl.find_opt refuted key with
+      | Some r when r >= remaining -> None
+      | Some _ | None ->
+          let rec try_vectors = function
+            | [] ->
+                Hashtbl.replace refuted key remaining;
+                None
+            | ops :: rest -> (
+                let state' =
+                  Int_set.map
+                    (fun m -> apply_ops ~pairs ops (shuffle_mask ~n ~d m))
+                    state
+                in
+                match go state' (remaining - 1) with
+                | Some tail -> Some (ops :: tail)
+                | None -> try_vectors rest)
+          in
+          try_vectors vectors
+    end
+  in
+  match go initial depth with
+  | Some program -> Sorter program
+  | None -> Impossible
+  | exception Budget -> Inconclusive
+
+let verify_witness ~n program =
+  let prog = Register_model.shuffle_program ~n program in
+  Zero_one.is_sorting_network (Register_model.to_network prog)
+
+let minimal_depth ~n ~max_depth ?node_budget () =
+  let rec go depth =
+    if depth > max_depth then None
+    else
+      match search ~n ~depth ?node_budget () with
+      | Sorter program ->
+          assert (verify_witness ~n program);
+          Some (depth, program)
+      | Impossible -> go (depth + 1)
+      | Inconclusive ->
+          failwith
+            (Printf.sprintf
+               "Min_depth.minimal_depth: inconclusive at depth %d (raise node_budget)"
+               depth)
+  in
+  go 1

@@ -1,0 +1,41 @@
+(** Exhaustive minimal-depth search for shuffle-based sorters (tiny n).
+
+    Section 6 asks whether small-depth sorting networks based on a
+    single permutation exist, and Knuth's problem 5.3.4.47 asks for the
+    exact minimal depth of shuffle-based sorters. For tiny [n] the
+    question is decidable by search: a prefix of a shuffle-based
+    network is characterised (for sorting purposes, by the 0-1
+    principle) by the *image* of all [2^n] zero-one inputs, a set of at
+    most [2^n] bit masks; stages act on that image deterministically,
+    so depth-first search with memoisation over images answers "does a
+    depth-[D] shuffle-based sorter exist?" exactly.
+
+    Pruning: unit masks (single 1) remain unit masks under comparators,
+    and a unit at register [p] can only reach the top register within
+    [r] further stages if the low [lg n - r] bits of [p] are all ones
+    (its high position bits are already committed); dually for
+    single-zero masks. This cheap necessary condition cuts the search
+    space by orders of magnitude and is itself exercised by the test
+    suite. *)
+
+type outcome =
+  | Sorter of Register_model.op array list
+      (** a witness program: op vectors, one per stage *)
+  | Impossible  (** exhaustively refuted at this depth *)
+  | Inconclusive  (** search aborted by the node budget *)
+
+val search : n:int -> depth:int -> ?node_budget:int -> unit -> outcome
+(** [search ~n ~depth ()] decides whether some shuffle-based network of
+    exactly [depth] stages sorts all inputs. [node_budget] (default
+    [5_000_000]) bounds the number of states expanded.
+    @raise Invalid_argument unless [n] is a power of two in [2, 256]. *)
+
+val minimal_depth : n:int -> max_depth:int -> ?node_budget:int -> unit ->
+  (int * Register_model.op array list) option
+(** Iterative deepening: the least [D <= max_depth] admitting a sorter,
+    with a witness, or [None] if every depth up to [max_depth] is
+    refuted (raises [Failure] if a level was inconclusive, since
+    minimality could then not be certified). *)
+
+val verify_witness : n:int -> Register_model.op array list -> bool
+(** Checks a witness with the independent 0-1 verifier. *)

@@ -1,0 +1,306 @@
+type collection = {
+  sets : (int, int list) Hashtbl.t;
+  t : int;
+  total : int;
+}
+
+type state = {
+  n : int;
+  k : int;
+  sym : Symbol.t array;
+  origin : int option array;
+  pos : int array;
+  tracked : bool array;
+  set_idx : int array;
+  input_sym : Symbol.t array;
+  mutable x_fresh : int;
+}
+
+let create ~n ~k =
+  if n < 1 then invalid_arg "Mset.create: n must be >= 1";
+  if k < 1 then invalid_arg "Mset.create: k must be >= 1";
+  { n;
+    k;
+    sym = Array.make n (Symbol.M 0);
+    origin = Array.init n (fun w -> Some w);
+    pos = Array.init n (fun w -> w);
+    tracked = Array.make n true;
+    set_idx = Array.make n 0;
+    input_sym = Array.make n (Symbol.M 0);
+    x_fresh = 0 }
+
+let t0 st = st.k * st.k * st.k
+
+let singleton_collection st w =
+  let sets = Hashtbl.create 1 in
+  let total =
+    match st.origin.(w) with
+    | Some iw when st.tracked.(iw) ->
+        (* A tracked value forms set [set_idx iw] of its leaf; at block
+           start that index is always 0. *)
+        Hashtbl.add sets st.set_idx.(iw) [ iw ];
+        1
+    | Some _ | None -> 0
+  in
+  { sets; t = t0 st; total }
+
+let empty_collection st = { sets = Hashtbl.create 1; t = t0 st; total = 0 }
+
+let union_collections colls =
+  match colls with
+  | [] -> invalid_arg "Mset.union_collections: empty list"
+  | first :: _ ->
+      let t = first.t in
+      let sets = Hashtbl.create 64 in
+      let total = ref 0 in
+      List.iter
+        (fun c ->
+          if c.t <> t then
+            invalid_arg "Mset.union_collections: mismatched set counts";
+          Hashtbl.iter
+            (fun idx members ->
+              let cur = Option.value ~default:[] (Hashtbl.find_opt sets idx) in
+              Hashtbl.replace sets idx (List.rev_append members cur);
+              total := !total + List.length members)
+            c.sets)
+        colls;
+      { sets; t; total = !total }
+
+type merge_stats = {
+  i0 : int;
+  candidates : int;
+  removed : int;
+  left_total : int;
+}
+
+type offset_policy = Argmin | First_below_average | Fixed of int
+
+let tracked_origin st w =
+  match st.origin.(w) with
+  | Some iw when st.tracked.(iw) -> Some iw
+  | Some _ | None -> None
+
+let is_comparator = function
+  | Reverse_delta.Min_left | Reverse_delta.Min_right -> true
+  | Reverse_delta.Swap -> false
+
+(* Symbolically fire one cross element, routing symbols / origins and
+   keeping [pos] inverse to [origin]. *)
+let fire st (c : Reverse_delta.cross) =
+  let move_swap () =
+    let sl = st.sym.(c.left) and sr = st.sym.(c.right) in
+    st.sym.(c.left) <- sr;
+    st.sym.(c.right) <- sl;
+    let ol = st.origin.(c.left) and or_ = st.origin.(c.right) in
+    st.origin.(c.left) <- or_;
+    st.origin.(c.right) <- ol;
+    (match ol with Some iw -> st.pos.(iw) <- c.right | None -> ());
+    match or_ with Some iw -> st.pos.(iw) <- c.left | None -> ()
+  in
+  match c.kind with
+  | Reverse_delta.Swap -> move_swap ()
+  | Reverse_delta.Min_left | Reverse_delta.Min_right ->
+      let cmp = Symbol.compare st.sym.(c.left) st.sym.(c.right) in
+      if cmp = 0 then begin
+        (* Equal symbols: outcome ambiguous, but then neither side may
+           be tracked — tracked collisions are expelled before firing. *)
+        if tracked_origin st c.left <> None || tracked_origin st c.right <> None
+        then
+          failwith
+            "Mset.fire: tracked value in an undetermined comparison (invariant broken)"
+      end
+      else
+        let min_goes_left = c.kind = Reverse_delta.Min_left in
+        let smaller_on_left = cmp < 0 in
+        if min_goes_left <> smaller_on_left then move_swap ()
+
+let untrack_to_x st iw ~set =
+  let x = Symbol.X (set, st.x_fresh) in
+  st.tracked.(iw) <- false;
+  st.input_sym.(iw) <- x;
+  let w = st.pos.(iw) in
+  st.sym.(w) <- x;
+  st.origin.(w) <- None
+
+let merge ?(policy = Argmin) st ~cross ~left ~right =
+  if left.t <> right.t then
+    invalid_arg "Mset.merge: collections disagree on set count";
+  let k2 = st.k * st.k in
+  (* 1. Collision candidates C_{a,b}: left-side tracked wires whose
+     cross partner is tracked too.  [Swap] elements never collide. *)
+  let candidates =
+    List.filter_map
+      (fun (c : Reverse_delta.cross) ->
+        if not (is_comparator c.kind) then None
+        else
+          match (tracked_origin st c.left, tracked_origin st c.right) with
+          | Some iwl, Some iwr ->
+              Some (st.set_idx.(iwl), st.set_idx.(iwr), iwl)
+          | (Some _ | None), _ -> None)
+      cross
+  in
+  (* 2. Loss per admissible offset. *)
+  let losses = Array.make k2 0 in
+  List.iter
+    (fun (a, b, _) ->
+      let diff = a - b in
+      if diff >= 0 && diff < k2 then losses.(diff) <- losses.(diff) + 1)
+    candidates;
+  let i0 =
+    match policy with
+    | Argmin ->
+        let best = ref 0 in
+        Array.iteri (fun i l -> if l < losses.(!best) then best := i) losses;
+        !best
+    | First_below_average ->
+        let rec find i =
+          if i >= k2 then assert false
+          else if losses.(i) * k2 <= left.total then i
+          else find (i + 1)
+        in
+        find 0
+    | Fixed i -> ((i mod k2) + k2) mod k2
+  in
+  (* The averaging argument: the L_i are disjoint subsets of B_0. *)
+  (match policy with
+  | Argmin | First_below_average -> assert (losses.(i0) * k2 <= left.total)
+  | Fixed _ -> ());
+  (* 3. Expel C_{a, a-i0} into fresh X symbols (refinement step 2 of
+     the lemma's proof). *)
+  let removed_of_set = Hashtbl.create 8 in
+  List.iter
+    (fun (a, b, iwl) ->
+      if a - b = i0 then begin
+        untrack_to_x st iwl ~set:a;
+        let cur = Option.value ~default:[] (Hashtbl.find_opt removed_of_set a) in
+        Hashtbl.replace removed_of_set a (iwl :: cur)
+      end)
+    candidates;
+  if Hashtbl.length removed_of_set > 0 then st.x_fresh <- st.x_fresh + 1;
+  let removed = losses.(i0) in
+  (* 4. Build the combined collection: left sets keep their indices
+     (minus expelled members); right set b becomes set b + i0
+     (refinement steps 2' of the proof). *)
+  let sets = Hashtbl.create (Hashtbl.length left.sets + Hashtbl.length right.sets) in
+  Hashtbl.iter
+    (fun a members ->
+      let members =
+        match Hashtbl.find_opt removed_of_set a with
+        | None -> members
+        | Some gone -> List.filter (fun iw -> not (List.mem iw gone)) members
+      in
+      if members <> [] then Hashtbl.replace sets a members)
+    left.sets;
+  Hashtbl.iter
+    (fun b members ->
+      let idx = b + i0 in
+      List.iter
+        (fun iw ->
+          st.set_idx.(iw) <- idx;
+          st.input_sym.(iw) <- Symbol.M idx;
+          st.sym.(st.pos.(iw)) <- Symbol.M idx)
+        members;
+      let cur = Option.value ~default:[] (Hashtbl.find_opt sets idx) in
+      Hashtbl.replace sets idx (List.rev_append members cur))
+    right.sets;
+  (* 5. Only now fire the cross level: every surviving tracked value
+     meets only strictly ordered symbols, so its path is determined. *)
+  List.iter (fire st) cross;
+  let coll =
+    { sets; t = left.t + k2; total = left.total + right.total - removed }
+  in
+  (coll, { i0; candidates = List.length candidates; removed; left_total = left.total })
+
+let apply_swap_level st perm =
+  if Perm.n perm <> st.n then invalid_arg "Mset.apply_swap_level: size mismatch";
+  let old_sym = Array.copy st.sym and old_origin = Array.copy st.origin in
+  for w = 0 to st.n - 1 do
+    let w' = Perm.apply perm w in
+    st.sym.(w') <- old_sym.(w);
+    st.origin.(w') <- old_origin.(w);
+    match old_origin.(w) with
+    | Some iw when st.tracked.(iw) -> st.pos.(iw) <- w'
+    | Some _ | None -> ()
+  done
+
+let best_set coll =
+  let best = ref (0, 0) in
+  Hashtbl.iter
+    (fun idx members ->
+      let size = List.length members in
+      let bidx, bsize = !best in
+      if size > bsize || (size = bsize && idx < bidx) then best := (idx, size))
+    coll.sets;
+  !best
+
+let rho_rename st coll chosen =
+  let pivot = Symbol.M chosen in
+  let rename s =
+    let c = Symbol.compare s pivot in
+    if c < 0 then Symbol.S 0 else if c > 0 then Symbol.L 0 else Symbol.M 0
+  in
+  (* Untrack everything outside the chosen set; keep positions for the
+     survivors and reset their index to 0. *)
+  Hashtbl.iter
+    (fun idx members ->
+      List.iter
+        (fun iw ->
+          if idx = chosen then st.set_idx.(iw) <- 0
+          else begin
+            st.tracked.(iw) <- false;
+            st.origin.(st.pos.(iw)) <- None
+          end)
+        members)
+    coll.sets;
+  for w = 0 to st.n - 1 do
+    st.sym.(w) <- rename st.sym.(w)
+  done;
+  for iw = 0 to st.n - 1 do
+    st.input_sym.(iw) <- rename st.input_sym.(iw)
+  done;
+  st.x_fresh <- 0
+
+let tracked_count st =
+  let c = ref 0 in
+  Array.iter (fun b -> if b then incr c) st.tracked;
+  !c
+
+let check_invariants st coll =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  for w = 0 to st.n - 1 do
+    match st.origin.(w) with
+    | Some iw when st.tracked.(iw) ->
+        if st.pos.(iw) <> w then fail "pos/origin mismatch at wire %d" w;
+        let expected = Symbol.M st.set_idx.(iw) in
+        if not (Symbol.equal st.sym.(w) expected) then
+          fail "wire %d: symbol %s but set %d" w
+            (Symbol.to_string st.sym.(w))
+            st.set_idx.(iw);
+        if not (Symbol.equal st.input_sym.(iw) expected) then
+          fail "input wire %d: input symbol %s but set %d" iw
+            (Symbol.to_string st.input_sym.(iw))
+            st.set_idx.(iw)
+    | Some _ | None -> (
+        match st.sym.(w) with
+        | Symbol.M _ -> fail "wire %d: untracked value carries an M symbol" w
+        | Symbol.S _ | Symbol.X _ | Symbol.L _ -> ())
+  done;
+  let seen = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun idx members ->
+      if idx < 0 || idx >= coll.t then fail "set index %d out of [0,%d)" idx coll.t;
+      List.iter
+        (fun iw ->
+          if Hashtbl.mem seen iw then fail "input wire %d in two sets" iw;
+          Hashtbl.add seen iw ();
+          if not st.tracked.(iw) then fail "input wire %d in a set but untracked" iw;
+          if st.set_idx.(iw) <> idx then
+            fail "input wire %d: set_idx %d but listed in set %d" iw st.set_idx.(iw) idx)
+        members)
+    coll.sets;
+  for iw = 0 to st.n - 1 do
+    if st.tracked.(iw) && not (Hashtbl.mem seen iw) then
+      fail "input wire %d tracked but in no set" iw
+  done;
+  if Hashtbl.length seen <> coll.total then
+    fail "collection total %d but %d members found" coll.total (Hashtbl.length seen)

@@ -1,0 +1,123 @@
+(** Shared adversary state and the collection-merge step of Lemma 4.1.
+
+    The adversary maintains, while walking a (collection of) reverse
+    delta network(s):
+
+    - the *current pattern*: the symbol presently resting on every
+      physical wire (symbols travel with values, values are routed by
+      comparators acting on symbol order);
+    - the *input pattern* it is constructing by stepwise refinement,
+      over the original input wires — every renaming this module
+      performs is an order-preserving renaming or a [U]-refinement in
+      the sense of Definitions 3.1–3.3, so the input pattern always
+      refines the pattern the run started from;
+    - for every tracked value: its original input wire, its current
+      physical wire, and the index of the noncolliding [M_i]-set it
+      belongs to.
+
+    A {!collection} is the family [M_0 .. M_{t-1}] of one (sub)network
+    of the recursion; {!merge} implements the induction step: count
+    the cross-level collision sets [C_{i,j}], pick the offset [i_0]
+    minimising [L_{i_0} = sum_j |C_{j, j-i_0}|] (the averaging
+    argument guarantees [|L_{i_0}| <= |B_0| / k^2], which is asserted),
+    expel the [C_{j, j-i_0}] wires into fresh [X] symbols, shift the
+    right-hand collection's indices up by [i_0], and only then fire
+    the cross gates symbolically. *)
+
+type collection = private {
+  sets : (int, int list) Hashtbl.t;
+      (** set index -> members, as original input wires; only nonempty
+          sets are present *)
+  t : int;  (** number of sets, [t(l) = k^3 + l k^2] *)
+  total : int;  (** total membership across sets *)
+}
+
+type state = {
+  n : int;
+  k : int;  (** the lemma's parameter [k] *)
+  sym : Symbol.t array;  (** physical wire -> current symbol *)
+  origin : int option array;
+      (** physical wire -> original input wire of the tracked value
+          currently there; [None] for untracked values *)
+  pos : int array;  (** original input wire -> current physical wire *)
+  tracked : bool array;  (** original input wire -> still tracked? *)
+  set_idx : int array;  (** original input wire -> set index *)
+  input_sym : Symbol.t array;
+      (** the input pattern under construction, over original wires *)
+  mutable x_fresh : int;  (** next fresh second index for [X] symbols *)
+}
+
+val create : n:int -> k:int -> state
+(** Fresh state for Theorem 4.1: every wire tracked in set 0 with
+    symbol [M_0], identity positions. *)
+
+val singleton_collection : state -> int -> collection
+(** [singleton_collection st w] is the [t(0) = k^3]-set collection of
+    the leaf at physical wire [w]: set 0 holds the tracked value
+    currently on [w], if any (base case of Lemma 4.1). *)
+
+val empty_collection : state -> collection
+(** A [t(0)]-set collection with no members (for truncated-forest
+    bookkeeping). *)
+
+val union_collections : collection list -> collection
+(** Index-wise union of collections over *disjoint* subnetworks that
+    share the symbol space (used by the truncated variant, where one
+    chunk is a forest of disjoint trees): sets with equal index carry
+    the same [M_i] symbol and never met inside the chunk, so their
+    union is still noncolliding so far. All collections must have
+    equal [t]. *)
+
+type merge_stats = {
+  i0 : int;  (** chosen offset *)
+  candidates : int;  (** cross pairs with both sides tracked *)
+  removed : int;  (** [|L_{i0}|] — wires expelled *)
+  left_total : int;  (** [|B_0|] *)
+}
+
+type offset_policy =
+  | Argmin  (** smallest loss, smallest offset on ties (default) *)
+  | First_below_average
+      (** the first [i] with [|L_i| <= |B_0| / k^2] — the literal
+          existence form of the paper's averaging argument *)
+  | Fixed of int
+      (** always offset [i mod k^2] — the ablation control; the
+          averaging guarantee does not apply *)
+
+val merge :
+  ?policy:offset_policy ->
+  state ->
+  cross:Reverse_delta.cross list ->
+  left:collection ->
+  right:collection ->
+  collection * merge_stats
+(** One induction step of Lemma 4.1 at a node whose final level is
+    [cross]. Mutates [state] (renamings and symbolic routing) and
+    returns the combined collection with [t' = t + k^2].
+    @raise Invalid_argument if the two collections disagree on [t].
+    @raise Assert_failure if the averaging bound fails under [Argmin]
+    or [First_below_average] — it cannot, by the paper's disjointness
+    argument. *)
+
+val apply_swap_level : state -> Perm.t -> unit
+(** Route an inter-block permutation through the physical state:
+    the value on wire [j] moves to wire [perm j]. *)
+
+val best_set : collection -> int * int
+(** [(index, size)] of a largest set (smallest index on ties);
+    [(0, 0)] for an all-empty collection. *)
+
+val rho_rename : state -> collection -> int -> unit
+(** The [rho_i] renaming of Lemma 3.4, applied between blocks
+    (Theorem 4.1): every symbol below [M_i] becomes [S_0], everything
+    above becomes [L_0], [M_i] becomes [M_0]; members of set [i] are
+    re-tracked as set 0 and everything else is untracked. *)
+
+val tracked_count : state -> int
+
+val check_invariants : state -> collection -> unit
+(** Internal-consistency audit used by the test suite: positions and
+    origins are mutually inverse, tracked wires carry exactly the
+    [M_i] symbol of their set, collection membership matches the
+    [set_idx] table, and input/current symbols agree per value.
+    @raise Failure describing the first violation. *)

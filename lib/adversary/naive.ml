@@ -1,0 +1,89 @@
+type result = {
+  sizes : int list;
+  levels_survived : int;
+  final_pattern : Pattern.t;
+  final_m_set : int list;
+}
+
+type state = {
+  sym : Symbol.t array;
+  origin : int option array;
+  input_sym : Symbol.t array;
+  tracked : bool array;
+  mutable size : int;
+  mutable x_fresh : int;
+}
+
+let tracked_at st w =
+  match st.origin.(w) with
+  | Some iw when st.tracked.(iw) -> Some iw
+  | Some _ | None -> None
+
+let untrack st w =
+  match st.origin.(w) with
+  | None -> assert false
+  | Some iw ->
+      let x = Symbol.X (0, st.x_fresh) in
+      st.x_fresh <- st.x_fresh + 1;
+      st.tracked.(iw) <- false;
+      st.input_sym.(iw) <- x;
+      st.sym.(w) <- x;
+      st.origin.(w) <- None;
+      st.size <- st.size - 1
+
+let swap_state st a b =
+  let s = st.sym.(a) in
+  st.sym.(a) <- st.sym.(b);
+  st.sym.(b) <- s;
+  let o = st.origin.(a) in
+  st.origin.(a) <- st.origin.(b);
+  st.origin.(b) <- o
+
+let fire st g =
+  match g with
+  | Gate.Exchange { a; b } -> swap_state st a b
+  | Gate.Compare { lo; hi } ->
+      (* A collision between two tracked values: expel the one that the
+         comparator would route to the min output. *)
+      (if tracked_at st lo <> None && tracked_at st hi <> None then untrack st lo);
+      let c = Symbol.compare st.sym.(lo) st.sym.(hi) in
+      if c > 0 then swap_state st lo hi
+      else if c = 0 then
+        assert (tracked_at st lo = None && tracked_at st hi = None)
+
+let run nw =
+  let n = Network.wires nw in
+  let st =
+    { sym = Array.make n (Symbol.M 0);
+      origin = Array.init n (fun w -> Some w);
+      input_sym = Array.make n (Symbol.M 0);
+      tracked = Array.make n true;
+      size = n;
+      x_fresh = 0 }
+  in
+  let sizes = ref [ n ] in
+  let levels_survived = ref 0 in
+  let comparator_levels = ref 0 in
+  List.iter
+    (fun lvl ->
+      (match lvl.Network.pre with
+      | None -> ()
+      | Some p ->
+          let old_sym = Array.copy st.sym and old_origin = Array.copy st.origin in
+          for w = 0 to n - 1 do
+            let w' = Perm.apply p w in
+            st.sym.(w') <- old_sym.(w);
+            st.origin.(w') <- old_origin.(w)
+          done);
+      let has_comparator = List.exists Gate.is_comparator lvl.Network.gates in
+      List.iter (fire st) lvl.Network.gates;
+      if has_comparator then begin
+        incr comparator_levels;
+        sizes := st.size :: !sizes;
+        if st.size >= 2 then levels_survived := !comparator_levels
+      end)
+    (Network.levels nw);
+  { sizes = List.rev !sizes;
+    levels_survived = !levels_survived;
+    final_pattern = Array.copy st.input_sym;
+    final_m_set = Pattern.m_set st.input_sym 0 }

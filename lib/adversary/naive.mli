@@ -1,0 +1,27 @@
+(** The naive halving adversary of Section 2.
+
+    Keep a single special set of mutually-uncompared, adjacent values
+    (initially everything); whenever a comparator joins two members,
+    expel one. Each comparator level can halve the set, so this
+    argument alone only yields the trivial [Omega(lg n)] bound — the
+    point of experiment E4 is to measure exactly that gap against the
+    paper's collection-of-sets adversary.
+
+    Unlike {!Lemma41}, this adversary runs on arbitrary networks (any
+    level structure, any permutations), which also makes it a handy
+    generic fooling-pair generator for shallow circuits. *)
+
+type result = {
+  sizes : int list;
+      (** special-set size after each comparator level, starting with
+          the initial size [n] *)
+  levels_survived : int;
+      (** comparator levels processed before the set first had < 2
+          wires (= all levels if it never did) *)
+  final_pattern : Pattern.t;
+  final_m_set : int list;
+}
+
+val run : Network.t -> result
+(** Processes every level; the expelled member of a colliding pair is
+    always the one on the comparator's min-output side. *)

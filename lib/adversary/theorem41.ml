@@ -1,0 +1,71 @@
+type block_report = {
+  index : int;
+  a_size : int;
+  b_size : int;
+  sets : int;
+  d_size : int;
+  paper_bound : float;
+}
+
+type result = {
+  reports : block_report list;
+  survived : int;
+  final_pattern : Pattern.t;
+  final_m_set : int list;
+  exhausted : bool;
+}
+
+let log2f x = log x /. log 2.
+
+let paper_bound ~n ~blocks =
+  let lg = log2f (float_of_int n) in
+  float_of_int n /. (lg ** (4. *. float_of_int blocks))
+
+let depth_lower_bound ~n =
+  let lg = log2f (float_of_int n) in
+  lg *. lg /. (4. *. log2f lg)
+
+let max_survivable_blocks ~n =
+  let rec go d =
+    if paper_bound ~n ~blocks:(d + 1) > 1. then go (d + 1) else d
+  in
+  go 0
+
+let run ?k ?policy it =
+  let n = Iterated.n it in
+  let k =
+    match k with Some k -> k | None -> max 2 (Bitops.ceil_log2 n)
+  in
+  let st = Mset.create ~n ~k in
+  let reports = ref [] in
+  let survived = ref 0 in
+  let exhausted = ref true in
+  (try
+     List.iteri
+       (fun index (b : Iterated.block) ->
+         (match b.pre with
+         | None -> ()
+         | Some p -> Mset.apply_swap_level st p);
+         let coll, stats = Lemma41.run ?policy st b.body in
+         let chosen, d_size = Mset.best_set coll in
+         Mset.rho_rename st coll chosen;
+         reports :=
+           { index;
+             a_size = stats.Lemma41.a_size;
+             b_size = stats.Lemma41.b_size;
+             sets = stats.Lemma41.sets;
+             d_size;
+             paper_bound = paper_bound ~n ~blocks:(index + 1) }
+           :: !reports;
+         if d_size >= 2 then incr survived
+         else begin
+           exhausted := false;
+           raise Exit
+         end)
+       (Iterated.blocks it)
+   with Exit -> ());
+  { reports = List.rev !reports;
+    survived = !survived;
+    final_pattern = Array.copy st.Mset.input_sym;
+    final_m_set = Pattern.m_set st.Mset.input_sym 0;
+    exhausted = !exhausted }

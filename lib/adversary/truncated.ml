@@ -1,0 +1,56 @@
+type chunk_report = {
+  index : int;
+  a_size : int;
+  b_size : int;
+  sets : int;
+  d_size : int;
+}
+
+type result = {
+  reports : chunk_report list;
+  survived : int;
+  final_pattern : Pattern.t;
+  final_m_set : int list;
+  exhausted : bool;
+}
+
+let run ?k ~f prog =
+  let n = Register_model.n prog in
+  let chunks = Shuffle_net.chunk_ops prog ~f in
+  let k =
+    match k with Some k -> k | None -> max 2 (Bitops.ceil_log2 n)
+  in
+  let st = Mset.create ~n ~k in
+  let reports = ref [] in
+  let survived = ref 0 in
+  let exhausted = ref true in
+  let glue = Shuffle_net.inter_chunk_perm ~n ~f in
+  (try
+     List.iteri
+       (fun index opss ->
+         if index > 0 then Mset.apply_swap_level st glue;
+         let a_size = Mset.tracked_count st in
+         let forest = Shuffle_net.forest_of_ops ~n opss in
+         let colls = List.map (fun tree -> fst (Lemma41.run st tree)) forest in
+         let coll = Mset.union_collections colls in
+         let chosen, d_size = Mset.best_set coll in
+         Mset.rho_rename st coll chosen;
+         reports :=
+           { index;
+             a_size;
+             b_size = coll.Mset.total;
+             sets = coll.Mset.t;
+             d_size }
+           :: !reports;
+         if d_size >= 2 then incr survived
+         else begin
+           exhausted := false;
+           raise Exit
+         end)
+       chunks
+   with Exit -> ());
+  { reports = List.rev !reports;
+    survived = !survived;
+    final_pattern = Array.copy st.Mset.input_sym;
+    final_m_set = Pattern.m_set st.Mset.input_sym 0;
+    exhausted = !exhausted }

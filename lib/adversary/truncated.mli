@@ -1,0 +1,37 @@
+(** The [f(n)] variant (Section 5, second paragraph).
+
+    If an arbitrary fixed permutation is allowed after every [f]
+    shuffle stages (instead of every [lg n]), each chunk of [f] stages
+    decomposes into [2^(lg n - f)] disjoint [f]-level reverse delta
+    trees. The adversary runs Lemma 4.1 independently inside every
+    tree of a chunk and then unions the collections index-wise —
+    same-index sets share one [M_i] symbol and never met inside the
+    chunk, so the union is still a family of noncolliding sets. The
+    paper's modified splitting predicts a depth lower bound of
+    [Omega(f lg n / lg f)] for this class, against the
+    [O(f lg n)] upper bound from emulating AKS; experiment E8 measures
+    the number of chunks survived as [f] varies. *)
+
+type chunk_report = {
+  index : int;
+  a_size : int;
+  b_size : int;
+  sets : int;
+  d_size : int;
+}
+
+type result = {
+  reports : chunk_report list;
+  survived : int;  (** chunks after which the special set had >= 2 wires *)
+  final_pattern : Pattern.t;
+  final_m_set : int list;
+  exhausted : bool;
+}
+
+val run : ?k:int -> f:int -> Register_model.t -> result
+(** [run ?k ~f prog] plays the adversary against a shuffle-based
+    program whose stage count is a multiple of [f]; consecutive chunks
+    are glued with the induced inter-chunk wire re-indexing
+    ([rotl^f]). [k] defaults to [max 2 (lg n)].
+    @raise Invalid_argument if [prog] is not shuffle-based or its
+    stage count is not divisible by [f]. *)

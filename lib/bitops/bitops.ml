@@ -1,0 +1,81 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2_exact n =
+  if not (is_power_of_two n) then
+    invalid_arg (Printf.sprintf "Bitops.log2_exact: %d is not a power of two" n);
+  let rec go acc m = if m = 1 then acc else go (acc + 1) (m lsr 1) in
+  go 0 n
+
+let floor_log2 n =
+  if n < 1 then invalid_arg "Bitops.floor_log2: argument must be >= 1";
+  let rec go acc m = if m = 1 then acc else go (acc + 1) (m lsr 1) in
+  go 0 n
+
+let ceil_log2 n =
+  if n < 1 then invalid_arg "Bitops.ceil_log2: argument must be >= 1";
+  let f = floor_log2 n in
+  if 1 lsl f = n then f else f + 1
+
+let check_bit_index i =
+  if i < 0 || i > 62 then
+    invalid_arg (Printf.sprintf "Bitops: bit index %d out of [0,62]" i)
+
+let bit j i =
+  check_bit_index i;
+  (j lsr i) land 1
+
+let set_bit j i =
+  check_bit_index i;
+  j lor (1 lsl i)
+
+let clear_bit j i =
+  check_bit_index i;
+  j land lnot (1 lsl i)
+
+let flip_bit j i =
+  check_bit_index i;
+  j lxor (1 lsl i)
+
+let pow2 d =
+  if d < 0 || d > 62 then
+    invalid_arg (Printf.sprintf "Bitops.pow2: exponent %d out of [0,62]" d);
+  1 lsl d
+
+let check_width_value ~fn ~width j =
+  if width < 1 || width > 62 then
+    invalid_arg (Printf.sprintf "Bitops.%s: width %d out of [1,62]" fn width);
+  if j < 0 || j >= 1 lsl width then
+    invalid_arg
+      (Printf.sprintf "Bitops.%s: value %d out of [0,2^%d)" fn j width)
+
+let rotate_left ~width j =
+  check_width_value ~fn:"rotate_left" ~width j;
+  let high = (j lsr (width - 1)) land 1 in
+  ((j lsl 1) land ((1 lsl width) - 1)) lor high
+
+let rotate_right ~width j =
+  check_width_value ~fn:"rotate_right" ~width j;
+  let low = j land 1 in
+  (j lsr 1) lor (low lsl (width - 1))
+
+let reverse_bits ~width j =
+  check_width_value ~fn:"reverse_bits" ~width j;
+  let rec go acc i =
+    if i = width then acc
+    else go ((acc lsl 1) lor ((j lsr i) land 1)) (i + 1)
+  in
+  go 0 0
+
+let popcount j =
+  if j < 0 then invalid_arg "Bitops.popcount: negative argument";
+  let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
+  go 0 j
+
+let gray j =
+  if j < 0 then invalid_arg "Bitops.gray: negative argument";
+  j lxor (j lsr 1)
+
+let gray_inverse g =
+  if g < 0 then invalid_arg "Bitops.gray_inverse: negative argument";
+  let rec go acc m = if m = 0 then acc else go (acc lxor m) (m lsr 1) in
+  go 0 g

@@ -1,0 +1,60 @@
+(** Bit-level index arithmetic shared by all topology constructions.
+
+    Every network in this library lives on [n = 2^d] wires, and the
+    shuffle permutation, butterflies and reverse delta networks are all
+    defined by operations on the binary representation of wire indices.
+    This module centralises that arithmetic. All functions raise
+    [Invalid_argument] on out-of-range inputs rather than returning
+    garbage. *)
+
+val is_power_of_two : int -> bool
+(** [is_power_of_two n] is [true] iff [n = 2^k] for some [k >= 0].
+    Nonpositive values are not powers of two. *)
+
+val log2_exact : int -> int
+(** [log2_exact n] is [d] such that [n = 2^d].
+    @raise Invalid_argument if [n] is not a positive power of two. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is the least [d] with [2^d >= n], for [n >= 1]. *)
+
+val floor_log2 : int -> int
+(** [floor_log2 n] is the greatest [d] with [2^d <= n], for [n >= 1]. *)
+
+val bit : int -> int -> int
+(** [bit j i] is bit [i] (0 or 1) of [j], with bit 0 the least
+    significant. [i] must be in [0, 62]. *)
+
+val set_bit : int -> int -> int
+(** [set_bit j i] is [j] with bit [i] forced to 1. *)
+
+val clear_bit : int -> int -> int
+(** [clear_bit j i] is [j] with bit [i] forced to 0. *)
+
+val flip_bit : int -> int -> int
+(** [flip_bit j i] is [j] with bit [i] complemented. *)
+
+val rotate_left : width:int -> int -> int
+(** [rotate_left ~width j] rotates the low [width] bits of [j] left by
+    one position: bit [width-1] moves to bit 0. This is exactly the
+    shuffle permutation of the paper on indices of [width] bits.
+    @raise Invalid_argument if [j] is not in [0, 2^width). *)
+
+val rotate_right : width:int -> int -> int
+(** [rotate_right ~width j] is the inverse of {!rotate_left}: the
+    unshuffle permutation on indices of [width] bits. *)
+
+val reverse_bits : width:int -> int -> int
+(** [reverse_bits ~width j] reverses the low [width] bits of [j]. *)
+
+val popcount : int -> int
+(** [popcount j] is the number of set bits of [j >= 0]. *)
+
+val pow2 : int -> int
+(** [pow2 d] is [2^d] for [0 <= d <= 62]. *)
+
+val gray : int -> int
+(** [gray j] is the binary-reflected Gray code of [j >= 0]. *)
+
+val gray_inverse : int -> int
+(** [gray_inverse g] is the [j] with [gray j = g]. *)

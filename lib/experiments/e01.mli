@@ -1,0 +1,9 @@
+(** E1 — Lemma 4.1 on a single reverse delta block.
+
+    Measures, for one [l]-level reverse delta network, the surviving
+    mass [|B|] against the lemma's guarantee [|A| (1 - l/k^2)] and the
+    set count [t(l) = k^3 + l k^2], across topologies (butterfly,
+    random reverse delta, random shuffle block), plus the
+    offset-policy ablation (argmin vs first-below-average vs fixed 0). *)
+
+val run : quick:bool -> unit

@@ -1,0 +1,9 @@
+(** E2 — Theorem 4.1: iterating over consecutive blocks.
+
+    For iterated reverse delta networks (random shuffle blocks, with
+    and without random inter-block permutations), tracks the special
+    set size [|D|] block by block against the theorem's guarantee
+    [n / lg^{4d} n], and reports how many blocks the adversary
+    survives. *)
+
+val run : quick:bool -> unit

@@ -1,0 +1,10 @@
+(** E3 — Corollary 4.1.1: fooling pairs, validated end to end.
+
+    For shuffle-based networks shallow enough that the adversary's
+    special set keeps >= 2 wires, extract the fooling pair (pi, pi')
+    and validate — by instrumented concrete evaluation, independently
+    of the symbolic engine — that the witness values are never
+    compared, that both inputs are routed identically, and that the
+    full M_0-set is pairwise uncompared. *)
+
+val run : quick:bool -> unit

@@ -1,0 +1,9 @@
+(** E4 — naive halving baseline vs. the paper's adversary.
+
+    The Section 2 motivation: a single special set halves at every
+    level, surviving only ~lg n comparator levels, while the
+    collection-of-sets adversary survives ~lg n *blocks* of lg n
+    levels each. This experiment measures both on the same networks —
+    the gap is the paper's contribution, made visible. *)
+
+val run : quick:bool -> unit

@@ -1,0 +1,44 @@
+let run ~quick =
+  Exp_util.header ~id:"E5"
+    ~title:"depth landscape: Batcher upper bound vs. the lower bound";
+  let tbl =
+    Ascii_table.create
+      ~columns:
+        [ ("n", Ascii_table.Right);
+          ("lg n", Ascii_table.Right);
+          ("bitonic", Ascii_table.Right);
+          ("formula", Ascii_table.Right);
+          ("oem", Ascii_table.Right);
+          ("periodic", Ascii_table.Right);
+          ("pratt", Ascii_table.Right);
+          ("lower bound", Ascii_table.Right);
+          ("trivial", Ascii_table.Right) ]
+  in
+  let measured_top = if quick then 10 else 13 in
+  List.iter
+    (fun d ->
+      let n = 1 lsl d in
+      let measured build = string_of_int (Network.depth (build n)) in
+      let bitonic, oem, periodic, pratt =
+        if d <= measured_top then
+          ( measured (fun n -> Bitonic.network ~n),
+            measured (fun n -> Odd_even_merge.network ~n),
+            measured (fun n -> Periodic.network ~n),
+            measured (fun n -> Pratt.network ~n) )
+        else ("-", "-", "-", "-")
+      in
+      Ascii_table.add_row tbl
+        [ string_of_int n;
+          string_of_int d;
+          bitonic;
+          string_of_int (Bitonic.depth_formula ~n);
+          oem;
+          periodic;
+          pratt;
+          Exp_util.float2 (Theorem41.depth_lower_bound ~n);
+          string_of_int d ])
+    (List.init (if quick then 8 else 18) (fun i -> i + 3));
+  Ascii_table.print tbl;
+  Exp_util.footnote
+    "lower bound = lg^2 n/(4 lglg n) from Corollary 4.1.1; the Theta(lglg n) gap to \
+     bitonic's lg n(lg n+1)/2 is the paper's open question."

@@ -1,0 +1,8 @@
+(** E5 — the depth landscape: upper bound vs. lower bound.
+
+    Bitonic's exact depth [lg n (lg n + 1)/2] (measured on constructed
+    networks, matched against the closed form) next to the paper's
+    lower-bound curve [lg^2 n / (4 lglg n)] and the trivial [lg n]
+    bound — the [Theta(lglg n)] gap the paper leaves open, in numbers. *)
+
+val run : quick:bool -> unit

@@ -1,0 +1,34 @@
+let run ~quick =
+  Exp_util.header ~id:"E6"
+    ~title:"adversary vs. the bitonic sorter (shuffle form)";
+  let tbl =
+    Ascii_table.create
+      ~columns:
+        [ ("n", Ascii_table.Right);
+          ("blocks", Ascii_table.Right);
+          ("survived", Ascii_table.Right);
+          ("defeated", Ascii_table.Left);
+          ("|D| trajectory", Ascii_table.Left) ]
+  in
+  List.iter
+    (fun n ->
+      let it = Bitonic.as_iterated ~n in
+      let r = Theorem41.run it in
+      let ds =
+        String.concat ","
+          (List.map
+             (fun (b : Theorem41.block_report) -> string_of_int b.d_size)
+             r.reports)
+      in
+      let blocks = Iterated.block_count it in
+      Ascii_table.add_row tbl
+        [ string_of_int n;
+          string_of_int blocks;
+          string_of_int r.Theorem41.survived;
+          (if r.Theorem41.survived < blocks then "yes" else "NO (would disprove sorting!)");
+          ds ])
+    (Exp_util.ns ~quick);
+  Ascii_table.print tbl;
+  Exp_util.footnote
+    "a sorter must defeat the adversary; bitonic halves |D| per block, losing it exactly \
+     on the final block — the adversary survives lg n - 1 of lg n blocks."

@@ -1,0 +1,10 @@
+(** E6 — the adversary against a genuine sorter (shuffle-based
+    bitonic).
+
+    A sorting network must drive the special set down to one wire by
+    its last block — and bitonic does, with a strikingly clean
+    trajectory: the set halves once per block. The experiment records
+    that trajectory and confirms the adversary is defeated on the last
+    block, for every n. *)
+
+val run : quick:bool -> unit

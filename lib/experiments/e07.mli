@@ -1,0 +1,10 @@
+(** E7 — adaptivity does not save the builder (Section 5).
+
+    Plays the stage-by-stage game of {!Adaptive} with three builders
+    of increasing aggressiveness (oblivious all-compare, greedy
+    same-set killer, killer with routing/steering), all given full
+    knowledge of the adversary's bookkeeping. Where the adversary
+    survives, its fooling pair is validated against the adaptively
+    built network. *)
+
+val run : quick:bool -> unit

@@ -1,0 +1,10 @@
+(** E8 — the f(n)-truncated variant (Section 5).
+
+    Allowing an arbitrary permutation after every [f] shuffle stages
+    decomposes each chunk into a forest of [f]-level reverse delta
+    trees; the adversary unions the per-tree collections. The paper
+    predicts a depth lower bound scaling like [f lg n / lg f]; the
+    experiment sweeps [f] for each [n] and reports chunks and total
+    comparator levels survived on dense networks. *)
+
+val run : quick:bool -> unit

@@ -1,0 +1,119 @@
+let prefix_program prog ~stages =
+  let stages_list =
+    List.filteri (fun i _ -> i < stages) (Register_model.stages prog)
+  in
+  Register_model.create ~n:(Register_model.n prog) stages_list
+
+let prefix_network nw ~levels =
+  let lvls = List.filteri (fun i _ -> i < levels) (Network.levels nw) in
+  Network.create ~wires:(Network.wires nw) lvls
+
+let columns =
+  [ ("n", Ascii_table.Right);
+    ("depth", Ascii_table.Right);
+    ("random sorted", Ascii_table.Left);
+    ("0-1 sorted", Ascii_table.Left);
+    ("mean inversions", Ascii_table.Right) ]
+
+let measure tbl ~rng ~samples ~n nw =
+  let sorted_count = ref 0 and inv = ref 0 in
+  for _ = 1 to samples do
+    let input = Workload.random_permutation rng ~n in
+    let out = Network.eval nw input in
+    if Sortedness.is_sorted out then incr sorted_count;
+    inv := !inv + Sortedness.inversions out
+  done;
+  let zo =
+    if n <= 16 then
+      let bad = Zero_one.unsorted_count nw in
+      let all = 1 lsl n in
+      Exp_util.fraction (all - bad) all
+    else "-"
+  in
+  Ascii_table.add_row tbl
+    [ string_of_int n;
+      string_of_int (Network.depth nw);
+      Exp_util.fraction !sorted_count samples;
+      zo;
+      Printf.sprintf "%.1f" (float_of_int !inv /. float_of_int samples) ]
+
+let run ~quick =
+  Exp_util.header ~id:"E9"
+    ~title:"average case: fraction of inputs sorted by truncated networks";
+  let samples = if quick then 300 else 1000 in
+  (* Gradual sorter: odd-even transposition prefixes — most random
+     inputs finish well before the worst-case n levels. *)
+  let tbl = Ascii_table.create ~columns in
+  let rng = Exp_util.rng () in
+  List.iter
+    (fun n ->
+      let full = Transposition.network ~n in
+      let steps = List.sort_uniq compare
+          [ n / 2; (5 * n) / 8; (3 * n) / 4; (7 * n) / 8; n - 2; n - 1; n ]
+      in
+      List.iter
+        (fun levels ->
+          if levels > 0 then
+            measure tbl ~rng ~samples ~n (prefix_network full ~levels))
+        steps)
+    (if quick then [ 16; 32; 64 ] else [ 16; 32; 64; 128 ]);
+  Printf.printf "  odd-even transposition prefixes (gradual sorter):\n";
+  Ascii_table.print tbl;
+  (* Monolithic sorter: bitonic prefixes — essentially no input is
+     sorted until the final merge completes. *)
+  let tbl2 = Ascii_table.create ~columns in
+  List.iter
+    (fun n ->
+      let d = Bitops.log2_exact n in
+      let prog = Bitonic.shuffle_program ~n in
+      List.iter
+        (fun blocks ->
+          let p = prefix_program prog ~stages:(blocks * d) in
+          measure tbl2 ~rng ~samples ~n (Register_model.to_network p))
+        (List.init d (fun i -> i + 1)))
+    (if quick then [ 16; 64 ] else [ 16; 64; 256 ]);
+  Printf.printf "\n  shuffle-bitonic prefixes (block granularity):\n";
+  Ascii_table.print tbl2;
+  (* Section 5's literal definition: per input, the first level at
+     which it becomes (and stays) sorted; averaged. *)
+  let tbl3 =
+    Ascii_table.create
+      ~columns:
+        [ ("sorter", Ascii_table.Left);
+          ("n", Ascii_table.Right);
+          ("worst depth", Ascii_table.Right);
+          ("avg depth (random)", Ascii_table.Left);
+          ("avg depth (0-1 exact)", Ascii_table.Right) ]
+  in
+  List.iter
+    (fun (name, build, ns) ->
+      List.iter
+        (fun n ->
+          let nw = build n in
+          let rng = Exp_util.rng () in
+          let random =
+            match Sort_depth.average_case_depth ~samples rng nw with
+            | Some st -> Format.asprintf "%a" Stat_summary.pp st
+            | None -> "not a sorter?"
+          in
+          let exact =
+            if n <= 16 then
+              match Sort_depth.exact_average_depth_01 nw with
+              | Some avg -> Exp_util.float2 avg
+              | None -> "-"
+            else "-"
+          in
+          Ascii_table.add_row tbl3
+            [ name; string_of_int n; string_of_int (Network.depth nw); random; exact ])
+        ns)
+    [ ("transposition", (fun n -> Transposition.network ~n), [ 16; 64 ]);
+      ("bitonic", (fun n -> Bitonic.network ~n), [ 16; 64 ]);
+      ("odd-even-merge", (fun n -> Odd_even_merge.network ~n), [ 16; 64 ]);
+      ("pratt", (fun n -> Pratt.network ~n), [ 16; 64 ]) ];
+  Printf.printf "\n  Section 5's average-case depth (first level sorted, averaged):\n";
+  Ascii_table.print tbl3;
+  Exp_util.footnote
+    "transposition prefixes show average-case depth well below worst case (the \
+     phenomenon behind Section 5's average-case remark); bitonic sorts nothing early. \
+     The O(lg n lglg n) average-case networks of Leighton-Plaxton [8] are out of \
+     scope (see DESIGN.md substitutions)."

@@ -1,0 +1,10 @@
+(** E9 — the average-case remark (Section 5).
+
+    The lower bound cannot extend to average-case depth: shallow
+    shuffle-based prefixes already sort most inputs. The experiment
+    truncates the shuffle-based bitonic sorter after each block and
+    measures the fraction of random inputs (and, exactly, of all 0-1
+    inputs for small n) already sorted, plus the mean residual
+    displacement. *)
+
+val run : quick:bool -> unit

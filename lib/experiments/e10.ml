@@ -1,0 +1,103 @@
+let run ~quick =
+  Exp_util.header ~id:"E10" ~title:"model equivalences and routing";
+  let tbl =
+    Ascii_table.create
+      ~columns:
+        [ ("check", Ascii_table.Left);
+          ("instances", Ascii_table.Right);
+          ("trials", Ascii_table.Right);
+          ("pass", Ascii_table.Left) ]
+  in
+  let rng = Exp_util.rng () in
+  let trials = if quick then 50 else 200 in
+  let sizes = [ 8; 16; 64; 256 ] in
+  let record name instances total pass =
+    Ascii_table.add_row tbl
+      [ name; string_of_int instances; string_of_int total;
+        (if pass then "yes" else "NO") ]
+  in
+  (* register model vs circuit model vs flattened circuit *)
+  let pass = ref true and count = ref 0 in
+  List.iter
+    (fun n ->
+      let d = Bitops.log2_exact n in
+      for _ = 1 to trials / 10 do
+        let prog = Shuffle_net.random_program rng ~n ~stages:(2 * d) in
+        let nw = Register_model.to_network prog in
+        let flat = Network.flatten nw in
+        for _ = 1 to 10 do
+          incr count;
+          let input = Workload.random_permutation rng ~n in
+          let a = Register_model.eval prog input in
+          if a <> Network.eval nw input || a <> Network.eval flat input then
+            pass := false
+        done
+      done)
+    sizes;
+  record "register = circuit = flattened" (List.length sizes) !count !pass;
+  (* shuffle block = reverse delta network *)
+  let pass = ref true and count = ref 0 in
+  List.iter
+    (fun n ->
+      let d = Bitops.log2_exact n in
+      for _ = 1 to trials / 10 do
+        let prog = Shuffle_net.random_program rng ~n ~stages:d in
+        let it = Shuffle_net.to_iterated prog in
+        let nw_rd = Iterated.to_network it in
+        let nw = Network.flatten (Register_model.to_network prog) in
+        for _ = 1 to 10 do
+          incr count;
+          let input = Workload.random_permutation rng ~n in
+          if Network.eval nw input <> Network.eval nw_rd input then pass := false
+        done
+      done)
+    sizes;
+  record "lg n shuffle stages = reverse delta" (List.length sizes) !count !pass;
+  (* The butterfly is delta AND reverse delta: the all-plus shuffle
+     block (constructed as a reverse delta network) is the same circuit
+     as the delta-direction butterfly, and that circuit is the classic
+     bitonic merger. *)
+  let pass = ref true and count = ref 0 in
+  List.iter
+    (fun n ->
+      let levels = Bitops.log2_exact n in
+      let dsc = Butterfly.delta_network ~levels in
+      let block =
+        Network.flatten
+          (Register_model.to_network
+             (Shuffle_net.all_plus_program ~n ~stages:levels))
+      in
+      for _ = 1 to trials do
+        incr count;
+        let bitonic = Workload.bitonic_input rng ~n in
+        if not (Sortedness.is_sorted (Network.eval dsc bitonic)) then pass := false;
+        let any = Workload.random_permutation rng ~n in
+        if Network.eval dsc any <> Network.eval block any then pass := false
+      done)
+    sizes;
+  record "all-plus shuffle block = delta butterfly = bitonic merger"
+    (List.length sizes) !count !pass;
+  (* Benes routing *)
+  let pass = ref true and count = ref 0 in
+  List.iter
+    (fun n ->
+      for _ = 1 to trials do
+        incr count;
+        let p = Perm.random rng n in
+        let nw = Benes.route p in
+        let input = Array.init n (fun i -> i * 7) in
+        let out = Network.eval nw input in
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          if out.(Perm.apply p i) <> input.(i) then ok := false
+        done;
+        if (not !ok)
+           || Network.depth nw <> 0
+           || List.length (Network.levels nw) <> Benes.depth ~n
+        then pass := false
+      done)
+    sizes;
+  record "Benes routes any permutation in 2lg n - 1" (List.length sizes) !count !pass;
+  Ascii_table.print tbl;
+  Exp_util.footnote
+    "these are the unstated structural facts of Sections 1 and 3, checked by execution."

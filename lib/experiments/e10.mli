@@ -1,0 +1,11 @@
+(** E10 — model-equivalence audit.
+
+    Randomised and exhaustive checks of the structural facts the paper
+    uses without proof: register model = circuit model (same mapping),
+    flattening preserves the mapping, [lg n] shuffle stages = one
+    reverse delta network, the butterfly is a reverse delta network
+    whose reversal (a delta network) still sorts bitonic 0-1 inputs,
+    and any permutation routes through a Beneš network in
+    [2 lg n - 1] exchange levels. *)
+
+val run : quick:bool -> unit

@@ -1,0 +1,9 @@
+(** E11 — minimal-depth search for shuffle-based sorters (Section 6 /
+    Knuth 5.3.4.47, decided exhaustively for tiny n).
+
+    Reports the exact minimal stage count of a shuffle-based sorting
+    network for n = 2 and 4, and the exhaustive refutation of depth-4
+    (and, budget permitting, depth-5) networks for n = 8, against
+    bitonic's lg n (lg n + 1)/2 stages. *)
+
+val run : quick:bool -> unit

@@ -1,0 +1,11 @@
+(** E12 — Shellsort-based networks across increment families.
+
+    Context for the paper's introduction: Cypher's
+    [Omega(lg^2 n / lglg n)] bound for Shellsort networks with
+    decreasing increments is matched only by Pratt's 3-smooth family;
+    the popular practical families (Shell, Hibbard, Ciura) yield
+    polynomial-depth networks when realised obliviously. The table
+    measures depth and size per family (all verified correct by the
+    0-1 principle at small n in the test suite). *)
+
+val run : quick:bool -> unit

@@ -1,0 +1,14 @@
+(** E13 — how hard non-sorters are to catch (the representative-set
+    discussion of Section 5).
+
+    The paper rules out polynomial-size "representative" 0-1 test sets
+    for the shuffle-based class. The executable cousin: take correct
+    sorters and delete a single comparator; each mutant fails to sort
+    (E-mutation tests prove it), but often on a *tiny* fraction of the
+    [2^n] zero-one inputs, so any fixed test set that catches all
+    near-misses must be large, and random testing needs many draws.
+    The table reports, per sorter, the distribution over mutants of
+    the number of failing 0-1 inputs, and the implied expected number
+    of random tests to catch the hardest mutant. *)
+
+val run : quick:bool -> unit

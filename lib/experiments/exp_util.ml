@@ -1,0 +1,18 @@
+let seed = 0x5EED
+
+let rng () = Xoshiro.of_seed seed
+
+let header ~id ~title =
+  Printf.printf "\n=== %s: %s ===\n%!" id title
+
+let footnote s = Printf.printf "  note: %s\n%!" s
+
+let ns ~quick =
+  let top = if quick then 10 else 13 in
+  List.init (top - 3) (fun i -> 1 lsl (i + 4))
+
+let fraction a b =
+  if b = 0 then "n/a"
+  else Printf.sprintf "%d/%d (%.1f%%)" a b (100. *. float_of_int a /. float_of_int b)
+
+let float2 x = Printf.sprintf "%.2f" x

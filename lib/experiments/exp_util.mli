@@ -1,0 +1,21 @@
+(** Shared plumbing for the experiment modules. *)
+
+val rng : unit -> Xoshiro.t
+(** A fresh generator with the fixed experiment seed, so every
+    experiment table is reproducible. *)
+
+val header : id:string -> title:string -> unit
+(** Prints the experiment banner. *)
+
+val footnote : string -> unit
+(** Prints an indented note below a table. *)
+
+val ns : quick:bool -> int list
+(** The standard sweep of power-of-two input sizes: up to [2^10] in
+    quick mode, [2^13] otherwise. *)
+
+val fraction : int -> int -> string
+(** ["a/b (p%)"] rendering. *)
+
+val float2 : float -> string
+(** Two-decimal rendering. *)

@@ -1,0 +1,22 @@
+type t = { id : string; title : string; run : quick:bool -> unit }
+
+let all =
+  [ { id = "E1"; title = "Lemma 4.1 single-block survival"; run = E01.run };
+    { id = "E2"; title = "Theorem 4.1 block iteration"; run = E02.run };
+    { id = "E3"; title = "Corollary 4.1.1 fooling pairs"; run = E03.run };
+    { id = "E4"; title = "naive vs paper adversary"; run = E04.run };
+    { id = "E5"; title = "depth landscape"; run = E05.run };
+    { id = "E6"; title = "adversary vs bitonic"; run = E06.run };
+    { id = "E7"; title = "adaptive builders"; run = E07.run };
+    { id = "E8"; title = "truncated f(n) variant"; run = E08.run };
+    { id = "E9"; title = "average case"; run = E09.run };
+    { id = "E10"; title = "model equivalences"; run = E10.run };
+    { id = "E11"; title = "minimal-depth search (tiny n)"; run = E11.run };
+    { id = "E12"; title = "Shellsort increment families"; run = E12.run };
+    { id = "E13"; title = "near-miss detectability"; run = E13.run } ]
+
+let find id =
+  let canon = String.uppercase_ascii id in
+  List.find_opt (fun e -> e.id = canon) all
+
+let run_all ~quick = List.iter (fun e -> e.run ~quick) all

@@ -1,0 +1,11 @@
+(** All experiments, addressable by id (used by the CLI and the bench
+    harness). *)
+
+type t = { id : string; title : string; run : quick:bool -> unit }
+
+val all : t list
+
+val find : string -> t option
+(** Case-insensitive lookup by id ("E1" .. "E10"). *)
+
+val run_all : quick:bool -> unit

@@ -1,0 +1,45 @@
+type 'a step = stage:int -> origin:int -> 'a -> 'a -> 'a * 'a
+
+let rotr ~width ~count x =
+  let k = count mod width in
+  if k = 0 then x
+  else ((x lsr k) lor (x lsl (width - k))) land ((1 lsl width) - 1)
+
+let check_n n v =
+  if not (Bitops.is_power_of_two n) || n < 2 then
+    invalid_arg "Ascend: n must be a power of two >= 2";
+  if Array.length v <> n then invalid_arg "Ascend: input length mismatch"
+
+let steps ~n ~stages f v =
+  check_n n v;
+  let d = Bitops.log2_exact n in
+  if stages < 0 || stages > d then
+    invalid_arg "Ascend.steps: stages must be in [0, lg n]";
+  let cur = ref (Array.copy v) in
+  for t = 1 to stages do
+    (* shuffle: register contents move j -> rotl j *)
+    let shuffled = Array.make n !cur.(0) in
+    Array.iteri
+      (fun j x -> shuffled.(rotr ~width:d ~count:(d - 1) j) <- x)
+      !cur;
+    (* operate on register pairs; pair (2k, 2k+1) entered the pass on
+       wires (rotr^t 2k, rotr^t (2k+1)) *)
+    for k = 0 to (n / 2) - 1 do
+      let origin = rotr ~width:d ~count:t (2 * k) in
+      let x, y = f ~stage:t ~origin shuffled.(2 * k) shuffled.((2 * k) + 1) in
+      shuffled.(2 * k) <- x;
+      shuffled.((2 * k) + 1) <- y
+    done;
+    cur := shuffled
+  done;
+  !cur
+
+let pass ~n f v =
+  let d = Bitops.log2_exact n in
+  steps ~n ~stages:d f v
+
+let passes ~n k f v =
+  let rec go acc i = if i = 0 then acc else go (pass ~n f acc) (i - 1) in
+  if k < 0 then invalid_arg "Ascend.passes: negative pass count";
+  check_n n v;
+  go (Array.copy v) k

@@ -1,0 +1,41 @@
+(** The strict-ascend shuffle-exchange machine.
+
+    The paper's closing argument for caring about the shuffle-only
+    class: "the primary motivation for considering hypercubic networks
+    ... is that they admit elegant and efficient strict ascend
+    algorithms for a wide variety of basic operations (e.g., parallel
+    prefix, FFT)". This module is that machine: [n = 2^d] registers;
+    one pass performs [d] steps, each consisting of the shuffle
+    permutation followed by an arbitrary pairwise operation on the
+    register pairs [(2k, 2k+1)] — exactly the dataflow of the paper's
+    register-model networks, with comparators generalised to arbitrary
+    binary operations.
+
+    As derived for {!Shuffle_net}, at step [t] (1-indexed) the pair on
+    registers [(2k, 2k+1)] holds the values that entered the pass on
+    wires [(o, o + 2^(d-t))] with [o = rotr^t (2k)] — i.e. a strict
+    ascend pass visits hypercube dimension [d-1] down to [0], and the
+    step function is told the pair's origin coordinates so algorithms
+    can use twiddle factors or rank information. *)
+
+type 'a step = stage:int -> origin:int -> 'a -> 'a -> 'a * 'a
+(** [step ~stage ~origin x y] transforms the pair at stage [stage]
+    (1-indexed within the pass). [origin] is the pass-input wire of
+    the first element [x]; the second element [y] entered on wire
+    [origin + 2^(d - stage)]. Returns the new [(x, y)]. *)
+
+val pass : n:int -> 'a step -> 'a array -> 'a array
+(** [pass ~n f v] runs one full ascend pass ([lg n] shuffle+operate
+    steps) over [v]. The result is indexed by register; because
+    [rotl^(lg n)] is the identity, register [r] holds the value whose
+    pass-output coordinate is [r]. @raise Invalid_argument unless
+    [Array.length v = n] is a power of two >= 2. *)
+
+val passes : n:int -> int -> 'a step -> 'a array -> 'a array
+(** [passes ~n k f v] chains [k] full passes ([k lg n] steps). *)
+
+val steps : n:int -> stages:int -> 'a step -> 'a array -> 'a array
+(** [steps ~n ~stages f v] runs a truncated pass of [stages <= lg n]
+    steps (the machine counterpart of the Section 5 [f(n)] classes).
+    Values end displaced by [rotl^stages]; the result array is given
+    in register order. *)

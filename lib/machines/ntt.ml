@@ -1,0 +1,72 @@
+let modulus = 998244353
+let generator = 3
+
+let ( %* ) a b = a * b mod modulus
+
+let rec power base e =
+  if e = 0 then 1
+  else
+    let h = power base (e / 2) in
+    let h2 = h %* h in
+    if e land 1 = 1 then h2 %* base else h2
+
+let inverse_mod a = power a (modulus - 2)
+
+let check_n n v =
+  if not (Bitops.is_power_of_two n) || n > 1 lsl 23 then
+    invalid_arg "Ntt: n must be a power of two <= 2^23";
+  if Array.length v <> n then invalid_arg "Ntt: input length mismatch"
+
+let bit_reverse_relabel n v =
+  let d = Bitops.log2_exact n in
+  Array.init n (fun i -> v.(Bitops.reverse_bits ~width:d i))
+
+(* One DIF pass with root [w] (primitive n-th root): stage s pairs
+   (o, o + 2^(d-s)); butterfly x' = x + y, y' = (x - y) * w^(j * 2^(s-1))
+   with j = o mod 2^(d-s).  Output is bit-reversed. *)
+let dif_pass ~n ~w v =
+  let d = Bitops.log2_exact n in
+  let step ~stage ~origin x y =
+    let j = origin land ((1 lsl (d - stage)) - 1) in
+    let twiddle = power w (j * (1 lsl (stage - 1))) in
+    let x' = (x + y) mod modulus in
+    let y' = (x - y + modulus) mod modulus %* twiddle in
+    (x', y')
+  in
+  Ascend.pass ~n step v
+
+let forward ~n v =
+  check_n n v;
+  if n = 1 then Array.copy v
+  else begin
+    let v = Array.map (fun x -> ((x mod modulus) + modulus) mod modulus) v in
+    let w = power generator ((modulus - 1) / n) in
+    bit_reverse_relabel n (dif_pass ~n ~w v)
+  end
+
+let inverse ~n v =
+  check_n n v;
+  if n = 1 then Array.copy v
+  else begin
+    let v = Array.map (fun x -> ((x mod modulus) + modulus) mod modulus) v in
+    let w = inverse_mod (power generator ((modulus - 1) / n)) in
+    let out = bit_reverse_relabel n (dif_pass ~n ~w v) in
+    let n_inv = inverse_mod n in
+    Array.map (fun x -> x %* n_inv) out
+  end
+
+let convolve ~n a b =
+  check_n n a;
+  check_n n b;
+  let fa = forward ~n a and fb = forward ~n b in
+  inverse ~n (Array.init n (fun i -> fa.(i) %* fb.(i)))
+
+let naive_dft ~n v =
+  check_n n v;
+  let w = if n = 1 then 1 else power generator ((modulus - 1) / n) in
+  Array.init n (fun k ->
+      let acc = ref 0 in
+      for j = 0 to n - 1 do
+        acc := (!acc + (v.(j) mod modulus %* power w (j * k mod n))) mod modulus
+      done;
+      !acc)

@@ -1,0 +1,30 @@
+(** The FFT as a strict ascend algorithm: a number-theoretic transform
+    over Z_p with p = 998244353 (so the arithmetic is exact and the
+    tests are deterministic).
+
+    One ascend pass runs the decimation-in-frequency radix-2 transform:
+    at stage [s] the machine pairs exactly the wires a DIF butterfly of
+    block size [n / 2^(s-1)] needs (they differ in bit [lg n - s]), so
+    the classic constant-geometry (Pease) FFT is literally an
+    {!Ascend.pass} with the right twiddles. The raw pass emits
+    bit-reversed output; [forward]/[inverse] relabel to natural order
+    (a fixed wire relabeling, free in the paper's model). *)
+
+val modulus : int
+(** 998244353 = 119 * 2^23 + 1; supports transforms up to [n = 2^23]. *)
+
+val forward : n:int -> int array -> int array
+(** [forward ~n v] is the DFT of [v] over Z_p: output [k] is
+    [sum_j v_j W^(jk)] with [W] a primitive n-th root of unity.
+    Elements are taken mod p. @raise Invalid_argument unless [n] is a
+    power of two [<= 2^23] and [Array.length v = n]. *)
+
+val inverse : n:int -> int array -> int array
+(** [inverse ~n (forward ~n v) = v mod p]. *)
+
+val convolve : n:int -> int array -> int array -> int array
+(** Cyclic convolution via three transforms; the classic application
+    and a strong end-to-end test of the machine. *)
+
+val naive_dft : n:int -> int array -> int array
+(** The O(n^2) reference implementation the tests compare against. *)

@@ -1,0 +1,33 @@
+type 'a cell = { prefix : 'a; total : 'a }
+
+let bit_reverse_relabel n v =
+  let d = Bitops.log2_exact n in
+  Array.init n (fun i -> v.(Bitops.reverse_bits ~width:d i))
+
+(* The ascend pass visits dimensions MSB-first, which yields prefixes in
+   bit-reversed order; relabeling both sides restores natural order. *)
+let scan ~n ~op v =
+  if Array.length v <> n then invalid_arg "Prefix.scan: length mismatch";
+  let cells =
+    bit_reverse_relabel n (Array.map (fun x -> { prefix = x; total = x }) v)
+  in
+  let step ~stage:_ ~origin:_ x y =
+    let total = op x.total y.total in
+    ({ x with total }, { prefix = op x.total y.prefix; total })
+  in
+  let out = Ascend.pass ~n step cells in
+  bit_reverse_relabel n (Array.map (fun c -> c.prefix) out)
+
+let exclusive_scan ~n ~op ~zero v =
+  let inc = scan ~n ~op v in
+  Array.init n (fun i -> if i = 0 then zero else inc.(i - 1))
+
+let reduce ~n ~op v =
+  if Array.length v <> n then invalid_arg "Prefix.reduce: length mismatch";
+  let cells = bit_reverse_relabel n (Array.copy v) in
+  let step ~stage:_ ~origin:_ x y =
+    let total = op x y in
+    (total, total)
+  in
+  let out = Ascend.pass ~n step cells in
+  out.(0)

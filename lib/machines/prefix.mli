@@ -1,0 +1,24 @@
+(** Parallel prefix (scan) as a strict ascend algorithm.
+
+    One ascend pass suffices: at the step for hypercube dimension [b],
+    the pair exchanges block totals and the upper element prepends the
+    lower block's total to its prefix. Because a strict ascend pass
+    visits dimensions from most to least significant, the raw pass
+    computes prefixes in {e bit-reversed} index order; the wrappers
+    below relabel input and output wires by the (fixed,
+    data-independent) bit-reversal permutation so callers see natural
+    order, which costs no comparator-model depth. *)
+
+val scan : n:int -> op:('a -> 'a -> 'a) -> 'a array -> 'a array
+(** [scan ~n ~op v] is the inclusive prefix
+    [[v0; v0+v1; v0+v1+v2; ...]] for any associative [op], computed in
+    one ascend pass ([lg n] steps). *)
+
+val exclusive_scan : n:int -> op:('a -> 'a -> 'a) -> zero:'a -> 'a array -> 'a array
+(** Exclusive variant: element [i] receives [v_0 + ... + v_{i-1}],
+    with [zero] at index 0. *)
+
+val reduce : n:int -> op:('a -> 'a -> 'a) -> 'a array -> 'a
+(** [reduce ~n ~op v] folds [v] left-to-right with [op] in one ascend
+    pass (an all-reduce: every register ends with the total; the first
+    is returned). *)

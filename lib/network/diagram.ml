@@ -1,0 +1,98 @@
+(* Gates of one level are packed greedily into sub-columns such that no
+   two gates in a sub-column have overlapping [min..max] wire spans. *)
+let pack_columns gates =
+  let span g =
+    let a, b = Gate.wires g in
+    (min a b, max a b)
+  in
+  let columns : (int * int * Gate.t) list list ref = ref [] in
+  List.iter
+    (fun g ->
+      let lo, hi = span g in
+      let rec place = function
+        | [] -> [ [ (lo, hi, g) ] ]
+        | col :: rest ->
+            let overlaps =
+              List.exists (fun (l, h, _) -> not (hi < l || h < lo)) col
+            in
+            if overlaps then col :: place rest else ((lo, hi, g) :: col) :: rest
+      in
+      columns := place !columns)
+    gates;
+  List.rev_map List.rev !columns |> List.rev
+
+let render ?(max_wires = 64) nw =
+  let n = Network.wires nw in
+  if n > max_wires then
+    invalid_arg
+      (Printf.sprintf "Diagram.render: %d wires exceeds max_wires=%d" n max_wires);
+  let nw = Network.flatten nw in
+  (* canvas rows: wire rows at even indices, gap rows between *)
+  let rows = (2 * n) - 1 in
+  let canvas = ref (Array.make rows (Buffer.create 8)) in
+  let label_width = String.length (string_of_int (n - 1)) in
+  canvas :=
+    Array.init rows (fun r ->
+        let b = Buffer.create 32 in
+        if r mod 2 = 0 then
+          Buffer.add_string b (Printf.sprintf "%*d -" label_width (r / 2))
+        else Buffer.add_string b (String.make (label_width + 2) ' ');
+        b);
+  let canvas = !canvas in
+  let width_so_far () = Buffer.length canvas.(0) in
+  let pad_to w =
+    Array.iteri
+      (fun r b ->
+        let fill = if r mod 2 = 0 then '-' else ' ' in
+        while Buffer.length b < w do
+          Buffer.add_char b fill
+        done)
+      canvas
+  in
+  let draw_column col =
+    let base = width_so_far () in
+    pad_to (base + 1);
+    List.iter
+      (fun (lo, hi, g) ->
+        let top = 2 * lo and bottom = 2 * hi in
+        (* min-output end drawn 'o', max end '*', exchange ends 'x' *)
+        let top_char, bottom_char =
+          match g with
+          | Gate.Exchange _ -> ('x', 'x')
+          | Gate.Compare { lo = min_wire; _ } ->
+              let a, b = Gate.wires g in
+              if min_wire = min a b then ('o', '*') else ('*', 'o')
+        in
+        for r = top to bottom do
+          let b = canvas.(r) in
+          let ch =
+            if r = top then top_char
+            else if r = bottom then bottom_char
+            else if r mod 2 = 0 then '+'
+            else '|'
+          in
+          (* overwrite the just-padded cell *)
+          let s = Buffer.contents b in
+          Buffer.clear b;
+          Buffer.add_string b (String.sub s 0 (String.length s - 1));
+          Buffer.add_char b ch
+        done)
+      col;
+    pad_to (base + 2)
+  in
+  List.iter
+    (fun lvl ->
+      match lvl.Network.gates with
+      | [] -> ()
+      | gates ->
+          List.iter draw_column (pack_columns gates);
+          pad_to (width_so_far () + 1))
+    (Network.levels nw);
+  pad_to (width_so_far () + 1);
+  let out = Buffer.create 1024 in
+  Array.iter
+    (fun b ->
+      Buffer.add_string out (Buffer.contents b);
+      Buffer.add_char out '\n')
+    canvas;
+  Buffer.contents out

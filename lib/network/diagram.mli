@@ -1,0 +1,22 @@
+(** Knuth-style ASCII diagrams of comparator networks.
+
+    One horizontal line per wire, time flowing left to right; a
+    comparator is drawn as [o---o] endpoints joined by a vertical bar
+    (the min-output end is marked [o], the max end [*] when the
+    comparator points "down" the page), an exchange as [x...x].
+    Comparators of one level that span overlapping wire ranges are
+    staggered into adjacent columns so the bars never cross.
+
+    {v
+      0 --o--o-------
+          |  |
+      1 --o--+--o----
+             |  |
+      2 --o--+--o----
+          |  |
+      3 --o--o-------
+    v} *)
+
+val render : ?max_wires:int -> Network.t -> string
+(** [render nw] draws the (flattened) network.
+    @raise Invalid_argument if [wires nw > max_wires] (default 64). *)

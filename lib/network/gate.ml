@@ -1,0 +1,45 @@
+type t =
+  | Compare of { lo : int; hi : int }
+  | Exchange of { a : int; b : int }
+
+let check_distinct fn i j =
+  if i = j then invalid_arg (Printf.sprintf "Gate.%s: wires must be distinct (%d)" fn i)
+
+let compare_up i j =
+  check_distinct "compare_up" i j;
+  Compare { lo = min i j; hi = max i j }
+
+let compare_down i j =
+  check_distinct "compare_down" i j;
+  Compare { lo = max i j; hi = min i j }
+
+let exchange i j =
+  check_distinct "exchange" i j;
+  Exchange { a = min i j; b = max i j }
+
+let wires = function
+  | Compare { lo; hi } -> (lo, hi)
+  | Exchange { a; b } -> (a, b)
+
+let is_comparator = function Compare _ -> true | Exchange _ -> false
+
+let map_wires f = function
+  | Compare { lo; hi } ->
+      let lo' = f lo and hi' = f hi in
+      check_distinct "map_wires" lo' hi';
+      Compare { lo = lo'; hi = hi' }
+  | Exchange { a; b } ->
+      let a' = f a and b' = f b in
+      check_distinct "map_wires" a' b';
+      Exchange { a = a'; b = b' }
+
+let equal g1 g2 =
+  match (g1, g2) with
+  | Compare c1, Compare c2 -> c1.lo = c2.lo && c1.hi = c2.hi
+  | Exchange e1, Exchange e2 ->
+      (e1.a = e2.a && e1.b = e2.b) || (e1.a = e2.b && e1.b = e2.a)
+  | Compare _, Exchange _ | Exchange _, Compare _ -> false
+
+let pp fmt = function
+  | Compare { lo; hi } -> Format.fprintf fmt "cmp(%d<%d)" lo hi
+  | Exchange { a; b } -> Format.fprintf fmt "xchg(%d,%d)" a b

@@ -1,0 +1,43 @@
+(** Circuit elements of a comparator network.
+
+    Following the paper's register model, a level may contain three
+    kinds of active elements: a comparator ("+" or "-", represented by
+    {!constructor-Compare} with the min-output wire stated explicitly),
+    an unconditional exchange ("1"), and nothing at all ("0", the
+    absence of a gate). Only [Compare] elements inspect values; an
+    [Exchange] merely rewires, so it never counts as a comparison in
+    the collision analysis (Definition 3.6). *)
+
+type t =
+  | Compare of { lo : int; hi : int }
+      (** After the gate, wire [lo] holds the smaller of the two input
+          values and wire [hi] the larger. [lo] and [hi] are arbitrary
+          distinct wire indices; a "-" element of the register model is
+          a [Compare] with [lo > hi]. *)
+  | Exchange of { a : int; b : int }
+      (** Unconditionally swaps the values on wires [a] and [b]. *)
+
+val compare_up : int -> int -> t
+(** [compare_up i j] is a comparator placing the minimum on [min i j]
+    and the maximum on [max i j] — the usual "sort ascending by wire
+    index" orientation. @raise Invalid_argument if [i = j]. *)
+
+val compare_down : int -> int -> t
+(** [compare_down i j] places the maximum on [min i j]. *)
+
+val exchange : int -> int -> t
+(** [exchange i j] is the unconditional swap.
+    @raise Invalid_argument if [i = j]. *)
+
+val wires : t -> int * int
+(** [wires g] is the (unordered) pair of wire indices [g] touches. *)
+
+val is_comparator : t -> bool
+
+val map_wires : (int -> int) -> t -> t
+(** [map_wires f g] renames the wires of [g] through [f].
+    @raise Invalid_argument if [f] sends the two wires to one index. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,100 @@
+(** Comparator networks in the circuit model.
+
+    A network on [wires] wires is a sequence of levels. Each level may
+    first apply a fixed permutation to the wire contents (the [pre]
+    component — this is the [Pi_i] of the paper's register model and
+    the "arbitrary fixed permutation between reverse delta networks" of
+    iterated networks) and then fires a set of gates on pairwise
+    disjoint wires. A network with [pre = None] everywhere is a plain
+    circuit-model network; {!flatten} converts any network into that
+    form, preserving the input/output mapping exactly.
+
+    Networks are immutable. Evaluation never mutates the input array. *)
+
+type level = { pre : Perm.t option; gates : Gate.t list }
+
+type t
+
+val create : wires:int -> level list -> t
+(** [create ~wires levels] validates and builds a network: every gate
+    index must lie in [0, wires); within one level gates must touch
+    pairwise disjoint wires; every [pre] permutation must have size
+    [wires]. @raise Invalid_argument on violation. *)
+
+val of_gate_levels : wires:int -> Gate.t list list -> t
+(** [of_gate_levels ~wires gss] is [create] with [pre = None] on every
+    level. *)
+
+val wires : t -> int
+
+val levels : t -> level list
+
+val depth : t -> int
+(** [depth nw] is the number of levels that contain at least one
+    comparator. Levels holding only exchanges or a permutation are free
+    rewiring and do not count, matching the paper's depth measure. *)
+
+val size : t -> int
+(** [size nw] is the total number of comparator gates. *)
+
+val empty : int -> t
+(** [empty n] is the n-wire network with no levels (the identity). *)
+
+val permutation_level : Perm.t -> t
+(** [permutation_level p] is a single gate-free level applying [p]. *)
+
+val serial : t -> t -> t
+(** [serial a b] feeds the outputs of [a] into the inputs of [b]
+    wire-by-wire. @raise Invalid_argument if widths differ. *)
+
+val serial_perm : t -> Perm.t -> t -> t
+(** [serial_perm a p b] connects output wire [j] of [a] to input wire
+    [p j] of [b] — the serial composition with an arbitrary one-to-one
+    wire mapping used by the paper's ⊗ operator. *)
+
+val parallel : t -> t -> t
+(** [parallel a b] places [b] next to [a]: the wires of [b] are
+    shifted up by [wires a]. Levels are aligned index-wise (level [i]
+    of the result contains level [i] of both); this preserves each
+    component's level structure and hence depth is
+    [max (depth a) (depth b)] when neither uses [pre] permutations.
+    @raise Invalid_argument if either network uses [pre] permutations
+    (flatten first). *)
+
+val eval : t -> int array -> int array
+(** [eval nw input] runs the network on an integer input (length must
+    equal [wires nw]) and returns the output array. *)
+
+val eval_gen : cmp:('a -> 'a -> int) -> t -> 'a array -> 'a array
+(** Generic-element evaluation with an explicit comparison. *)
+
+val eval_trace : on_compare:(int -> int -> unit) -> t -> int array -> int array
+(** [eval_trace ~on_compare nw input] evaluates like {!eval} but calls
+    [on_compare u v] for every [Compare] gate fired, with [u] and [v]
+    the two *values* (not wires) examined, in gate order. Exchange
+    elements and permutations do not report: they never compare
+    (Definition 3.6). *)
+
+val flatten : t -> t
+(** [flatten nw] is an input/output-equivalent network in which no
+    level carries a [pre] permutation except possibly one final
+    gate-free output-routing level. Comparator count, level count and
+    depth are preserved. *)
+
+val output_wiring_only : t -> Perm.t option
+(** [output_wiring_only nw] is [Some p] if [nw] contains no gates at
+    all and is therefore the fixed permutation [p]; [None] otherwise. *)
+
+val gates_of_level : level -> Gate.t list
+
+val comparator_pairs : t -> (int * int) list
+(** All [(lo, hi)] comparator wire pairs in order, across levels; for
+    structural tests and DOT export. *)
+
+val to_dot : t -> string
+(** Graphviz rendering of the (flattened) network: one column of nodes
+    per level, comparator edges labelled by direction. Intended for the
+    explorer example; small networks only. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line summary: wires, levels, depth, comparators, exchanges. *)

@@ -1,0 +1,112 @@
+let to_string nw =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "snlb-network 1\n";
+  Buffer.add_string buf (Printf.sprintf "wires %d\n" (Network.wires nw));
+  List.iter
+    (fun lvl ->
+      Buffer.add_string buf "level\n";
+      (match lvl.Network.pre with
+      | None -> ()
+      | Some p ->
+          Buffer.add_string buf "perm";
+          Array.iter
+            (fun v -> Buffer.add_string buf (Printf.sprintf " %d" v))
+            (Perm.to_array p);
+          Buffer.add_char buf '\n');
+      List.iter
+        (fun g ->
+          match g with
+          | Gate.Compare { lo; hi } ->
+              Buffer.add_string buf (Printf.sprintf "cmp %d %d\n" lo hi)
+          | Gate.Exchange { a; b } ->
+              Buffer.add_string buf (Printf.sprintf "xchg %d %d\n" a b))
+        lvl.Network.gates)
+    (Network.levels nw);
+  Buffer.contents buf
+
+type parse_level = { mutable pre : Perm.t option; mutable gates : Gate.t list }
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let wires = ref None in
+  let levels : parse_level list ref = ref [] in
+  let current : parse_level option ref = ref None in
+  let header_seen = ref false in
+  let exception Fail of string in
+  let fail line msg =
+    raise (Fail (Printf.sprintf "line %d: %s" line msg))
+  in
+  let int_of line s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail line (Printf.sprintf "expected integer, got %S" s)
+  in
+  try
+    List.iteri
+      (fun i raw ->
+        let lineno = i + 1 in
+        let line = String.trim raw in
+        if line = "" || line.[0] = '#' then ()
+        else
+          match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+          | [ "snlb-network"; "1" ] -> header_seen := true
+          | "snlb-network" :: v ->
+              fail lineno ("unsupported format version: " ^ String.concat " " v)
+          | [ "wires"; w ] ->
+              if not !header_seen then fail lineno "missing snlb-network header";
+              wires := Some (int_of lineno w)
+          | [ "level" ] ->
+              if !wires = None then fail lineno "level before wires";
+              let lvl = { pre = None; gates = [] } in
+              levels := lvl :: !levels;
+              current := Some lvl
+          | "perm" :: images -> (
+              match !current with
+              | None -> fail lineno "perm outside a level"
+              | Some lvl ->
+                  if lvl.pre <> None then fail lineno "duplicate perm in level";
+                  if lvl.gates <> [] then fail lineno "perm must precede gates";
+                  let arr = Array.of_list (List.map (int_of lineno) images) in
+                  (match Perm.of_array arr with
+                  | p -> lvl.pre <- Some p
+                  | exception Invalid_argument m -> fail lineno m))
+          | [ ("cmp" | "xchg") as kw; a; b ] -> (
+              match !current with
+              | None -> fail lineno (kw ^ " outside a level")
+              | Some lvl ->
+                  let a = int_of lineno a and b = int_of lineno b in
+                  let gate =
+                    if kw = "cmp" then Gate.Compare { lo = a; hi = b }
+                    else Gate.Exchange { a; b }
+                  in
+                  if a = b then fail lineno "gate wires must be distinct";
+                  lvl.gates <- gate :: lvl.gates)
+          | tokens ->
+              fail lineno ("unrecognised directive: " ^ String.concat " " tokens))
+      lines;
+    match !wires with
+    | None -> Error "missing 'wires' declaration"
+    | Some w -> (
+        let lvls =
+          List.rev_map
+            (fun l -> { Network.pre = l.pre; gates = List.rev l.gates })
+            !levels
+        in
+        match Network.create ~wires:w lvls with
+        | nw -> Ok nw
+        | exception Invalid_argument m -> Error m)
+  with Fail m -> Error m
+
+let save path nw =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string nw))
+
+let load path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> of_string (In_channel.input_all ic))

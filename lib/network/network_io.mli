@@ -1,0 +1,31 @@
+(** Plain-text (de)serialisation of networks.
+
+    A simple line-oriented format, stable across versions, so networks
+    can be stored, diffed, shipped to other tools and read back:
+
+    {v
+    snlb-network 1
+    wires 4
+    level
+    cmp 0 1
+    cmp 2 3
+    level
+    perm 1 0 3 2
+    xchg 1 2
+    v}
+
+    [cmp a b] places the minimum on wire [a] (so ["cmp 3 1"] is a
+    descending comparator); [perm] gives the level's pre-permutation as
+    the image list; blank lines and [#]-comments are ignored. Parsing
+    reports the offending line on error. *)
+
+val to_string : Network.t -> string
+
+val of_string : string -> (Network.t, string) result
+(** Round-trip guarantee: [of_string (to_string nw)] succeeds and the
+    result evaluates identically to [nw] (tested). *)
+
+val save : string -> Network.t -> unit
+(** [save path nw] writes the textual form to [path]. *)
+
+val load : string -> (Network.t, string) result

@@ -1,0 +1,56 @@
+(** The paper's register model of comparator networks.
+
+    A network on [n] registers is a sequence of pairs [(Pi_i, x_i)]
+    where [Pi_i] permutes the register contents and [x_i] assigns one
+    of the operations [+ - 0 1] to each register pair [(2k, 2k+1)]
+    (Section 1). A network is *based on the shuffle permutation* when
+    every [Pi_i] is the shuffle.
+
+    [to_network] realises the standard equivalence with the circuit
+    model: same size, same depth, same input/output mapping. *)
+
+type op =
+  | Plus  (** compare; min to register [2k], max to [2k+1] *)
+  | Minus  (** compare; max to register [2k], min to [2k+1] *)
+  | Zero  (** no operation *)
+  | One  (** unconditional exchange *)
+
+type stage = { perm : Perm.t; ops : op array }
+(** One step: permute register contents by [perm], then apply [ops.(k)]
+    to registers [2k] and [2k+1]. [ops] has length [n/2]. *)
+
+type t
+
+val create : n:int -> stage list -> t
+(** @raise Invalid_argument if [n] is not even and positive, a
+    permutation has the wrong size, or an op vector the wrong length. *)
+
+val n : t -> int
+
+val stages : t -> stage list
+
+val shuffle_program : n:int -> op array list -> t
+(** [shuffle_program ~n opss] builds the shuffle-based program whose
+    [i]-th stage is [(shuffle, opss_i)] — the class the lower bound is
+    about. [n] must be a power of two >= 2. *)
+
+val stage_count : t -> int
+
+val depth : t -> int
+(** Number of stages whose op vector contains a comparator. *)
+
+val to_network : t -> Network.t
+(** Circuit-model equivalent: one level per stage, [pre] carrying the
+    stage permutation. *)
+
+val eval : t -> int array -> int array
+(** Direct register-model evaluation (used to cross-check
+    [to_network]). *)
+
+val random_ops : Xoshiro.t -> n:int -> op array
+(** A uniformly random op vector over [{+,-,0,1}] of length [n/2]. *)
+
+val comparator_ops : n:int -> op array
+(** The all-[Plus] vector (a full level of ascending comparators). *)
+
+val pp_op : Format.formatter -> op -> unit

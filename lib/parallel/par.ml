@@ -1,0 +1,41 @@
+let recommended_domains () =
+  let cores = Domain.recommended_domain_count () in
+  min 8 (max 1 (cores - 1))
+
+let map_ranges ~domains ~lo ~hi f =
+  if lo > hi then invalid_arg "Par.map_ranges: lo > hi";
+  if domains < 1 then invalid_arg "Par.map_ranges: domains < 1";
+  let total = hi - lo in
+  let chunks = max 1 (min domains total) in
+  if chunks = 1 || total = 0 then [ f ~lo ~hi ]
+  else begin
+    let bounds =
+      List.init chunks (fun i ->
+          let a = lo + (total * i / chunks) in
+          let b = lo + (total * (i + 1) / chunks) in
+          (a, b))
+    in
+    match bounds with
+    | [] -> assert false
+    | (a0, b0) :: rest ->
+        let handles =
+          List.map (fun (a, b) -> Domain.spawn (fun () -> f ~lo:a ~hi:b)) rest
+        in
+        let first = f ~lo:a0 ~hi:b0 in
+        first :: List.map Domain.join handles
+  end
+
+let map_list ~domains f xs =
+  if domains < 1 then invalid_arg "Par.map_list: domains < 1";
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  if domains = 1 || n <= 1 then List.map f xs
+  else begin
+    let out = Array.make n None in
+    let results =
+      map_ranges ~domains ~lo:0 ~hi:n (fun ~lo ~hi ->
+          List.init (hi - lo) (fun i -> (lo + i, f arr.(lo + i))))
+    in
+    List.iter (List.iter (fun (i, y) -> out.(i) <- Some y)) results;
+    Array.to_list (Array.map Option.get out)
+  end

@@ -1,0 +1,25 @@
+(** Minimal multicore fan-out for the embarrassingly parallel parts of
+    the library (OCaml 5 domains, no external dependencies).
+
+    Used by {!Zero_one} to split exact 0-1 verification across
+    test-input ranges and by the experiment harness for independent
+    sampling legs. Work is split into contiguous chunks, one domain per
+    chunk; domains never share mutable state, so no synchronisation
+    beyond [join] is needed. *)
+
+val recommended_domains : unit -> int
+(** [max 1 (cpu count - 1)], capped at 8; the extra domains beyond the
+    chunk count are never spawned. *)
+
+val map_ranges :
+  domains:int -> lo:int -> hi:int -> (lo:int -> hi:int -> 'a) -> 'a list
+(** [map_ranges ~domains ~lo ~hi f] partitions [\[lo, hi)] into at most
+    [domains] contiguous chunks and evaluates [f] on each chunk in its
+    own domain (the first chunk runs on the calling domain). Results
+    come back in range order. [f] must not touch mutable state shared
+    with the other chunks. With [domains <= 1] everything runs inline.
+    @raise Invalid_argument if [lo > hi] or [domains < 1]. *)
+
+val map_list : domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list ~domains f xs] maps [f] over [xs] with up to [domains]
+    concurrent domains, preserving order. *)

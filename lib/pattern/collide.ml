@@ -1,0 +1,184 @@
+type verdict = Always | Never | Sometimes of int array | Unknown
+
+(* Deterministic wire-symbol snapshots: the symbol resting on every
+   wire just before each level's gates fire (after its permutation). *)
+let symbol_snapshots nw p =
+  let sym = ref (Array.copy p) in
+  List.map
+    (fun lvl ->
+      (match lvl.Network.pre with
+      | None -> ()
+      | Some perm ->
+          let old = !sym in
+          let next = Array.copy old in
+          Array.iteri (fun w s -> next.(Perm.apply perm w) <- s) old;
+          sym := next);
+      let snapshot = Array.copy !sym in
+      List.iter
+        (fun g ->
+          let s = !sym in
+          match g with
+          | Gate.Compare { lo; hi } ->
+              if Symbol.compare s.(lo) s.(hi) > 0 then begin
+                let t = s.(lo) in
+                s.(lo) <- s.(hi);
+                s.(hi) <- t
+              end
+          | Gate.Exchange { a; b } ->
+              let t = s.(a) in
+              s.(a) <- s.(b);
+              s.(b) <- t)
+        lvl.Network.gates;
+      snapshot)
+    (Network.levels nw)
+
+type track = { mutable posns : bool array }
+
+let singleton tr =
+  let found = ref None in
+  try
+    Array.iteri
+      (fun w present ->
+        if present then
+          match !found with
+          | None -> found := Some w
+          | Some _ -> raise Exit)
+      tr.posns;
+    !found
+  with Exit -> None
+
+let apply_perm_track perm tr =
+  let old = tr.posns in
+  let next = Array.make (Array.length old) false in
+  Array.iteri (fun w present -> if present then next.(Perm.apply perm w) <- true) old;
+  tr.posns <- next
+
+(* Route one value (of fixed symbol [sigma]) through a gate, given the
+   wire-symbol snapshot. Positions whose wire symbol differs from
+   [sigma] are impossible and pruned. *)
+let route_track snapshot sigma tr g =
+  match g with
+  | Gate.Exchange { a; b } ->
+      let at_a = tr.posns.(a) and at_b = tr.posns.(b) in
+      tr.posns.(a) <- at_b;
+      tr.posns.(b) <- at_a
+  | Gate.Compare { lo; hi } ->
+      let feasible w = tr.posns.(w) && Symbol.equal snapshot.(w) sigma in
+      let at_lo = feasible lo and at_hi = feasible hi in
+      tr.posns.(lo) <- false;
+      tr.posns.(hi) <- false;
+      let place ~from ~other =
+        let c = Symbol.compare sigma snapshot.(other) in
+        if c < 0 then tr.posns.(lo) <- true
+        else if c > 0 then tr.posns.(hi) <- true
+        else begin
+          (* equal symbols: outcome undetermined, fork *)
+          tr.posns.(lo) <- true;
+          tr.posns.(hi) <- true
+        end;
+        ignore from
+      in
+      if at_lo then place ~from:lo ~other:hi;
+      if at_hi then place ~from:hi ~other:lo
+
+(* Random refinement: canonical input with values shuffled within each
+   symbol class, deterministically derived from [salt]. *)
+let random_refinement p salt =
+  let n = Array.length p in
+  let rng = Xoshiro.of_seed (salt * 1_000_003) in
+  let wires = Array.init n (fun w -> w) in
+  Array.sort
+    (fun a b ->
+      let c = Symbol.compare p.(a) p.(b) in
+      if c <> 0 then c else Int.compare a b)
+    wires;
+  (* Fisher-Yates within runs of equal symbols *)
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j < n && Symbol.equal p.(wires.(!j)) p.(wires.(!i)) do
+      incr j
+    done;
+    for k = !j - 1 downto !i + 1 do
+      let r = !i + Xoshiro.int rng ~bound:(k - !i + 1) in
+      let t = wires.(k) in
+      wires.(k) <- wires.(r);
+      wires.(r) <- t
+    done;
+    i := !j
+  done;
+  let input = Array.make n 0 in
+  Array.iteri (fun v w -> input.(w) <- v) wires;
+  input
+
+let analyse ?(witness_attempts = 32) nw p w0 w1 =
+  let n = Network.wires nw in
+  if Array.length p <> n then invalid_arg "Collide.analyse: pattern length mismatch";
+  if w0 = w1 || w0 < 0 || w1 < 0 || w0 >= n || w1 >= n then
+    invalid_arg "Collide.analyse: invalid wire pair";
+  let snapshots = symbol_snapshots nw p in
+  let mk w =
+    let posns = Array.make n false in
+    posns.(w) <- true;
+    { posns }
+  in
+  let t0 = mk w0 and t1 = mk w1 in
+  let sigma0 = p.(w0) and sigma1 = p.(w1) in
+  let possible = ref false in
+  let definite = ref false in
+  List.iter2
+    (fun lvl snapshot ->
+      (match lvl.Network.pre with
+      | None -> ()
+      | Some perm ->
+          apply_perm_track perm t0;
+          apply_perm_track perm t1);
+      (* collision detection against the pre-gate snapshot *)
+      List.iter
+        (fun g ->
+          match g with
+          | Gate.Exchange _ -> ()
+          | Gate.Compare { lo; hi } ->
+              let joint =
+                (t0.posns.(lo) && t1.posns.(hi)) || (t0.posns.(hi) && t1.posns.(lo))
+              in
+              if joint then begin
+                possible := true;
+                match (singleton t0, singleton t1) with
+                | Some a, Some b
+                  when (a = lo && b = hi) || (a = hi && b = lo) ->
+                    definite := true
+                | (Some _ | None), _ -> ()
+              end)
+        lvl.Network.gates;
+      List.iter
+        (fun g ->
+          route_track snapshot sigma0 t0 g;
+          route_track snapshot sigma1 t1 g)
+        lvl.Network.gates)
+    (Network.levels nw) snapshots;
+  if !definite then Always
+  else if not !possible then Never
+  else begin
+    (* look for a concrete witness among sampled refinements *)
+    let found = ref None in
+    let attempt = ref 0 in
+    while !found = None && !attempt < witness_attempts do
+      let input = random_refinement p !attempt in
+      let _, tr = Trace.run nw input in
+      if Trace.compared tr input.(w0) input.(w1) then found := Some input;
+      incr attempt
+    done;
+    match !found with Some input -> Sometimes input | None -> Unknown
+  end
+
+let noncolliding nw p ws =
+  let rec pairs = function
+    | [] -> true
+    | w :: rest ->
+        List.for_all
+          (fun w' -> analyse ~witness_attempts:0 nw p w w' = Never)
+          rest
+        && pairs rest
+  in
+  pairs ws

@@ -1,0 +1,45 @@
+(** Collision analysis under a pattern (Definition 3.7).
+
+    For two input wires [w0], [w1] of a network and an input pattern
+    [p], the paper distinguishes: they {e collide} under [p] (their
+    values are compared under every refinement), they {e can collide}
+    (some refinement compares them), or they {e cannot collide} (no
+    refinement does).
+
+    The analysis here is sound but incomplete. It tracks, for each of
+    the two values, an over-approximating set of wires the value may
+    occupy at each level. The key observation making this precise
+    enough in practice: by Definition 3.5 the {e symbol} resting on
+    each wire is deterministic, so whenever our value (of symbol [s])
+    sits at a comparator whose other side shows a strictly ordered
+    symbol, its routing is forced; only meetings of equal symbols
+    fork the position set.
+
+    - [Never] is sound: the two position sets are never jointly under
+      one comparator, so no refinement can compare the values.
+    - [Always] is sound: both position sets were singletons up to a
+      comparator joining them, so every refinement compares them.
+    - [Sometimes input] carries a concrete witness refinement, checked
+      by instrumented evaluation.
+    - [Unknown] is the honest residual. *)
+
+type verdict =
+  | Always  (** Definition 3.7(a): collide under every refinement *)
+  | Never  (** Definition 3.7(c): cannot collide *)
+  | Sometimes of int array
+      (** Definition 3.7(b) witness: a refinement of the pattern under
+          which the wires collide (but the analysis could not decide
+          whether they always do) *)
+  | Unknown
+
+val analyse :
+  ?witness_attempts:int -> Network.t -> Pattern.t -> int -> int -> verdict
+(** [analyse nw p w0 w1] classifies the pair. [witness_attempts]
+    (default 32) bounds the random refinements sampled when the static
+    analysis cannot decide; sampling uses a generator derived from the
+    pattern, so results are deterministic. *)
+
+val noncolliding : Network.t -> Pattern.t -> int list -> bool
+(** [noncolliding nw p ws] is [true] iff the static analysis proves
+    every pair of wires in [ws] {e cannot} collide under [p]
+    (Definition 3.7(d)). A [false] answer means "not proven". *)

@@ -1,0 +1,118 @@
+type t = Symbol.t array
+
+let constant n sym = Array.make n sym
+
+let symbol_set p sym =
+  let out = ref [] in
+  for w = Array.length p - 1 downto 0 do
+    if Symbol.equal p.(w) sym then out := w :: !out
+  done;
+  !out
+
+let m_set p i = symbol_set p (Symbol.M i)
+
+(* [p ⊐ q] iff sorting wires by p-symbol then comparing q-symbols never
+   inverts: check all wire pairs via the sorted order in O(n^2) worst
+   case is avoidable — group wires by p-symbol; q must be constant‐
+   compatible: for wires u, v: p u < p v => q u < q v.  Equivalent
+   test: order wires by (p, q); then (a) within a p-class any q values
+   are allowed?  No: refinement only constrains strict p-inequalities,
+   so within a p-class q is unconstrained; (b) across consecutive
+   p-classes in p-order, max q of the lower class must be < min q of
+   the higher class. *)
+let refines p q =
+  let n = Array.length p in
+  if Array.length q <> n then invalid_arg "Pattern.refines: length mismatch";
+  let wires = Array.init n (fun w -> w) in
+  Array.sort (fun a b -> Symbol.compare p.(a) p.(b)) wires;
+  let ok = ref true in
+  (* classes of equal p-symbols in increasing order *)
+  let i = ref 0 in
+  let prev_max : Symbol.t option ref = ref None in
+  while !ok && !i < n do
+    let j = ref !i in
+    while !j < n && Symbol.equal p.(wires.(!j)) p.(wires.(!i)) do
+      incr j
+    done;
+    (* wires.(i..j-1) share a p-symbol *)
+    let qmin = ref q.(wires.(!i)) and qmax = ref q.(wires.(!i)) in
+    for k = !i + 1 to !j - 1 do
+      let s = q.(wires.(k)) in
+      if Symbol.(s < !qmin) then qmin := s;
+      if Symbol.(!qmax < s) then qmax := s
+    done;
+    (match !prev_max with
+    | Some m when not Symbol.(m < !qmin) -> ok := false
+    | Some _ | None -> ());
+    prev_max := Some !qmax;
+    i := !j
+  done;
+  !ok
+
+let u_refines ~u p q =
+  refines p q
+  &&
+  let in_u = Array.make (Array.length p) false in
+  List.iter (fun w -> in_u.(w) <- true) u;
+  let rec go w =
+    w >= Array.length p
+    || ((in_u.(w) || Symbol.equal p.(w) q.(w)) && go (w + 1))
+  in
+  go 0
+
+let equivalent p q = refines p q && refines q p
+
+let refines_input p pi =
+  let n = Array.length p in
+  if Array.length pi <> n then invalid_arg "Pattern.refines_input: length mismatch";
+  let wires = Array.init n (fun w -> w) in
+  Array.sort (fun a b -> Symbol.compare p.(a) p.(b)) wires;
+  let ok = ref true in
+  let i = ref 0 in
+  let prev_max = ref min_int in
+  while !ok && !i < n do
+    let j = ref !i in
+    while !j < n && Symbol.equal p.(wires.(!j)) p.(wires.(!i)) do
+      incr j
+    done;
+    let vmin = ref max_int and vmax = ref min_int in
+    for k = !i to !j - 1 do
+      let v = pi.(wires.(k)) in
+      if v < !vmin then vmin := v;
+      if v > !vmax then vmax := v
+    done;
+    if !prev_max >= !vmin then ok := false;
+    prev_max := max !prev_max !vmax;
+    i := !j
+  done;
+  !ok
+
+let canonical_input p =
+  let n = Array.length p in
+  let wires = Array.init n (fun w -> w) in
+  Array.sort
+    (fun a b ->
+      let c = Symbol.compare p.(a) p.(b) in
+      if c <> 0 then c else Int.compare a b)
+    wires;
+  let input = Array.make n 0 in
+  Array.iteri (fun v w -> input.(w) <- v) wires;
+  input
+
+let input_with_swap p w0 w1 =
+  if not (Symbol.equal p.(w0) p.(w1)) then
+    invalid_arg "Pattern.input_with_swap: wires carry distinct symbols";
+  let pi = canonical_input p in
+  let pi' = Array.copy pi in
+  pi'.(w0) <- pi.(w1);
+  pi'.(w1) <- pi.(w0);
+  (pi, pi')
+
+let pp fmt p =
+  Format.fprintf fmt "[";
+  Array.iteri
+    (fun w s ->
+      if w > 0 then Format.fprintf fmt " ";
+      Symbol.pp fmt s)
+    p;
+  Format.fprintf fmt "]"

@@ -1,0 +1,51 @@
+(** Input patterns and refinement (Definitions 3.1–3.3).
+
+    An input pattern is a total mapping from wires to pattern symbols;
+    we represent it as a [Symbol.t array] indexed by wire. A pattern
+    [p] stands for the set [p[V]] of all input permutations [pi] with
+    [(p w <_P p w') => (pi w < pi w')]. *)
+
+type t = Symbol.t array
+
+val constant : int -> Symbol.t -> t
+(** [constant n sym] assigns [sym] to every one of [n] wires — the
+    starting pattern of Theorem 4.1 is [constant n (M 0)]. *)
+
+val symbol_set : t -> Symbol.t -> int list
+(** [symbol_set p sym] is the [sym]-set of [p]: the wires mapped to
+    [sym], ascending (the "[P]-set" notation of the paper). *)
+
+val m_set : t -> int -> int list
+(** [m_set p i = symbol_set p (M i)]. *)
+
+val refines : t -> t -> bool
+(** [refines p q] decides [p ⊐_W q]: for all wires [w], [w'],
+    [p w <_P p w'] implies [q w <_P q w']. *)
+
+val u_refines : u:int list -> t -> t -> bool
+(** [u_refines ~u p q] decides [p ⊐_U q]: [refines p q] and
+    [p w = q w] for every wire outside [u] (Definition 3.2(b)). *)
+
+val equivalent : t -> t -> bool
+(** Mutual refinement — the patterns denote the same input set and
+    differ by an order-preserving renaming. *)
+
+val refines_input : t -> int array -> bool
+(** [refines_input p pi] decides [p ⊐_W pi] for a concrete input
+    permutation (Definition 3.1(c)). *)
+
+val canonical_input : t -> int array
+(** [canonical_input p] is the refinement of [p] to a concrete input
+    that assigns values [0 .. n-1] in symbol order, breaking ties
+    within a symbol by wire index. Wires sharing a symbol therefore
+    receive *adjacent* values — exactly the property Corollary 4.1.1
+    needs for the [M_0]-set. *)
+
+val input_with_swap : t -> int -> int -> int array * int array
+(** [input_with_swap p w0 w1] is the pair [(pi, pi')] where [pi] is
+    {!canonical_input} and [pi'] equals [pi] with the values of wires
+    [w0] and [w1] exchanged. Meaningful when [p w0 = p w1], in which
+    case both are refinements of [p].
+    @raise Invalid_argument if [p w0 <> p w1]. *)
+
+val pp : Format.formatter -> t -> unit

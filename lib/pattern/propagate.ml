@@ -1,0 +1,37 @@
+let through nw p =
+  if Array.length p <> Network.wires nw then
+    invalid_arg "Propagate.through: pattern length mismatch";
+  let sym = ref (Array.copy p) in
+  let step lvl =
+    (match lvl.Network.pre with
+    | None -> ()
+    | Some perm ->
+        let old = !sym in
+        let next = Array.copy old in
+        Array.iteri (fun w s -> next.(Perm.apply perm w) <- s) old;
+        sym := next);
+    List.iter
+      (fun g ->
+        let s = !sym in
+        match g with
+        | Gate.Compare { lo; hi } ->
+            if Symbol.compare s.(lo) s.(hi) > 0 then begin
+              let t = s.(lo) in
+              s.(lo) <- s.(hi);
+              s.(hi) <- t
+            end
+        | Gate.Exchange { a; b } ->
+            let t = s.(a) in
+            s.(a) <- s.(b);
+            s.(b) <- t)
+      lvl.Network.gates
+  in
+  List.iter step (Network.levels nw);
+  !sym
+
+let consistent_with_input nw p pi =
+  Pattern.refines_input p pi
+  &&
+  let out_pattern = through nw p in
+  let out_values = Network.eval nw pi in
+  Pattern.refines_input out_pattern out_values

@@ -1,0 +1,20 @@
+(** Symbolic propagation of a pattern through a network
+    (Definition 3.5).
+
+    A comparator receiving symbols [a] and [b] emits the [<_P]-smaller
+    one on its min-output and the larger on its max-output; equal
+    symbols emit that symbol on both outputs. This makes the output
+    pattern of a network on an input pattern well defined, and it is
+    the semantics the adversary's bookkeeping must agree with. *)
+
+val through : Network.t -> Pattern.t -> Pattern.t
+(** [through nw p] is the output pattern [nw p]: the symbols resting
+    on each wire after all levels (including [pre] permutations and
+    exchanges) have fired. *)
+
+val consistent_with_input : Network.t -> Pattern.t -> int array -> bool
+(** [consistent_with_input nw p pi] checks the defining property of
+    Definition 3.5 on one refinement: evaluating [nw] on the concrete
+    input [pi] (which must refine [p]) must produce an output that
+    refines the symbolic output [through nw p]. Used by the property
+    tests. *)

@@ -1,0 +1,33 @@
+type t = S of int | X of int * int | M of int | L of int
+
+(* Encode the generated order with a per-class key:
+   S_i is below every X/M/L; the X/M band interleaves as
+   X(i,_) < M(i) < X(i+1,_); L is above everything, reversed. *)
+let compare a b =
+  let class_rank = function S _ -> 0 | X _ | M _ -> 1 | L _ -> 2 in
+  let ca = class_rank a and cb = class_rank b in
+  if ca <> cb then Int.compare ca cb
+  else
+    match (a, b) with
+    | S i, S j -> Int.compare i j
+    | L i, L j -> Int.compare j i
+    | (X _ | M _), (X _ | M _) ->
+        let key = function
+          | X (i, j) -> (i, 0, j)
+          | M i -> (i, 1, 0)
+          | S _ | L _ -> assert false
+        in
+        Stdlib.compare (key a) (key b)
+    | (S _ | L _), _ | _, (S _ | L _) -> assert false
+
+let equal a b = compare a b = 0
+
+let ( < ) a b = compare a b < 0
+
+let to_string = function
+  | S i -> Printf.sprintf "S%d" i
+  | X (i, j) -> Printf.sprintf "X%d,%d" i j
+  | M i -> Printf.sprintf "M%d" i
+  | L i -> Printf.sprintf "L%d" i
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)

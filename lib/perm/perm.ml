@@ -1,0 +1,121 @@
+type t = int array
+
+let n p = Array.length p
+
+let apply p j =
+  if j < 0 || j >= Array.length p then
+    invalid_arg (Printf.sprintf "Perm.apply: index %d out of [0,%d)" j (Array.length p));
+  p.(j)
+
+let validate a =
+  let m = Array.length a in
+  let seen = Array.make m false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= m then
+        invalid_arg (Printf.sprintf "Perm.of_array: value %d out of [0,%d)" v m)
+      else if seen.(v) then
+        invalid_arg (Printf.sprintf "Perm.of_array: value %d appears twice" v)
+      else seen.(v) <- true)
+    a
+
+let of_array a =
+  validate a;
+  Array.copy a
+
+let to_array p = Array.copy p
+
+let identity m = Array.init m (fun j -> j)
+
+let check_pow2 fn m =
+  if not (Bitops.is_power_of_two m) || m < 2 then
+    invalid_arg (Printf.sprintf "Perm.%s: %d is not a power of two >= 2" fn m)
+
+let shuffle m =
+  check_pow2 "shuffle" m;
+  let d = Bitops.log2_exact m in
+  Array.init m (fun j -> Bitops.rotate_left ~width:d j)
+
+let unshuffle m =
+  check_pow2 "unshuffle" m;
+  let d = Bitops.log2_exact m in
+  Array.init m (fun j -> Bitops.rotate_right ~width:d j)
+
+let bit_reversal m =
+  check_pow2 "bit_reversal" m;
+  let d = Bitops.log2_exact m in
+  Array.init m (fun j -> Bitops.reverse_bits ~width:d j)
+
+let bit_complement m i =
+  check_pow2 "bit_complement" m;
+  let d = Bitops.log2_exact m in
+  if i < 0 || i >= d then
+    invalid_arg (Printf.sprintf "Perm.bit_complement: bit %d out of [0,%d)" i d);
+  Array.init m (fun j -> Bitops.flip_bit j i)
+
+let compose p q =
+  if Array.length p <> Array.length q then
+    invalid_arg "Perm.compose: size mismatch";
+  Array.init (Array.length p) (fun j -> p.(q.(j)))
+
+let inverse p =
+  let m = Array.length p in
+  let inv = Array.make m 0 in
+  for j = 0 to m - 1 do
+    inv.(p.(j)) <- j
+  done;
+  inv
+
+let equal p q = p = q
+
+let is_identity p =
+  let rec go j = j = Array.length p || (p.(j) = j && go (j + 1)) in
+  go 0
+
+let random rng m =
+  let a = Array.init m (fun j -> j) in
+  for j = m - 1 downto 1 do
+    let k = Xoshiro.int rng ~bound:(j + 1) in
+    let tmp = a.(j) in
+    a.(j) <- a.(k);
+    a.(k) <- tmp
+  done;
+  a
+
+let permute_array p a =
+  if Array.length p <> Array.length a then
+    invalid_arg "Perm.permute_array: size mismatch";
+  let b = Array.make (Array.length a) a.(0) in
+  Array.iteri (fun j v -> b.(p.(j)) <- v) a;
+  b
+
+let cycles p =
+  let m = Array.length p in
+  let seen = Array.make m false in
+  let out = ref [] in
+  for start = 0 to m - 1 do
+    if not seen.(start) then begin
+      let rec walk acc j =
+        if seen.(j) then List.rev acc
+        else begin
+          seen.(j) <- true;
+          walk (j :: acc) p.(j)
+        end
+      in
+      out := walk [] start :: !out
+    end
+  done;
+  List.rev !out
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+let order p =
+  List.fold_left (fun acc c -> lcm acc (List.length c)) 1 (cycles p)
+
+let pp fmt p =
+  Format.fprintf fmt "[";
+  Array.iteri
+    (fun j v -> if j = 0 then Format.fprintf fmt "%d" v else Format.fprintf fmt " %d" v)
+    p;
+  Format.fprintf fmt "]"

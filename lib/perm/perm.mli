@@ -1,0 +1,81 @@
+(** Permutations of [{0, ..., n-1}].
+
+    A permutation is represented by its image array: [to_array p] at
+    index [j] is [p(j)]. Values of type {!t} are immutable by
+    convention: no function in this library mutates a permutation after
+    construction, and [of_array] copies its input.
+
+    The shuffle permutation of the paper is {!shuffle}: for [n = 2^d]
+    and [j] with binary representation [j_{d-1} ... j_0], [shuffle n]
+    maps [j] to [j_{d-2} ... j_0 j_{d-1}] (rotate-left of the index
+    bits). *)
+
+type t
+
+val n : t -> int
+(** [n p] is the size of the domain of [p]. *)
+
+val apply : t -> int -> int
+(** [apply p j] is [p(j)].
+    @raise Invalid_argument if [j] is outside [0, n p). *)
+
+val of_array : int array -> t
+(** [of_array a] validates that [a] is a permutation of
+    [{0,...,length a - 1}] and copies it.
+    @raise Invalid_argument otherwise. *)
+
+val to_array : t -> int array
+(** [to_array p] is a fresh copy of the image array of [p]. *)
+
+val identity : int -> t
+(** [identity n] is the identity on [{0,...,n-1}]. *)
+
+val shuffle : int -> t
+(** [shuffle n] is the perfect-shuffle permutation for [n] a power of
+    two: index bits rotate left. @raise Invalid_argument if [n] is not
+    a power of two [>= 2]. *)
+
+val unshuffle : int -> t
+(** [unshuffle n] is the inverse of [shuffle n]: index bits rotate
+    right. *)
+
+val bit_reversal : int -> t
+(** [bit_reversal n] reverses the index bits; [n] must be a power of
+    two [>= 2]. It is an involution. *)
+
+val bit_complement : int -> int -> t
+(** [bit_complement n i] flips index bit [i]; an involution pairing
+    each wire with its hypercube neighbour across dimension [i]. *)
+
+val compose : t -> t -> t
+(** [compose p q] is the permutation [j -> p (q j)] (apply [q] first).
+    @raise Invalid_argument if sizes differ. *)
+
+val inverse : t -> t
+(** [inverse p] is the permutation [q] with [compose p q = identity]. *)
+
+val equal : t -> t -> bool
+(** Extensional equality. *)
+
+val is_identity : t -> bool
+
+val random : Xoshiro.t -> int -> t
+(** [random rng n] is a uniformly random permutation of size [n]
+    (Fisher–Yates). *)
+
+val permute_array : t -> 'a array -> 'a array
+(** [permute_array p a] is the array [b] with [b.(p j) = a.(j)]: the
+    element in position [j] moves to position [p(j)], matching the
+    paper's "register contents are permuted according to Pi". *)
+
+val cycles : t -> int list list
+(** [cycles p] is the cycle decomposition of [p]; each cycle starts at
+    its smallest element, cycles sorted by first element. Fixed points
+    appear as singleton cycles. *)
+
+val order : t -> int
+(** [order p] is the multiplicative order of [p] (lcm of cycle
+    lengths). For [shuffle (2^d)] this is [d]. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt p] prints the image array, e.g. [[0 2 1 3]]. *)

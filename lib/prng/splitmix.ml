@@ -1,0 +1,33 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let copy g = { state = g.state }
+
+(* The standard SplitMix64 output mix (Stafford's Mix13 variant). *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let next_int g ~bound =
+  if bound <= 0 then invalid_arg "Splitmix.next_int: bound must be positive";
+  (* Take the high-quality low 62 bits and reduce by modulo with a
+     rejection loop to avoid bias. *)
+  let mask = Int64.to_int (Int64.shift_right_logical Int64.minus_one 2) in
+  let rec go () =
+    let r = Int64.to_int (next g) land mask in
+    let v = r mod bound in
+    (* Reject the final partial block to keep the distribution uniform. *)
+    if r - v > mask - bound + 1 then go () else v
+  in
+  go ()
+
+let split g =
+  let seed = next g in
+  { state = mix64 seed }

@@ -1,0 +1,27 @@
+(** SplitMix64: a tiny, fast, splittable pseudo-random generator.
+
+    Used to seed {!Xoshiro} and to derive independent streams for
+    parallel experiment legs. The generator is deterministic: the same
+    seed always yields the same stream, which makes every experiment in
+    this repository exactly reproducible. Reference: Steele, Lea &
+    Flood, "Fast splittable pseudorandom number generators" (OOPSLA'14). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator from a 64-bit seed. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator with the same current state. *)
+
+val next : t -> int64
+(** [next g] advances [g] and returns 64 pseudo-random bits. *)
+
+val next_int : t -> bound:int -> int
+(** [next_int g ~bound] is a uniform integer in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    independent of the remainder of [g]'s stream. *)

@@ -1,0 +1,46 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let of_splitmix g =
+  { s0 = Splitmix.next g;
+    s1 = Splitmix.next g;
+    s2 = Splitmix.next g;
+    s3 = Splitmix.next g }
+
+let of_seed s = of_splitmix (Splitmix.create (Int64.of_int s))
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next g =
+  let result = Int64.mul (rotl (Int64.mul g.s1 5L) 7) 9L in
+  let t = Int64.shift_left g.s1 17 in
+  g.s2 <- Int64.logxor g.s2 g.s0;
+  g.s3 <- Int64.logxor g.s3 g.s1;
+  g.s1 <- Int64.logxor g.s1 g.s2;
+  g.s0 <- Int64.logxor g.s0 g.s3;
+  g.s2 <- Int64.logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let int g ~bound =
+  if bound <= 0 then invalid_arg "Xoshiro.int: bound must be positive";
+  let mask = Int64.to_int (Int64.shift_right_logical Int64.minus_one 2) in
+  let rec go () =
+    let r = Int64.to_int (next g) land mask in
+    let v = r mod bound in
+    if r - v > mask - bound + 1 then go () else v
+  in
+  go ()
+
+let bool g = Int64.logand (next g) 1L = 1L
+
+let float g =
+  (* 53 high bits give a uniform dyadic rational in [0,1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next g) 11) in
+  float_of_int bits *. 0x1p-53
+
+let split g =
+  let sm = Splitmix.create (next g) in
+  of_splitmix sm

@@ -1,0 +1,36 @@
+(** xoshiro256** — the default pseudo-random generator of the library.
+
+    All stochastic workloads (random permutations, random comparator
+    labelings, sampled inputs) draw from this generator, seeded
+    explicitly, so that experiment tables are bit-for-bit reproducible
+    across runs. Reference: Blackman & Vigna, "Scrambled linear
+    pseudorandom number generators" (TOMS 2021). *)
+
+type t
+(** Mutable generator state (256 bits). *)
+
+val of_seed : int -> t
+(** [of_seed s] expands the integer seed [s] through {!Splitmix} into a
+    full 256-bit state. Distinct seeds give decorrelated streams. *)
+
+val of_splitmix : Splitmix.t -> t
+(** [of_splitmix g] draws the 256-bit state from [g], advancing it. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator with the same current state. *)
+
+val next : t -> int64
+(** [next g] advances [g] and returns 64 pseudo-random bits. *)
+
+val int : t -> bound:int -> int
+(** [int g ~bound] is a uniform integer in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+(** [bool g] is a uniform boolean. *)
+
+val float : t -> float
+(** [float g] is a uniform float in [0, 1). *)
+
+val split : t -> t
+(** [split g] derives an independent generator, advancing [g]. *)

@@ -1,0 +1,86 @@
+let depth ~n = (2 * Bitops.log2_exact n) - 1
+
+(* The looping algorithm.  [perm] is the residual permutation in local
+   coordinates (value on local input i must exit on local output
+   perm.(i)); [wires] maps local indices to global wire ids.  Upper
+   subnetwork = even local wires, lower = odd, so no rewiring levels
+   are needed: after the input switches the color-0 value of input
+   pair i sits on local wire 2i, which is the upper subnetwork's i-th
+   wire. *)
+let rec build wires perm =
+  let n = Array.length perm in
+  if n = 1 then []
+  else if n = 2 then
+    if perm.(0) = 0 then [ [] ]
+    else [ [ Gate.exchange wires.(0) wires.(1) ] ]
+  else begin
+    let inv = Array.make n 0 in
+    Array.iteri (fun i v -> inv.(v) <- i) perm;
+    (* 2-color input positions: paired inputs (2i, 2i+1) get different
+       colors, and the sources of paired outputs (2j, 2j+1) get
+       different colors.  Following partner links traces cycles. *)
+    let color = Array.make n (-1) in
+    for start = 0 to n - 1 do
+      if color.(start) < 0 then begin
+        let p = ref start in
+        let continue = ref true in
+        while !continue do
+          color.(!p) <- 0;
+          color.(!p lxor 1) <- 1;
+          (* The partner's destination's own output-partner must come
+             from a color-0 source: that source continues the chain. *)
+          let o = perm.(!p lxor 1) in
+          let q = inv.(o lxor 1) in
+          if color.(q) < 0 then p := q
+          else begin
+            assert (color.(q) = 0);
+            continue := false
+          end
+        done
+      end
+    done;
+    (* Input switches: crossed iff the even input is colored 1. *)
+    let in_gates = ref [] in
+    for i = (n / 2) - 1 downto 0 do
+      if color.(2 * i) = 1 then
+        in_gates := Gate.exchange wires.(2 * i) wires.((2 * i) + 1) :: !in_gates
+    done;
+    (* Sub-permutations: the color-0 value of input pair i enters the
+       upper subnetwork at position i and must exit it at position
+       (destination / 2); dually for color 1 / lower. *)
+    let perm_u = Array.make (n / 2) 0 and perm_l = Array.make (n / 2) 0 in
+    for i = 0 to (n / 2) - 1 do
+      let p0 = if color.(2 * i) = 0 then 2 * i else (2 * i) + 1 in
+      perm_u.(i) <- perm.(p0) / 2;
+      perm_l.(i) <- perm.(p0 lxor 1) / 2
+    done;
+    let wires_u = Array.init (n / 2) (fun i -> wires.(2 * i)) in
+    let wires_l = Array.init (n / 2) (fun i -> wires.((2 * i) + 1)) in
+    let sub_u = build wires_u perm_u in
+    let sub_l = build wires_l perm_l in
+    let middle = List.map2 (fun a b -> a @ b) sub_u sub_l in
+    (* Output switches: output pair j is crossed iff the value destined
+       for output 2j arrives from the lower subnetwork. *)
+    let out_gates = ref [] in
+    for j = (n / 2) - 1 downto 0 do
+      let src = inv.(2 * j) in
+      if color.(src) = 1 then
+        out_gates := Gate.exchange wires.(2 * j) wires.((2 * j) + 1) :: !out_gates
+    done;
+    (!in_gates :: middle) @ [ !out_gates ]
+  end
+
+let route p =
+  let n = Perm.n p in
+  if not (Bitops.is_power_of_two n) || n < 2 then
+    invalid_arg "Benes.route: size must be a power of two >= 2";
+  let levels = build (Array.init n (fun i -> i)) (Perm.to_array p) in
+  Network.of_gate_levels ~wires:n levels
+
+let switch_count nw =
+  List.fold_left
+    (fun acc lvl ->
+      acc
+      + List.length
+          (List.filter (fun g -> not (Gate.is_comparator g)) lvl.Network.gates))
+    0 (Network.levels nw)

@@ -1,0 +1,26 @@
+(** Beneš permutation routing via the looping algorithm.
+
+    The paper notes (after Definition 3.4) that the arbitrary fixed
+    permutations between consecutive reverse delta networks are
+    harmless because any permutation on [n = 2^d] inputs can be routed
+    by a shuffle-exchange network in [3d - 4] levels [10, 9, 14] —
+    i.e., permutations cost only a constant-factor depth increase on
+    hypercubic machines. This module exhibits that fact constructively
+    with the classic Beneš construction: any permutation is realised
+    by [2d - 1] levels of exchange elements (a butterfly followed by
+    an inverse butterfly, middle level shared), set up by the looping
+    algorithm. The produced network contains only "1"/"0" elements —
+    no comparators — so it composes with comparator networks without
+    affecting their depth (Definition 3.6 counts only comparisons). *)
+
+val depth : n:int -> int
+(** [2 lg n - 1] exchange levels. *)
+
+val route : Perm.t -> Network.t
+(** [route p] is an exchange-only network moving the value on input
+    wire [i] to output wire [p i], for [n = 2^d] wires.
+    @raise Invalid_argument if the size is not a power of two. *)
+
+val switch_count : Network.t -> int
+(** Number of crossed switches (exchange gates) in a routed network;
+    at most [n lg n - n/2]. *)

@@ -1,0 +1,60 @@
+let check_n fn n =
+  if not (Bitops.is_power_of_two n) || n < 2 then
+    invalid_arg (Printf.sprintf "Bitonic.%s: n=%d must be a power of two >= 2" fn n)
+
+let network ~n =
+  check_n "network" n;
+  let levels = ref [] in
+  let k = ref 2 in
+  while !k <= n do
+    let j = ref (!k / 2) in
+    while !j >= 1 do
+      let gates = ref [] in
+      for i = 0 to n - 1 do
+        let partner = i lxor !j in
+        if partner > i then
+          if i land !k = 0 then gates := Gate.compare_up i partner :: !gates
+          else gates := Gate.compare_down i partner :: !gates
+      done;
+      levels := List.rev !gates :: !levels;
+      j := !j / 2
+    done;
+    k := !k * 2
+  done;
+  Network.of_gate_levels ~wires:n (List.rev !levels)
+
+let depth_formula ~n =
+  let d = Bitops.log2_exact n in
+  d * (d + 1) / 2
+
+(* Stage [t] of a shuffle block acts, in block-input coordinates, on the
+   pairs [(o, o + 2^(d-t))] with [o = rotr^t (2m)] for register pair
+   [(2m, 2m+1)].  The merge of phase [s] (phase length [2^s]) must
+   compare across bits [s-1 .. 0], i.e. occupy stages [d-s+1 .. d]; its
+   direction at pair base [o] is ascending iff [o land 2^s = 0]
+   (always ascending in the final phase [s = d]). *)
+let shuffle_program ~n =
+  check_n "shuffle_program" n;
+  let d = Bitops.log2_exact n in
+  let rotr ~count x =
+    let k = count mod d in
+    if k = 0 then x else ((x lsr k) lor (x lsl (d - k))) land (n - 1)
+  in
+  let stage_ops ~s ~t =
+    if t <= d - s then Array.make (n / 2) Register_model.Zero
+    else
+      Array.init (n / 2) (fun m ->
+          let o = rotr ~count:t (2 * m) in
+          if s = d || o land (1 lsl s) = 0 then Register_model.Plus
+          else Register_model.Minus)
+  in
+  let opss =
+    List.concat_map
+      (fun s0 ->
+        let s = s0 + 1 in
+        List.init d (fun t0 -> stage_ops ~s ~t:(t0 + 1)))
+      (List.init d (fun s0 -> s0))
+  in
+  Register_model.shuffle_program ~n opss
+
+let as_iterated ~n = Shuffle_net.to_iterated (shuffle_program ~n)

@@ -1,0 +1,29 @@
+(** Batcher's bitonic sorting network.
+
+    This is the paper's upper bound: a shuffle-based sorting network of
+    depth [Theta(lg^2 n)]. The module provides both the classic
+    circuit form (depth exactly [lg n (lg n + 1) / 2]) and the
+    shuffle-based register program (Stone's scheme: [lg n] passes of
+    [lg n] shuffle stages each, depth [lg^2 n] counting the padded
+    stages), which witnesses membership in the class the lower bound
+    speaks about. *)
+
+val network : n:int -> Network.t
+(** [network ~n] is the classic iterative bitonic sorter on [n = 2^d]
+    wires, sorting ascending by wire index.
+    Depth is [d (d + 1) / 2]. *)
+
+val depth_formula : n:int -> int
+(** [lg n (lg n + 1) / 2] — the closed form used by experiment E5. *)
+
+val shuffle_program : n:int -> Register_model.t
+(** [shuffle_program ~n] is the shuffle-based register program for the
+    bitonic sorter: [lg n] blocks of [lg n] shuffle stages; the merge
+    of phase [s] occupies the last [s] stages of block [s], earlier
+    stages of the block being "0" (pass-through). Its outputs appear in
+    register order, sorted ascending. *)
+
+val as_iterated : n:int -> Iterated.t
+(** The shuffle program decomposed into reverse delta blocks via
+    {!Shuffle_net.to_iterated} — the form consumed by the adversary in
+    experiment E6. *)

@@ -1,0 +1,17 @@
+let network ~n =
+  if n < 1 then invalid_arg "Insertion_net.network: n must be >= 1";
+  (* The parallel (triangular) form: at time t = 0 .. 2n-4, fire all
+     comparators (i, i+1) with i + i = t or t - 1 ... equivalently the
+     diagonal wavefronts of the insertion-sort triangle.  Level t holds
+     pairs (i, i+1) with i <= t and i ≡ t (mod 2). *)
+  let levels =
+    List.init (max 0 ((2 * n) - 3)) (fun t ->
+        let gates = ref [] in
+        let i = ref (t mod 2) in
+        while !i <= min t (n - 2) do
+          gates := Gate.compare_up !i (!i + 1) :: !gates;
+          i := !i + 2
+        done;
+        List.rev !gates)
+  in
+  Network.of_gate_levels ~wires:n levels

@@ -1,0 +1,6 @@
+(** The triangular insertion/bubble sorting network (Knuth 5.3.4,
+    Fig. 45): the naive [O(n)]-depth, [O(n^2)]-size construction.
+    Included as the low end of the baseline spectrum. Works for any
+    [n >= 1]; depth is [2n - 3] for [n >= 2]. *)
+
+val network : n:int -> Network.t

@@ -1,0 +1,27 @@
+let network ~n =
+  if not (Bitops.is_power_of_two n) || n < 2 then
+    invalid_arg (Printf.sprintf "Odd_even_merge.network: n=%d must be a power of two >= 2" n);
+  let levels = ref [] in
+  let p = ref 1 in
+  while !p < n do
+    let k = ref !p in
+    while !k >= 1 do
+      let gates = ref [] in
+      let j = ref (!k mod !p) in
+      while !j <= n - 1 - !k do
+        for i = 0 to min (!k - 1) (n - 1 - !j - !k) do
+          if (i + !j) / (2 * !p) = (i + !j + !k) / (2 * !p) then
+            gates := Gate.compare_up (i + !j) (i + !j + !k) :: !gates
+        done;
+        j := !j + (2 * !k)
+      done;
+      levels := List.rev !gates :: !levels;
+      k := !k / 2
+    done;
+    p := !p * 2
+  done;
+  Network.of_gate_levels ~wires:n (List.rev !levels)
+
+let size_formula ~n =
+  let d = Bitops.log2_exact n in
+  (((d * d) - d + 4) * (1 lsl (d - 2))) - 1

@@ -1,0 +1,13 @@
+(** Batcher's odd-even merge sorting network.
+
+    The second classic [Theta(lg^2 n)]-depth construction from
+    Batcher's 1968 paper; same asymptotic depth as bitonic with a
+    slightly smaller comparator count. Serves as an additional
+    baseline in the benchmark harness. *)
+
+val network : n:int -> Network.t
+(** [network ~n] sorts [n = 2^d] wires ascending.
+    Depth is [lg n (lg n + 1) / 2]. *)
+
+val size_formula : n:int -> int
+(** Comparator count [(d^2 - d + 4) * 2^(d-2) - 1] for [n = 2^d]. *)

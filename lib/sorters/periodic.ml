@@ -1,0 +1,24 @@
+let check_n fn n =
+  if not (Bitops.is_power_of_two n) || n < 2 then
+    invalid_arg (Printf.sprintf "Periodic.%s: n=%d must be a power of two >= 2" fn n)
+
+let block ~n =
+  check_n "block" n;
+  let d = Bitops.log2_exact n in
+  let level s =
+    let mask = (1 lsl (d - s + 1)) - 1 in
+    let gates = ref [] in
+    for i = 0 to n - 1 do
+      let partner = i lxor mask in
+      if partner > i then gates := Gate.compare_up i partner :: !gates
+    done;
+    List.rev !gates
+  in
+  Network.of_gate_levels ~wires:n (List.init d (fun s0 -> level (s0 + 1)))
+
+let network ~n =
+  check_n "network" n;
+  let d = Bitops.log2_exact n in
+  let b = block ~n in
+  let rec go acc k = if k = 0 then acc else go (Network.serial acc b) (k - 1) in
+  go (Network.empty n) d

@@ -1,0 +1,14 @@
+(** The periodic balanced sorting network (Dowd, Perl, Rudolph, Saks).
+
+    [lg n] identical blocks of [lg n] levels; level [s] of a block
+    compares each wire [i] with [i XOR (2^(lg n - s + 1) - 1)], min to
+    the lower index. Its interest here: the block is level-structured
+    like a delta network and the whole sorter has depth [lg^2 n],
+    another member of the "simple, regular, lg^2" family the paper's
+    introduction surveys. *)
+
+val block : n:int -> Network.t
+(** One balanced-merger block ([lg n] levels). *)
+
+val network : n:int -> Network.t
+(** [lg n] consecutive blocks; sorts [n = 2^d] wires ascending. *)

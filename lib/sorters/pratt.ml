@@ -1,0 +1,18 @@
+let increments ~n =
+  let rec twos acc p = if p >= n then acc else twos (p :: acc) (p * 2) in
+  let rec threes acc h = if h >= n then acc else threes (twos acc h) (h * 3) in
+  List.sort (fun a b -> compare b a) (threes [] 1)
+
+let network ~n =
+  if n < 1 then invalid_arg "Pratt.network: n must be >= 1";
+  let pass h parity =
+    let gates = ref [] in
+    for i = 0 to n - 1 - h do
+      if i / h mod 2 = parity then gates := Gate.compare_up i (i + h) :: !gates
+    done;
+    List.rev !gates
+  in
+  let levels =
+    List.concat_map (fun h -> [ pass h 0; pass h 1 ]) (increments ~n)
+  in
+  Network.of_gate_levels ~wires:n levels

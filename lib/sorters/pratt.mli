@@ -1,0 +1,17 @@
+(** Pratt's Shellsort sorting network (3-smooth increments).
+
+    The paper situates its result next to Cypher's lower bound for
+    Shellsort-based sorting networks; Pratt's construction is the
+    classic member of that class with depth [Theta(lg^2 n)]. For each
+    increment [h = 2^p 3^q < n] in decreasing order, one
+    compare-exchange pass over all pairs [(i, i+h)] suffices because
+    the input is already [2h]- and [3h]-sorted, which makes the
+    remaining inversions vertex-disjoint; the pass is scheduled as two
+    comparator levels (pairs with even, then odd, [i / h]). *)
+
+val increments : n:int -> int list
+(** All 3-smooth numbers below [n], decreasing. *)
+
+val network : n:int -> Network.t
+(** [network ~n] sorts any [n >= 1] ascending, with
+    [2 * |increments ~n|] levels. *)

@@ -1,0 +1,50 @@
+let shell ~n =
+  let rec go acc h = if h >= 1 then go (h :: acc) (h / 2) else List.rev acc in
+  if n <= 1 then [ 1 ] else go [] (n / 2)
+
+let hibbard ~n =
+  let rec go acc h = if h < n then go (h :: acc) ((2 * h) + 1) else acc in
+  match go [] 1 with [] -> [ 1 ] | incs -> incs
+
+let pratt ~n = Pratt.increments ~n
+
+let ciura ~n =
+  let base = [ 1; 4; 10; 23; 57; 132; 301; 701; 1750 ] in
+  let rec extend acc last =
+    let next = int_of_float (ceil (float_of_int last *. 2.25)) in
+    if next >= n then acc else extend (next :: acc) next
+  in
+  (* descending, extended by the conventional 2.25 growth factor *)
+  let seq = extend (List.rev base) 1750 in
+  match List.filter (fun h -> h < n) seq with [] -> [ 1 ] | l -> l
+
+let network ~n ~increments =
+  if n < 1 then invalid_arg "Shellsort_net.network: n must be >= 1";
+  List.iter
+    (fun h ->
+      if h < 1 || (h >= n && n > 1) then
+        invalid_arg (Printf.sprintf "Shellsort_net.network: increment %d out of [1,%d)" h n))
+    increments;
+  (* One h-sort pass: odd-even transposition restricted to h-chains.
+     Level parity alternates which chain positions fire; chains are
+     interleaved so all comparators of a level touch disjoint wires. *)
+  let pass h =
+    let chain_len = (n + h - 1) / h in
+    List.init (max 1 chain_len) (fun t ->
+        let gates = ref [] in
+        for i = 0 to n - 1 - h do
+          if i / h mod 2 = t mod 2 then gates := Gate.compare_up i (i + h) :: !gates
+        done;
+        List.rev !gates)
+  in
+  Network.of_gate_levels ~wires:n (List.concat_map pass increments)
+
+let families =
+  [ ("shell", fun ~n -> shell ~n);
+    ("hibbard", fun ~n -> hibbard ~n);
+    ("pratt", fun ~n -> pratt ~n);
+    ("ciura", fun ~n -> ciura ~n) ]
+
+let family name = List.assoc_opt name families
+
+let family_names = List.map fst families

@@ -1,0 +1,40 @@
+(** Shellsort-based sorting networks for arbitrary increment sequences.
+
+    The paper's introduction situates its bound next to Cypher's
+    [Omega(lg^2 n / lglg n)] lower bound for Shellsort networks with
+    monotonically decreasing increments [3] and the later general bound
+    [13]. This module builds the class generically so the experiment
+    harness (E12) can compare increment families: for each increment
+    [h] the [h]-sort pass is realised as a full odd-even transposition
+    sweep over every [h]-chain, which sorts the chains unconditionally
+    — correct for {e any} decreasing increment sequence ending in 1,
+    at the price of [ceil(n/h)] levels per increment. (Pratt's family
+    admits the 2-level shortcut implemented in {!Pratt}; generic
+    families do not.) *)
+
+val shell : n:int -> int list
+(** Shell's original halving sequence [n/2, n/4, ..., 1]. *)
+
+val hibbard : n:int -> int list
+(** Hibbard's [2^k - 1] increments, decreasing. *)
+
+val pratt : n:int -> int list
+(** Pratt's 3-smooth increments (same as {!Pratt.increments}). *)
+
+val ciura : n:int -> int list
+(** Ciura's empirically tuned sequence [1, 4, 10, 23, 57, 132, 301,
+    701, 1750], extended by factor 2.25, truncated below [n],
+    decreasing. *)
+
+val network : n:int -> increments:int list -> Network.t
+(** [network ~n ~increments] builds the Shellsort network: for each
+    increment [h] in order, [ceil(n/h)] alternating brick levels of
+    comparators [(i, i+h)]. The final increment must be 1 for the
+    result to be a sorting network (validated in tests via the 0-1
+    principle, not here).
+    @raise Invalid_argument if an increment is not in [1, n). *)
+
+val family : string -> (n:int -> int list) option
+(** Lookup by name: "shell", "hibbard", "pratt", "ciura". *)
+
+val family_names : string list

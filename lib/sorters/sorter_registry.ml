@@ -1,0 +1,23 @@
+type entry = { name : string; build : int -> Network.t; pow2_only : bool }
+
+let bitonic_shuffle_circuit n =
+  Network.flatten (Register_model.to_network (Bitonic.shuffle_program ~n))
+
+let all =
+  [ { name = "transposition"; build = (fun n -> Transposition.network ~n); pow2_only = false };
+    { name = "insertion"; build = (fun n -> Insertion_net.network ~n); pow2_only = false };
+    { name = "pratt"; build = (fun n -> Pratt.network ~n); pow2_only = false };
+    { name = "periodic"; build = (fun n -> Periodic.network ~n); pow2_only = true };
+    { name = "odd-even-merge"; build = (fun n -> Odd_even_merge.network ~n); pow2_only = true };
+    { name = "bitonic"; build = (fun n -> Bitonic.network ~n); pow2_only = true };
+    { name = "bitonic-shuffle"; build = bitonic_shuffle_circuit; pow2_only = true };
+    { name = "shellsort-shell";
+      build = (fun n -> Shellsort_net.network ~n ~increments:(Shellsort_net.shell ~n));
+      pow2_only = false };
+    { name = "shellsort-ciura";
+      build = (fun n -> Shellsort_net.network ~n ~increments:(Shellsort_net.ciura ~n));
+      pow2_only = false } ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+
+let names = List.map (fun e -> e.name) all

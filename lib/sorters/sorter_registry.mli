@@ -1,0 +1,20 @@
+(** A uniform view of all baseline sorters, for tests, benches and the
+    CLI. *)
+
+type entry = {
+  name : string;
+  build : int -> Network.t;  (** takes [n] *)
+  pow2_only : bool;
+      (** whether [build] requires [n] to be a power of two *)
+}
+
+val all : entry list
+(** Every sorter in the library, in roughly increasing sophistication:
+    transposition, insertion, pratt, periodic, odd-even merge, bitonic,
+    bitonic-shuffle (the register program flattened to a circuit), and
+    two generic Shellsort networks (Shell / Ciura increments). *)
+
+val find : string -> entry option
+(** Lookup by [name]. *)
+
+val names : string list

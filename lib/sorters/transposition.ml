@@ -1,0 +1,12 @@
+let network ~n =
+  if n < 1 then invalid_arg "Transposition.network: n must be >= 1";
+  let brick parity =
+    let gates = ref [] in
+    let i = ref parity in
+    while !i + 1 < n do
+      gates := Gate.compare_up !i (!i + 1) :: !gates;
+      i := !i + 2
+    done;
+    List.rev !gates
+  in
+  Network.of_gate_levels ~wires:n (List.init n (fun t -> brick (t mod 2)))

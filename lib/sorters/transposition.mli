@@ -1,0 +1,9 @@
+(** Odd-even transposition (brick) sort: the depth-[n] baseline.
+
+    Asymptotically far worse than Batcher but trivially correct; used
+    in tests as a known-good oracle and in benches to anchor the
+    depth axis. Works for any [n >= 1]. *)
+
+val network : n:int -> Network.t
+(** [n] levels alternating the even and odd adjacent-pair bricks;
+    sorts ascending. *)

@@ -1,0 +1,72 @@
+type align = Left | Right
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list;  (** reversed *)
+}
+
+let create ~columns =
+  { headers = List.map fst columns;
+    aligns = List.map snd columns;
+    rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg
+      (Printf.sprintf "Ascii_table.add_row: %d cells, want %d"
+         (List.length cells) (List.length t.headers));
+  t.rows <- cells :: t.rows
+
+let add_int_row t cells = add_row t (List.map string_of_int cells)
+
+let pad align width s =
+  let missing = width - String.length s in
+  if missing <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make missing ' '
+    | Right -> String.make missing ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      t.headers
+  in
+  let render_cells cells =
+    String.concat "  "
+      (List.map2
+         (fun (w, a) c -> pad a w c)
+         (List.combine widths t.aligns)
+         cells)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_cells t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_cells row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line cells = String.concat "," (List.map csv_escape cells) in
+  String.concat "\n" (line t.headers :: List.map line (List.rev t.rows)) ^ "\n"
+
+let print t =
+  print_string (render t);
+  flush stdout

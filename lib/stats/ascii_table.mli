@@ -1,0 +1,24 @@
+(** Aligned plain-text tables (and CSV) for the experiment harness.
+
+    Every experiment prints one of these; EXPERIMENTS.md embeds the
+    output verbatim, so the renderer is deliberately plain. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** Column headers with their alignment. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the arity differs from [columns]. *)
+
+val add_int_row : t -> int list -> unit
+
+val render : t -> string
+(** Header, separator rule, rows — all columns padded to width. *)
+
+val to_csv : t -> string
+
+val print : t -> unit
+(** [render] to stdout followed by a newline flush. *)

@@ -1,0 +1,45 @@
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let quantile xs q =
+  if xs = [] then invalid_arg "Stat_summary.quantile: empty list";
+  if q < 0. || q > 1. then invalid_arg "Stat_summary.quantile: q out of [0,1]";
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) in
+  let hi = min (n - 1) (lo + 1) in
+  let frac = pos -. float_of_int lo in
+  (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac)
+
+let of_floats xs =
+  match xs with
+  | [] -> invalid_arg "Stat_summary.of_floats: empty list"
+  | _ ->
+      let n = List.length xs in
+      let fn = float_of_int n in
+      let mean = List.fold_left ( +. ) 0. xs /. fn in
+      let var =
+        if n < 2 then 0.
+        else
+          List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs
+          /. (fn -. 1.)
+      in
+      { count = n;
+        mean;
+        stddev = sqrt var;
+        min = List.fold_left min infinity xs;
+        max = List.fold_left max neg_infinity xs;
+        median = quantile xs 0.5 }
+
+let of_ints xs = of_floats (List.map float_of_int xs)
+
+let pp fmt s =
+  Format.fprintf fmt "%.3g±%.2g [%.3g,%.3g]" s.mean s.stddev s.min s.max

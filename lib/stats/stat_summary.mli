@@ -1,0 +1,23 @@
+(** Small descriptive statistics for the experiment harness. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+}
+
+val of_floats : float list -> t
+(** @raise Invalid_argument on the empty list. *)
+
+val of_ints : int list -> t
+
+val quantile : float list -> float -> float
+(** [quantile xs q] for [q] in [0,1], linear interpolation between
+    order statistics. @raise Invalid_argument on the empty list or out
+    of range [q]. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["mean±stddev [min,max]"]. *)

@@ -1,0 +1,33 @@
+let build ~levels ~choose =
+  if levels < 0 then invalid_arg "Butterfly.build: negative level count";
+  let rec go base l =
+    if l = 0 then Reverse_delta.Wire base
+    else
+      let half = 1 lsl (l - 1) in
+      let sub0 = go base (l - 1) in
+      let sub1 = go (base + half) (l - 1) in
+      let cross = ref [] in
+      for i = half - 1 downto 0 do
+        match choose ~level:l ~pos:(base + i) with
+        | None -> ()
+        | Some kind ->
+            cross :=
+              { Reverse_delta.left = base + i; right = base + half + i; kind }
+              :: !cross
+      done;
+      Reverse_delta.Node { sub0; sub1; cross = !cross }
+  in
+  let rd = go 0 levels in
+  Reverse_delta.validate rd;
+  rd
+
+let ascending ~levels =
+  build ~levels ~choose:(fun ~level:_ ~pos:_ -> Some Reverse_delta.Min_left)
+
+let network ~levels =
+  Reverse_delta.to_network ~wires:(1 lsl levels) (ascending ~levels)
+
+let delta_network ~levels =
+  let nw = network ~levels in
+  let lvls = List.rev (Network.levels nw) in
+  Network.create ~wires:(Network.wires nw) lvls

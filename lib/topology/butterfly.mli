@@ -1,0 +1,32 @@
+(** The butterfly network as a reverse delta network.
+
+    The butterfly is the unique network that is both a delta network
+    and a reverse delta network (Kruskal & Snir, cited as [6] in the
+    paper), and a [lg n]-level butterfly is equivalent to a
+    shuffle-based network of depth [lg n]. Here it is built in the
+    contiguous layout: the node over wire range [base, base + 2^l)
+    splits into halves and pairs wire [base+i] with [base+half+i], so
+    time step [k] compares wires differing in index bit [k-1]
+    (ascend order, LSB to MSB). *)
+
+val build :
+  levels:int -> choose:(level:int -> pos:int -> Reverse_delta.kind option) ->
+  Reverse_delta.t
+(** [build ~levels ~choose] is the [2^levels]-wire butterfly on wires
+    [0, 2^levels) where the cross element between positions [pos] and
+    [pos + half] of the node at time step [level] (1-indexed, 1 = first
+    fired, i.e. deepest recursion) is [choose ~level ~pos]. [pos]
+    ranges over the node's base offset plus local index — concretely it
+    is the global index of the [sub0]-side wire. *)
+
+val ascending : levels:int -> Reverse_delta.t
+(** All cross elements present, min to the lower-indexed wire. This is
+    the comparator skeleton of one bitonic merge step. *)
+
+val network : levels:int -> Network.t
+(** [network ~levels] is [ascending] flattened to a circuit. *)
+
+val delta_network : levels:int -> Network.t
+(** The same butterfly run in *descend* (delta) direction: level order
+    reversed, so time step [k] compares across bit [levels - k]. Used
+    to exhibit that the butterfly is a delta network as well. *)

@@ -1,0 +1,44 @@
+(** (Forward) delta networks — the mirror class of {!Reverse_delta}.
+
+    A delta network is obtained from a reverse delta network by
+    "flipping" it: interchanging inputs and outputs, i.e. reversing
+    time. Recursively, a [2^(l+1)]-input delta network is a *first*
+    level of cross elements feeding two parallel [2^l]-input delta
+    networks. The paper (citing Kruskal & Snir [6]) notes the butterfly
+    is the unique network that is both; {!is_butterfly_shape} checks
+    the structural signature of that fact on concrete instances.
+
+    We reuse {!Reverse_delta.t} as the underlying tree — a delta
+    network is the same recursion read with the cross level fired
+    {e before} the subnetworks. *)
+
+type t
+(** A delta network (a reverse delta tree, interpreted mirrored). *)
+
+val of_reverse_delta : Reverse_delta.t -> t
+(** [of_reverse_delta rd] is the flip of [rd]: same tree, cross levels
+    fire root-first. Inputs/outputs swap roles, so the flip of a
+    network computing [f] computes the time-reversal of [f]'s wiring
+    (comparator orientations are preserved). *)
+
+val to_reverse_delta : t -> Reverse_delta.t
+(** The underlying tree (flipping back is the identity). *)
+
+val levels : t -> int
+
+val inputs : t -> int
+
+val to_network : wires:int -> t -> Network.t
+(** Flattens with root cross level first: level [k] (1-based) holds
+    the cross elements of recursion depth [k-1]. *)
+
+val butterfly : levels:int -> t
+(** The all-comparator contiguous butterfly read in delta direction —
+    the classic bitonic merger (see E10). *)
+
+val is_butterfly_shape : Reverse_delta.t -> bool
+(** Structural test used by the Kruskal–Snir uniqueness check: a tree
+    is butterfly-shaped iff every node's cross level is a full
+    positional matching (leaf [i] of [sub0] to leaf [i] of [sub1]).
+    Exactly these trees give the same level structure whether read as
+    delta or reverse delta networks. *)

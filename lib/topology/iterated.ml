@@ -1,0 +1,67 @@
+type block = { pre : Perm.t option; body : Reverse_delta.t }
+
+type t = { n : int; blocks : block list }
+
+let create ~n blocks =
+  if not (Bitops.is_power_of_two n) then
+    invalid_arg "Iterated.create: n must be a power of two";
+  List.iteri
+    (fun i b ->
+      Reverse_delta.validate b.body;
+      if Reverse_delta.inputs b.body <> n then
+        invalid_arg
+          (Printf.sprintf "Iterated.create: block %d has %d inputs, want %d" i
+             (Reverse_delta.inputs b.body) n);
+      let ls = Reverse_delta.leaves b.body in
+      let seen = Array.make n false in
+      Array.iter
+        (fun w ->
+          if w < 0 || w >= n then
+            invalid_arg
+              (Printf.sprintf "Iterated.create: block %d wire %d out of [0,%d)" i w n)
+          else seen.(w) <- true)
+        ls;
+      if Array.exists not seen then
+        invalid_arg (Printf.sprintf "Iterated.create: block %d does not cover all wires" i);
+      match b.pre with
+      | Some p when Perm.n p <> n ->
+          invalid_arg (Printf.sprintf "Iterated.create: block %d permutation size mismatch" i)
+      | Some _ | None -> ())
+    blocks;
+  { n; blocks }
+
+let n it = it.n
+let blocks it = it.blocks
+let block_count it = List.length it.blocks
+
+let levels_per_block it =
+  match it.blocks with
+  | [] -> 0
+  | b :: rest ->
+      let l = Reverse_delta.levels b.body in
+      List.iter
+        (fun b' ->
+          if Reverse_delta.levels b'.body <> l then
+            invalid_arg "Iterated.levels_per_block: blocks of differing level counts")
+        rest;
+      l
+
+let to_network it =
+  let block_net b =
+    let body = Reverse_delta.to_network ~wires:it.n b.body in
+    match b.pre with
+    | None -> body
+    | Some p -> Network.serial (Network.permutation_level p) body
+  in
+  List.fold_left
+    (fun acc b -> Network.serial acc (block_net b))
+    (Network.empty it.n) it.blocks
+
+let depth it = Network.depth (to_network it)
+
+let uniform rds =
+  match rds with
+  | [] -> invalid_arg "Iterated.uniform: empty block list"
+  | rd :: _ ->
+      let n = Reverse_delta.inputs rd in
+      create ~n (List.map (fun body -> { pre = None; body }) rds)

@@ -1,0 +1,37 @@
+(** Iterated reverse delta networks: [k] consecutive reverse delta
+    networks with an arbitrary fixed permutation allowed between
+    consecutive blocks (the [(k,l)]-iterated reverse delta networks of
+    the paper, realised by the serial-composition operator ⊗). *)
+
+type block = { pre : Perm.t option; body : Reverse_delta.t }
+(** One block: an optional wire permutation applied before the block's
+    reverse delta network runs. [pre] maps the previous block's output
+    wire [j] to this block's input wire [pre j]. *)
+
+type t
+
+val create : n:int -> block list -> t
+(** [create ~n blocks] validates that every block spans exactly the
+    wires [0, n) (i.e. [inputs body = n] and leaves are a permutation
+    of [0, n)) and that permutations have size [n].
+    @raise Invalid_argument on violation. *)
+
+val n : t -> int
+
+val blocks : t -> block list
+
+val block_count : t -> int
+
+val levels_per_block : t -> int
+(** [levels_per_block it] is [l] when every block has [l] levels. *)
+
+val to_network : t -> Network.t
+(** Flattens all blocks in sequence, inserting the inter-block
+    permutations as gate-free routing levels. *)
+
+val depth : t -> int
+(** Total comparator depth of the flattened network. *)
+
+val uniform : Reverse_delta.t list -> t
+(** [uniform rds] is the iterated network with identity inter-block
+    permutations. All blocks must span the same wire set [0, n). *)

@@ -1,0 +1,43 @@
+let reverse_delta rng ~levels ~density ~swap_prob =
+  if density < 0. || density > 1. then
+    invalid_arg "Random_net.reverse_delta: density must be in [0,1]";
+  if swap_prob < 0. || swap_prob > 1. then
+    invalid_arg "Random_net.reverse_delta: swap_prob must be in [0,1]";
+  let rec go base l =
+    if l = 0 then Reverse_delta.Wire base
+    else
+      let half = 1 lsl (l - 1) in
+      let sub0 = go base (l - 1) in
+      let sub1 = go (base + half) (l - 1) in
+      let leaves0 = Reverse_delta.leaves sub0 in
+      let leaves1 = Reverse_delta.leaves sub1 in
+      let matching = Perm.random rng half in
+      let cross = ref [] in
+      for i = half - 1 downto 0 do
+        if Xoshiro.float rng < density then begin
+          let kind =
+            if Xoshiro.float rng < swap_prob then Reverse_delta.Swap
+            else if Xoshiro.bool rng then Reverse_delta.Min_left
+            else Reverse_delta.Min_right
+          in
+          cross :=
+            { Reverse_delta.left = leaves0.(i);
+              right = leaves1.(Perm.apply matching i);
+              kind }
+            :: !cross
+        end
+      done;
+      Reverse_delta.Node { sub0; sub1; cross = !cross }
+  in
+  let rd = go 0 levels in
+  Reverse_delta.validate rd;
+  rd
+
+let iterated rng ~n ~blocks ~density ~swap_prob ~permute =
+  let levels = Bitops.log2_exact n in
+  let block _ =
+    let body = reverse_delta rng ~levels ~density ~swap_prob in
+    let pre = if permute then Some (Perm.random rng n) else None in
+    { Iterated.pre; body }
+  in
+  Iterated.create ~n (List.init blocks block)

@@ -1,0 +1,25 @@
+(** Seeded random instances of the topology classes.
+
+    Random reverse delta networks exercise the full generality of
+    Definition 3.4 (arbitrary cross matchings, partial levels, mixed
+    orientations), which the deterministic constructions do not. All
+    generators are deterministic functions of the supplied generator
+    state. *)
+
+val reverse_delta :
+  Xoshiro.t -> levels:int -> density:float -> swap_prob:float -> Reverse_delta.t
+(** [reverse_delta rng ~levels ~density ~swap_prob] builds a random
+    [levels]-level reverse delta network on wires [0, 2^levels): at
+    every node the cross level is a uniformly random perfect matching
+    between the two subnetworks' leaves, each matched pair kept with
+    probability [density]; a kept pair is an exchange with probability
+    [swap_prob] and otherwise a comparator with uniform orientation. *)
+
+val iterated :
+  Xoshiro.t ->
+  n:int -> blocks:int -> density:float -> swap_prob:float -> permute:bool ->
+  Iterated.t
+(** [iterated rng ~n ~blocks ~density ~swap_prob ~permute] chains
+    [blocks] random reverse delta networks; when [permute] is true a
+    uniformly random wire permutation is inserted before every block
+    (the full generality the lower bound allows). *)

@@ -1,0 +1,132 @@
+type kind = Min_left | Min_right | Swap
+
+type cross = { left : int; right : int; kind : kind }
+
+type t = Wire of int | Node of { sub0 : t; sub1 : t; cross : cross list }
+
+let rec leaves_rev acc = function
+  | Wire w -> w :: acc
+  | Node { sub0; sub1; _ } -> leaves_rev (leaves_rev acc sub0) sub1
+
+let leaves rd = Array.of_list (List.rev (leaves_rev [] rd))
+
+let rec levels = function
+  | Wire _ -> 0
+  | Node { sub0; _ } -> 1 + levels sub0
+
+let inputs rd = 1 lsl levels rd
+
+module Int_set = Set.Make (Int)
+
+let validate rd =
+  (* Returns the leaf set and the level count while checking shape. *)
+  let rec go = function
+    | Wire w ->
+        if w < 0 then invalid_arg "Reverse_delta.validate: negative wire id";
+        (Int_set.singleton w, 0)
+    | Node { sub0; sub1; cross } ->
+        let s0, l0 = go sub0 and s1, l1 = go sub1 in
+        if l0 <> l1 then
+          invalid_arg
+            (Printf.sprintf "Reverse_delta.validate: subnetworks of depth %d and %d" l0 l1);
+        if not (Int_set.is_empty (Int_set.inter s0 s1)) then
+          invalid_arg "Reverse_delta.validate: subnetworks share a wire";
+        let used = Hashtbl.create 16 in
+        let touch w =
+          if Hashtbl.mem used w then
+            invalid_arg
+              (Printf.sprintf "Reverse_delta.validate: wire %d used twice in a cross level" w)
+          else Hashtbl.add used w ()
+        in
+        List.iter
+          (fun c ->
+            if not (Int_set.mem c.left s0) then
+              invalid_arg
+                (Printf.sprintf "Reverse_delta.validate: left wire %d not in sub0" c.left);
+            if not (Int_set.mem c.right s1) then
+              invalid_arg
+                (Printf.sprintf "Reverse_delta.validate: right wire %d not in sub1" c.right);
+            touch c.left;
+            touch c.right)
+          cross;
+        (Int_set.union s0 s1, l0 + 1)
+  in
+  ignore (go rd)
+
+let rec cross_count = function
+  | Wire _ -> 0
+  | Node { sub0; sub1; cross } ->
+      List.length cross + cross_count sub0 + cross_count sub1
+
+let rec comparator_count = function
+  | Wire _ -> 0
+  | Node { sub0; sub1; cross } ->
+      let here =
+        List.length
+          (List.filter (fun c -> match c.kind with Swap -> false | Min_left | Min_right -> true) cross)
+      in
+      here + comparator_count sub0 + comparator_count sub1
+
+let gate_of_cross c =
+  match c.kind with
+  | Min_left -> Gate.Compare { lo = c.left; hi = c.right }
+  | Min_right -> Gate.Compare { lo = c.right; hi = c.left }
+  | Swap -> Gate.Exchange { a = c.left; b = c.right }
+
+let to_network ~wires rd =
+  let l = levels rd in
+  (* time_levels.(k) holds the gates firing at time step k+1; a node at
+     recursion depth j fires at time step l - j. *)
+  let time_levels = Array.make l [] in
+  let rec walk depth = function
+    | Wire _ -> ()
+    | Node { sub0; sub1; cross } ->
+        let step = l - depth - 1 in
+        time_levels.(step) <- time_levels.(step) @ List.map gate_of_cross cross;
+        walk (depth + 1) sub0;
+        walk (depth + 1) sub1
+  in
+  walk 0 rd;
+  Network.of_gate_levels ~wires (Array.to_list time_levels)
+
+let butterfly_cross sub0 sub1 choose =
+  let l0 = leaves sub0 and l1 = leaves sub1 in
+  if Array.length l0 <> Array.length l1 then
+    invalid_arg "Reverse_delta.butterfly_cross: subnetwork size mismatch";
+  let out = ref [] in
+  for i = Array.length l0 - 1 downto 0 do
+    match choose i with
+    | None -> ()
+    | Some kind -> out := { left = l0.(i); right = l1.(i); kind } :: !out
+  done;
+  !out
+
+let map_wires f rd =
+  let rec go = function
+    | Wire w -> Wire (f w)
+    | Node { sub0; sub1; cross } ->
+        Node
+          { sub0 = go sub0;
+            sub1 = go sub1;
+            cross =
+              List.map (fun c -> { c with left = f c.left; right = f c.right }) cross }
+  in
+  let rd' = go rd in
+  validate rd';
+  rd'
+
+let pp_kind fmt = function
+  | Min_left -> Format.pp_print_string fmt "+"
+  | Min_right -> Format.pp_print_string fmt "-"
+  | Swap -> Format.pp_print_string fmt "x"
+
+let rec pp fmt = function
+  | Wire w -> Format.fprintf fmt "w%d" w
+  | Node { sub0; sub1; cross } ->
+      Format.fprintf fmt "@[<hv 2>(node@ %a@ %a@ [" pp sub0 pp sub1;
+      List.iteri
+        (fun i c ->
+          if i > 0 then Format.fprintf fmt ";@ ";
+          Format.fprintf fmt "%d%a%d" c.left pp_kind c.kind c.right)
+        cross;
+      Format.fprintf fmt "])@]"

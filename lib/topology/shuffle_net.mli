@@ -1,0 +1,55 @@
+(** Shuffle-based networks, and their reverse delta decomposition.
+
+    The paper's class: register-model networks in which every stage
+    permutation is the shuffle. The key structural fact behind the
+    lower bound is that [d = lg n] consecutive shuffle stages form one
+    [d]-level reverse delta network; more generally, [f <= d]
+    consecutive shuffle stages split into [2^(d-f)] disjoint [f]-level
+    reverse delta networks (used by the Section 5 truncated variant).
+
+    Derivation used throughout this module: stage [k] (1-indexed within
+    a block) applies the shuffle and then acts on register pairs
+    [(2m, 2m+1)]; in the coordinates of the block's input wires, that
+    pair is [(rotr^k 2m, rotr^k (2m+1))] — two wires that differ
+    exactly in index bit [d-k], the even register giving the wire with
+    that bit 0. Hence all comparisons of stages 1..f preserve index
+    bits [0, d-f), and the recursive split of Definition 3.4 falls out
+    with the node at recursion depth [j] crossing bit [d-f+j]. *)
+
+val block_of_ops : n:int -> Register_model.op array list -> Reverse_delta.t
+(** [block_of_ops ~n opss] is the [lg n]-level reverse delta network
+    realised by the shuffle-based block whose stage op vectors are
+    [opss] (length exactly [lg n], each of length [n/2]). Leaf wires
+    are the block's input wires [0, n). *)
+
+val forest_of_ops : n:int -> Register_model.op array list -> Reverse_delta.t list
+(** [forest_of_ops ~n opss] handles the truncated case: for
+    [f = length opss <= lg n] stages it returns the [2^(lg n - f)]
+    disjoint [f]-level reverse delta networks (in increasing order of
+    their fixed low-bit class) whose union is the block. For
+    [f = lg n] this is a singleton equal to {!block_of_ops}. *)
+
+val chunk_ops : Register_model.t -> f:int -> Register_model.op array list list
+(** [chunk_ops prog ~f] validates that [prog] is shuffle-based and has
+    a stage count divisible by [f], then groups the op vectors into
+    chunks of [f]. @raise Invalid_argument otherwise. *)
+
+val inter_chunk_perm : n:int -> f:int -> Perm.t
+(** After [f] shuffle stages the value that a chunk saw on its input
+    wire [o] exits on position [rotl^f o] (up to the moves made by the
+    gates themselves, which both coordinate systems share). The next
+    chunk's input wire for it is therefore [rotl^f o]; this permutation
+    re-indexes patterns between consecutive chunks. For [f = lg n] it
+    is the identity. *)
+
+val to_iterated : Register_model.t -> Iterated.t
+(** [to_iterated prog] decomposes a shuffle-based program with stage
+    count a multiple of [lg n] into the equivalent iterated reverse
+    delta network (identity inter-block permutations). *)
+
+val random_program : Xoshiro.t -> n:int -> stages:int -> Register_model.t
+(** Uniformly random op vectors on every stage. *)
+
+val all_plus_program : n:int -> stages:int -> Register_model.t
+(** Every stage is a full level of "+" comparators — the densest
+    shuffle-based network. *)

@@ -1,0 +1,110 @@
+let iter_permutations n f =
+  if n < 0 || n > 10 then
+    invalid_arg "Exhaustive.iter_permutations: n must be in [0,10]";
+  let a = Array.init n (fun i -> i) in
+  (* Heap's algorithm, iterative form. *)
+  let c = Array.make n 0 in
+  f a;
+  let i = ref 0 in
+  while !i < n do
+    if c.(!i) < !i then begin
+      let j = if !i mod 2 = 0 then 0 else c.(!i) in
+      let t = a.(j) in
+      a.(j) <- a.(!i);
+      a.(!i) <- t;
+      f a;
+      c.(!i) <- c.(!i) + 1;
+      i := 0
+    end
+    else begin
+      c.(!i) <- 0;
+      incr i
+    end
+  done
+
+exception Found
+
+let sorts_all_permutations nw =
+  let n = Network.wires nw in
+  try
+    iter_permutations n (fun p ->
+        if not (Sortedness.is_sorted (Network.eval nw p)) then raise Found);
+    true
+  with Found -> false
+
+let sorts_all_zero_one nw =
+  let n = Network.wires nw in
+  if n > 22 then invalid_arg "Exhaustive.sorts_all_zero_one: n too large";
+  try
+    for t = 0 to (1 lsl n) - 1 do
+      let input = Array.init n (fun w -> (t lsr w) land 1) in
+      if not (Sortedness.is_sorted (Network.eval nw input)) then raise Found
+    done;
+    true
+  with Found -> false
+
+let constant_output_assignment nw =
+  let n = Network.wires nw in
+  let reference = ref None in
+  try
+    iter_permutations n (fun p ->
+        let a = Sortedness.output_assignment nw p in
+        match !reference with
+        | None -> reference := Some a
+        | Some r -> if a <> r then raise Found);
+    true
+  with Found -> false
+
+(* Enumerate the refinements of the encoded pattern: permutations pi
+   with (p w < p w') => (pi w < pi w').  Equivalently: sort wires by
+   pattern value; wires in the same pattern class receive a contiguous
+   block of values in any internal order. *)
+let iter_refinements pattern f =
+  let n = Array.length pattern in
+  (* Wires grouped by pattern symbol, in symbol order. *)
+  let wires = Array.init n (fun w -> w) in
+  Array.sort (fun w0 w1 -> compare (pattern.(w0), w0) (pattern.(w1), w1)) wires;
+  let groups =
+    let out = ref [] and cur = ref [ wires.(0) ] in
+    for i = 1 to n - 1 do
+      if pattern.(wires.(i)) = pattern.(wires.(i - 1)) then
+        cur := wires.(i) :: !cur
+      else begin
+        out := List.rev !cur :: !out;
+        cur := [ wires.(i) ]
+      end
+    done;
+    out := List.rev !cur :: !out;
+    List.rev !out
+  in
+  let assignment = Array.make n 0 in
+  let rec go base = function
+    | [] -> f (Array.copy assignment)
+    | group :: rest ->
+        let k = List.length group in
+        let garr = Array.of_list group in
+        iter_permutations k (fun sigma ->
+            Array.iteri (fun i w -> assignment.(w) <- base + sigma.(i)) garr;
+            go (base + k) rest)
+  in
+  go 0 groups
+
+let can_collide_oracle nw pattern w0 w1 =
+  let n = Network.wires nw in
+  if n > 8 then invalid_arg "Exhaustive.can_collide_oracle: n too large";
+  if Array.length pattern <> n then
+    invalid_arg "Exhaustive.can_collide_oracle: pattern length mismatch";
+  let found = ref false in
+  iter_refinements pattern (fun pi ->
+      if (not !found) && Trace.wires_collide nw pi w0 w1 then found := true);
+  !found
+
+let collides_always_oracle nw pattern w0 w1 =
+  let n = Network.wires nw in
+  if n > 8 then invalid_arg "Exhaustive.collides_always_oracle: n too large";
+  if Array.length pattern <> n then
+    invalid_arg "Exhaustive.collides_always_oracle: pattern length mismatch";
+  let all = ref true in
+  iter_refinements pattern (fun pi ->
+      if !all && not (Trace.wires_collide nw pi w0 w1) then all := false);
+  !all

@@ -1,0 +1,35 @@
+(** Brute-force oracles for small instances.
+
+    These are deliberately naive reference implementations used to
+    cross-check the clever ones (packed 0-1 verification, the symbolic
+    collision analysis, the adversary certificates) on sizes where
+    exhaustive enumeration is feasible. *)
+
+val iter_permutations : int -> (int array -> unit) -> unit
+(** [iter_permutations n f] calls [f] on every permutation of
+    [{0..n-1}] (Heap's algorithm; the array passed to [f] is reused —
+    copy if retained). @raise Invalid_argument if [n > 10]. *)
+
+val sorts_all_permutations : Network.t -> bool
+(** Exact check over all [n!] permutation inputs ([n <= 10]). *)
+
+val sorts_all_zero_one : Network.t -> bool
+(** Exact check over all [2^n] 0-1 inputs by direct (unpacked)
+    evaluation ([n <= 22]); the oracle for {!Zero_one}. *)
+
+val constant_output_assignment : Network.t -> bool
+(** The paper's literal definition of a sorting network: every input
+    permutation induces the same value-to-output-wire assignment
+    ([n <= 10]). Equivalent to {!sorts_all_permutations} up to output
+    routing. *)
+
+val can_collide_oracle : Network.t -> int array -> int -> int -> bool
+(** [can_collide_oracle nw symbolic_input w0 w1]: given an input
+    pattern encoded as an integer array (equal entries = equal pattern
+    symbols, order of entries = symbol order), decide by enumerating
+    *all* refinements to permutations whether wires [w0] and [w1] can
+    collide (Definition 3.7(b)). Exponential; [n <= 10]. *)
+
+val collides_always_oracle : Network.t -> int array -> int -> int -> bool
+(** Definition 3.7(a): whether [w0] and [w1] collide under every
+    refinement of the encoded pattern. *)

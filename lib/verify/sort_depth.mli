@@ -1,0 +1,35 @@
+(** The paper's average-case depth measure (Section 5).
+
+    "First, determine for every possible input the depth of the first
+    level of the network at which the input becomes sorted (i.e.,
+    agrees with an appropriate fixed assignment of ranks given to the
+    nodes at that level). Then define the average case complexity as
+    the average of this depth over all inputs."
+
+    For the ascending sorters in this library the fixed rank
+    assignment at every level is "value v belongs on wire v", so an
+    input has become sorted at the first comparator level after which
+    the working array equals the identity — and, comparators being
+    monotone on already-sorted arrays only for uniform orientation,
+    we verify the array *stays* sorted to the end before crediting the
+    level (so the definition is meaningful for mixed-orientation
+    networks too). *)
+
+val sorted_depth : Network.t -> int array -> int option
+(** [sorted_depth nw input] is [Some d] where [d] is the number of
+    comparator levels after which the contents first coincide with the
+    fully sorted order and keep coinciding until the end ([Some 0] if
+    the input is already sorted); [None] if the network never sorts
+    this input. *)
+
+val average_case_depth :
+  ?samples:int -> Xoshiro.t -> Network.t -> Stat_summary.t option
+(** [average_case_depth rng nw] samples random permutation inputs
+    (default 500) and summarises their sorted depths. [None] if some
+    sampled input is never sorted (the network is not a sorter on the
+    sample). *)
+
+val exact_average_depth_01 : ?max_wires:int -> Network.t -> float option
+(** The same average computed exactly over all [2^n] zero-one inputs
+    (guarded like {!Zero_one}; default [max_wires] 16). [None] if some
+    0-1 input never sorts. *)

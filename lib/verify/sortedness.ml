@@ -1,0 +1,64 @@
+let is_sorted a =
+  let rec go i = i >= Array.length a - 1 || (a.(i) <= a.(i + 1) && go (i + 1)) in
+  go 0
+
+let sorts_input nw input = is_sorted (Network.eval nw input)
+
+let output_assignment nw input =
+  let out = Network.eval nw input in
+  let n = Array.length out in
+  let a = Array.make n (-1) in
+  Array.iteri
+    (fun wire v ->
+      if v < 0 || v >= n || a.(v) >= 0 then
+        invalid_arg "Sortedness.output_assignment: input is not a permutation";
+      a.(v) <- wire)
+    out;
+  a
+
+let same_output_assignment nw i1 i2 =
+  output_assignment nw i1 = output_assignment nw i2
+
+(* Merge-sort based inversion count. *)
+let inversions a =
+  let a = Array.copy a in
+  let tmp = Array.make (Array.length a) 0 in
+  let count = ref 0 in
+  let rec sort lo hi =
+    if hi - lo > 1 then begin
+      let mid = (lo + hi) / 2 in
+      sort lo mid;
+      sort mid hi;
+      let i = ref lo and j = ref mid and k = ref lo in
+      while !i < mid && !j < hi do
+        if a.(!i) <= a.(!j) then begin
+          tmp.(!k) <- a.(!i);
+          incr i
+        end
+        else begin
+          tmp.(!k) <- a.(!j);
+          count := !count + (mid - !i);
+          incr j
+        end;
+        incr k
+      done;
+      while !i < mid do
+        tmp.(!k) <- a.(!i);
+        incr i;
+        incr k
+      done;
+      while !j < hi do
+        tmp.(!k) <- a.(!j);
+        incr j;
+        incr k
+      done;
+      Array.blit tmp lo a lo (hi - lo)
+    end
+  in
+  sort 0 (Array.length a);
+  !count
+
+let displacement a =
+  let total = ref 0 in
+  Array.iteri (fun i v -> total := !total + abs (v - i)) a;
+  !total

@@ -1,0 +1,33 @@
+(** Sortedness predicates and the "constant output mapping" test.
+
+    The paper defines a sorting network as one that maps every input
+    permutation to the same output permutation. For networks built in
+    the standard layout that constant mapping is "ascending by wire
+    index", which {!is_sorted} checks; {!output_assignment} exposes the
+    general form for networks whose outputs land in a routed order. *)
+
+val is_sorted : int array -> bool
+(** Ascending (non-strict) order. *)
+
+val sorts_input : Network.t -> int array -> bool
+(** [sorts_input nw input] evaluates and checks ascending output. *)
+
+val output_assignment : Network.t -> int array -> int array
+(** [output_assignment nw input] is the array [a] with [a.(v)] the
+    output wire on which value [v] lands — the "output permutation"
+    of the paper's sorting-network definition. [input] must be a
+    permutation of [0, n). *)
+
+val same_output_assignment : Network.t -> int array -> int array -> bool
+(** Whether two input permutations land wire-for-wire identically —
+    the failure witness shape produced by Corollary 4.1.1: if two
+    *distinct* inputs induce the same assignment the network sorts at
+    most one of them. *)
+
+val inversions : int array -> int
+(** Number of inverted pairs; 0 iff sorted. [O(n log n)]. *)
+
+val displacement : int array -> int
+(** Sum over positions of [|a.(i) - i|] for a permutation [a] of
+    [0, n) — how far the output is from sorted, used by the
+    average-case experiment E9. *)

@@ -1,0 +1,34 @@
+let random_permutation rng ~n = Perm.to_array (Perm.random rng n)
+
+let random_zero_one rng ~n = Array.init n (fun _ -> if Xoshiro.bool rng then 1 else 0)
+
+let zero_one_with_ones ~n ~ones =
+  if ones < 0 || ones > n then invalid_arg "Workload.zero_one_with_ones";
+  Array.init n (fun i -> if i < ones then 1 else 0)
+
+let sorted ~n = Array.init n (fun i -> i)
+
+let reversed ~n = Array.init n (fun i -> n - 1 - i)
+
+let nearly_sorted rng ~n ~swaps =
+  let a = sorted ~n in
+  for _ = 1 to swaps do
+    let i = Xoshiro.int rng ~bound:n and j = Xoshiro.int rng ~bound:n in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let k_rotated ~n ~k =
+  let k = ((k mod n) + n) mod n in
+  Array.init n (fun i -> (i + k) mod n)
+
+let bitonic_input rng ~n =
+  let peak = Xoshiro.int rng ~bound:(n + 1) in
+  let values = random_permutation rng ~n in
+  let ascending = Array.sub values 0 peak in
+  Array.sort compare ascending;
+  let descending = Array.sub values peak (n - peak) in
+  Array.sort (fun a b -> compare b a) descending;
+  Array.append ascending descending

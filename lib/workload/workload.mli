@@ -1,0 +1,30 @@
+(** Seeded input generators for tests, benches and experiments.
+
+    Everything is a deterministic function of the supplied generator,
+    so experiment tables are reproducible run to run. *)
+
+val random_permutation : Xoshiro.t -> n:int -> int array
+(** Uniform permutation of [0, n). *)
+
+val random_zero_one : Xoshiro.t -> n:int -> int array
+(** Uniform vector over [{0,1}^n]. *)
+
+val zero_one_with_ones : n:int -> ones:int -> int array
+(** The 0-1 vector whose [ones] ones occupy the lowest-index positions
+    — maximally unsorted for an ascending sorter. *)
+
+val sorted : n:int -> int array
+(** The identity input [0, 1, ..., n-1]. *)
+
+val reversed : n:int -> int array
+(** The descending input. *)
+
+val nearly_sorted : Xoshiro.t -> n:int -> swaps:int -> int array
+(** Identity perturbed by [swaps] random transpositions. *)
+
+val k_rotated : n:int -> k:int -> int array
+(** The identity rotated by [k] positions. *)
+
+val bitonic_input : Xoshiro.t -> n:int -> int array
+(** A random bitonic sequence (ascending run followed by a descending
+    run), as consumed by one bitonic-merge butterfly. *)

@@ -1,0 +1,80 @@
+The CLI lists its networks and experiments:
+
+  $ snlb list | head -12
+  sorting networks:
+    transposition    
+    insertion        
+    pratt            
+    periodic         (n = power of two)
+    odd-even-merge   (n = power of two)
+    bitonic          (n = power of two)
+    bitonic-shuffle  (n = power of two)
+    shellsort-shell  
+    shellsort-ciura  
+  experiments:
+    E1   Lemma 4.1 single-block survival
+
+Sorting is deterministic under a fixed seed:
+
+  $ snlb sort --algo bitonic -n 8 --seed 1
+  network : bitonic
+  stats   : wires=8 levels=6 depth=6 comparators=24 exchanges=0
+  input   : [4 6 7 3 0 2 1 5]
+  output  : [0 1 2 3 4 5 6 7]
+  sorted  : true
+
+Exact verification via the 0-1 principle:
+
+  $ snlb verify --algo odd-even-merge -n 8
+  verifying odd-even-merge on n=8 over all 256 zero-one inputs...
+  sorting network: true
+
+The adversary produces a validated fooling pair on a shallow network:
+
+  $ snlb certify -n 32 --blocks 2 --kind all-plus | tail -3
+  blocks survived: 2 / 2
+  fooling pair: swap values 6,7 (wires 3,5)
+  certificate VALID: the network is not a sorting network.
+
+And is defeated by a true sorter:
+
+  $ snlb certify -n 16 --kind bitonic | tail -2
+  blocks survived: 3 / 4
+  adversary defeated: no fooling pair (network may sort).
+
+Minimal-depth search (Knuth 5.3.4.47 at n=4):
+
+  $ snlb search -n 4
+  minimal shuffle-based sorter depth for n=4: 3 (bitonic: 3)
+
+Benes routing:
+
+  $ snlb route -n 8 --seed 3 | tail -2
+  Benes network: 5 exchange levels, 8 crossed switches
+  routing verified: true
+
+Networks can be drawn:
+
+  $ snlb draw --algo bitonic -n 4
+  0 -o--o----o---
+     |  |    |   
+  1 -*--+-o--*---
+        | |      
+  2 -*--*-+--o---
+     |    |  |   
+  3 -o----*--*---
+
+Serialisation round-trips:
+
+  $ snlb save --algo bitonic -n 8 net.txt
+  wrote net.txt (8 wires, 24 comparators)
+  $ snlb load net.txt
+  net.txt: wires=8 levels=6 depth=6 comparators=24 exchanges=0
+  sorting network: true
+
+Parse errors carry line information:
+
+  $ printf 'snlb-network 1\nwires 4\ncmp 0 1\n' > bad.txt
+  $ snlb load bad.txt
+  bad.txt: line 3: cmp outside a level
+  [1]

@@ -1,0 +1,460 @@
+(* Tests for the lower-bound adversary: Mset invariants, Lemma 4.1,
+   Theorem 4.1, certificates, the naive baseline, the adaptive game and
+   the truncated variant.  The crown jewels are the oracle tests: on
+   small instances, the noncollision claims of the symbolic engine are
+   re-checked against *every* refinement of the final pattern. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let random_iterated ~seed ~n ~blocks =
+  let rng = Xoshiro.of_seed seed in
+  let d = Bitops.log2_exact n in
+  let prog = Shuffle_net.random_program rng ~n ~stages:(blocks * d) in
+  (prog, Shuffle_net.to_iterated prog)
+
+(* --- Mset --- *)
+
+let test_create_state () =
+  let st = Mset.create ~n:8 ~k:2 in
+  check_int "all tracked" 8 (Mset.tracked_count st);
+  let coll = Mset.singleton_collection st 3 in
+  check_int "t(0) = k^3" 8 coll.Mset.t;
+  check_int "one member" 1 coll.Mset.total
+
+let test_union_collections () =
+  let st = Mset.create ~n:4 ~k:2 in
+  let c0 = Mset.singleton_collection st 0 in
+  let c1 = Mset.singleton_collection st 1 in
+  let u = Mset.union_collections [ c0; c1 ] in
+  check_int "total" 2 u.Mset.total;
+  check_int "t unchanged" 8 u.Mset.t;
+  check_int "both in set 0" 2 (List.length (Hashtbl.find u.Mset.sets 0))
+
+let test_merge_no_cross () =
+  (* merging two leaves with no cross element loses nothing *)
+  let st = Mset.create ~n:2 ~k:2 in
+  let left = Mset.singleton_collection st 0 in
+  let right = Mset.singleton_collection st 1 in
+  let coll, stats = Mset.merge st ~cross:[] ~left ~right in
+  check_int "t grows by k^2" (8 + 4) coll.Mset.t;
+  check_int "no loss" 2 coll.Mset.total;
+  check_int "no candidates" 0 stats.Mset.candidates;
+  Mset.check_invariants st coll
+
+let test_merge_single_collision () =
+  (* a comparator joining two tracked wires of set 0: with k=2 the
+     argmin offset avoids merging those sets if possible; both sides
+     are set 0 so diff = 0, L_0 = 1, L_1..3 = 0 -> i0 >= 1, nothing
+     removed. *)
+  let st = Mset.create ~n:2 ~k:2 in
+  let left = Mset.singleton_collection st 0 in
+  let right = Mset.singleton_collection st 1 in
+  let cross = [ { Reverse_delta.left = 0; right = 1; kind = Reverse_delta.Min_left } ] in
+  let coll, stats = Mset.merge st ~cross ~left ~right in
+  check_int "one candidate" 1 stats.Mset.candidates;
+  check_int "offset dodges the collision" 0 stats.Mset.removed;
+  check_bool "offset nonzero" true (stats.Mset.i0 > 0);
+  check_int "both kept" 2 coll.Mset.total;
+  Mset.check_invariants st coll
+
+let test_merge_fixed_policy_removes () =
+  let st = Mset.create ~n:2 ~k:2 in
+  let left = Mset.singleton_collection st 0 in
+  let right = Mset.singleton_collection st 1 in
+  let cross = [ { Reverse_delta.left = 0; right = 1; kind = Reverse_delta.Min_left } ] in
+  let coll, stats = Mset.merge ~policy:(Mset.Fixed 0) st ~cross ~left ~right in
+  check_int "forced merge loses the left wire" 1 stats.Mset.removed;
+  check_int "one survivor" 1 coll.Mset.total;
+  Mset.check_invariants st coll
+
+let test_swap_kind_never_collides () =
+  let st = Mset.create ~n:2 ~k:2 in
+  let left = Mset.singleton_collection st 0 in
+  let right = Mset.singleton_collection st 1 in
+  let cross = [ { Reverse_delta.left = 0; right = 1; kind = Reverse_delta.Swap } ] in
+  let _, stats = Mset.merge st ~cross ~left ~right in
+  check_int "swap is not a collision" 0 stats.Mset.candidates
+
+let test_apply_swap_level () =
+  let st = Mset.create ~n:4 ~k:2 in
+  let p = Perm.of_array [| 1; 0; 3; 2 |] in
+  Mset.apply_swap_level st p;
+  (* positions move with the permutation *)
+  check_int "pos of 0" 1 st.Mset.pos.(0);
+  check_bool "origin follows" true (st.Mset.origin.(1) = Some 0)
+
+(* --- Lemma 4.1 --- *)
+
+let lemma_on ~seed ~d =
+  let n = 1 lsl d in
+  let rng = Xoshiro.of_seed seed in
+  let k = max 2 d in
+  let st = Mset.create ~n ~k in
+  let rd = Random_net.reverse_delta rng ~levels:d ~density:0.8 ~swap_prob:0.1 in
+  let coll, stats = Lemma41.run st rd in
+  (st, coll, stats, k)
+
+let test_lemma41_properties () =
+  List.iter
+    (fun (seed, d) ->
+      let st, coll, stats, k = lemma_on ~seed ~d in
+      let n = 1 lsl d in
+      check_int "A = n initially" n stats.Lemma41.a_size;
+      check_int "t(l) = k^3 + l k^2" ((k * k * k) + (d * k * k)) coll.Mset.t;
+      (* Property (4) with integer arithmetic *)
+      check_bool "loss bound" true
+        (coll.Mset.total * k * k >= n * ((k * k) - d));
+      Mset.check_invariants st coll)
+    [ (1, 2); (2, 3); (3, 4); (4, 5); (5, 6); (6, 7) ]
+
+let test_lemma41_butterfly_exact_structure () =
+  (* On the dense ascending butterfly, the adversary keeps everything
+     for k >= 2: collisions are dodged by offsets. *)
+  let d = 5 in
+  let n = 1 lsl d in
+  let st = Mset.create ~n ~k:d in
+  let coll, stats = Lemma41.run st (Butterfly.ascending ~levels:d) in
+  check_int "no loss on one block" n stats.Lemma41.b_size;
+  Mset.check_invariants st coll
+
+(* --- Theorem 4.1 + certificates --- *)
+
+let test_theorem_bitonic_defeated_exactly_at_last_block () =
+  List.iter
+    (fun d ->
+      let n = 1 lsl d in
+      let it = Bitonic.as_iterated ~n in
+      let r = Theorem41.run it in
+      check_int (Printf.sprintf "n=%d survives d-1 blocks" n) (d - 1) r.Theorem41.survived;
+      check_bool "not exhausted" false r.Theorem41.exhausted;
+      (* halving trajectory *)
+      List.iteri
+        (fun i (b : Theorem41.block_report) ->
+          check_int (Printf.sprintf "block %d |D|" i) (n lsr (i + 1)) b.Theorem41.d_size)
+        r.Theorem41.reports)
+    [ 3; 4; 5; 6; 7 ]
+
+let test_theorem_final_pattern_shape () =
+  let _, it = random_iterated ~seed:5 ~n:64 ~blocks:2 in
+  let r = Theorem41.run it in
+  (* only S0 / M0 / L0 in the final pattern *)
+  Array.iter
+    (fun s ->
+      check_bool "pattern symbol shape" true
+        (match s with
+         | Symbol.S 0 | Symbol.M 0 | Symbol.L 0 -> true
+         | _ -> false))
+    r.Theorem41.final_pattern;
+  check_int "m_set matches pattern" (List.length r.Theorem41.final_m_set)
+    (List.length (Pattern.m_set r.Theorem41.final_pattern 0))
+
+let certificate_roundtrip ~seed ~n ~blocks =
+  let _, it = random_iterated ~seed ~n ~blocks in
+  let r = Theorem41.run it in
+  match Certificate.of_pattern r.Theorem41.final_pattern with
+  | None -> Alcotest.fail "adversary should survive shallow networks"
+  | Some cert ->
+      let nw = Iterated.to_network it in
+      (match Certificate.validate nw cert with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("certificate invalid: " ^ e));
+      (match Certificate.validate_noncolliding nw cert with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("noncolliding audit failed: " ^ e))
+
+let test_certificates_valid () =
+  List.iter
+    (fun seed ->
+      certificate_roundtrip ~seed ~n:32 ~blocks:2;
+      certificate_roundtrip ~seed ~n:64 ~blocks:2)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_certificate_tampering_detected () =
+  let _, it = random_iterated ~seed:3 ~n:32 ~blocks:1 in
+  let r = Theorem41.run it in
+  let nw = Iterated.to_network it in
+  match Certificate.of_pattern r.Theorem41.final_pattern with
+  | None -> Alcotest.fail "expected certificate"
+  | Some cert ->
+      let bad_twin = { cert with Certificate.twin = cert.Certificate.input } in
+      check_bool "twin must differ" true (Certificate.validate nw bad_twin <> Ok ());
+      let bad_values =
+        { cert with Certificate.value1 = cert.Certificate.value0 + 2 }
+      in
+      check_bool "non-adjacent rejected" true
+        (Certificate.validate nw bad_values <> Ok ());
+      (* a pair that IS compared must be rejected: use two values that
+         some comparator touches *)
+      (match Network.comparator_pairs nw with
+      | (w0, w1) :: _ ->
+          let input = cert.Certificate.input in
+          (* craft a fake certificate claiming wires w0 w1 never collide *)
+          let fake =
+            { Certificate.input;
+              twin = (let t = Array.copy input in
+                      t.(w0) <- input.(w1); t.(w1) <- input.(w0); t);
+              wire0 = w0; wire1 = w1;
+              value0 = min input.(w0) input.(w1);
+              value1 = max input.(w0) input.(w1);
+              m_set = [ w0; w1 ] }
+          in
+          (* either values are not adjacent, or they are compared: in
+             both cases validation must fail for this first-level pair *)
+          check_bool "colliding pair rejected" true (Certificate.validate nw fake <> Ok ())
+      | [] -> ())
+
+(* ORACLE: on small n, every pair of M_0 wires of the final pattern is
+   uncompared under EVERY refinement of the pattern. *)
+let test_noncolliding_oracle_exhaustive () =
+  List.iter
+    (fun seed ->
+      let n = 8 in
+      let _, it = random_iterated ~seed ~n ~blocks:1 in
+      let r = Theorem41.run ~k:2 it in
+      let nw = Iterated.to_network it in
+      (* encode the final pattern as ranked integers for the oracle *)
+      let p = r.Theorem41.final_pattern in
+      let ranks =
+        let sorted =
+          List.sort_uniq Symbol.compare (Array.to_list p)
+        in
+        Array.map (fun s ->
+            let rec idx i = function
+              | [] -> assert false
+              | x :: rest -> if Symbol.equal x s then i else idx (i + 1) rest
+            in
+            idx 0 sorted)
+          p
+      in
+      let m0 = Pattern.m_set p 0 in
+      List.iteri
+        (fun i w0 ->
+          List.iteri
+            (fun j w1 ->
+              if j > i then
+                check_bool
+                  (Printf.sprintf "seed %d: wires %d,%d never collide" seed w0 w1)
+                  false
+                  (Exhaustive.can_collide_oracle nw ranks w0 w1))
+            m0)
+        m0)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+(* --- naive baseline --- *)
+
+let test_naive_on_transposition () =
+  (* brick network: adjacent comparisons; the naive set loses one
+     member per colliding pair *)
+  let nw = Transposition.network ~n:8 in
+  let r = Naive.run nw in
+  check_bool "survives some levels" true (r.Naive.levels_survived >= 1);
+  check_bool "sizes decrease" true
+    (List.hd r.Naive.sizes >= List.nth r.Naive.sizes (List.length r.Naive.sizes - 1));
+  check_int "initial size n" 8 (List.hd r.Naive.sizes)
+
+let test_naive_halving_on_all_plus () =
+  (* all-plus shuffle network halves the set every level *)
+  List.iter
+    (fun d ->
+      let n = 1 lsl d in
+      let prog = Shuffle_net.all_plus_program ~n ~stages:(2 * d) in
+      let nw = Register_model.to_network prog in
+      let r = Naive.run nw in
+      check_bool
+        (Printf.sprintf "n=%d naive dies within ~lg n levels" n)
+        true
+        (r.Naive.levels_survived <= d + 1))
+    [ 3; 4; 5; 6; 7; 8 ]
+
+let test_naive_certificate () =
+  (* the naive adversary's fooling pair is also valid on shallow nets *)
+  let prog = Shuffle_net.all_plus_program ~n:32 ~stages:3 in
+  let nw = Register_model.to_network prog in
+  let r = Naive.run nw in
+  match Certificate.of_pattern r.Naive.final_pattern with
+  | None -> Alcotest.fail "naive should survive 3 levels"
+  | Some cert -> (
+      match Certificate.validate nw cert with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+
+let test_naive_beats_nothing_paper_wins () =
+  (* headline comparison on one instance *)
+  let n = 256 in
+  let prog = Shuffle_net.all_plus_program ~n ~stages:64 in
+  let it = Shuffle_net.to_iterated prog in
+  let naive = Naive.run (Iterated.to_network it) in
+  let paper = Theorem41.run it in
+  check_bool "paper adversary survives longer" true
+    (paper.Theorem41.survived * 8 > naive.Naive.levels_survived)
+
+(* --- adaptive --- *)
+
+let test_adaptive_program_consistency () =
+  (* the recorded program must be a shuffle-based program of the right
+     size, and the certificate must validate on it *)
+  let n = 64 in
+  let blocks = 3 in
+  let r = Adaptive.run ~n ~blocks Adaptive.oblivious_all_compare in
+  check_int "stages recorded" (blocks * 6) (Register_model.stage_count r.Adaptive.program);
+  (* an oblivious all-compare program equals the static all-plus one *)
+  let static = Shuffle_net.all_plus_program ~n ~stages:(blocks * 6) in
+  let rng = Xoshiro.of_seed 123 in
+  for _ = 1 to 20 do
+    let input = Workload.random_permutation rng ~n in
+    Alcotest.(check (array int)) "same network"
+      (Register_model.eval static input)
+      (Register_model.eval r.Adaptive.program input)
+  done;
+  match Certificate.of_pattern r.Adaptive.final_pattern with
+  | None -> Alcotest.fail "adversary should survive"
+  | Some cert -> (
+      match Certificate.validate (Register_model.to_network r.Adaptive.program) cert with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+
+let test_adaptive_matches_theorem_on_oblivious () =
+  (* stage-interleaved processing = recursive processing on the same
+     network *)
+  let n = 128 in
+  let blocks = 4 in
+  let ad = Adaptive.run ~n ~blocks Adaptive.oblivious_all_compare in
+  let th =
+    Theorem41.run (Shuffle_net.to_iterated (Shuffle_net.all_plus_program ~n ~stages:(blocks * 7)))
+  in
+  check_int "same survival" th.Theorem41.survived ad.Adaptive.survived;
+  List.iter2
+    (fun (a : Theorem41.block_report) (b : Theorem41.block_report) ->
+      check_int "same |D| trajectory" a.Theorem41.d_size b.Theorem41.d_size)
+    th.Theorem41.reports ad.Adaptive.reports
+
+let test_steering_killer_not_weaker () =
+  let n = 64 in
+  let blocks = 6 in
+  let obl = Adaptive.run ~n ~blocks Adaptive.oblivious_all_compare in
+  let steer = Adaptive.run ~n ~blocks Adaptive.steering_killer in
+  check_bool "steering kills at least as much" true
+    (List.length steer.Adaptive.final_m_set <= List.length obl.Adaptive.final_m_set)
+
+(* --- truncated --- *)
+
+let test_truncated_full_f_equals_theorem () =
+  let n = 64 in
+  let d = 6 in
+  let rng = Xoshiro.of_seed 17 in
+  let prog = Shuffle_net.random_program rng ~n ~stages:(3 * d) in
+  let tr = Truncated.run ~f:d prog in
+  let th = Theorem41.run (Shuffle_net.to_iterated prog) in
+  check_int "same survival" th.Theorem41.survived tr.Truncated.survived;
+  List.iter2
+    (fun (a : Theorem41.block_report) (b : Truncated.chunk_report) ->
+      check_int "same |A|" a.Theorem41.a_size b.Truncated.a_size;
+      check_int "same |B|" a.Theorem41.b_size b.Truncated.b_size;
+      check_int "same |D|" a.Theorem41.d_size b.Truncated.d_size)
+    th.Theorem41.reports tr.Truncated.reports
+
+let test_truncated_certificate () =
+  let n = 64 in
+  let rng = Xoshiro.of_seed 19 in
+  let prog = Shuffle_net.random_program rng ~n ~stages:12 in
+  let tr = Truncated.run ~f:2 prog in
+  check_bool "survives" true (tr.Truncated.survived >= 1);
+  if tr.Truncated.exhausted then
+    match Certificate.of_pattern tr.Truncated.final_pattern with
+    | None -> ()
+    | Some cert -> (
+        let nw = Register_model.to_network prog in
+        match Certificate.validate nw cert with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail ("truncated certificate: " ^ e))
+
+let test_truncated_rejects_bad_f () =
+  let prog = Shuffle_net.all_plus_program ~n:16 ~stages:8 in
+  check_bool "f must divide" true
+    (match Truncated.run ~f:3 prog with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+(* --- paper formulas --- *)
+
+let test_formulas () =
+  check_bool "paper_bound decreasing in blocks" true
+    (Theorem41.paper_bound ~n:1024 ~blocks:2 < Theorem41.paper_bound ~n:1024 ~blocks:1);
+  check_bool "depth bound grows" true
+    (Theorem41.depth_lower_bound ~n:(1 lsl 16) > Theorem41.depth_lower_bound ~n:(1 lsl 8));
+  check_bool "max_survivable_blocks positive for huge n" true
+    (Theorem41.max_survivable_blocks ~n:(1 lsl 60) >= 1);
+  check_int "tiny n gives 0 guaranteed blocks" 0 (Theorem41.max_survivable_blocks ~n:16)
+
+let qcheck_certificates =
+  QCheck.Test.make ~name:"random shallow shuffle nets always yield valid certificates"
+    ~count:40
+    QCheck.(pair (int_range 0 100_000) (int_range 3 6))
+    (fun (seed, d) ->
+      let n = 1 lsl d in
+      let _, it = random_iterated ~seed ~n ~blocks:2 in
+      let r = Theorem41.run it in
+      match Certificate.of_pattern r.Theorem41.final_pattern with
+      | None -> true (* adversary may lose at tiny n; that is not a bug *)
+      | Some cert ->
+          let nw = Iterated.to_network it in
+          Certificate.validate nw cert = Ok ()
+          && Certificate.validate_noncolliding nw cert = Ok ())
+
+let qcheck_lemma_invariants =
+  QCheck.Test.make ~name:"Lemma 4.1 invariants on random blocks" ~count:40
+    QCheck.(triple (int_range 0 100_000) (int_range 2 6) (int_range 2 8))
+    (fun (seed, d, k) ->
+      let n = 1 lsl d in
+      let rng = Xoshiro.of_seed seed in
+      let st = Mset.create ~n ~k in
+      let rd = Random_net.reverse_delta rng ~levels:d ~density:0.9 ~swap_prob:0.2 in
+      let coll, stats = Lemma41.run st rd in
+      Mset.check_invariants st coll;
+      stats.Lemma41.b_size * k * k >= stats.Lemma41.a_size * ((k * k) - d))
+
+let () =
+  Alcotest.run "adversary"
+    [ ( "mset",
+        [ Alcotest.test_case "create" `Quick test_create_state;
+          Alcotest.test_case "union" `Quick test_union_collections;
+          Alcotest.test_case "merge without cross" `Quick test_merge_no_cross;
+          Alcotest.test_case "merge dodges a collision" `Quick test_merge_single_collision;
+          Alcotest.test_case "fixed policy pays" `Quick test_merge_fixed_policy_removes;
+          Alcotest.test_case "swap never collides" `Quick test_swap_kind_never_collides;
+          Alcotest.test_case "inter-block permutation" `Quick test_apply_swap_level ] );
+      ( "lemma 4.1",
+        [ Alcotest.test_case "properties on random blocks" `Quick test_lemma41_properties;
+          Alcotest.test_case "butterfly keeps everything" `Quick
+            test_lemma41_butterfly_exact_structure ] );
+      ( "theorem 4.1",
+        [ Alcotest.test_case "bitonic defeats it at the last block" `Quick
+            test_theorem_bitonic_defeated_exactly_at_last_block;
+          Alcotest.test_case "final pattern shape" `Quick test_theorem_final_pattern_shape ] );
+      ( "certificates",
+        [ Alcotest.test_case "valid on shallow networks" `Quick test_certificates_valid;
+          Alcotest.test_case "tampering detected" `Quick test_certificate_tampering_detected;
+          Alcotest.test_case "EXHAUSTIVE noncollision oracle" `Slow
+            test_noncolliding_oracle_exhaustive ] );
+      ( "naive",
+        [ Alcotest.test_case "on transposition" `Quick test_naive_on_transposition;
+          Alcotest.test_case "halving on all-plus" `Quick test_naive_halving_on_all_plus;
+          Alcotest.test_case "naive certificate" `Quick test_naive_certificate;
+          Alcotest.test_case "paper adversary wins" `Quick test_naive_beats_nothing_paper_wins ] );
+      ( "adaptive",
+        [ Alcotest.test_case "program consistency" `Quick test_adaptive_program_consistency;
+          Alcotest.test_case "matches Theorem 4.1 on oblivious" `Quick
+            test_adaptive_matches_theorem_on_oblivious;
+          Alcotest.test_case "steering at least as strong" `Quick
+            test_steering_killer_not_weaker ] );
+      ( "truncated",
+        [ Alcotest.test_case "f = lg n equals Theorem 4.1" `Quick
+            test_truncated_full_f_equals_theorem;
+          Alcotest.test_case "certificate" `Quick test_truncated_certificate;
+          Alcotest.test_case "bad f rejected" `Quick test_truncated_rejects_bad_f ] );
+      ( "formulas",
+        [ Alcotest.test_case "bounds" `Quick test_formulas ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_certificates; qcheck_lemma_invariants ] ) ]

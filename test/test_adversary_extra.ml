@@ -1,0 +1,178 @@
+(* Deeper adversary properties: inter-block permutations, parameter
+   sweeps, alternative offset policies, adjacency of the final values,
+   and randomized adaptive builders.  All verdicts are validated by
+   instrumented evaluation of the actual circuits. *)
+
+let check_bool = Alcotest.(check bool)
+
+let validate_or_fail nw pattern =
+  match Certificate.of_pattern pattern with
+  | None -> Alcotest.fail "expected the adversary to survive"
+  | Some cert -> (
+      (match Certificate.validate nw cert with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("certificate: " ^ e));
+      match Certificate.validate_noncolliding nw cert with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("noncolliding: " ^ e))
+
+(* Iterated networks with arbitrary permutations BETWEEN blocks — the
+   full generality of Definition 3.4's serial composition. *)
+let test_certificates_with_interblock_permutations () =
+  List.iter
+    (fun seed ->
+      let rng = Xoshiro.of_seed seed in
+      let it =
+        Random_net.iterated rng ~n:64 ~blocks:3 ~density:0.9 ~swap_prob:0.1
+          ~permute:true
+      in
+      let r = Theorem41.run it in
+      check_bool "survives" true (r.Theorem41.exhausted);
+      validate_or_fail (Iterated.to_network it) r.Theorem41.final_pattern)
+    [ 21; 22; 23; 24; 25 ]
+
+(* The witness values really are adjacent, and the whole M_0 block of
+   the canonical input is one contiguous run of values. *)
+let test_final_values_contiguous () =
+  let rng = Xoshiro.of_seed 31 in
+  let it =
+    Random_net.iterated rng ~n:32 ~blocks:2 ~density:0.8 ~swap_prob:0.0
+      ~permute:true
+  in
+  let r = Theorem41.run it in
+  match Certificate.of_pattern r.Theorem41.final_pattern with
+  | None -> Alcotest.fail "expected survival"
+  | Some cert ->
+      let values =
+        List.sort compare
+          (List.map (fun w -> cert.Certificate.input.(w)) cert.Certificate.m_set)
+      in
+      let rec contiguous = function
+        | a :: (b :: _ as rest) -> b = a + 1 && contiguous rest
+        | [ _ ] | [] -> true
+      in
+      check_bool "M_0 values form one run" true (contiguous values)
+
+(* Parameter sweep: the engine is sound for every k, not just lg n. *)
+let test_k_sweep () =
+  let mk seed =
+    let rng = Xoshiro.of_seed seed in
+    Shuffle_net.to_iterated (Shuffle_net.random_program rng ~n:32 ~stages:10)
+  in
+  List.iter
+    (fun k ->
+      let it = mk 41 in
+      let r = Theorem41.run ~k it in
+      if r.Theorem41.exhausted && List.length r.Theorem41.final_m_set >= 2 then
+        validate_or_fail (Iterated.to_network it) r.Theorem41.final_pattern)
+    [ 1; 2; 3; 5; 8; 13 ]
+
+(* The paper's literal first-below-average offset rule is also sound. *)
+let test_first_below_average_policy () =
+  List.iter
+    (fun seed ->
+      let rng = Xoshiro.of_seed seed in
+      let it =
+        Shuffle_net.to_iterated (Shuffle_net.random_program rng ~n:64 ~stages:12)
+      in
+      let r = Theorem41.run ~policy:Mset.First_below_average it in
+      if r.Theorem41.exhausted && List.length r.Theorem41.final_m_set >= 2 then
+        validate_or_fail (Iterated.to_network it) r.Theorem41.final_pattern)
+    [ 51; 52; 53 ]
+
+(* Even the ablation policy must stay SOUND (it only loses more): when
+   it survives, its certificates hold. *)
+let test_fixed_policy_sound () =
+  let rng = Xoshiro.of_seed 61 in
+  let it =
+    Shuffle_net.to_iterated (Shuffle_net.random_program rng ~n:64 ~stages:6)
+  in
+  let r = Theorem41.run ~policy:(Mset.Fixed 0) it in
+  if r.Theorem41.exhausted && List.length r.Theorem41.final_m_set >= 2 then
+    validate_or_fail (Iterated.to_network it) r.Theorem41.final_pattern
+
+(* A randomized adaptive builder: arbitrary labels, arbitrary swaps —
+   the engine's bookkeeping must stay consistent and its certificate
+   must hold on the recorded program. *)
+let test_random_adaptive_builder () =
+  let rng = Xoshiro.of_seed 71 in
+  let builder ~stage:_ ~state:_ ~pairs =
+    Array.map
+      (fun _ ->
+        match Xoshiro.int rng ~bound:4 with
+        | 0 -> Some Reverse_delta.Min_left
+        | 1 -> Some Reverse_delta.Min_right
+        | 2 -> Some Reverse_delta.Swap
+        | _ -> None)
+      pairs
+  in
+  let r = Adaptive.run ~n:64 ~blocks:3 builder in
+  if r.Adaptive.survived = 3 then
+    validate_or_fail
+      (Register_model.to_network r.Adaptive.program)
+      r.Adaptive.final_pattern
+
+(* Truncated variant: every divisor granularity yields sound results
+   on the same program. *)
+let test_truncated_f_sweep () =
+  let n = 64 in
+  let rng = Xoshiro.of_seed 81 in
+  let prog = Shuffle_net.random_program rng ~n ~stages:12 in
+  let nw = Register_model.to_network prog in
+  List.iter
+    (fun f ->
+      let r = Truncated.run ~f prog in
+      if r.Truncated.exhausted && List.length r.Truncated.final_m_set >= 2 then
+        validate_or_fail nw r.Truncated.final_pattern)
+    [ 1; 2; 3; 6 ]
+
+(* Lemma41's merge trail has one entry per internal node. *)
+let test_merge_trail_size () =
+  let n = 32 in
+  let st = Mset.create ~n ~k:5 in
+  let _, stats = Lemma41.run st (Butterfly.ascending ~levels:5) in
+  Alcotest.(check int) "n - 1 merges" (n - 1) (List.length stats.Lemma41.merges);
+  List.iter
+    (fun (m : Mset.merge_stats) ->
+      check_bool "offset in range" true (m.Mset.i0 >= 0 && m.Mset.i0 < 25);
+      check_bool "loss within bound" true (m.Mset.removed * 25 <= m.Mset.left_total))
+    stats.Lemma41.merges
+
+let qcheck_perm_blocks_certificates =
+  QCheck.Test.make
+    ~name:"certificates remain valid under random inter-block permutations"
+    ~count:30
+    QCheck.(pair (int_range 0 100_000) (int_range 3 6))
+    (fun (seed, d) ->
+      let n = 1 lsl d in
+      let rng = Xoshiro.of_seed seed in
+      let it =
+        Random_net.iterated rng ~n ~blocks:2 ~density:0.8 ~swap_prob:0.2
+          ~permute:true
+      in
+      let r = Theorem41.run it in
+      match Certificate.of_pattern r.Theorem41.final_pattern with
+      | None -> true
+      | Some cert ->
+          Certificate.validate (Iterated.to_network it) cert = Ok ()
+          && Certificate.validate_noncolliding (Iterated.to_network it) cert = Ok ())
+
+let () =
+  Alcotest.run "adversary_extra"
+    [ ( "general iterated networks",
+        [ Alcotest.test_case "inter-block permutations" `Quick
+            test_certificates_with_interblock_permutations;
+          Alcotest.test_case "final values contiguous" `Quick
+            test_final_values_contiguous ] );
+      ( "parameters",
+        [ Alcotest.test_case "k sweep" `Quick test_k_sweep;
+          Alcotest.test_case "first-below-average policy" `Quick
+            test_first_below_average_policy;
+          Alcotest.test_case "fixed policy sound" `Quick test_fixed_policy_sound;
+          Alcotest.test_case "merge trail" `Quick test_merge_trail_size ] );
+      ( "variants",
+        [ Alcotest.test_case "random adaptive builder" `Quick
+            test_random_adaptive_builder;
+          Alcotest.test_case "truncated f sweep" `Quick test_truncated_f_sweep ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ qcheck_perm_blocks_certificates ] ) ]

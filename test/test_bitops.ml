@@ -1,0 +1,122 @@
+(* Unit and property tests for Bitops. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_is_power_of_two () =
+  List.iter
+    (fun (x, want) -> check_bool (string_of_int x) want (Bitops.is_power_of_two x))
+    [ (1, true); (2, true); (4, true); (1024, true); (1 lsl 40, true);
+      (0, false); (-1, false); (-4, false); (3, false); (6, false);
+      (1023, false); (1025, false) ]
+
+let test_log2_exact () =
+  List.iter
+    (fun (x, want) -> check (string_of_int x) want (Bitops.log2_exact x))
+    [ (1, 0); (2, 1); (4, 2); (8, 3); (1 lsl 20, 20) ];
+  Alcotest.check_raises "not a power" (Invalid_argument
+    "Bitops.log2_exact: 6 is not a power of two") (fun () ->
+      ignore (Bitops.log2_exact 6))
+
+let test_floor_ceil_log2 () =
+  List.iter
+    (fun (x, fl, ce) ->
+      check (Printf.sprintf "floor %d" x) fl (Bitops.floor_log2 x);
+      check (Printf.sprintf "ceil %d" x) ce (Bitops.ceil_log2 x))
+    [ (1, 0, 0); (2, 1, 1); (3, 1, 2); (4, 2, 2); (5, 2, 3); (7, 2, 3);
+      (8, 3, 3); (9, 3, 4); (1000, 9, 10); (1024, 10, 10) ]
+
+let test_bit_ops () =
+  check "bit" 1 (Bitops.bit 0b1010 1);
+  check "bit" 0 (Bitops.bit 0b1010 2);
+  check "set" 0b1110 (Bitops.set_bit 0b1010 2);
+  check "set idempotent" 0b1010 (Bitops.set_bit 0b1010 1);
+  check "clear" 0b1000 (Bitops.clear_bit 0b1010 1);
+  check "clear idempotent" 0b1010 (Bitops.clear_bit 0b1010 0);
+  check "flip on" 0b1011 (Bitops.flip_bit 0b1010 0);
+  check "flip off" 0b0010 (Bitops.flip_bit 0b1010 3)
+
+let test_rotate () =
+  check "rotl 0b100" 0b001 (Bitops.rotate_left ~width:3 0b100);
+  check "rotl 0b011" 0b110 (Bitops.rotate_left ~width:3 0b011);
+  check "rotr inverse" 0b100 (Bitops.rotate_right ~width:3 0b001);
+  (* shuffle on 8 = rotate-left of 3-bit indices: 1 -> 2 -> 4 -> 1 *)
+  check "orbit" 2 (Bitops.rotate_left ~width:3 1);
+  check "orbit" 4 (Bitops.rotate_left ~width:3 2);
+  check "orbit" 1 (Bitops.rotate_left ~width:3 4)
+
+let test_reverse_bits () =
+  check "rev 3bit" 0b110 (Bitops.reverse_bits ~width:3 0b011);
+  check "rev 4bit" 0b0001 (Bitops.reverse_bits ~width:4 0b1000);
+  check "palindrome" 0b101 (Bitops.reverse_bits ~width:3 0b101)
+
+let test_popcount () =
+  List.iter
+    (fun (x, want) -> check (string_of_int x) want (Bitops.popcount x))
+    [ (0, 0); (1, 1); (0b1011, 3); (max_int, 62) ]
+
+let test_gray () =
+  check "gray 0" 0 (Bitops.gray 0);
+  check "gray 1" 1 (Bitops.gray 1);
+  check "gray 2" 3 (Bitops.gray 2);
+  check "gray 3" 2 (Bitops.gray 3);
+  (* adjacent codes differ in exactly one bit *)
+  for i = 0 to 200 do
+    check_bool "adjacent" true
+      (Bitops.popcount (Bitops.gray i lxor Bitops.gray (i + 1)) = 1)
+  done
+
+let test_errors () =
+  let raises f = match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "bit index" true (raises (fun () -> Bitops.bit 0 63));
+  check_bool "bit negative" true (raises (fun () -> Bitops.bit 0 (-1)));
+  check_bool "rot range" true (raises (fun () -> Bitops.rotate_left ~width:3 8));
+  check_bool "rot width" true (raises (fun () -> Bitops.rotate_left ~width:0 0));
+  check_bool "pow2" true (raises (fun () -> Bitops.pow2 63));
+  check_bool "popcount" true (raises (fun () -> Bitops.popcount (-1)))
+
+let prop_rotate_roundtrip =
+  QCheck.Test.make ~name:"rotate_left then rotate_right is identity" ~count:500
+    QCheck.(pair (int_range 1 20) (int_bound (1 lsl 20 - 1)))
+    (fun (width, x) ->
+      let x = x land ((1 lsl width) - 1) in
+      Bitops.rotate_right ~width (Bitops.rotate_left ~width x) = x)
+
+let prop_reverse_involution =
+  QCheck.Test.make ~name:"reverse_bits is an involution" ~count:500
+    QCheck.(pair (int_range 1 20) (int_bound (1 lsl 20 - 1)))
+    (fun (width, x) ->
+      let x = x land ((1 lsl width) - 1) in
+      Bitops.reverse_bits ~width (Bitops.reverse_bits ~width x) = x)
+
+let prop_gray_roundtrip =
+  QCheck.Test.make ~name:"gray_inverse . gray = id" ~count:500
+    QCheck.(int_bound (1 lsl 30))
+    (fun x -> Bitops.gray_inverse (Bitops.gray x) = x)
+
+let prop_popcount_additive =
+  QCheck.Test.make ~name:"popcount of disjoint union adds" ~count:500
+    QCheck.(pair (int_bound (1 lsl 30)) (int_bound (1 lsl 30)))
+    (fun (a, b) ->
+      let b = b land lnot a in
+      Bitops.popcount (a lor b) = Bitops.popcount a + Bitops.popcount b)
+
+let () =
+  Alcotest.run "bitops"
+    [ ( "unit",
+        [ Alcotest.test_case "is_power_of_two" `Quick test_is_power_of_two;
+          Alcotest.test_case "log2_exact" `Quick test_log2_exact;
+          Alcotest.test_case "floor/ceil log2" `Quick test_floor_ceil_log2;
+          Alcotest.test_case "bit set/clear/flip" `Quick test_bit_ops;
+          Alcotest.test_case "rotations" `Quick test_rotate;
+          Alcotest.test_case "reverse_bits" `Quick test_reverse_bits;
+          Alcotest.test_case "popcount" `Quick test_popcount;
+          Alcotest.test_case "gray code" `Quick test_gray;
+          Alcotest.test_case "argument validation" `Quick test_errors ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_rotate_roundtrip; prop_reverse_involution; prop_gray_roundtrip;
+            prop_popcount_additive ] ) ]

@@ -1,0 +1,113 @@
+(* Tests for the Definition 3.7 collision analysis, cross-checked
+   against the exhaustive oracle on small instances. *)
+
+let check_bool = Alcotest.(check bool)
+
+open Symbol
+
+(* [open Symbol] would otherwise shadow integer [<] *)
+let ( < ) : int -> int -> bool = Stdlib.( < )
+
+let example_net () =
+  (* Example 3.3's network *)
+  Network.of_gate_levels ~wires:4
+    [ [ Gate.compare_up 1 2 ]; [ Gate.compare_up 2 3 ]; [ Gate.compare_up 0 3 ] ]
+
+let example_pattern = [| S 0; M 0; M 0; L 0 |]
+
+let test_example_3_3 () =
+  let nw = example_net () in
+  let p = example_pattern in
+  (match Collide.analyse nw p 1 2 with
+  | Collide.Always -> ()
+  | _ -> Alcotest.fail "w1,w2 must be Always");
+  (match Collide.analyse nw p 0 1 with
+  | Collide.Never -> ()
+  | _ -> Alcotest.fail "w0,w1 must be Never");
+  (match Collide.analyse nw p 0 2 with
+  | Collide.Never -> ()
+  | _ -> Alcotest.fail "w0,w2 must be Never");
+  (* w1,w3 can collide but not always: expect a concrete witness *)
+  (match Collide.analyse nw p 1 3 with
+  | Collide.Sometimes input ->
+      check_bool "witness refines pattern" true (Pattern.refines_input p input);
+      check_bool "witness collides" true
+        (Trace.wires_collide nw input 1 3)
+  | Collide.Always -> Alcotest.fail "w1,w3 is not Always (oracle says sometimes)"
+  | Collide.Never | Collide.Unknown -> Alcotest.fail "w1,w3 can collide")
+
+let test_example_3_3_w0_w3 () =
+  (* w0 and w3 always collide: the analysis may or may not prove
+     Always (positions are singletons here, so it should) *)
+  let nw = example_net () in
+  match Collide.analyse nw example_pattern 0 3 with
+  | Collide.Always -> ()
+  | Collide.Sometimes _ | Collide.Unknown ->
+      Alcotest.fail "w0,w3: singleton paths, expected Always"
+  | Collide.Never -> Alcotest.fail "w0,w3 do collide"
+
+let test_noncolliding_on_adversary_output () =
+  (* the adversary's final M_0 set must be *provably* noncolliding
+     under the static analysis, not just under sampled traces *)
+  List.iter
+    (fun seed ->
+      let n = 32 in
+      let rng = Xoshiro.of_seed seed in
+      let prog = Shuffle_net.random_program rng ~n ~stages:10 in
+      let it = Shuffle_net.to_iterated prog in
+      let r = Theorem41.run it in
+      let nw = Network.flatten (Iterated.to_network it) in
+      check_bool
+        (Printf.sprintf "seed %d: static proof of noncollision" seed)
+        true
+        (Collide.noncolliding nw r.Theorem41.final_pattern r.Theorem41.final_m_set))
+    [ 1; 2; 3; 4; 5 ]
+
+(* soundness vs the exhaustive oracle *)
+let prop_sound_vs_oracle =
+  QCheck.Test.make ~name:"verdicts sound against exhaustive oracle (n=6)" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let n = 6 in
+      let rng = Xoshiro.of_seed seed in
+      (* small random circuit of 3 levels *)
+      let level () =
+        let wires = Perm.to_array (Perm.random rng n) in
+        let gates = ref [] in
+        let i = ref 0 in
+        while !i + 1 < n do
+          if Stdlib.( < ) (Xoshiro.float rng) 0.7 then
+            gates := Gate.compare_up wires.(!i) wires.(!i + 1) :: !gates;
+          i := !i + 2
+        done;
+        !gates
+      in
+      let nw = Network.of_gate_levels ~wires:n [ level (); level (); level () ] in
+      let syms = [| Symbol.S 0; Symbol.M 0; Symbol.M 1; Symbol.L 0 |] in
+      let p = Array.init n (fun _ -> syms.(Xoshiro.int rng ~bound:4)) in
+      let ranks = Array.map
+          (fun s -> match s with
+             | Symbol.S _ -> 0 | Symbol.M 0 -> 1 | Symbol.M _ -> 2 | _ -> 3) p
+      in
+      let ok = ref true in
+      for w0 = 0 to n - 1 do
+        for w1 = w0 + 1 to n - 1 do
+          let oracle_can = Exhaustive.can_collide_oracle nw ranks w0 w1 in
+          let oracle_always = Exhaustive.collides_always_oracle nw ranks w0 w1 in
+          match Collide.analyse nw p w0 w1 with
+          | Collide.Always -> if not oracle_always then ok := false
+          | Collide.Never -> if oracle_can then ok := false
+          | Collide.Sometimes _ -> if not oracle_can then ok := false
+          | Collide.Unknown -> ()
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "collide"
+    [ ( "definition 3.7",
+        [ Alcotest.test_case "Example 3.3 verdicts" `Quick test_example_3_3;
+          Alcotest.test_case "Example 3.3 forced collision" `Quick test_example_3_3_w0_w3;
+          Alcotest.test_case "adversary output provably noncolliding" `Quick
+            test_noncolliding_on_adversary_output ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_sound_vs_oracle ]) ]

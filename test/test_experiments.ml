@@ -1,0 +1,41 @@
+(* Smoke tests: the cheap experiments run to completion (no exceptions,
+   in-process assertions all pass) in quick mode.  The heavyweight
+   sweeps (E7 adaptive, E9 sampling) are exercised by `snlb table all`
+   and the bench harness rather than the unit suite. *)
+
+let run id () =
+  match Registry.find id with
+  | None -> Alcotest.failf "unknown experiment %s" id
+  | Some e -> e.Registry.run ~quick:true
+
+(* silence the tables: the experiments print to stdout *)
+let quietly f () =
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      Unix.close devnull)
+    f
+
+let test_registry_complete () =
+  Alcotest.(check int) "13 experiments" 13 (List.length Registry.all);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) ("find " ^ e.Registry.id) true
+        (Registry.find e.Registry.id <> None))
+    Registry.all;
+  Alcotest.(check bool) "lookup is case-insensitive" true
+    (Registry.find "e5" <> None);
+  Alcotest.(check bool) "unknown id" true (Registry.find "E99" = None)
+
+let smoke id = Alcotest.test_case id `Slow (quietly (run id))
+
+let () =
+  Alcotest.run "experiments"
+    [ ("registry", [ Alcotest.test_case "complete" `Quick test_registry_complete ]);
+      ( "smoke (quick mode)",
+        List.map smoke [ "E1"; "E3"; "E5"; "E6"; "E10"; "E11"; "E12"; "E13" ] ) ]

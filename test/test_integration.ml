@@ -1,0 +1,153 @@
+(* End-to-end integration: the adversary's verdicts must be consistent
+   with ground-truth sorting-ness established independently by the 0-1
+   principle, and its certificates must validate against real circuits
+   in both network models. *)
+
+let check_bool = Alcotest.(check bool)
+
+let test_adversary_soundness_vs_zero_one () =
+  (* If the adversary survives all blocks with |D| >= 2, the network is
+     NOT a sorting network — confirmed by the exact 0-1 check. *)
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (n, blocks) ->
+          let rng = Xoshiro.of_seed seed in
+          let d = Bitops.log2_exact n in
+          let prog = Shuffle_net.random_program rng ~n ~stages:(blocks * d) in
+          let it = Shuffle_net.to_iterated prog in
+          let r = Theorem41.run it in
+          let nw = Iterated.to_network it in
+          if r.Theorem41.exhausted && List.length r.Theorem41.final_m_set >= 2 then
+            check_bool
+              (Printf.sprintf "seed %d n=%d: adversary win implies not sorting" seed n)
+              false
+              (Zero_one.is_sorting_network nw))
+        [ (8, 1); (8, 2); (16, 1); (16, 2); (16, 3) ])
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+let test_sorters_defeat_adversary () =
+  (* Completeness on real sorters: a sorting network must defeat the
+     adversary (|D| = 1 before or at the final block). *)
+  List.iter
+    (fun n ->
+      let it = Bitonic.as_iterated ~n in
+      check_bool "bitonic verified" true
+        (n > 16 || Zero_one.is_sorting_network (Iterated.to_network it));
+      let r = Theorem41.run it in
+      check_bool "adversary defeated" true
+        ((not r.Theorem41.exhausted) || List.length r.Theorem41.final_m_set < 2))
+    [ 8; 16; 32; 64 ]
+
+let test_certificate_against_both_models () =
+  List.iter
+    (fun seed ->
+      let n = 64 in
+      let rng = Xoshiro.of_seed seed in
+      let prog = Shuffle_net.random_program rng ~n ~stages:12 in
+      let it = Shuffle_net.to_iterated prog in
+      let r = Theorem41.run it in
+      match Certificate.of_pattern r.Theorem41.final_pattern with
+      | None -> Alcotest.fail "expected survival on 2 blocks at n=64"
+      | Some cert ->
+          List.iter
+            (fun (label, nw) ->
+              match Certificate.validate nw cert with
+              | Ok () -> ()
+              | Error e -> Alcotest.fail (label ^ ": " ^ e))
+            [ ("iterated", Iterated.to_network it);
+              ("register", Register_model.to_network prog);
+              ("flattened", Network.flatten (Register_model.to_network prog)) ])
+    [ 11; 12; 13; 14; 15 ]
+
+let test_fooling_pair_breaks_sorting_claim () =
+  (* Take a sorter, remove its last block: the adversary's fooling pair
+     must expose the hole that Zero_one also finds. *)
+  let n = 32 in
+  let d = 5 in
+  let prog = Bitonic.shuffle_program ~n in
+  let stages = List.filteri (fun i _ -> i < (d - 1) * d) (Register_model.stages prog) in
+  let truncated = Register_model.create ~n stages in
+  let it = Shuffle_net.to_iterated truncated in
+  let r = Theorem41.run it in
+  check_bool "adversary survives the truncated sorter" true
+    (r.Theorem41.exhausted && List.length r.Theorem41.final_m_set >= 2);
+  match Certificate.of_pattern r.Theorem41.final_pattern with
+  | None -> Alcotest.fail "no certificate"
+  | Some cert -> (
+      let nw = Register_model.to_network truncated in
+      match Certificate.validate nw cert with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+
+let test_benes_glues_iterated_blocks () =
+  (* Inter-block permutations realised by Benes exchange levels leave
+     the adversary's analysis unchanged: exchange elements never
+     collide, so a (perm, block) network and a (benes-network, block)
+     network yield the same fooling behaviour. *)
+  let n = 16 in
+  let rng = Xoshiro.of_seed 99 in
+  let p = Perm.random rng n in
+  let body = Butterfly.ascending ~levels:4 in
+  let with_perm =
+    Iterated.to_network
+      (Iterated.create ~n
+         [ { Iterated.pre = None; body }; { Iterated.pre = Some p; body } ])
+  in
+  let with_benes =
+    let b1 = Reverse_delta.to_network ~wires:n body in
+    Network.serial (Network.serial b1 (Benes.route p)) b1
+  in
+  let rng2 = Xoshiro.of_seed 100 in
+  for _ = 1 to 100 do
+    let input = Workload.random_permutation rng2 ~n in
+    Alcotest.(check (array int)) "same function"
+      (Network.eval with_perm input)
+      (Network.eval with_benes input)
+  done
+
+let test_cli_style_pipeline () =
+  (* mirror of the `snlb certify` code path *)
+  let n = 128 in
+  let rng = Xoshiro.of_seed 2718 in
+  let prog = Shuffle_net.random_program rng ~n ~stages:21 in
+  let it = Shuffle_net.to_iterated prog in
+  let r = Theorem41.run it in
+  check_bool "reports for every processed block" true
+    (List.length r.Theorem41.reports >= r.Theorem41.survived);
+  List.iter
+    (fun (b : Theorem41.block_report) ->
+      check_bool "B <= A" true (b.Theorem41.b_size <= b.Theorem41.a_size);
+      check_bool "D <= B" true (b.Theorem41.d_size <= b.Theorem41.b_size);
+      check_bool "bound sane" true (b.Theorem41.paper_bound <= float_of_int n))
+    r.Theorem41.reports
+
+let qcheck_soundness_small =
+  QCheck.Test.make ~name:"adversary win => not sorting (random n=8)" ~count:80
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let n = 8 in
+      let rng = Xoshiro.of_seed seed in
+      let blocks = 1 + Xoshiro.int rng ~bound:3 in
+      let prog = Shuffle_net.random_program rng ~n ~stages:(blocks * 3) in
+      let it = Shuffle_net.to_iterated prog in
+      let r = Theorem41.run ~k:2 it in
+      let nw = Iterated.to_network it in
+      if r.Theorem41.exhausted && List.length r.Theorem41.final_m_set >= 2 then
+        not (Zero_one.is_sorting_network nw)
+      else true)
+
+let () =
+  Alcotest.run "integration"
+    [ ( "end to end",
+        [ Alcotest.test_case "adversary soundness vs 0-1 ground truth" `Quick
+            test_adversary_soundness_vs_zero_one;
+          Alcotest.test_case "sorters defeat the adversary" `Quick
+            test_sorters_defeat_adversary;
+          Alcotest.test_case "certificates valid in all models" `Quick
+            test_certificate_against_both_models;
+          Alcotest.test_case "truncated sorter exposed" `Quick
+            test_fooling_pair_breaks_sorting_claim;
+          Alcotest.test_case "Benes-glued blocks" `Quick test_benes_glues_iterated_blocks;
+          Alcotest.test_case "CLI pipeline invariants" `Quick test_cli_style_pipeline ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ qcheck_soundness_small ]) ]

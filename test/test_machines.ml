@@ -1,0 +1,159 @@
+(* Tests for the strict-ascend machine: parallel prefix and the NTT —
+   the algorithms the paper's introduction cites as the reason to care
+   about the shuffle-only class. *)
+
+let check_bool = Alcotest.(check bool)
+let check_arr = Alcotest.(check (array int))
+
+let test_pass_identity () =
+  (* a pass of do-nothing steps returns registers to their start: the
+     shuffle has order lg n *)
+  let n = 16 in
+  let v = Array.init n (fun i -> 100 + i) in
+  let id ~stage:_ ~origin:_ x y = (x, y) in
+  check_arr "identity pass" v (Ascend.pass ~n id v)
+
+let test_pass_origin_coordinates () =
+  (* the step sees pair origins (o, o + 2^(d-t)) with o's bit d-t = 0 *)
+  let n = 16 in
+  let d = 4 in
+  let seen = ref [] in
+  let spy ~stage ~origin x y =
+    seen := (stage, origin) :: !seen;
+    (x, y)
+  in
+  ignore (Ascend.pass ~n spy (Array.init n (fun i -> i)));
+  List.iter
+    (fun (stage, origin) ->
+      check_bool "origin bit is zero" true ((origin lsr (d - stage)) land 1 = 0))
+    !seen;
+  Alcotest.(check int) "d * n/2 pair visits" (d * n / 2) (List.length !seen)
+
+let test_pass_is_register_model () =
+  (* an ascend pass with comparator steps equals the register-model
+     shuffle program with the corresponding op vectors *)
+  let n = 16 in
+  let rng = Xoshiro.of_seed 5 in
+  let prog = Shuffle_net.all_plus_program ~n ~stages:4 in
+  let step ~stage:_ ~origin:_ x y = (min x y, max x y) in
+  for _ = 1 to 30 do
+    let input = Workload.random_permutation rng ~n in
+    check_arr "pass = register program"
+      (Register_model.eval prog input)
+      (Ascend.pass ~n step input)
+  done
+
+let test_truncated_steps () =
+  let n = 8 in
+  let id ~stage:_ ~origin:_ x y = (x, y) in
+  let v = Array.init n (fun i -> i) in
+  (* after 1 no-op step values sit rotated by one shuffle *)
+  let out = Ascend.steps ~n ~stages:1 id v in
+  let expect = Perm.permute_array (Perm.shuffle n) v in
+  check_arr "one shuffle" expect out
+
+let test_prefix_sums () =
+  List.iter
+    (fun n ->
+      let v = Array.init n (fun i -> (i * 7) + 1) in
+      let out = Prefix.scan ~n ~op:( + ) v in
+      let acc = ref 0 in
+      Array.iteri
+        (fun i x ->
+          acc := !acc + x;
+          Alcotest.(check int) (Printf.sprintf "n=%d i=%d" n i) !acc out.(i))
+        v)
+    [ 2; 4; 8; 16; 64; 256 ]
+
+let test_prefix_non_commutative () =
+  (* string concatenation: order must be exactly left-to-right *)
+  let n = 16 in
+  let v = Array.init n (fun i -> String.make 1 (Char.chr (97 + i))) in
+  let out = Prefix.scan ~n ~op:( ^ ) v in
+  Alcotest.(check string) "full concat" "abcdefghijklmnop" out.(n - 1);
+  Alcotest.(check string) "prefix 3" "abc" out.(2)
+
+let test_exclusive_scan () =
+  let n = 8 in
+  let v = Array.make n 1 in
+  let out = Prefix.exclusive_scan ~n ~op:( + ) ~zero:0 v in
+  check_arr "ranks" [| 0; 1; 2; 3; 4; 5; 6; 7 |] out
+
+let test_reduce () =
+  let n = 32 in
+  let v = Array.init n (fun i -> i) in
+  Alcotest.(check int) "sum" (n * (n - 1) / 2) (Prefix.reduce ~n ~op:( + ) v);
+  Alcotest.(check int) "max" (n - 1) (Prefix.reduce ~n ~op:max v)
+
+let test_ntt_matches_naive () =
+  List.iter
+    (fun n ->
+      let rng = Xoshiro.of_seed (n + 1) in
+      let v = Array.init n (fun _ -> Xoshiro.int rng ~bound:Ntt.modulus) in
+      check_arr (Printf.sprintf "n=%d" n) (Ntt.naive_dft ~n v) (Ntt.forward ~n v))
+    [ 1; 2; 4; 8; 16; 64; 128 ]
+
+let test_ntt_roundtrip () =
+  List.iter
+    (fun n ->
+      let rng = Xoshiro.of_seed (n + 2) in
+      let v = Array.init n (fun _ -> Xoshiro.int rng ~bound:Ntt.modulus) in
+      check_arr (Printf.sprintf "n=%d" n) v (Ntt.inverse ~n (Ntt.forward ~n v)))
+    [ 2; 4; 32; 512 ]
+
+let test_convolution () =
+  (* polynomial product (1 + 2x + 3x^2)(4 + 5x) cyclically in degree 8 *)
+  let n = 8 in
+  let a = [| 1; 2; 3; 0; 0; 0; 0; 0 |] and b = [| 4; 5; 0; 0; 0; 0; 0; 0 |] in
+  check_arr "product" [| 4; 13; 22; 15; 0; 0; 0; 0 |] (Ntt.convolve ~n a b);
+  (* cyclic wraparound *)
+  let c = Array.make n 0 in
+  c.(7) <- 1;
+  let d = Array.make n 0 in
+  d.(2) <- 1;
+  let e = Ntt.convolve ~n c d in
+  check_arr "x^7 * x^2 = x^1 (mod x^8 - 1)"
+    [| 0; 1; 0; 0; 0; 0; 0; 0 |] e
+
+let prop_prefix_random =
+  QCheck.Test.make ~name:"prefix scan equals sequential fold" ~count:100
+    QCheck.(pair (int_range 0 100_000) (int_range 1 6))
+    (fun (seed, d) ->
+      let n = 1 lsl d in
+      let rng = Xoshiro.of_seed seed in
+      let v = Array.init n (fun _ -> Xoshiro.int rng ~bound:1000) in
+      let out = Prefix.scan ~n ~op:( + ) v in
+      let acc = ref 0 in
+      Array.for_all2 (fun x o -> acc := !acc + x; o = !acc) v out)
+
+let prop_ntt_linear =
+  QCheck.Test.make ~name:"NTT is linear" ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let n = 32 in
+      let rng = Xoshiro.of_seed seed in
+      let a = Array.init n (fun _ -> Xoshiro.int rng ~bound:Ntt.modulus) in
+      let b = Array.init n (fun _ -> Xoshiro.int rng ~bound:Ntt.modulus) in
+      let sum = Array.init n (fun i -> (a.(i) + b.(i)) mod Ntt.modulus) in
+      let fa = Ntt.forward ~n a and fb = Ntt.forward ~n b in
+      Ntt.forward ~n sum
+      = Array.init n (fun i -> (fa.(i) + fb.(i)) mod Ntt.modulus))
+
+let () =
+  Alcotest.run "machines"
+    [ ( "ascend",
+        [ Alcotest.test_case "identity pass" `Quick test_pass_identity;
+          Alcotest.test_case "origin coordinates" `Quick test_pass_origin_coordinates;
+          Alcotest.test_case "pass = register model" `Quick test_pass_is_register_model;
+          Alcotest.test_case "truncated steps" `Quick test_truncated_steps ] );
+      ( "prefix",
+        [ Alcotest.test_case "sums" `Quick test_prefix_sums;
+          Alcotest.test_case "non-commutative op" `Quick test_prefix_non_commutative;
+          Alcotest.test_case "exclusive scan" `Quick test_exclusive_scan;
+          Alcotest.test_case "reduce" `Quick test_reduce ] );
+      ( "ntt",
+        [ Alcotest.test_case "matches naive DFT" `Quick test_ntt_matches_naive;
+          Alcotest.test_case "roundtrip" `Quick test_ntt_roundtrip;
+          Alcotest.test_case "convolution" `Quick test_convolution ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_prefix_random; prop_ntt_linear ] ) ]

@@ -1,0 +1,182 @@
+(* Failure injection: break correct artifacts in controlled ways and
+   check the checkers catch them.  A verifier that never fires on
+   mutants is as suspect as a prover that never succeeds. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- mutating sorting networks --- *)
+
+let drop_gate nw ~level ~index =
+  let lvls =
+    List.mapi
+      (fun li lvl ->
+        if li <> level then lvl
+        else
+          { lvl with
+            Network.gates = List.filteri (fun gi _ -> gi <> index) lvl.Network.gates })
+      (Network.levels nw)
+  in
+  Network.create ~wires:(Network.wires nw) lvls
+
+let reverse_gate nw ~level ~index =
+  let lvls =
+    List.mapi
+      (fun li lvl ->
+        if li <> level then lvl
+        else
+          { lvl with
+            Network.gates =
+              List.mapi
+                (fun gi g ->
+                  if gi <> index then g
+                  else
+                    match g with
+                    | Gate.Compare { lo; hi } -> Gate.Compare { lo = hi; hi = lo }
+                    | Gate.Exchange _ as g -> g)
+                lvl.Network.gates })
+      (Network.levels nw)
+  in
+  Network.create ~wires:(Network.wires nw) lvls
+
+let count_killed mutate nw =
+  let killed = ref 0 and total = ref 0 in
+  List.iteri
+    (fun level lvl ->
+      List.iteri
+        (fun index g ->
+          if Gate.is_comparator g then begin
+            incr total;
+            let mutant = mutate nw ~level ~index in
+            if not (Zero_one.is_sorting_network mutant) then incr killed
+          end)
+        lvl.Network.gates)
+    (Network.levels nw);
+  (!killed, !total)
+
+let test_every_comparator_of_oem_matters () =
+  (* Batcher's odd-even merge network is irredundant: deleting any
+     single comparator breaks it. *)
+  let nw = Odd_even_merge.network ~n:8 in
+  let killed, total = count_killed drop_gate nw in
+  check_int "every deletion kills" total killed
+
+let test_every_comparator_of_bitonic_matters () =
+  let nw = Bitonic.network ~n:8 in
+  let killed, total = count_killed drop_gate nw in
+  check_int "every deletion kills" total killed
+
+let test_reversing_breaks_most () =
+  (* flipping a comparator's orientation almost always breaks sorting;
+     assert it breaks at least 90% (and record it breaks all for n=8
+     bitonic, which it does) *)
+  let nw = Bitonic.network ~n:8 in
+  let killed, total = count_killed reverse_gate nw in
+  check_bool "most reversals kill" true (killed * 10 >= total * 9)
+
+let test_padded_network_has_redundancy () =
+  (* a deliberately padded sorter (brick network plus two extra brick
+     levels) has deletable comparators — the checker must NOT claim
+     every mutant broken.  (Notably, the bare n-level brick network at
+     n = 8 is itself irredundant, which surprised us; see the sibling
+     tests.) *)
+  let base = Transposition.network ~n:8 in
+  let extra =
+    Network.of_gate_levels ~wires:8
+      [ [ Gate.compare_up 0 1; Gate.compare_up 2 3; Gate.compare_up 4 5 ];
+        [ Gate.compare_up 1 2; Gate.compare_up 3 4; Gate.compare_up 5 6 ] ]
+  in
+  let nw = Network.serial base extra in
+  let killed, total = count_killed drop_gate nw in
+  check_bool "some deletions survive" true (killed < total)
+
+(* --- mutating certificates --- *)
+
+let make_cert () =
+  let rng = Xoshiro.of_seed 77 in
+  let prog = Shuffle_net.random_program rng ~n:32 ~stages:10 in
+  let it = Shuffle_net.to_iterated prog in
+  let r = Theorem41.run it in
+  let nw = Iterated.to_network it in
+  match Certificate.of_pattern r.Theorem41.final_pattern with
+  | Some cert -> (nw, cert)
+  | None -> Alcotest.fail "expected a certificate"
+
+let test_certificate_mutations_rejected () =
+  let nw, cert = make_cert () in
+  check_bool "original valid" true (Certificate.validate nw cert = Ok ());
+  (* swap two non-witness values in the twin *)
+  let bad_twin = Array.copy cert.Certificate.twin in
+  let i = cert.Certificate.wire0 and j = (cert.Certificate.wire0 + 1) mod 32 in
+  if j <> cert.Certificate.wire1 then begin
+    let t = bad_twin.(i) in
+    bad_twin.(i) <- bad_twin.(j);
+    bad_twin.(j) <- t;
+    check_bool "twin perturbation rejected" true
+      (Certificate.validate nw { cert with Certificate.twin = bad_twin } <> Ok ())
+  end;
+  (* non-permutation input *)
+  let bad_input = Array.copy cert.Certificate.input in
+  bad_input.(0) <- bad_input.(1);
+  check_bool "non-permutation rejected" true
+    (Certificate.validate nw { cert with Certificate.input = bad_input } <> Ok ());
+  (* wrong witness wires *)
+  check_bool "wire mismatch rejected" true
+    (Certificate.validate nw
+       { cert with Certificate.wire0 = (cert.Certificate.wire0 + 3) mod 32 }
+     <> Ok ())
+
+let test_certificate_wrong_network_rejected () =
+  (* a certificate for one network must not validate against a sorter *)
+  let _, cert = make_cert () in
+  let sorter = Bitonic.network ~n:32 in
+  check_bool "sorter refutes the certificate" true
+    (Certificate.validate sorter cert <> Ok ())
+
+(* --- fuzzing the parser --- *)
+
+let test_parser_fuzz_never_crashes () =
+  let rng = Xoshiro.of_seed 5 in
+  let base = Network_io.to_string (Bitonic.network ~n:8) in
+  for _ = 1 to 300 do
+    (* random truncation + random byte smash *)
+    let len = 1 + Xoshiro.int rng ~bound:(String.length base) in
+    let s = Bytes.of_string (String.sub base 0 len) in
+    let pos = Xoshiro.int rng ~bound:(Bytes.length s) in
+    Bytes.set s pos (Char.chr (32 + Xoshiro.int rng ~bound:95));
+    (* must return Ok or Error, never raise *)
+    match Network_io.of_string (Bytes.to_string s) with
+    | Ok _ | Error _ -> ()
+  done;
+  check_bool "no crash" true true
+
+let test_mset_invariant_checker_fires () =
+  (* corrupt the adversary state on purpose; check_invariants must
+     object *)
+  let st = Mset.create ~n:4 ~k:2 in
+  let coll = Mset.singleton_collection st 0 in
+  st.Mset.sym.(0) <- Symbol.L 0;
+  check_bool "detects symbol corruption" true
+    (match Mset.check_invariants st coll with
+     | exception Failure _ -> true
+     | () -> false)
+
+let () =
+  Alcotest.run "mutation"
+    [ ( "network mutants",
+        [ Alcotest.test_case "odd-even merge irredundant" `Quick
+            test_every_comparator_of_oem_matters;
+          Alcotest.test_case "bitonic irredundant" `Quick
+            test_every_comparator_of_bitonic_matters;
+          Alcotest.test_case "orientation flips break" `Quick test_reversing_breaks_most;
+          Alcotest.test_case "padded network has slack" `Quick
+            test_padded_network_has_redundancy ] );
+      ( "certificate mutants",
+        [ Alcotest.test_case "perturbations rejected" `Quick
+            test_certificate_mutations_rejected;
+          Alcotest.test_case "wrong network rejected" `Quick
+            test_certificate_wrong_network_rejected ] );
+      ( "fuzz",
+        [ Alcotest.test_case "parser total" `Quick test_parser_fuzz_never_crashes;
+          Alcotest.test_case "invariant checker fires" `Quick
+            test_mset_invariant_checker_fires ] ) ]

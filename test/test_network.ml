@@ -1,0 +1,230 @@
+(* Tests for the circuit model, traces and the register model. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_arr = Alcotest.(check (array int))
+
+let raises f =
+  match f () with exception Invalid_argument _ -> true | _ -> false
+
+(* gates *)
+
+let test_gate_constructors () =
+  check_bool "compare_up normalizes" true
+    (Gate.equal (Gate.compare_up 3 1) (Gate.Compare { lo = 1; hi = 3 }));
+  check_bool "compare_down reverses" true
+    (Gate.equal (Gate.compare_down 1 3) (Gate.Compare { lo = 3; hi = 1 }));
+  check_bool "same wire rejected" true (raises (fun () -> Gate.compare_up 2 2));
+  check_bool "exchange same wire" true (raises (fun () -> Gate.exchange 1 1));
+  check_bool "is_comparator" true (Gate.is_comparator (Gate.compare_up 0 1));
+  check_bool "exchange not comparator" false (Gate.is_comparator (Gate.exchange 0 1))
+
+let test_gate_map_wires () =
+  let g = Gate.map_wires (fun w -> w + 10) (Gate.compare_up 0 1) in
+  Alcotest.(check (pair int int)) "shifted" (10, 11) (Gate.wires g);
+  check_bool "collapse rejected" true
+    (raises (fun () -> Gate.map_wires (fun _ -> 0) (Gate.compare_up 0 1)))
+
+(* network construction *)
+
+let test_create_validation () =
+  check_bool "wire out of range" true
+    (raises (fun () -> Network.of_gate_levels ~wires:2 [ [ Gate.compare_up 0 2 ] ]));
+  check_bool "wire reuse in level" true
+    (raises (fun () ->
+         Network.of_gate_levels ~wires:3
+           [ [ Gate.compare_up 0 1; Gate.compare_up 1 2 ] ]));
+  check_bool "perm size mismatch" true
+    (raises (fun () ->
+         Network.create ~wires:4
+           [ { Network.pre = Some (Perm.identity 3); gates = [] } ]));
+  (* disjoint gates in one level are fine *)
+  ignore
+    (Network.of_gate_levels ~wires:4
+       [ [ Gate.compare_up 0 1; Gate.compare_up 2 3 ] ])
+
+let test_eval_single_comparator () =
+  let nw = Network.of_gate_levels ~wires:2 [ [ Gate.compare_up 0 1 ] ] in
+  check_arr "sorts pair" [| 1; 2 |] (Network.eval nw [| 2; 1 |]);
+  check_arr "keeps sorted pair" [| 1; 2 |] (Network.eval nw [| 1; 2 |]);
+  let down = Network.of_gate_levels ~wires:2 [ [ Gate.compare_down 0 1 ] ] in
+  check_arr "max first" [| 2; 1 |] (Network.eval down [| 1; 2 |])
+
+let test_eval_exchange_and_perm () =
+  let nw = Network.of_gate_levels ~wires:2 [ [ Gate.exchange 0 1 ] ] in
+  check_arr "swap" [| 5; 9 |] (Network.eval nw [| 9; 5 |]);
+  let p = Perm.of_array [| 1; 2; 0 |] in
+  let nw = Network.permutation_level p in
+  (* value at j moves to p(j) *)
+  check_arr "permute" [| 30; 10; 20 |] (Network.eval nw [| 10; 20; 30 |])
+
+let test_eval_does_not_mutate_input () =
+  let nw = Network.of_gate_levels ~wires:2 [ [ Gate.compare_up 0 1 ] ] in
+  let input = [| 2; 1 |] in
+  ignore (Network.eval nw input);
+  check_arr "input intact" [| 2; 1 |] input
+
+let test_depth_and_size () =
+  let nw =
+    Network.of_gate_levels ~wires:4
+      [ [ Gate.compare_up 0 1; Gate.compare_up 2 3 ];
+        [ Gate.exchange 1 2 ];
+        [];
+        [ Gate.compare_up 1 2 ] ]
+  in
+  check_int "depth counts comparator levels" 2 (Network.depth nw);
+  check_int "size counts comparators" 3 (Network.size nw);
+  check_int "comparator_pairs" 3 (List.length (Network.comparator_pairs nw))
+
+let test_serial_parallel () =
+  let a = Network.of_gate_levels ~wires:2 [ [ Gate.compare_up 0 1 ] ] in
+  let b = Network.of_gate_levels ~wires:2 [ [ Gate.compare_down 0 1 ] ] in
+  let s = Network.serial a b in
+  check_arr "up then down" [| 2; 1 |] (Network.eval s [| 2; 1 |]);
+  let par = Network.parallel a a in
+  check_int "parallel wires" 4 (Network.wires par);
+  check_arr "parallel both sort" [| 1; 2; 3; 4 |] (Network.eval par [| 2; 1; 4; 3 |]);
+  check_int "parallel depth" 1 (Network.depth par)
+
+let test_serial_perm () =
+  let a = Network.empty 3 in
+  let b = Network.of_gate_levels ~wires:3 [ [ Gate.compare_up 0 1 ] ] in
+  let p = Perm.of_array [| 2; 0; 1 |] in
+  let s = Network.serial_perm a p b in
+  (* input [9;1;5]: perm sends 9->w2 1->w0 5->w1, compare (0,1): [1;5;9] *)
+  check_arr "routing then compare" [| 1; 5; 9 |] (Network.eval s [| 9; 1; 5 |])
+
+let test_output_wiring_only () =
+  let p = Perm.of_array [| 1; 0 |] in
+  let nw = Network.serial (Network.permutation_level p) (Network.permutation_level p) in
+  (match Network.output_wiring_only nw with
+  | Some q -> check_bool "double swap = id" true (Perm.is_identity q)
+  | None -> Alcotest.fail "expected wiring-only");
+  let nwc = Network.of_gate_levels ~wires:2 [ [ Gate.compare_up 0 1 ] ] in
+  check_bool "comparator is not wiring-only" true
+    (Network.output_wiring_only nwc = None)
+
+let test_trace_records_values () =
+  let nw =
+    Network.of_gate_levels ~wires:3
+      [ [ Gate.compare_up 0 1 ]; [ Gate.compare_up 1 2 ] ]
+  in
+  let out, tr = Trace.run nw [| 5; 3; 1 |] in
+  check_arr "out" [| 3; 1; 5 |] out;
+  check_bool "5 vs 3 compared" true (Trace.compared tr 5 3);
+  check_bool "5 vs 1 compared" true (Trace.compared tr 1 5);
+  check_bool "3 vs 1 not compared" false (Trace.compared tr 3 1);
+  check_int "two distinct pairs" 2 (Trace.count tr);
+  check_bool "wires_collide 0 1" true (Trace.wires_collide nw [| 5; 3; 1 |] 0 1)
+
+let test_trace_exchange_is_not_comparison () =
+  let nw = Network.of_gate_levels ~wires:2 [ [ Gate.exchange 0 1 ] ] in
+  let _, tr = Trace.run nw [| 1; 2 |] in
+  check_int "no comparisons" 0 (Trace.count tr)
+
+let test_dot_export () =
+  let nw = Network.of_gate_levels ~wires:2 [ [ Gate.compare_up 0 1 ] ] in
+  let dot = Network.to_dot nw in
+  check_bool "digraph" true (String.length dot > 0 && String.sub dot 0 7 = "digraph")
+
+(* register model *)
+
+let test_register_ops () =
+  let n = 4 in
+  let id = Perm.identity n in
+  let mk ops = Register_model.create ~n [ { Register_model.perm = id; ops } ] in
+  let p = mk [| Register_model.Plus; Register_model.Minus |] in
+  check_arr "plus sorts up, minus down" [| 1; 2; 4; 3 |]
+    (Register_model.eval p [| 2; 1; 3; 4 |]);
+  let x = mk [| Register_model.One; Register_model.Zero |] in
+  check_arr "exchange and skip" [| 1; 2; 3; 4 |]
+    (Register_model.eval x [| 2; 1; 3; 4 |])
+
+let test_register_validation () =
+  check_bool "odd n" true (raises (fun () -> Register_model.create ~n:3 []));
+  check_bool "ops length" true
+    (raises (fun () ->
+         Register_model.create ~n:4
+           [ { Register_model.perm = Perm.identity 4; ops = [| Register_model.Plus |] } ]))
+
+let test_register_depth () =
+  let n = 4 in
+  let id = Perm.identity n in
+  let zero = Array.make 2 Register_model.Zero in
+  let plus = Array.make 2 Register_model.Plus in
+  let swap = Array.make 2 Register_model.One in
+  let p =
+    Register_model.create ~n
+      [ { Register_model.perm = id; ops = zero };
+        { Register_model.perm = id; ops = plus };
+        { Register_model.perm = id; ops = swap } ]
+  in
+  check_int "only comparator stages count" 1 (Register_model.depth p);
+  check_int "stage_count" 3 (Register_model.stage_count p)
+
+let prop_register_vs_circuit =
+  QCheck.Test.make ~name:"register eval = circuit eval = flattened eval" ~count:100
+    QCheck.(pair (int_range 0 1000) (int_range 1 4))
+    (fun (seed, logn) ->
+      let n = 1 lsl (logn + 1) in
+      let rng = Xoshiro.of_seed seed in
+      let stages = 1 + Xoshiro.int rng ~bound:8 in
+      let prog = Shuffle_net.random_program rng ~n ~stages in
+      let nw = Register_model.to_network prog in
+      let flat = Network.flatten nw in
+      let input = Workload.random_permutation rng ~n in
+      let a = Register_model.eval prog input in
+      a = Network.eval nw input && a = Network.eval flat input)
+
+let prop_flatten_no_pre =
+  QCheck.Test.make ~name:"flatten leaves at most a final routing level" ~count:100
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Xoshiro.of_seed seed in
+      let n = 8 in
+      let prog = Shuffle_net.random_program rng ~n ~stages:4 in
+      let flat = Network.flatten (Register_model.to_network prog) in
+      let rec go = function
+        | [] -> true
+        | [ last ] -> last.Network.gates = [] || last.Network.pre = None
+        | lvl :: rest -> lvl.Network.pre = None && go rest
+      in
+      go (Network.levels flat))
+
+let prop_trace_out_matches_eval =
+  QCheck.Test.make ~name:"Trace.run output equals Network.eval" ~count:100
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Xoshiro.of_seed seed in
+      let n = 16 in
+      let prog = Shuffle_net.random_program rng ~n ~stages:6 in
+      let nw = Register_model.to_network prog in
+      let input = Workload.random_permutation rng ~n in
+      fst (Trace.run nw input) = Network.eval nw input)
+
+let () =
+  Alcotest.run "network"
+    [ ( "gates",
+        [ Alcotest.test_case "constructors" `Quick test_gate_constructors;
+          Alcotest.test_case "map_wires" `Quick test_gate_map_wires ] );
+      ( "circuit",
+        [ Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "single comparator" `Quick test_eval_single_comparator;
+          Alcotest.test_case "exchange and permutation" `Quick test_eval_exchange_and_perm;
+          Alcotest.test_case "eval is pure" `Quick test_eval_does_not_mutate_input;
+          Alcotest.test_case "depth and size" `Quick test_depth_and_size;
+          Alcotest.test_case "serial and parallel" `Quick test_serial_parallel;
+          Alcotest.test_case "serial_perm" `Quick test_serial_perm;
+          Alcotest.test_case "output_wiring_only" `Quick test_output_wiring_only;
+          Alcotest.test_case "dot export" `Quick test_dot_export ] );
+      ( "trace",
+        [ Alcotest.test_case "records compared values" `Quick test_trace_records_values;
+          Alcotest.test_case "exchange not a comparison" `Quick
+            test_trace_exchange_is_not_comparison ] );
+      ( "register model",
+        [ Alcotest.test_case "op semantics" `Quick test_register_ops;
+          Alcotest.test_case "validation" `Quick test_register_validation;
+          Alcotest.test_case "depth" `Quick test_register_depth ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_register_vs_circuit; prop_flatten_no_pre; prop_trace_out_matches_eval ] ) ]

@@ -1,0 +1,95 @@
+(* Tests for the domain fan-out and its use in Zero_one. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_map_ranges_covers () =
+  List.iter
+    (fun domains ->
+      let results =
+        Par.map_ranges ~domains ~lo:3 ~hi:40 (fun ~lo ~hi -> (lo, hi))
+      in
+      (* contiguous, ordered, covering *)
+      let rec walk expect = function
+        | [] -> check_int "ends at hi" 40 expect
+        | (lo, hi) :: rest ->
+            check_int "contiguous" expect lo;
+            check_bool "nonempty or single" true (hi >= lo);
+            walk hi rest
+      in
+      walk 3 results)
+    [ 1; 2; 3; 7; 64 ]
+
+let test_map_ranges_empty () =
+  let results = Par.map_ranges ~domains:4 ~lo:5 ~hi:5 (fun ~lo ~hi -> hi - lo) in
+  Alcotest.(check (list int)) "one empty chunk" [ 0 ] results
+
+let test_map_ranges_sums () =
+  let total ~domains =
+    Par.map_ranges ~domains ~lo:0 ~hi:1000 (fun ~lo ~hi ->
+        let s = ref 0 in
+        for i = lo to hi - 1 do
+          s := !s + i
+        done;
+        !s)
+    |> List.fold_left ( + ) 0
+  in
+  check_int "sequential = parallel" (total ~domains:1) (total ~domains:5)
+
+let test_map_list_order () =
+  let xs = List.init 37 (fun i -> i) in
+  Alcotest.(check (list int)) "order preserved"
+    (List.map (fun x -> x * x) xs)
+    (Par.map_list ~domains:4 (fun x -> x * x) xs)
+
+let test_invalid_args () =
+  check_bool "lo > hi" true
+    (match Par.map_ranges ~domains:2 ~lo:5 ~hi:4 (fun ~lo:_ ~hi:_ -> ()) with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  check_bool "domains 0" true
+    (match Par.map_ranges ~domains:0 ~lo:0 ~hi:4 (fun ~lo:_ ~hi:_ -> ()) with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_zero_one_domains_agree () =
+  List.iter
+    (fun nw ->
+      let seq = Zero_one.is_sorting_network ~domains:1 nw in
+      let par = Zero_one.is_sorting_network ~domains:4 nw in
+      check_bool "verdicts agree" true (seq = par);
+      check_int "counts agree"
+        (Zero_one.unsorted_count ~domains:1 nw)
+        (Zero_one.unsorted_count ~domains:4 nw))
+    [ Bitonic.network ~n:8;
+      Pratt.network ~n:11;
+      Network.of_gate_levels ~wires:6 [ [ Gate.compare_up 0 1 ] ] ]
+
+let test_zero_one_domains_witness () =
+  let broken = Network.of_gate_levels ~wires:8 [ [ Gate.compare_up 0 7 ] ] in
+  match Zero_one.failing_input ~domains:3 broken with
+  | None -> Alcotest.fail "expected a witness"
+  | Some w ->
+      check_bool "unsorted" false (Sortedness.is_sorted (Network.eval broken w))
+
+let prop_domains_equal =
+  QCheck.Test.make ~name:"packed verdicts independent of domain count" ~count:40
+    QCheck.(pair (int_range 0 100_000) (int_range 1 6))
+    (fun (seed, domains) ->
+      let rng = Xoshiro.of_seed seed in
+      let prog = Shuffle_net.random_program rng ~n:8 ~stages:6 in
+      let nw = Register_model.to_network prog in
+      Zero_one.unsorted_count ~domains:1 nw = Zero_one.unsorted_count ~domains nw)
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "par",
+        [ Alcotest.test_case "ranges cover" `Quick test_map_ranges_covers;
+          Alcotest.test_case "empty range" `Quick test_map_ranges_empty;
+          Alcotest.test_case "sums agree" `Quick test_map_ranges_sums;
+          Alcotest.test_case "map_list order" `Quick test_map_list_order;
+          Alcotest.test_case "argument validation" `Quick test_invalid_args ] );
+      ( "zero-one",
+        [ Alcotest.test_case "domains agree" `Quick test_zero_one_domains_agree;
+          Alcotest.test_case "witness under domains" `Quick test_zero_one_domains_witness ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_domains_equal ]) ]

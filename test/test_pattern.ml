@@ -1,0 +1,236 @@
+(* Tests for the pattern alphabet, refinement, and symbolic
+   propagation (Sections 3.1-3.2 of the paper). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+open Symbol
+
+(* [open Symbol] would otherwise shadow integer [<] *)
+let ( < ) : int -> int -> bool = Stdlib.( < )
+
+(* --- the order <_P --- *)
+
+let test_order_generators () =
+  (* the paper's defining inequalities *)
+  let lt a b = Symbol.compare a b < 0 in
+  check_bool "S_i < S_{i+1}" true (lt (S 0) (S 1));
+  check_bool "S_i < X_{0,0}" true (lt (S 5) (X (0, 0)));
+  check_bool "X_{i,j} < X_{i,j+1}" true (lt (X (2, 3)) (X (2, 4)));
+  check_bool "X_{i,j} < M_i" true (lt (X (2, 99)) (M 2));
+  check_bool "M_i < X_{i+1,0}" true (lt (M 2) (X (3, 0)));
+  check_bool "M_i < L_j all i j" true (lt (M 100) (L 100));
+  check_bool "L_{i+1} < L_i" true (lt (L 3) (L 2));
+  (* derived facts *)
+  check_bool "M_i < M_{i+1}" true (lt (M 0) (M 1));
+  check_bool "S below L" true (lt (S 1000) (L 1000));
+  check_bool "X_{i,j} < M_k for k>=i" true (lt (X (2, 7)) (M 5));
+  check_bool "M_k < X_{i,j} for i>k" true (lt (M 2) (X (7, 0)))
+
+let gen_symbol =
+  QCheck.Gen.(
+    oneof
+      [ map (fun i -> S i) (int_bound 20);
+        map2 (fun i j -> X (i, j)) (int_bound 20) (int_bound 20);
+        map (fun i -> M i) (int_bound 20);
+        map (fun i -> L i) (int_bound 20) ])
+
+let arb_symbol = QCheck.make ~print:Symbol.to_string gen_symbol
+
+let prop_total_antisym =
+  QCheck.Test.make ~name:"compare is antisymmetric" ~count:1000
+    QCheck.(pair arb_symbol arb_symbol)
+    (fun (a, b) -> Symbol.compare a b = -Symbol.compare b a)
+
+let prop_transitive =
+  QCheck.Test.make ~name:"compare is transitive" ~count:1000
+    QCheck.(triple arb_symbol arb_symbol arb_symbol)
+    (fun (a, b, c) ->
+      let le x y = Symbol.compare x y <= 0 in
+      (not (le a b && le b c)) || le a c)
+
+let prop_equal_consistent =
+  QCheck.Test.make ~name:"equal agrees with compare" ~count:1000
+    QCheck.(pair arb_symbol arb_symbol)
+    (fun (a, b) -> Symbol.equal a b = (Symbol.compare a b = 0))
+
+(* --- patterns and refinement --- *)
+
+let test_example_3_1 () =
+  (* W = w0..w4; p assigns L to w0,w1 and M to the rest.  p refines to
+     any input giving the two largest values to w0 and w1. *)
+  let p = [| L 0; L 0; M 0; M 0; M 0 |] in
+  check_bool "largest on w0,w1 ok" true (Pattern.refines_input p [| 4; 3; 0; 1; 2 |]);
+  check_bool "largest elsewhere not ok" false
+    (Pattern.refines_input p [| 4; 2; 0; 1; 3 |]);
+  (* refine p to p': also pin the smallest value to w2 *)
+  let p' = [| L 0; L 0; S 0; M 0; M 0 |] in
+  check_bool "p refines to p'" true (Pattern.refines p p');
+  check_bool "p' does not refine to p" false (Pattern.refines p' p);
+  check_bool "p' to matching input" true (Pattern.refines_input p' [| 3; 4; 0; 2; 1 |])
+
+let test_refines_reflexive_and_constant () =
+  let p = [| M 0; S 0; M 0; L 0 |] in
+  check_bool "reflexive" true (Pattern.refines p p);
+  let c = Pattern.constant 4 (M 0) in
+  (* the all-equal pattern refines to everything *)
+  check_bool "constant refines anything" true (Pattern.refines c p);
+  check_bool "equivalent to itself" true (Pattern.equivalent p p)
+
+let test_order_preserving_renaming () =
+  (* Example 3.2: shifting all indices up is an equivalence *)
+  let p = [| M 0; M 1; S 0 |] in
+  let q = [| M 5; M 7; S 0 |] in
+  check_bool "equivalent" true (Pattern.equivalent p q)
+
+let test_u_refines () =
+  let p = [| M 0; M 0; S 0 |] in
+  let q = [| M 0; M 1; S 0 |] in
+  check_bool "refines within U = {0,1}" true (Pattern.u_refines ~u:[ 0; 1 ] p q);
+  check_bool "not a {2}-refinement (changes wire 1)" false
+    (Pattern.u_refines ~u:[ 2 ] p q)
+
+let test_symbol_set () =
+  let p = [| M 0; S 0; M 0; L 0; M 1 |] in
+  Alcotest.(check (list int)) "m_set 0" [ 0; 2 ] (Pattern.m_set p 0);
+  Alcotest.(check (list int)) "m_set 1" [ 4 ] (Pattern.m_set p 1);
+  Alcotest.(check (list int)) "m_set 2 empty" [] (Pattern.m_set p 2)
+
+let test_canonical_input () =
+  let p = [| L 0; M 0; S 0; M 0 |] in
+  let input = Pattern.canonical_input p in
+  check_bool "refines" true (Pattern.refines_input p input);
+  (* S block, then M block (adjacent values), then L *)
+  check_int "smallest at w2" 0 input.(2);
+  check_int "M block first" 1 input.(1);
+  check_int "M block second" 2 input.(3);
+  check_int "largest at w0" 3 input.(0);
+  (* M_0 wires got adjacent values *)
+  check_int "adjacency" 1 (abs (input.(1) - input.(3)))
+
+let test_input_with_swap () =
+  let p = [| M 0; M 0; S 0 |] in
+  let pi, pi' = Pattern.input_with_swap p 0 1 in
+  check_bool "pi refines p" true (Pattern.refines_input p pi);
+  check_bool "pi' refines p" true (Pattern.refines_input p pi');
+  check_bool "differ at the two wires" true
+    (pi.(0) = pi'.(1) && pi.(1) = pi'.(0) && pi.(2) = pi'.(2));
+  check_bool "distinct symbols rejected" true
+    (match Pattern.input_with_swap p 0 2 with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+(* --- propagation (Definition 3.5) --- *)
+
+let test_propagate_comparator () =
+  let nw = Network.of_gate_levels ~wires:2 [ [ Gate.compare_up 0 1 ] ] in
+  let out = Propagate.through nw [| L 0; S 0 |] in
+  check_bool "min output gets S" true (Symbol.equal out.(0) (S 0));
+  check_bool "max output gets L" true (Symbol.equal out.(1) (L 0));
+  (* equal symbols stay on both outputs *)
+  let out2 = Propagate.through nw [| M 0; M 0 |] in
+  check_bool "equal symbols persist" true
+    (Symbol.equal out2.(0) (M 0) && Symbol.equal out2.(1) (M 0))
+
+let test_example_3_3_structure () =
+  (* The network of Example 3.3: comparators (w1,w2), (w2,w3), (w0,w3),
+     all directed to the larger index. Pattern S,M,M,L. *)
+  let nw =
+    Network.of_gate_levels ~wires:4
+      [ [ Gate.compare_up 1 2 ]; [ Gate.compare_up 2 3 ]; [ Gate.compare_up 0 3 ] ]
+  in
+  let p = [| S 0; M 0; M 0; L 0 |] in
+  (* (1) w1 and w2 collide: they meet at the very first comparator —
+     under every refinement. *)
+  check_bool "w1,w2 collide (oracle)" true (Exhaustive.collides_always_oracle nw [| 0; 1; 1; 2 |] 1 2);
+  (* (2) w1 can collide with w3 but does not always *)
+  check_bool "w1,w3 can collide" true (Exhaustive.can_collide_oracle nw [| 0; 1; 1; 2 |] 1 3);
+  check_bool "w1,w3 not always" false (Exhaustive.collides_always_oracle nw [| 0; 1; 1; 2 |] 1 3);
+  (* (3) w0 and w3 collide; w0 and w1 cannot collide *)
+  check_bool "w0,w3 collide" true (Exhaustive.collides_always_oracle nw [| 0; 1; 1; 2 |] 0 3);
+  check_bool "w0,w1 cannot collide" false (Exhaustive.can_collide_oracle nw [| 0; 1; 1; 2 |] 0 1);
+  (* and the symbolic output pattern is consistent with refinements *)
+  let input = Pattern.canonical_input p in
+  check_bool "Definition 3.5 consistency" true
+    (Propagate.consistent_with_input nw p input)
+
+let prop_propagation_consistent =
+  (* For random small networks, random patterns, random refinements:
+     evaluating a refinement yields an output refining the symbolic
+     output pattern. *)
+  QCheck.Test.make ~name:"Definition 3.5 on random instances" ~count:200
+    QCheck.(pair (int_range 0 100_000) (int_range 2 4))
+    (fun (seed, d) ->
+      let n = 1 lsl d in
+      let rng = Xoshiro.of_seed seed in
+      let prog = Shuffle_net.random_program rng ~n ~stages:(1 + Xoshiro.int rng ~bound:(2 * d)) in
+      let nw = Register_model.to_network prog in
+      (* random pattern over a small alphabet *)
+      let syms = [| S 0; S 1; M 0; M 1; L 0 |] in
+      let p = Array.init n (fun _ -> syms.(Xoshiro.int rng ~bound:5)) in
+      (* random refinement: canonical input with a random shuffle inside
+         each symbol class *)
+      let base = Pattern.canonical_input p in
+      (* shuffle values within equal-symbol classes *)
+      let wires = Array.init n (fun w -> w) in
+      Array.sort (fun a b -> Symbol.compare p.(a) p.(b)) wires;
+      let input = Array.copy base in
+      let i = ref 0 in
+      while !i < n do
+        let j = ref !i in
+        while !j < n && Symbol.equal p.(wires.(!j)) p.(wires.(!i)) do incr j done;
+        (* random transposition of values within the class *)
+        if !j - !i >= 2 then begin
+          let a = wires.(!i + Xoshiro.int rng ~bound:(!j - !i)) in
+          let b = wires.(!i + Xoshiro.int rng ~bound:(!j - !i)) in
+          let t = input.(a) in input.(a) <- input.(b); input.(b) <- t
+        end;
+        i := !j
+      done;
+      Propagate.consistent_with_input nw p input)
+
+let prop_canonical_refines =
+  QCheck.Test.make ~name:"canonical_input always refines its pattern" ~count:300
+    QCheck.(pair (int_range 0 100_000) (int_range 1 32))
+    (fun (seed, n) ->
+      let rng = Xoshiro.of_seed seed in
+      let syms = [| S 0; S 3; X (0, 1); M 0; M 2; L 0; L 1 |] in
+      let p = Array.init n (fun _ -> syms.(Xoshiro.int rng ~bound:7)) in
+      Pattern.refines_input p (Pattern.canonical_input p))
+
+let prop_refines_transitive =
+  QCheck.Test.make ~name:"pattern refinement is transitive" ~count:200
+    QCheck.(pair (int_range 0 100_000) (int_range 1 16))
+    (fun (seed, n) ->
+      let rng = Xoshiro.of_seed seed in
+      (* build a chain p0 ⊐ p1 by splitting one class of p0 *)
+      let syms = [| S 0; M 0; L 0 |] in
+      let p0 = Array.init n (fun _ -> syms.(Xoshiro.int rng ~bound:3)) in
+      let p1 =
+        Array.map (function M 0 -> if Xoshiro.bool rng then M 0 else M 1 | s -> s) p0
+      in
+      let p2 =
+        Array.map (function M 1 -> if Xoshiro.bool rng then M 1 else M 2 | s -> s) p1
+      in
+      Pattern.refines p0 p1 && Pattern.refines p1 p2 && Pattern.refines p0 p2)
+
+let () =
+  Alcotest.run "pattern"
+    [ ( "symbol order",
+        Alcotest.test_case "paper generators" `Quick test_order_generators
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_total_antisym; prop_transitive; prop_equal_consistent ] );
+      ( "refinement",
+        [ Alcotest.test_case "Example 3.1" `Quick test_example_3_1;
+          Alcotest.test_case "reflexive / constant" `Quick test_refines_reflexive_and_constant;
+          Alcotest.test_case "order-preserving renaming" `Quick test_order_preserving_renaming;
+          Alcotest.test_case "U-refinement" `Quick test_u_refines;
+          Alcotest.test_case "symbol sets" `Quick test_symbol_set;
+          Alcotest.test_case "canonical input" `Quick test_canonical_input;
+          Alcotest.test_case "input_with_swap" `Quick test_input_with_swap ] );
+      ( "propagation",
+        [ Alcotest.test_case "comparator semantics" `Quick test_propagate_comparator;
+          Alcotest.test_case "Example 3.3 collisions" `Quick test_example_3_3_structure ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_propagation_consistent; prop_canonical_refines; prop_refines_transitive ] ) ]

@@ -1,0 +1,144 @@
+(* Tests for permutations, in particular the shuffle of the paper. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_arr = Alcotest.(check (array int))
+
+let test_of_array_validation () =
+  let bad msg a =
+    check_bool msg true
+      (match Perm.of_array a with
+       | exception Invalid_argument _ -> true
+       | _ -> false)
+  in
+  bad "duplicate" [| 0; 0 |];
+  bad "out of range high" [| 0; 2 |];
+  bad "out of range low" [| -1; 0 |];
+  ignore (Perm.of_array [||]);
+  ignore (Perm.of_array [| 0 |])
+
+let test_identity () =
+  let p = Perm.identity 5 in
+  check_bool "is_identity" true (Perm.is_identity p);
+  check_arr "array" [| 0; 1; 2; 3; 4 |] (Perm.to_array p)
+
+let test_shuffle_definition () =
+  (* For n = 8, shuffle maps j2 j1 j0 -> j1 j0 j2. *)
+  let p = Perm.shuffle 8 in
+  List.iter
+    (fun (j, want) -> check_int (Printf.sprintf "pi(%d)" j) want (Perm.apply p j))
+    [ (0, 0); (1, 2); (2, 4); (3, 6); (4, 1); (5, 3); (6, 5); (7, 7) ]
+
+let test_shuffle_order () =
+  (* The shuffle on 2^d elements has order d. *)
+  List.iter
+    (fun d ->
+      let p = Perm.shuffle (1 lsl d) in
+      check_int (Printf.sprintf "order d=%d" d) d (Perm.order p))
+    [ 2; 3; 4; 5; 6; 7 ]
+
+let test_unshuffle_inverse () =
+  List.iter
+    (fun n ->
+      let s = Perm.shuffle n and u = Perm.unshuffle n in
+      check_bool "s o u = id" true (Perm.is_identity (Perm.compose s u));
+      check_bool "u o s = id" true (Perm.is_identity (Perm.compose u s));
+      check_bool "inverse" true (Perm.equal u (Perm.inverse s)))
+    [ 2; 4; 8; 64; 1024 ]
+
+let test_bit_reversal () =
+  let p = Perm.bit_reversal 8 in
+  check_arr "n=8" [| 0; 4; 2; 6; 1; 5; 3; 7 |] (Perm.to_array p);
+  check_bool "involution" true (Perm.is_identity (Perm.compose p p))
+
+let test_bit_complement () =
+  let p = Perm.bit_complement 8 1 in
+  check_arr "flip bit 1" [| 2; 3; 0; 1; 6; 7; 4; 5 |] (Perm.to_array p);
+  check_bool "involution" true (Perm.is_identity (Perm.compose p p))
+
+let test_permute_array () =
+  (* value at j moves to position p(j): the paper's register semantics *)
+  let p = Perm.of_array [| 1; 2; 0 |] in
+  check_arr "moves" [| 'c' |> Char.code; Char.code 'a'; Char.code 'b' |]
+    (Perm.permute_array p [| Char.code 'a'; Char.code 'b'; Char.code 'c' |])
+
+let test_cycles () =
+  let p = Perm.of_array [| 1; 0; 2; 4; 3 |] in
+  Alcotest.(check (list (list int))) "cycles" [ [ 0; 1 ]; [ 2 ]; [ 3; 4 ] ]
+    (Perm.cycles p);
+  check_int "order" 2 (Perm.order p);
+  check_int "order of 3-cycle" 3 (Perm.order (Perm.of_array [| 1; 2; 0 |]))
+
+let test_compose_semantics () =
+  (* compose p q applies q first *)
+  let q = Perm.of_array [| 1; 2; 0 |] in
+  let p = Perm.of_array [| 0; 2; 1 |] in
+  check_int "(p o q) 0 = p (q 0)" (Perm.apply p (Perm.apply q 0))
+    (Perm.apply (Perm.compose p q) 0)
+
+let gen_perm =
+  QCheck.Gen.(
+    sized_size (int_range 1 64) (fun n ->
+        let a = Array.init n (fun i -> i) in
+        let* () = return () in
+        map
+          (fun seed ->
+            let rng = Xoshiro.of_seed seed in
+            let a = Array.copy a in
+            for j = n - 1 downto 1 do
+              let k = Xoshiro.int rng ~bound:(j + 1) in
+              let t = a.(j) in a.(j) <- a.(k); a.(k) <- t
+            done;
+            a)
+          int))
+
+let arb_perm = QCheck.make ~print:(fun a ->
+    String.concat ";" (Array.to_list (Array.map string_of_int a))) gen_perm
+
+let prop_inverse =
+  QCheck.Test.make ~name:"p o inverse p = id" ~count:300 arb_perm (fun a ->
+      let p = Perm.of_array a in
+      Perm.is_identity (Perm.compose p (Perm.inverse p))
+      && Perm.is_identity (Perm.compose (Perm.inverse p) p))
+
+let prop_permute_inverse =
+  QCheck.Test.make ~name:"permute_array by p then inverse p is id" ~count:300
+    arb_perm (fun a ->
+      let p = Perm.of_array a in
+      let v = Array.init (Array.length a) (fun i -> i * 3) in
+      Perm.permute_array (Perm.inverse p) (Perm.permute_array p v) = v)
+
+let prop_cycles_partition =
+  QCheck.Test.make ~name:"cycles partition the domain" ~count:300 arb_perm
+    (fun a ->
+      let p = Perm.of_array a in
+      let elems = List.concat (Perm.cycles p) in
+      List.sort compare elems = List.init (Array.length a) (fun i -> i))
+
+let prop_random_is_perm =
+  QCheck.Test.make ~name:"Perm.random produces valid permutations" ~count:200
+    QCheck.(pair (int_range 1 200) int)
+    (fun (n, seed) ->
+      let rng = Xoshiro.of_seed seed in
+      let p = Perm.random rng n in
+      (* of_array validates *)
+      ignore (Perm.of_array (Perm.to_array p));
+      Perm.n p = n)
+
+let () =
+  Alcotest.run "perm"
+    [ ( "unit",
+        [ Alcotest.test_case "of_array validation" `Quick test_of_array_validation;
+          Alcotest.test_case "identity" `Quick test_identity;
+          Alcotest.test_case "shuffle definition" `Quick test_shuffle_definition;
+          Alcotest.test_case "shuffle order" `Quick test_shuffle_order;
+          Alcotest.test_case "unshuffle inverse" `Quick test_unshuffle_inverse;
+          Alcotest.test_case "bit reversal" `Quick test_bit_reversal;
+          Alcotest.test_case "bit complement" `Quick test_bit_complement;
+          Alcotest.test_case "permute_array" `Quick test_permute_array;
+          Alcotest.test_case "cycles and order" `Quick test_cycles;
+          Alcotest.test_case "compose semantics" `Quick test_compose_semantics ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_inverse; prop_permute_inverse; prop_cycles_partition;
+            prop_random_is_perm ] ) ]

@@ -1,0 +1,109 @@
+(* Tests for the deterministic PRNGs. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_splitmix_deterministic () =
+  let a = Splitmix.create 123L and b = Splitmix.create 123L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Splitmix.next a) (Splitmix.next b)
+  done
+
+let test_splitmix_seed_sensitivity () =
+  let a = Splitmix.create 123L and b = Splitmix.create 124L in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Splitmix.next a <> Splitmix.next b then differs := true
+  done;
+  check_bool "streams differ" true !differs
+
+let test_splitmix_copy () =
+  let a = Splitmix.create 5L in
+  ignore (Splitmix.next a);
+  let b = Splitmix.copy a in
+  Alcotest.(check int64) "copy continues identically" (Splitmix.next a) (Splitmix.next b)
+
+let test_splitmix_split () =
+  let a = Splitmix.create 7L in
+  let b = Splitmix.split a in
+  let xs = List.init 20 (fun _ -> Splitmix.next a) in
+  let ys = List.init 20 (fun _ -> Splitmix.next b) in
+  check_bool "split streams decorrelated" true (xs <> ys)
+
+let test_splitmix_bounds () =
+  let g = Splitmix.create 1L in
+  for _ = 1 to 1000 do
+    let v = Splitmix.next_int g ~bound:17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Splitmix.next_int: bound must be positive")
+    (fun () -> ignore (Splitmix.next_int g ~bound:0))
+
+let test_xoshiro_deterministic () =
+  let a = Xoshiro.of_seed 42 and b = Xoshiro.of_seed 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Xoshiro.next a) (Xoshiro.next b)
+  done
+
+let test_xoshiro_int_uniformish () =
+  let g = Xoshiro.of_seed 99 in
+  let counts = Array.make 10 0 in
+  let trials = 100_000 in
+  for _ = 1 to trials do
+    let v = Xoshiro.int g ~bound:10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      check_bool (Printf.sprintf "bucket %d near uniform (%d)" i c) true
+        (abs (c - (trials / 10)) < trials / 50))
+    counts
+
+let test_xoshiro_float_range () =
+  let g = Xoshiro.of_seed 3 in
+  for _ = 1 to 1000 do
+    let f = Xoshiro.float g in
+    check_bool "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_xoshiro_bool_balance () =
+  let g = Xoshiro.of_seed 17 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Xoshiro.bool g then incr trues
+  done;
+  check_bool "roughly balanced" true (abs (!trues - 5000) < 300)
+
+let test_xoshiro_copy_split () =
+  let a = Xoshiro.of_seed 8 in
+  ignore (Xoshiro.next a);
+  let b = Xoshiro.copy a in
+  Alcotest.(check int64) "copy same" (Xoshiro.next a) (Xoshiro.next b);
+  let c = Xoshiro.split a in
+  check_bool "split differs" true (Xoshiro.next c <> Xoshiro.next a)
+
+let test_xoshiro_int_small_bounds () =
+  let g = Xoshiro.of_seed 4 in
+  for bound = 1 to 5 do
+    for _ = 1 to 200 do
+      let v = Xoshiro.int g ~bound in
+      check_bool "range" true (v >= 0 && v < bound)
+    done
+  done;
+  check_int "bound 1 is constant" 0 (Xoshiro.int g ~bound:1)
+
+let () =
+  Alcotest.run "prng"
+    [ ( "splitmix",
+        [ Alcotest.test_case "deterministic" `Quick test_splitmix_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_splitmix_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_splitmix_copy;
+          Alcotest.test_case "split" `Quick test_splitmix_split;
+          Alcotest.test_case "next_int bounds" `Quick test_splitmix_bounds ] );
+      ( "xoshiro",
+        [ Alcotest.test_case "deterministic" `Quick test_xoshiro_deterministic;
+          Alcotest.test_case "int near uniform" `Quick test_xoshiro_int_uniformish;
+          Alcotest.test_case "float range" `Quick test_xoshiro_float_range;
+          Alcotest.test_case "bool balance" `Quick test_xoshiro_bool_balance;
+          Alcotest.test_case "copy and split" `Quick test_xoshiro_copy_split;
+          Alcotest.test_case "small bounds" `Quick test_xoshiro_int_small_bounds ] ) ]

@@ -1,0 +1,98 @@
+(* Tests for Benes permutation routing. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let routes_correctly p =
+  let n = Perm.n p in
+  let nw = Benes.route p in
+  let input = Array.init n (fun i -> 1000 + i) in
+  let out = Network.eval nw input in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if out.(Perm.apply p i) <> input.(i) then ok := false
+  done;
+  !ok
+
+let test_identity_route () =
+  let nw = Benes.route (Perm.identity 8) in
+  check_int "no crossed switches" 0 (Benes.switch_count nw);
+  check_bool "routes" true (routes_correctly (Perm.identity 8))
+
+let test_reversal_route () =
+  check_bool "reversal" true (routes_correctly (Perm.of_array [| 7; 6; 5; 4; 3; 2; 1; 0 |]))
+
+let test_shuffle_route () =
+  List.iter
+    (fun n ->
+      check_bool "shuffle" true (routes_correctly (Perm.shuffle n));
+      check_bool "unshuffle" true (routes_correctly (Perm.unshuffle n));
+      check_bool "bit reversal" true (routes_correctly (Perm.bit_reversal n)))
+    [ 2; 4; 8; 16; 64 ]
+
+let test_exhaustive_n4 () =
+  (* all 24 permutations of 4 elements *)
+  Exhaustive.iter_permutations 4 (fun a ->
+      check_bool "routes" true (routes_correctly (Perm.of_array a)))
+
+let test_exhaustive_n8_sample () =
+  Exhaustive.iter_permutations 5 (fun a ->
+      (* embed the 5-perm into 8 wires *)
+      let full = Array.init 8 (fun i -> if i < 5 then a.(i) else i) in
+      check_bool "routes" true (routes_correctly (Perm.of_array full)))
+
+let test_depth_formula () =
+  List.iter
+    (fun n ->
+      let nw = Benes.route (Perm.identity n) in
+      check_int (Printf.sprintf "n=%d" n) ((2 * Bitops.log2_exact n) - 1)
+        (List.length (Network.levels nw));
+      check_int "depth formula" (List.length (Network.levels nw)) (Benes.depth ~n))
+    [ 2; 4; 8; 32; 256 ]
+
+let test_exchange_only () =
+  let rng = Xoshiro.of_seed 23 in
+  for _ = 1 to 20 do
+    let p = Perm.random rng 64 in
+    let nw = Benes.route p in
+    check_int "comparator depth 0" 0 (Network.depth nw);
+    check_int "no comparators" 0 (Network.size nw)
+  done
+
+let test_non_pow2_rejected () =
+  check_bool "rejects" true
+    (match Benes.route (Perm.identity 6) with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let prop_random_routing =
+  QCheck.Test.make ~name:"random permutations route correctly" ~count:200
+    QCheck.(pair (int_range 0 1_000_000) (int_range 1 7))
+    (fun (seed, d) ->
+      let n = 1 lsl d in
+      let rng = Xoshiro.of_seed seed in
+      routes_correctly (Perm.random rng n))
+
+let prop_composition_routes =
+  QCheck.Test.make ~name:"composed permutations route correctly" ~count:100
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Xoshiro.of_seed seed in
+      let n = 32 in
+      let p = Perm.compose (Perm.random rng n) (Perm.shuffle n) in
+      routes_correctly p)
+
+let () =
+  Alcotest.run "routing"
+    [ ( "benes",
+        [ Alcotest.test_case "identity" `Quick test_identity_route;
+          Alcotest.test_case "reversal" `Quick test_reversal_route;
+          Alcotest.test_case "structured permutations" `Quick test_shuffle_route;
+          Alcotest.test_case "exhaustive n=4" `Quick test_exhaustive_n4;
+          Alcotest.test_case "exhaustive 5-perms in n=8" `Quick test_exhaustive_n8_sample;
+          Alcotest.test_case "depth formula" `Quick test_depth_formula;
+          Alcotest.test_case "exchange-only" `Quick test_exchange_only;
+          Alcotest.test_case "non power of two" `Quick test_non_pow2_rejected ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_random_routing; prop_composition_routes ] ) ]

@@ -1,0 +1,93 @@
+(* Tests for the generic Shellsort network generator. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_families_produce_decreasing_to_one () =
+  List.iter
+    (fun name ->
+      let incs = Option.get (Shellsort_net.family name) in
+      List.iter
+        (fun n ->
+          let l = incs ~n in
+          check_bool (name ^ " nonempty") true (l <> []);
+          check_int (name ^ " ends at 1") 1 (List.nth l (List.length l - 1));
+          let rec decreasing = function
+            | a :: (b :: _ as rest) -> a > b && decreasing rest
+            | [ _ ] | [] -> true
+          in
+          check_bool (name ^ " strictly decreasing") true (decreasing l);
+          List.iter (fun h -> check_bool "in range" true (h >= 1 && (h < n || n = 1))) l)
+        [ 2; 5; 16; 100; 1024 ])
+    Shellsort_net.family_names
+
+let zero_one_cases =
+  List.concat_map
+    (fun name ->
+      List.map
+        (fun n ->
+          Alcotest.test_case (Printf.sprintf "%s sorts, n=%d" name n) `Quick
+            (fun () ->
+              let incs = Option.get (Shellsort_net.family name) in
+              let nw = Shellsort_net.network ~n ~increments:(incs ~n) in
+              check_bool "0-1 exact" true (Zero_one.is_sorting_network nw)))
+        [ 2; 3; 7; 8; 13; 16 ])
+    Shellsort_net.family_names
+
+let test_custom_increments () =
+  (* any decreasing sequence ending at 1 sorts *)
+  let nw = Shellsort_net.network ~n:12 ~increments:[ 5; 2; 1 ] in
+  check_bool "custom sorts" true (Zero_one.is_sorting_network nw);
+  (* an increment sequence not ending at 1 must NOT sort (for n > 1) *)
+  let nw = Shellsort_net.network ~n:8 ~increments:[ 4; 2 ] in
+  check_bool "no final 1-pass: not a sorter" false (Zero_one.is_sorting_network nw)
+
+let test_increment_validation () =
+  check_bool "increment >= n rejected" true
+    (match Shellsort_net.network ~n:4 ~increments:[ 4 ] with
+     | exception Invalid_argument _ -> true
+     | _ -> false);
+  check_bool "increment 0 rejected" true
+    (match Shellsort_net.network ~n:4 ~increments:[ 0 ] with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_depth_accounting () =
+  (* each increment h contributes ceil(n/h) levels *)
+  let n = 12 in
+  let increments = [ 5; 2; 1 ] in
+  let nw = Shellsort_net.network ~n ~increments in
+  let expected =
+    List.fold_left (fun acc h -> acc + ((n + h - 1) / h)) 0 increments
+  in
+  check_int "level count" expected (List.length (Network.levels nw))
+
+let test_pratt_family_agrees () =
+  Alcotest.(check (list int)) "pratt family = Pratt.increments"
+    (Pratt.increments ~n:100)
+    ((Option.get (Shellsort_net.family "pratt")) ~n:100)
+
+let prop_random_inputs =
+  QCheck.Test.make ~name:"all families sort random inputs (n=50)" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Xoshiro.of_seed seed in
+      let n = 50 in
+      let input = Workload.random_permutation rng ~n in
+      List.for_all
+        (fun name ->
+          let incs = Option.get (Shellsort_net.family name) in
+          let nw = Shellsort_net.network ~n ~increments:(incs ~n) in
+          Sortedness.is_sorted (Network.eval nw input))
+        Shellsort_net.family_names)
+
+let () =
+  Alcotest.run "shellsort"
+    [ ("families", [ Alcotest.test_case "shape" `Quick test_families_produce_decreasing_to_one;
+                     Alcotest.test_case "pratt agrees" `Quick test_pratt_family_agrees ]);
+      ("zero-one exact", zero_one_cases);
+      ( "construction",
+        [ Alcotest.test_case "custom increments" `Quick test_custom_increments;
+          Alcotest.test_case "validation" `Quick test_increment_validation;
+          Alcotest.test_case "depth accounting" `Quick test_depth_accounting ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_random_inputs ]) ]

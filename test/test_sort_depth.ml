@@ -1,0 +1,102 @@
+(* Tests for the Section 5 average-case depth measure. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int_opt = Alcotest.(check (option int))
+
+let test_already_sorted () =
+  (* all-ascending networks leave a sorted input sorted from level 0 *)
+  let nw = Transposition.network ~n:8 in
+  check_int_opt "sorted input at depth 0" (Some 0)
+    (Sort_depth.sorted_depth nw (Workload.sorted ~n:8));
+  (* bitonic, by contrast, UNSORTS the identity with its descending
+     comparators and only restores order at the very end — the same
+     "nothing sorts early" effect E9 measures *)
+  let bt = Bitonic.network ~n:8 in
+  check_int_opt "bitonic re-sorts the identity only at depth 6" (Some 6)
+    (Sort_depth.sorted_depth bt (Workload.sorted ~n:8))
+
+let test_never_sorted () =
+  let nw = Network.of_gate_levels ~wires:4 [ [ Gate.compare_up 0 1 ] ] in
+  check_int_opt "unsortable input" None
+    (Sort_depth.sorted_depth nw [| 3; 2; 1; 0 |])
+
+let test_worst_case_reaches_full_depth () =
+  (* the reversed input needs every level of the brick network *)
+  let n = 8 in
+  let nw = Transposition.network ~n in
+  match Sort_depth.sorted_depth nw (Workload.reversed ~n) with
+  | Some d -> check_bool "late" true (d >= n - 1)
+  | None -> Alcotest.fail "brick sorts everything"
+
+let test_depth_bounded_by_network_depth () =
+  let rng = Xoshiro.of_seed 5 in
+  List.iter
+    (fun e ->
+      let n = if e.Sorter_registry.pow2_only then 16 else 12 in
+      let nw = e.Sorter_registry.build n in
+      for _ = 1 to 30 do
+        let input = Workload.random_permutation rng ~n in
+        match Sort_depth.sorted_depth nw input with
+        | Some d -> check_bool "within depth" true (d >= 0 && d <= Network.depth nw)
+        | None -> Alcotest.fail (e.Sorter_registry.name ^ " failed to sort")
+      done)
+    Sorter_registry.all
+
+let test_sorted_prefix_suffix_consistency () =
+  (* for a sorted-at-depth-d input, truncating the network at >= d
+     comparator levels must yield sorted output *)
+  let n = 16 in
+  let nw = Odd_even_merge.network ~n in
+  let rng = Xoshiro.of_seed 9 in
+  for _ = 1 to 30 do
+    let input = Workload.random_permutation rng ~n in
+    match Sort_depth.sorted_depth nw input with
+    | None -> Alcotest.fail "oem sorts everything"
+    | Some d ->
+        let lvls =
+          List.filteri (fun i _ -> i < d) (Network.levels nw)
+        in
+        let prefix = Network.create ~wires:n lvls in
+        check_bool "prefix output sorted" true
+          (Sortedness.is_sorted (Network.eval prefix input))
+  done
+
+let test_average_case_depth () =
+  let rng = Xoshiro.of_seed 11 in
+  let nw = Transposition.network ~n:16 in
+  match Sort_depth.average_case_depth ~samples:200 rng nw with
+  | None -> Alcotest.fail "brick sorts everything"
+  | Some st ->
+      check_bool "mean below worst case" true
+        (st.Stat_summary.mean < float_of_int (Network.depth nw));
+      check_bool "max within depth" true
+        (st.Stat_summary.max <= float_of_int (Network.depth nw))
+
+let test_exact_01_average () =
+  let nw = Bitonic.network ~n:8 in
+  match Sort_depth.exact_average_depth_01 nw with
+  | None -> Alcotest.fail "bitonic sorts everything"
+  | Some avg ->
+      check_bool "positive, below depth" true
+        (avg > 0. && avg <= float_of_int (Network.depth nw))
+
+let test_non_sorter_detected () =
+  let rng = Xoshiro.of_seed 13 in
+  let prog = Shuffle_net.random_program rng ~n:16 ~stages:4 in
+  let nw = Register_model.to_network prog in
+  check_bool "non-sorter gives None on 0-1" true
+    (Sort_depth.exact_average_depth_01 nw = None)
+
+let () =
+  Alcotest.run "sort_depth"
+    [ ( "sorted depth",
+        [ Alcotest.test_case "already sorted" `Quick test_already_sorted;
+          Alcotest.test_case "never sorted" `Quick test_never_sorted;
+          Alcotest.test_case "worst case late" `Quick test_worst_case_reaches_full_depth;
+          Alcotest.test_case "bounded by depth" `Quick test_depth_bounded_by_network_depth;
+          Alcotest.test_case "prefix consistency" `Quick
+            test_sorted_prefix_suffix_consistency ] );
+      ( "averages",
+        [ Alcotest.test_case "random average" `Quick test_average_case_depth;
+          Alcotest.test_case "exact 0-1 average" `Quick test_exact_01_average;
+          Alcotest.test_case "non-sorter detected" `Quick test_non_sorter_detected ] ) ]

@@ -1,0 +1,103 @@
+(* Tests for statistics and table rendering. *)
+
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let check_str = Alcotest.(check string)
+
+let test_summary_basic () =
+  let s = Stat_summary.of_ints [ 1; 2; 3; 4; 5 ] in
+  check_float "mean" 3.0 s.Stat_summary.mean;
+  check_float "min" 1.0 s.Stat_summary.min;
+  check_float "max" 5.0 s.Stat_summary.max;
+  check_float "median" 3.0 s.Stat_summary.median;
+  check_float "stddev" (sqrt 2.5) s.Stat_summary.stddev;
+  Alcotest.(check int) "count" 5 s.Stat_summary.count
+
+let test_summary_single () =
+  let s = Stat_summary.of_floats [ 7.5 ] in
+  check_float "mean" 7.5 s.Stat_summary.mean;
+  check_float "stddev 0" 0.0 s.Stat_summary.stddev
+
+let test_summary_empty_rejected () =
+  check_bool "raises" true
+    (match Stat_summary.of_floats [] with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_quantile () =
+  let xs = [ 1.; 2.; 3.; 4. ] in
+  check_float "q0" 1.0 (Stat_summary.quantile xs 0.);
+  check_float "q1" 4.0 (Stat_summary.quantile xs 1.);
+  check_float "median interpolates" 2.5 (Stat_summary.quantile xs 0.5);
+  check_bool "out of range" true
+    (match Stat_summary.quantile xs 1.5 with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_table_render () =
+  let t =
+    Ascii_table.create
+      ~columns:[ ("name", Ascii_table.Left); ("value", Ascii_table.Right) ]
+  in
+  Ascii_table.add_row t [ "alpha"; "1" ];
+  Ascii_table.add_row t [ "b"; "22" ];
+  let r = Ascii_table.render t in
+  check_str "render"
+    "name   value\n-----  -----\nalpha      1\nb         22\n" r
+
+let test_table_arity_checked () =
+  let t = Ascii_table.create ~columns:[ ("a", Ascii_table.Left) ] in
+  check_bool "raises" true
+    (match Ascii_table.add_row t [ "x"; "y" ] with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_table_int_row () =
+  let t =
+    Ascii_table.create
+      ~columns:[ ("a", Ascii_table.Right); ("b", Ascii_table.Right) ]
+  in
+  Ascii_table.add_int_row t [ 10; 20 ];
+  check_bool "contains" true
+    (String.length (Ascii_table.render t) > 0)
+
+let test_csv () =
+  let t =
+    Ascii_table.create
+      ~columns:[ ("name", Ascii_table.Left); ("note", Ascii_table.Left) ]
+  in
+  Ascii_table.add_row t [ "a,b"; "say \"hi\"" ];
+  let csv = Ascii_table.to_csv t in
+  check_str "escaped" "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n" csv
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantile is monotone in q" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 30) (float_bound_exclusive 100.))
+              (pair (float_bound_inclusive 1.) (float_bound_inclusive 1.)))
+    (fun (xs, (q1, q2)) ->
+      let lo = min q1 q2 and hi = max q1 q2 in
+      Stat_summary.quantile xs lo <= Stat_summary.quantile xs hi +. 1e-9)
+
+let prop_mean_between_min_max =
+  QCheck.Test.make ~name:"mean within [min,max]" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let s = Stat_summary.of_floats xs in
+      s.Stat_summary.min <= s.Stat_summary.mean +. 1e-9
+      && s.Stat_summary.mean <= s.Stat_summary.max +. 1e-9)
+
+let () =
+  Alcotest.run "stats"
+    [ ( "summary",
+        [ Alcotest.test_case "basic" `Quick test_summary_basic;
+          Alcotest.test_case "single" `Quick test_summary_single;
+          Alcotest.test_case "empty" `Quick test_summary_empty_rejected;
+          Alcotest.test_case "quantile" `Quick test_quantile ] );
+      ( "table",
+        [ Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity" `Quick test_table_arity_checked;
+          Alcotest.test_case "int rows" `Quick test_table_int_row;
+          Alcotest.test_case "csv escaping" `Quick test_csv ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_quantile_monotone; prop_mean_between_min_max ] ) ]

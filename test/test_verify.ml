@@ -1,0 +1,143 @@
+(* Tests for sortedness predicates, the packed 0-1 checker (against the
+   unpacked oracle), and the exhaustive helpers. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_is_sorted () =
+  check_bool "empty" true (Sortedness.is_sorted [||]);
+  check_bool "single" true (Sortedness.is_sorted [| 5 |]);
+  check_bool "sorted" true (Sortedness.is_sorted [| 1; 2; 2; 3 |]);
+  check_bool "unsorted" false (Sortedness.is_sorted [| 2; 1 |]);
+  check_bool "tail unsorted" false (Sortedness.is_sorted [| 1; 2; 3; 2 |])
+
+let test_inversions () =
+  check_int "sorted" 0 (Sortedness.inversions [| 1; 2; 3 |]);
+  check_int "reversed" 6 (Sortedness.inversions [| 4; 3; 2; 1 |]);
+  check_int "one swap" 1 (Sortedness.inversions [| 1; 3; 2 |]);
+  check_int "empty" 0 (Sortedness.inversions [||])
+
+let naive_inversions a =
+  let c = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    for j = i + 1 to Array.length a - 1 do
+      if a.(i) > a.(j) then incr c
+    done
+  done;
+  !c
+
+let prop_inversions_match_naive =
+  QCheck.Test.make ~name:"inversions = O(n^2) oracle" ~count:300
+    QCheck.(pair (int_range 0 100_000) (int_range 0 40))
+    (fun (seed, n) ->
+      let rng = Xoshiro.of_seed seed in
+      let a = Array.init n (fun _ -> Xoshiro.int rng ~bound:20) in
+      Sortedness.inversions a = naive_inversions a)
+
+let test_displacement () =
+  check_int "identity" 0 (Sortedness.displacement [| 0; 1; 2 |]);
+  check_int "swap ends" 4 (Sortedness.displacement [| 2; 1; 0 |])
+
+let test_output_assignment () =
+  let nw = Network.of_gate_levels ~wires:3 [ [ Gate.compare_up 0 2 ] ] in
+  let a = Sortedness.output_assignment nw [| 2; 1; 0 |] in
+  (* value 0 ends on wire 0, value 2 on wire 2, value 1 stays on wire 1 *)
+  Alcotest.(check (array int)) "assignment" [| 0; 1; 2 |] a;
+  check_bool "same assignment detection" true
+    (Sortedness.same_output_assignment nw [| 2; 1; 0 |] [| 2; 1; 0 |])
+
+let test_zero_one_known_sorters () =
+  check_bool "bitonic 8" true (Zero_one.is_sorting_network (Bitonic.network ~n:8));
+  check_bool "truncated fails" false
+    (Zero_one.is_sorting_network
+       (Network.of_gate_levels ~wires:4 [ [ Gate.compare_up 0 1 ] ]));
+  check_bool "1-wire trivially sorts" true
+    (Zero_one.is_sorting_network (Network.empty 1))
+
+let test_zero_one_guard () =
+  check_bool "guard" true
+    (match Zero_one.is_sorting_network ~max_wires:4 (Bitonic.network ~n:8) with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_failing_input_is_witness () =
+  let broken =
+    Network.of_gate_levels ~wires:4
+      [ [ Gate.compare_up 0 1; Gate.compare_up 2 3 ] ]
+  in
+  match Zero_one.failing_input broken with
+  | None -> Alcotest.fail "expected failure"
+  | Some w ->
+      check_bool "witness is 0-1" true (Array.for_all (fun v -> v = 0 || v = 1) w);
+      check_bool "witness unsorted after eval" false
+        (Sortedness.is_sorted (Network.eval broken w))
+
+let prop_packed_matches_unpacked =
+  QCheck.Test.make ~name:"packed 0-1 checker = direct enumeration" ~count:60
+    QCheck.(pair (int_range 0 100_000) (int_range 1 3))
+    (fun (seed, logn) ->
+      let n = 1 lsl (logn + 1) in
+      let rng = Xoshiro.of_seed seed in
+      let stages = 1 + Xoshiro.int rng ~bound:8 in
+      let prog = Shuffle_net.random_program rng ~n ~stages in
+      let nw = Register_model.to_network prog in
+      Zero_one.is_sorting_network nw = Exhaustive.sorts_all_zero_one nw)
+
+let prop_unsorted_count_matches =
+  QCheck.Test.make ~name:"unsorted_count = direct count" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let n = 8 in
+      let rng = Xoshiro.of_seed seed in
+      let prog = Shuffle_net.random_program rng ~n ~stages:4 in
+      let nw = Register_model.to_network prog in
+      let direct = ref 0 in
+      for t = 0 to (1 lsl n) - 1 do
+        let input = Array.init n (fun w -> (t lsr w) land 1) in
+        if not (Sortedness.is_sorted (Network.eval nw input)) then incr direct
+      done;
+      Zero_one.unsorted_count nw = !direct)
+
+let prop_zero_one_principle_itself =
+  (* the 0-1 principle: sorts all 0-1 inputs <=> sorts all permutations
+     (checked on random small networks, where both are enumerable) *)
+  QCheck.Test.make ~name:"0-1 principle on random networks" ~count:60
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let n = 4 in
+      let rng = Xoshiro.of_seed seed in
+      let prog = Shuffle_net.random_program rng ~n ~stages:(2 + Xoshiro.int rng ~bound:6) in
+      let nw = Register_model.to_network prog in
+      Exhaustive.sorts_all_zero_one nw = Exhaustive.sorts_all_permutations nw)
+
+let test_iter_permutations_counts () =
+  let count = ref 0 in
+  Exhaustive.iter_permutations 5 (fun _ -> incr count);
+  check_int "5! permutations" 120 !count;
+  let count = ref 0 in
+  Exhaustive.iter_permutations 0 (fun _ -> incr count);
+  check_int "one empty permutation" 1 !count
+
+let test_iter_permutations_distinct () =
+  let seen = Hashtbl.create 24 in
+  Exhaustive.iter_permutations 4 (fun p -> Hashtbl.replace seen (Array.copy p) ());
+  check_int "all distinct" 24 (Hashtbl.length seen)
+
+let () =
+  Alcotest.run "verify"
+    [ ( "sortedness",
+        [ Alcotest.test_case "is_sorted" `Quick test_is_sorted;
+          Alcotest.test_case "inversions" `Quick test_inversions;
+          Alcotest.test_case "displacement" `Quick test_displacement;
+          Alcotest.test_case "output assignment" `Quick test_output_assignment ] );
+      ( "zero-one",
+        [ Alcotest.test_case "known sorters" `Quick test_zero_one_known_sorters;
+          Alcotest.test_case "guard" `Quick test_zero_one_guard;
+          Alcotest.test_case "failing input" `Quick test_failing_input_is_witness ] );
+      ( "exhaustive",
+        [ Alcotest.test_case "iter_permutations count" `Quick test_iter_permutations_counts;
+          Alcotest.test_case "iter_permutations distinct" `Quick test_iter_permutations_distinct ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_inversions_match_naive; prop_packed_matches_unpacked;
+            prop_unsorted_count_matches; prop_zero_one_principle_itself ] ) ]

@@ -1,0 +1,87 @@
+(* Tests for the workload generators. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let is_permutation a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.for_all (fun v -> v >= 0 && v < n && not seen.(v) && (seen.(v) <- true; true)) a
+
+let test_random_permutation () =
+  let rng = Xoshiro.of_seed 1 in
+  for _ = 1 to 50 do
+    check_bool "valid" true (is_permutation (Workload.random_permutation rng ~n:33))
+  done
+
+let test_zero_one () =
+  let rng = Xoshiro.of_seed 2 in
+  let v = Workload.random_zero_one rng ~n:100 in
+  check_bool "only 0/1" true (Array.for_all (fun x -> x = 0 || x = 1) v);
+  let w = Workload.zero_one_with_ones ~n:6 ~ones:2 in
+  Alcotest.(check (array int)) "ones first" [| 1; 1; 0; 0; 0; 0 |] w;
+  check_bool "bad ones" true
+    (match Workload.zero_one_with_ones ~n:3 ~ones:4 with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_sorted_reversed () =
+  Alcotest.(check (array int)) "sorted" [| 0; 1; 2 |] (Workload.sorted ~n:3);
+  Alcotest.(check (array int)) "reversed" [| 2; 1; 0 |] (Workload.reversed ~n:3)
+
+let test_nearly_sorted () =
+  let rng = Xoshiro.of_seed 3 in
+  let a = Workload.nearly_sorted rng ~n:50 ~swaps:3 in
+  check_bool "still a permutation" true (is_permutation a);
+  check_bool "few inversions" true (Sortedness.inversions a <= 3 * 50)
+
+let test_k_rotated () =
+  Alcotest.(check (array int)) "rot 1" [| 1; 2; 3; 0 |] (Workload.k_rotated ~n:4 ~k:1);
+  Alcotest.(check (array int)) "rot -1 = rot n-1" (Workload.k_rotated ~n:4 ~k:3)
+    (Workload.k_rotated ~n:4 ~k:(-1));
+  check_int "rot n = id" 0 (Sortedness.inversions (Workload.k_rotated ~n:4 ~k:4))
+
+let count_descents a =
+  let c = ref 0 in
+  for i = 0 to Array.length a - 2 do
+    if a.(i) > a.(i + 1) then incr c
+  done;
+  !c
+
+let test_bitonic_input_shape () =
+  let rng = Xoshiro.of_seed 4 in
+  for _ = 1 to 100 do
+    let a = Workload.bitonic_input rng ~n:32 in
+    check_bool "permutation" true (is_permutation a);
+    (* ascending run then descending run: direction changes at most once *)
+    let changes = ref 0 in
+    let dir = ref 0 in
+    for i = 0 to 30 do
+      let d = compare a.(i + 1) a.(i) in
+      if d <> 0 && d <> !dir then begin
+        if !dir <> 0 then incr changes;
+        dir := d
+      end
+    done;
+    check_bool "at most one direction change" true (!changes <= 1);
+    ignore (count_descents a)
+  done
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"same seed, same workload" ~count:100
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let a = Workload.random_permutation (Xoshiro.of_seed seed) ~n:20 in
+      let b = Workload.random_permutation (Xoshiro.of_seed seed) ~n:20 in
+      a = b)
+
+let () =
+  Alcotest.run "workload"
+    [ ( "generators",
+        [ Alcotest.test_case "random permutation" `Quick test_random_permutation;
+          Alcotest.test_case "zero-one" `Quick test_zero_one;
+          Alcotest.test_case "sorted / reversed" `Quick test_sorted_reversed;
+          Alcotest.test_case "nearly sorted" `Quick test_nearly_sorted;
+          Alcotest.test_case "rotations" `Quick test_k_rotated;
+          Alcotest.test_case "bitonic shape" `Quick test_bitonic_input_shape ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_deterministic ]) ]
