@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench tables examples clean
+.PHONY: all build test bench bench-json tables examples clean
 
 all: build
 
@@ -12,6 +12,11 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Engine microbenchmarks only; writes name -> ns/op to BENCH_engine.json
+# so successive PRs have a perf trajectory to compare against.
+bench-json:
+	SNLB_BENCH_JSON=BENCH_engine.json dune exec bench/main.exe
 
 tables:
 	dune exec bin/snlb_cli.exe -- table all --quick

@@ -3,11 +3,18 @@
    Part 1 (Bechamel): one microbenchmark per experiment (E1..E10) timing
    the computational kernel that regenerates it, plus throughput
    benchmarks of the substrate kernels (network evaluation per sorter,
-   packed 0-1 verification, tracing, Benes routing).
+   engine-backed 0-1 verification, tracing, Benes routing) and the
+   compiled-engine microbenchmarks (compile cost, scalar compiled eval,
+   batch eval, bit-sliced verification vs the scalar per-input
+   baseline).
 
    Part 2: the full experiment tables of EXPERIMENTS.md, printed via the
    experiment registry (quick sweeps by default; set SNLB_BENCH_FULL=1
-   for the full sweeps). *)
+   for the full sweeps).
+
+   Setting SNLB_BENCH_JSON=<path> instead runs only the engine
+   microbenchmarks and writes a { "name": ns_per_op } JSON file for
+   cross-PR perf tracking (see `make bench-json`). *)
 
 open Bechamel
 open Toolkit
@@ -30,15 +37,50 @@ let sorter_eval_tests =
         (Staged.stage (fun () -> ignore (Network.eval nw input))))
     Sorter_registry.all
 
+(* The scalar 0-1 baseline the engine is measured against: one
+   interpretive Network.eval per test input, 2^n inputs. *)
+let scalar_zero_one nw =
+  let n = Network.wires nw in
+  let ok = ref true in
+  for t = 0 to (1 lsl n) - 1 do
+    if !ok then begin
+      let input = Array.init n (fun w -> (t lsr w) land 1) in
+      if not (Sortedness.is_sorted (Network.eval nw input)) then ok := false
+    end
+  done;
+  !ok
+
+let engine_tests =
+  let rng = pre_rng () in
+  let nw16 = Bitonic.network ~n:16 in
+  let c16 = Cache.compile nw16 in
+  let big = Bitonic.network ~n:n_bench in
+  let cbig = Cache.compile big in
+  let input = Workload.random_permutation rng ~n:n_bench in
+  let batch = Workload.permutation_batch rng ~n:n_bench ~count:64 in
+  [ Test.make ~name:"engine/compile/bitonic-n=1024"
+      (Staged.stage (fun () -> ignore (Compiled.of_network big)));
+    Test.make ~name:"engine/eval/bitonic-n=1024"
+      (Staged.stage (fun () -> ignore (Compiled.eval cbig input)));
+    Test.make ~name:"engine/eval-many-64/bitonic-n=1024"
+      (Staged.stage (fun () -> ignore (Compiled.eval_many cbig batch)));
+    Test.make ~name:"engine/zero-one-bitsliced/bitonic-n=16"
+      (Staged.stage (fun () -> ignore (Bitslice.is_sorting_network c16)));
+    Test.make ~name:"engine/zero-one-bitsliced-4dom/bitonic-n=16"
+      (Staged.stage (fun () ->
+           ignore (Bitslice.is_sorting_network ~domains:4 c16)));
+    Test.make ~name:"verify/zero-one-scalar/bitonic-n=16"
+      (Staged.stage (fun () -> ignore (scalar_zero_one nw16))) ]
+
 let kernel_tests =
   let rng = pre_rng () in
   let nw16 = Bitonic.network ~n:16 in
   let input_bench = Workload.random_permutation rng ~n:n_bench in
   let bitonic_big = Bitonic.network ~n:n_bench in
   let perm = Perm.random rng n_bench in
-  [ Test.make ~name:"verify/zero-one-packed/bitonic-n=16"
+  [ Test.make ~name:"verify/zero-one-engine/bitonic-n=16"
       (Staged.stage (fun () -> ignore (Zero_one.is_sorting_network nw16)));
-    Test.make ~name:"verify/zero-one-packed-4dom/bitonic-n=16"
+    Test.make ~name:"verify/zero-one-engine-4dom/bitonic-n=16"
       (Staged.stage (fun () ->
            ignore (Zero_one.is_sorting_network ~domains:4 nw16)));
     Test.make ~name:"io/serialise+parse/bitonic-n=1024"
@@ -120,15 +162,15 @@ let experiment_tests =
 
 let all_tests =
   Test.make_grouped ~name:"snlb"
-    (experiment_tests @ kernel_tests @ sorter_eval_tests)
+    (experiment_tests @ engine_tests @ kernel_tests @ sorter_eval_tests)
 
-let run_bechamel () =
+let run_bechamel tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
-  let raw = Benchmark.all cfg instances all_tests in
+  let raw = Benchmark.all cfg instances tests in
   let results =
     List.map (fun instance -> Analyze.all ols instance raw) instances
   in
@@ -172,11 +214,56 @@ let run_bechamel () =
       Ascii_table.add_row tbl [ name; time; words ])
     (List.sort compare !names);
   print_endline "=== Bechamel microbenchmarks ===";
-  Ascii_table.print tbl
+  Ascii_table.print tbl;
+  (* name -> ns/op for callers that post-process (speedup, JSON) *)
+  List.filter_map
+    (fun name ->
+      match value_of clock name with
+      | None -> None
+      | Some ns -> Some (name, ns))
+    (List.sort compare !names)
+
+let report_engine_speedup results =
+  let find suffix =
+    List.find_opt (fun (name, _) -> String.ends_with ~suffix name) results
+  in
+  match
+    ( find "verify/zero-one-scalar/bitonic-n=16",
+      find "engine/zero-one-bitsliced/bitonic-n=16" )
+  with
+  | Some (_, scalar), Some (_, sliced) when sliced > 0. ->
+      Printf.printf
+        "\nengine speedup: bit-sliced 0-1 verification of bitonic n=16 is \
+         %.0fx the scalar per-input baseline (%.2f ms -> %.3f ms)\n"
+        (scalar /. sliced) (scalar /. 1e6) (sliced /. 1e6)
+  | _ -> ()
+
+let write_json path results =
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  %S: %.2f%s\n" name ns
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%d benchmarks, ns/op)\n" path (List.length results)
 
 let () =
-  run_bechamel ();
-  let quick = Sys.getenv_opt "SNLB_BENCH_FULL" = None in
-  Printf.printf "\n=== Experiment tables (%s sweeps; see EXPERIMENTS.md) ===\n"
-    (if quick then "quick" else "full");
-  Registry.run_all ~quick
+  match Sys.getenv_opt "SNLB_BENCH_JSON" with
+  | Some path ->
+      (* engine-only run: fast, machine-readable perf trajectory *)
+      let results =
+        run_bechamel (Test.make_grouped ~name:"snlb" engine_tests)
+      in
+      report_engine_speedup results;
+      write_json path results
+  | None ->
+      let results = run_bechamel all_tests in
+      report_engine_speedup results;
+      let quick = Sys.getenv_opt "SNLB_BENCH_FULL" = None in
+      Printf.printf
+        "\n=== Experiment tables (%s sweeps; see EXPERIMENTS.md) ===\n"
+        (if quick then "quick" else "full");
+      Registry.run_all ~quick

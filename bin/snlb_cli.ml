@@ -58,25 +58,41 @@ let sort_cmd =
 (* verify *)
 
 let verify_cmd =
-  let run algo n =
+  let domains_arg =
+    let doc =
+      "Parallel domains for the 2^n-input sweep (0 = auto; the \
+       SNLB_DOMAINS environment variable pins the auto choice)."
+    in
+    Arg.(value & opt int 0 & info [ "domains" ] ~docv:"D" ~doc)
+  in
+  let run algo n domains =
     match build_sorter algo n with
     | Error e ->
         prerr_endline e;
         1
     | Ok nw ->
+        let domains =
+          if domains <= 0 then Par.recommended_domains () else domains
+        in
         Printf.printf "verifying %s on n=%d over all %d zero-one inputs...\n%!"
           algo n (1 lsl n);
-        let ok = Zero_one.is_sorting_network nw in
-        Printf.printf "sorting network: %b\n" ok;
-        if not ok then begin
-          match Zero_one.failing_input nw with
-          | Some w -> Printf.printf "failing input: %s\n" (pp_array w)
-          | None -> ()
-        end;
-        if ok then 0 else 1
+        (match Zero_one.verify ~domains nw with
+        | Ok () ->
+            Printf.printf "sorting network: true\n";
+            0
+        | Error witness ->
+            Printf.printf "sorting network: false\n";
+            Printf.printf "failing input: %s\n" (pp_array witness);
+            Printf.printf "network output: %s\n"
+              (pp_array (Network.eval nw witness));
+            1)
   in
-  let doc = "Exactly verify a network via the 0-1 principle (n <= 26)." in
-  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ algo_arg $ n_arg)
+  let doc =
+    "Exactly verify a network via the 0-1 principle (n <= 26), \
+     bit-sliced 63 inputs per word on the compiled engine."
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run $ algo_arg $ n_arg $ domains_arg)
 
 (* certify *)
 

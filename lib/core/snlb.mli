@@ -31,6 +31,9 @@
       refinement, and Definition 3.5 semantics.
     - {!Mset}, {!Lemma41}, {!Theorem41}, {!Certificate}, {!Naive},
       {!Adaptive}, {!Truncated}: the adversary.
+    - {!Compiled}, {!Bitslice}, {!Cache}: the compiled evaluation
+      engine (flat instruction streams, 63-lane bit-sliced 0-1
+      execution, structural compile cache).
     - {!Sortedness}, {!Zero_one}, {!Exhaustive}: verification.
     - {!Benes}: permutation routing.
     - {!Workload}, {!Stat_summary}, {!Ascii_table}: harness support. *)
@@ -79,6 +82,9 @@ module Benes = Benes
 module Ascend = Ascend
 module Prefix = Prefix
 module Ntt = Ntt
+module Compiled = Compiled
+module Bitslice = Bitslice
+module Cache = Cache
 module Workload = Workload
 module Par = Par
 module Stat_summary = Stat_summary

@@ -1,0 +1,173 @@
+let lanes = 63
+
+(* All-lanes-set mask for [m] valid lanes; [(1 lsl 63) - 1] wraps to
+   [-1], which is exactly "all 63 bits" on a 63-bit int. *)
+let valid_mask m = if m >= lanes then -1 else (1 lsl m) - 1
+
+let pop8 =
+  Array.init 256 (fun i ->
+      let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
+      go 0 i)
+
+(* Popcount over the full 63-bit word, sign bit included ([lsr] is a
+   logical shift, so a "negative" word is just 63 data bits). *)
+let popcount w =
+  pop8.(w land 0xff)
+  + pop8.((w lsr 8) land 0xff)
+  + pop8.((w lsr 16) land 0xff)
+  + pop8.((w lsr 24) land 0xff)
+  + pop8.((w lsr 32) land 0xff)
+  + pop8.((w lsr 40) land 0xff)
+  + pop8.((w lsr 48) land 0xff)
+  + pop8.(w lsr 56)
+
+let lowest_bit w =
+  let i = ref 0 in
+  while (w lsr !i) land 1 = 0 do
+    incr i
+  done;
+  !i
+
+(* Bit [w] of consecutive integers is periodic with period [2^(w+1)].
+   For [w <= 5] the period fits in a word: precompute the 63-lane
+   pattern for every phase, once per sweep. For [w >= 6] the period
+   exceeds 63, so a block sees at most one 0->1 / 1->0 transition and
+   the word is two runs, built directly from the transition index. *)
+let low_patterns n =
+  let wmax = min (n - 1) 5 in
+  Array.init (wmax + 1) (fun w ->
+      let period = 1 lsl (w + 1) in
+      Array.init period (fun phase ->
+          let word = ref 0 in
+          for j = 0 to lanes - 1 do
+            if ((phase + j) lsr w) land 1 = 1 then word := !word lor (1 lsl j)
+          done;
+          !word))
+
+(* state.(w) <- bits j in [0, 63) of ((t0 + j) lsr w) land 1.  Lanes
+   beyond a caller's valid range carry the bits of the inputs just past
+   it; the violation mask discards them. *)
+let fill_columns pats n t0 state =
+  let npats = Array.length pats in
+  for w = 0 to n - 1 do
+    state.(w) <-
+      (if w < npats then pats.(w).(t0 land ((1 lsl (w + 1)) - 1))
+       else begin
+         let pw = 1 lsl w in
+         let rem = t0 land (pw - 1) in
+         let bit0 = (t0 lsr w) land 1 in
+         let flip = if rem = 0 then pw else pw - rem in
+         if flip >= lanes then if bit0 = 1 then -1 else 0
+         else begin
+           let low = (1 lsl flip) - 1 in
+           if bit0 = 1 then low else lnot low
+         end
+       end)
+  done
+
+(* One pass over the instruction stream on packed words: a comparator
+   is (AND -> min slot, OR -> max slot), an exchange swaps words. *)
+let exec_words (c : Compiled.t) state =
+  let kinds = c.Compiled.kinds
+  and ga = c.Compiled.ga
+  and gb = c.Compiled.gb in
+  for i = 0 to Bytes.length kinds - 1 do
+    let a = Array.unsafe_get ga i and b = Array.unsafe_get gb i in
+    let x = Array.unsafe_get state a and y = Array.unsafe_get state b in
+    if Bytes.unsafe_get kinds i = '\000' then begin
+      Array.unsafe_set state a (x land y);
+      Array.unsafe_set state b (x lor y)
+    end
+    else begin
+      Array.unsafe_set state a y;
+      Array.unsafe_set state b x
+    end
+  done
+
+(* Lanes whose output is out of order: ascending needs col_r <=
+   col_{r+1} pointwise in output-register order, which reads through
+   the final routing map when present. *)
+let violation_word (c : Compiled.t) state =
+  let n = c.Compiled.wires in
+  let v = ref 0 in
+  (match c.Compiled.take with
+  | None ->
+      for r = 0 to n - 2 do
+        v := !v lor (state.(r) land lnot state.(r + 1))
+      done
+  | Some take ->
+      for r = 0 to n - 2 do
+        v := !v lor (state.(take.(r)) land lnot state.(take.(r + 1)))
+      done);
+  !v
+
+let check_range fn c ~lo ~hi =
+  if lo < 0 || lo > hi then
+    invalid_arg (Printf.sprintf "Bitslice.%s: bad range [%d, %d)" fn lo hi);
+  ignore (c : Compiled.t)
+
+let find_unsorted_range ?stop c ~lo ~hi =
+  check_range "find_unsorted_range" c ~lo ~hi;
+  let n = c.Compiled.wires in
+  let pats = low_patterns n in
+  let state = Array.make n 0 in
+  let stopped () = match stop with None -> false | Some s -> Atomic.get s in
+  let result = ref None in
+  let t = ref lo in
+  while !result = None && !t < hi && not (stopped ()) do
+    fill_columns pats n !t state;
+    exec_words c state;
+    let v = violation_word c state land valid_mask (hi - !t) in
+    if v <> 0 then begin
+      result := Some (!t + lowest_bit v);
+      match stop with None -> () | Some s -> Atomic.set s true
+    end;
+    t := !t + lanes
+  done;
+  !result
+
+let count_unsorted_range c ~lo ~hi =
+  check_range "count_unsorted_range" c ~lo ~hi;
+  let n = c.Compiled.wires in
+  let pats = low_patterns n in
+  let state = Array.make n 0 in
+  let count = ref 0 in
+  let t = ref lo in
+  while !t < hi do
+    fill_columns pats n !t state;
+    exec_words c state;
+    count :=
+      !count + popcount (violation_word c state land valid_mask (hi - !t));
+    t := !t + lanes
+  done;
+  !count
+
+let check_width fn c =
+  let n = c.Compiled.wires in
+  if n >= 62 then
+    invalid_arg (Printf.sprintf "Bitslice.%s: %d wires (2^n inputs)" fn n);
+  n
+
+let find_unsorted ?(domains = 1) c =
+  let n = check_width "find_unsorted" c in
+  let hi = 1 lsl n in
+  if domains <= 1 then find_unsorted_range c ~lo:0 ~hi
+  else begin
+    let stop = Atomic.make false in
+    let hits =
+      Par.map_ranges ~domains ~lo:0 ~hi (fun ~lo ~hi ->
+          find_unsorted_range ~stop c ~lo ~hi)
+    in
+    List.find_opt Option.is_some hits |> Option.join
+  end
+
+let count_unsorted ?(domains = 1) c =
+  let n = check_width "count_unsorted" c in
+  let hi = 1 lsl n in
+  if domains <= 1 then count_unsorted_range c ~lo:0 ~hi
+  else
+    Par.map_ranges ~domains ~lo:0 ~hi (fun ~lo ~hi ->
+        count_unsorted_range c ~lo ~hi)
+    |> List.fold_left ( + ) 0
+
+let is_sorting_network ?domains c = find_unsorted ?domains c = None

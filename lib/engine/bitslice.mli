@@ -1,0 +1,48 @@
+(** Word-parallel 0-1 evaluation of a compiled network.
+
+    The 0-1 principle reduces exact sorting-network verification to the
+    [2^n] inputs over {0,1}; on such inputs a comparator computes
+    [(AND, OR)]. This module packs 63 {e independent} test inputs into
+    one OCaml [int] per wire (one bit lane per input, bits 0–62), so a
+    single pass over the compiled instruction stream evaluates 63
+    inputs at once: a comparator is two word operations, an exchange a
+    swap of two words, and the final output routing an index
+    indirection in the sortedness check.
+
+    Test input [t] (an [n]-bit integer) assigns bit [(t lsr w) land 1]
+    to wire [w]. The initial wire words for a block of 63 consecutive
+    [t] are built in O(wires) word operations from the periodicity of
+    index bits — not bit by bit — so setup does not dominate shallow
+    networks.
+
+    Range sweeps compose with {!Par.map_ranges} for multicore fan-out;
+    a shared {!Stdlib.Atomic} stop flag lets one domain's discovery
+    short-circuit the others mid-range. *)
+
+val lanes : int
+(** Inputs per word: 63 (OCaml ints are 63-bit on 64-bit platforms). *)
+
+val find_unsorted_range :
+  ?stop:bool Atomic.t -> Compiled.t -> lo:int -> hi:int -> int option
+(** [find_unsorted_range c ~lo ~hi] is [Some t] for the smallest test
+    input [t] in [\[lo, hi)] that [c] leaves unsorted, or [None]. When
+    [stop] is given, the sweep aborts early (returning [None]) once the
+    flag becomes true, and sets the flag itself on discovery — the
+    cross-domain short-circuit. *)
+
+val count_unsorted_range : Compiled.t -> lo:int -> hi:int -> int
+(** Number of test inputs in [\[lo, hi)] left unsorted. *)
+
+val find_unsorted : ?domains:int -> Compiled.t -> int option
+(** [find_unsorted c] sweeps all [2^wires] test inputs with up to
+    [domains] (default 1) domains, short-circuiting every domain on
+    first discovery. With [domains = 1] the result is the smallest
+    failing input; with more, some failing input. [None] means [c]
+    sorts. The caller is responsible for guarding [wires] (the sweep is
+    exponential). *)
+
+val count_unsorted : ?domains:int -> Compiled.t -> int
+(** Exact number of unsorted 0-1 inputs out of [2^wires]. *)
+
+val is_sorting_network : ?domains:int -> Compiled.t -> bool
+(** [find_unsorted c = None]. *)

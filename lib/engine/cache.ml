@@ -1,0 +1,68 @@
+(* Structural compile cache: registry sorters and repeatedly verified
+   networks compile once per process.  Keys are a canonical structural
+   summary of the network (wires, per-level pre-permutation image and
+   gate triples), so two independently built but identical networks
+   share one compiled form.  Polymorphic hashing may truncate deep
+   keys; equality is full structural comparison, so collisions only
+   cost a probe, never a wrong hit. *)
+
+type key = int * (int array option * (int * int * int) list) list
+
+let canonical_key nw : key =
+  ( Network.wires nw,
+    List.map
+      (fun lvl ->
+        ( (match lvl.Network.pre with
+          | None -> None
+          | Some p -> Some (Perm.to_array p)),
+          List.map
+            (fun g ->
+              match g with
+              | Gate.Compare { lo; hi } -> (0, lo, hi)
+              | Gate.Exchange { a; b } -> (1, a, b))
+            lvl.Network.gates ))
+      (Network.levels nw) )
+
+type stats = { hits : int; misses : int; entries : int }
+
+let max_entries = 512
+
+let lock = Mutex.create ()
+let table : (key, Compiled.t) Hashtbl.t = Hashtbl.create 64
+let hit_count = ref 0
+let miss_count = ref 0
+
+let compile nw =
+  let k = canonical_key nw in
+  Mutex.lock lock;
+  match Hashtbl.find_opt table k with
+  | Some c ->
+      incr hit_count;
+      Mutex.unlock lock;
+      c
+  | None ->
+      Mutex.unlock lock;
+      (* compile outside the lock; a racing duplicate compile is
+         harmless (last write wins, both results are equivalent) *)
+      let c = Compiled.of_network nw in
+      Mutex.lock lock;
+      incr miss_count;
+      if Hashtbl.length table >= max_entries then Hashtbl.reset table;
+      Hashtbl.replace table k c;
+      Mutex.unlock lock;
+      c
+
+let stats () =
+  Mutex.lock lock;
+  let s =
+    { hits = !hit_count; misses = !miss_count; entries = Hashtbl.length table }
+  in
+  Mutex.unlock lock;
+  s
+
+let clear () =
+  Mutex.lock lock;
+  Hashtbl.reset table;
+  hit_count := 0;
+  miss_count := 0;
+  Mutex.unlock lock

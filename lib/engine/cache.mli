@@ -1,0 +1,24 @@
+(** Structural-hash compile cache.
+
+    Verification and sweep entry points compile through this cache so a
+    network that is checked repeatedly — every registry sorter, every
+    experiment harness loop — pays {!Compiled.of_network} once per
+    process. Keys are canonical structural summaries (not physical
+    identity), so independently constructed but identical networks
+    share one compiled form.
+
+    Domain-safe: the table is guarded by a mutex; compilation itself
+    runs outside the critical section. The cache is bounded (it resets
+    wholesale past 512 entries, a size no workload in this repository
+    approaches). *)
+
+val compile : Network.t -> Compiled.t
+(** [compile nw] is [Compiled.of_network nw], memoised structurally. *)
+
+type stats = { hits : int; misses : int; entries : int }
+
+val stats : unit -> stats
+(** Cumulative hit/miss counters and current table size. *)
+
+val clear : unit -> unit
+(** Drop all entries and reset the counters (tests, benchmarks). *)

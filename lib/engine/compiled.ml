@@ -1,0 +1,155 @@
+type t = {
+  wires : int;
+  kinds : Bytes.t;
+  ga : int array;
+  gb : int array;
+  level_off : int array;
+  level_cmp : bool array;
+  slots : int array array option;
+  take : int array option;
+  depth : int;
+}
+
+let kind_compare = '\000'
+let kind_exchange = '\001'
+
+let of_network nw =
+  let n = Network.wires nw in
+  let levels = Network.levels nw in
+  let nlevels = List.length levels in
+  let total =
+    List.fold_left (fun acc l -> acc + List.length l.Network.gates) 0 levels
+  in
+  let has_pre = List.exists (fun l -> l.Network.pre <> None) levels in
+  let kinds = Bytes.create total in
+  let ga = Array.make total 0 in
+  let gb = Array.make total 0 in
+  let level_off = Array.make (nlevels + 1) total in
+  let level_cmp = Array.make nlevels false in
+  let slots = if has_pre then Some (Array.make nlevels [||]) else None in
+  (* [slot.(r)] is the flattened slot currently holding the value the
+     source network keeps in register [r]; same invariant as
+     Network.flatten, maintained here so gates rewire through it. *)
+  let slot = Array.init n (fun r -> r) in
+  let gi = ref 0 in
+  let depth = ref 0 in
+  List.iteri
+    (fun li lvl ->
+      level_off.(li) <- !gi;
+      (match lvl.Network.pre with
+      | None -> ()
+      | Some p ->
+          let old = Array.copy slot in
+          for r = 0 to n - 1 do
+            slot.(Perm.apply p r) <- old.(r)
+          done);
+      (match slots with None -> () | Some s -> s.(li) <- Array.copy slot);
+      List.iter
+        (fun g ->
+          (match g with
+          | Gate.Compare { lo; hi } ->
+              Bytes.set kinds !gi kind_compare;
+              ga.(!gi) <- slot.(lo);
+              gb.(!gi) <- slot.(hi);
+              level_cmp.(li) <- true
+          | Gate.Exchange { a; b } ->
+              Bytes.set kinds !gi kind_exchange;
+              ga.(!gi) <- slot.(a);
+              gb.(!gi) <- slot.(b));
+          incr gi)
+        lvl.Network.gates;
+      if level_cmp.(li) then incr depth)
+    levels;
+  let identity = Array.for_all2 ( = ) slot (Array.init n (fun r -> r)) in
+  let take = if identity then None else Some (Array.copy slot) in
+  { wires = n; kinds; ga; gb; level_off; level_cmp; slots; take;
+    depth = !depth }
+
+let wires t = t.wires
+let depth t = t.depth
+let levels t = Array.length t.level_cmp
+let gate_count t = Bytes.length t.kinds
+
+let comparators t =
+  let c = ref 0 in
+  Bytes.iter (fun k -> if k = kind_compare then incr c) t.kinds;
+  !c
+
+(* Execute gates [lo, hi) of the stream in place on [w]. Endpoints were
+   validated against [wires] at compile time, hence the unsafe
+   accesses. *)
+let exec_range t w lo hi =
+  let kinds = t.kinds and ga = t.ga and gb = t.gb in
+  for i = lo to hi - 1 do
+    let a = Array.unsafe_get ga i and b = Array.unsafe_get gb i in
+    let x = Array.unsafe_get w a and y = Array.unsafe_get w b in
+    if Bytes.unsafe_get kinds i = kind_compare then begin
+      if x > y then begin
+        Array.unsafe_set w a y;
+        Array.unsafe_set w b x
+      end
+    end
+    else begin
+      Array.unsafe_set w a y;
+      Array.unsafe_set w b x
+    end
+  done
+
+let check_input t input =
+  if Array.length input <> t.wires then
+    invalid_arg
+      (Printf.sprintf "Compiled.eval: input length %d <> wires %d"
+         (Array.length input) t.wires)
+
+let route_out t w =
+  match t.take with
+  | None -> w
+  | Some take -> Array.init t.wires (fun r -> w.(take.(r)))
+
+let eval t input =
+  check_input t input;
+  let w = Array.copy input in
+  exec_range t w 0 (Bytes.length t.kinds);
+  route_out t w
+
+let eval_many ?(domains = 1) t inputs =
+  let count = Array.length inputs in
+  let out = Array.make count [||] in
+  let run ~lo ~hi =
+    for i = lo to hi - 1 do
+      out.(i) <- eval t inputs.(i)
+    done
+  in
+  if domains <= 1 then run ~lo:0 ~hi:count
+  else
+    (* chunks write disjoint index ranges of [out] *)
+    ignore (Par.map_ranges ~domains ~lo:0 ~hi:count run);
+  out
+
+let scan_levels t input ~on_level =
+  check_input t input;
+  let n = t.wires in
+  let w = Array.copy input in
+  let scratch =
+    match t.slots with Some _ -> Array.make n 0 | None -> [||]
+  in
+  let cmp_levels = ref 0 in
+  let nlevels = Array.length t.level_cmp in
+  for li = 0 to nlevels - 1 do
+    exec_range t w t.level_off.(li) t.level_off.(li + 1);
+    if t.level_cmp.(li) then incr cmp_levels;
+    let view =
+      match t.slots with
+      | None -> w
+      | Some s ->
+          let sl = s.(li) in
+          for r = 0 to n - 1 do
+            scratch.(r) <- w.(sl.(r))
+          done;
+          scratch
+    in
+    on_level ~comparator_levels:!cmp_levels view
+  done;
+  match t.take with
+  | None -> w
+  | Some take -> Array.init n (fun r -> w.(take.(r)))

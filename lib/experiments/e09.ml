@@ -16,13 +16,17 @@ let columns =
     ("mean inversions", Ascii_table.Right) ]
 
 let measure tbl ~rng ~samples ~n nw =
+  (* compile once, evaluate the whole sample batch through the flat
+     instruction stream (same RNG order as the per-sample loop) *)
+  let c = Cache.compile nw in
+  let inputs = Workload.permutation_batch rng ~n ~count:samples in
+  let outputs = Compiled.eval_many c inputs in
   let sorted_count = ref 0 and inv = ref 0 in
-  for _ = 1 to samples do
-    let input = Workload.random_permutation rng ~n in
-    let out = Network.eval nw input in
-    if Sortedness.is_sorted out then incr sorted_count;
-    inv := !inv + Sortedness.inversions out
-  done;
+  Array.iter
+    (fun out ->
+      if Sortedness.is_sorted out then incr sorted_count;
+      inv := !inv + Sortedness.inversions out)
+    outputs;
   let zo =
     if n <= 16 then
       let bad = Zero_one.unsorted_count nw in

@@ -1,6 +1,16 @@
+let clamp_domains v = min 64 (max 1 v)
+
 let recommended_domains () =
-  let cores = Domain.recommended_domain_count () in
-  min 8 (max 1 (cores - 1))
+  let default () =
+    let cores = Domain.recommended_domain_count () in
+    min 8 (max 1 (cores - 1))
+  in
+  match Sys.getenv_opt "SNLB_DOMAINS" with
+  | None -> default ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v -> clamp_domains v
+      | None -> default ())
 
 let map_ranges ~domains ~lo ~hi f =
   if lo > hi then invalid_arg "Par.map_ranges: lo > hi";

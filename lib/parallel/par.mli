@@ -9,7 +9,11 @@
 
 val recommended_domains : unit -> int
 (** [max 1 (cpu count - 1)], capped at 8; the extra domains beyond the
-    chunk count are never spawned. *)
+    chunk count are never spawned. The [SNLB_DOMAINS] environment
+    variable overrides the heuristic with a fixed count, clamped to
+    [\[1, 64\]] — CI and benchmarks use it to pin parallelism
+    deterministically. A non-integer (or empty) value falls back to
+    the heuristic. *)
 
 val map_ranges :
   domains:int -> lo:int -> hi:int -> (lo:int -> hi:int -> 'a) -> 'a list

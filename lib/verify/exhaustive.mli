@@ -11,11 +11,14 @@ val iter_permutations : int -> (int array -> unit) -> unit
     copy if retained). @raise Invalid_argument if [n > 10]. *)
 
 val sorts_all_permutations : Network.t -> bool
-(** Exact check over all [n!] permutation inputs ([n <= 10]). *)
+(** Exact check over all [n!] permutation inputs ([n <= 10]),
+    evaluated through the compiled scalar engine (one instruction
+    stream, [n!] inputs). *)
 
 val sorts_all_zero_one : Network.t -> bool
-(** Exact check over all [2^n] 0-1 inputs by direct (unpacked)
-    evaluation ([n <= 22]); the oracle for {!Zero_one}. *)
+(** Exact check over all [2^n] 0-1 inputs by direct (unpacked,
+    interpretive) evaluation ([n <= 22]); the oracle for {!Zero_one}
+    and the engine — deliberately kept on {!Network.eval}. *)
 
 val constant_output_assignment : Network.t -> bool
 (** The paper's literal definition of a sorting network: every input

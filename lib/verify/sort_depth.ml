@@ -1,56 +1,42 @@
-let sorted_depth nw input =
-  let n = Network.wires nw in
+(* Average-case depth (paper Section 5), computed on the compiled
+   engine: the network is lowered once (structurally cached) and each
+   input makes one pass over the flat instruction stream, with
+   per-level snapshots reported back in the original register
+   coordinates for the "equals the sorted target" test. *)
+
+let sorted_depth_compiled c input =
+  let n = Compiled.wires c in
   if Array.length input <> n then
     invalid_arg "Sort_depth.sorted_depth: input length mismatch";
   let target = Array.copy input in
   Array.sort compare target;
-  (* record, per comparator level, whether the working array equals the
-     sorted target after it fired *)
-  let values = ref (Array.copy input) in
+  (* [matches] holds, in decreasing order, the comparator-level indices
+     of the suffix of levels since the contents last became (and
+     stayed) equal to the sorted target *)
   let matches = ref [] in
-  let comparator_levels = ref 0 in
-  if !values = target then matches := [ 0 ];
-  List.iter
-    (fun lvl ->
-      (match lvl.Network.pre with
-      | None -> ()
-      | Some p -> values := Perm.permute_array p !values);
-      let has_comparator = List.exists Gate.is_comparator lvl.Network.gates in
-      List.iter
-        (fun g ->
-          let v = !values in
-          match g with
-          | Gate.Compare { lo; hi } ->
-              if v.(lo) > v.(hi) then begin
-                let t = v.(lo) in
-                v.(lo) <- v.(hi);
-                v.(hi) <- t
-              end
-          | Gate.Exchange { a; b } ->
-              let t = v.(a) in
-              v.(a) <- v.(b);
-              v.(b) <- t)
-        lvl.Network.gates;
-      if has_comparator then incr comparator_levels;
-      (* check after every level (including exchange/permutation-only
-         ones) so "stays sorted" really means continuously *)
-      if !values = target then matches := !comparator_levels :: !matches
-      else matches := [])
-    (Network.levels nw);
-  (* matches now holds, in decreasing order, the suffix of levels since
-     the array last became (and stayed) sorted *)
+  if input = target then matches := [ 0 ];
+  let final =
+    Compiled.scan_levels c input ~on_level:(fun ~comparator_levels values ->
+        (* checked after every level (including exchange/permutation-only
+           ones) so "stays sorted" really means continuously *)
+        if values = target then matches := comparator_levels :: !matches
+        else matches := [])
+  in
   match List.rev !matches with
-  | first :: _ when !values = target -> Some first
+  | first :: _ when final = target -> Some first
   | _ -> None
+
+let sorted_depth nw input = sorted_depth_compiled (Cache.compile nw) input
 
 let average_case_depth ?(samples = 500) rng nw =
   let n = Network.wires nw in
+  let c = Cache.compile nw in
   let depths = ref [] in
   let ok = ref true in
   for _ = 1 to samples do
     if !ok then begin
       let input = Perm.to_array (Perm.random rng n) in
-      match sorted_depth nw input with
+      match sorted_depth_compiled c input with
       | Some d -> depths := d :: !depths
       | None -> ok := false
     end
@@ -61,12 +47,13 @@ let exact_average_depth_01 ?(max_wires = 16) nw =
   let n = Network.wires nw in
   if n > max_wires then
     invalid_arg "Sort_depth.exact_average_depth_01: too many wires";
+  let c = Cache.compile nw in
   let total = ref 0 in
   let ok = ref true in
   for t = 0 to (1 lsl n) - 1 do
     if !ok then begin
       let input = Array.init n (fun w -> (t lsr w) land 1) in
-      match sorted_depth nw input with
+      match sorted_depth_compiled c input with
       | Some d -> total := !total + d
       | None -> ok := false
     end

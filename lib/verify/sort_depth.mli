@@ -13,7 +13,11 @@
     monotone on already-sorted arrays only for uniform orientation,
     we verify the array *stays* sorted to the end before crediting the
     level (so the definition is meaningful for mixed-orientation
-    networks too). *)
+    networks too).
+
+    All measures run on the compiled engine ({!Compiled.scan_levels}
+    via the structural {!Cache}), so sampling many inputs through one
+    network pays compilation once. *)
 
 val sorted_depth : Network.t -> int array -> int option
 (** [sorted_depth nw input] is [Some d] where [d] is the number of

@@ -1,51 +1,8 @@
-let bits_per_word = 62
-
-(* Columns for the test inputs [t_lo, t_hi): column.(w) holds one bit
-   per test input, packed 62 per word; bit b of word j refers to input
-   t = t_lo + j*62 + b and holds bit w of t. *)
-let initial_columns n t_lo t_hi =
-  let count = t_hi - t_lo in
-  let words = (count + bits_per_word - 1) / bits_per_word in
-  Array.init n (fun w ->
-      let col = Array.make words 0 in
-      for i = 0 to count - 1 do
-        if ((t_lo + i) lsr w) land 1 = 1 then begin
-          let j = i / bits_per_word and b = i mod bits_per_word in
-          col.(j) <- col.(j) lor (1 lsl b)
-        end
-      done;
-      col)
-
-let run_network nw t_lo t_hi =
-  let n = Network.wires nw in
-  let cols = ref (initial_columns n t_lo t_hi) in
-  let words = Array.length !cols.(0) in
-  let apply_gate cols g =
-    match g with
-    | Gate.Compare { lo; hi } ->
-        let a = cols.(lo) and b = cols.(hi) in
-        for j = 0 to words - 1 do
-          let x = a.(j) and y = b.(j) in
-          a.(j) <- x land y;
-          b.(j) <- x lor y
-        done
-    | Gate.Exchange { a; b } ->
-        let t = cols.(a) in
-        cols.(a) <- cols.(b);
-        cols.(b) <- t
-  in
-  List.iter
-    (fun lvl ->
-      (match lvl.Network.pre with
-      | None -> ()
-      | Some p ->
-          let old = Array.copy !cols in
-          for w = 0 to n - 1 do
-            !cols.(Perm.apply p w) <- old.(w)
-          done);
-      List.iter (apply_gate !cols) lvl.Network.gates)
-    (Network.levels nw);
-  !cols
+(* Exact 0-1 verification, routed through the compiled engine: the
+   network is compiled once (structurally cached), then the bit-sliced
+   executor checks 63 test inputs per pass over the instruction
+   stream.  This module owns the exponential-blowup guard and the
+   witness cross-check against the interpretive Network.eval. *)
 
 let check_guard ?(max_wires = 26) nw =
   let n = Network.wires nw in
@@ -54,84 +11,29 @@ let check_guard ?(max_wires = 26) nw =
       (Printf.sprintf "Zero_one: %d wires exceeds max_wires=%d (2^n inputs)" n max_wires);
   n
 
-(* Word [j] may have junk above the last valid test-input bit; this
-   masks it off.  [(1 lsl 62) - 1 = max_int] by wraparound, so the
-   full-word case needs no special path. *)
-let valid_mask count j =
-  let lo = j * bits_per_word in
-  let valid = min bits_per_word (count - lo) in
-  (1 lsl valid) - 1
+let input_of_index n t = Array.init n (fun w -> (t lsr w) land 1)
 
-(* Violation bitmap per word over the slice: inputs for which some
-   adjacent output pair is out of order. *)
-let violations n count cols =
-  let words = Array.length cols.(0) in
-  Array.init words (fun j ->
-      let v = ref 0 in
-      for w = 0 to n - 2 do
-        (* sorted ascending requires col_w <= col_{w+1} pointwise *)
-        v := !v lor (cols.(w).(j) land lnot cols.(w + 1).(j))
-      done;
-      !v land valid_mask count j)
-
-let slice_clean nw ~lo ~hi =
-  let n = Network.wires nw in
-  let cols = run_network nw lo hi in
-  Array.for_all (fun v -> v = 0) (violations n (hi - lo) cols)
-
-let is_sorting_network ?max_wires ?(domains = 1) nw =
+let verify ?max_wires ?(domains = 1) nw =
   let n = check_guard ?max_wires nw in
-  let results =
-    Par.map_ranges ~domains ~lo:0 ~hi:(1 lsl n) (fun ~lo ~hi ->
-        slice_clean nw ~lo ~hi)
-  in
-  List.for_all Fun.id results
+  let c = Cache.compile nw in
+  match Bitslice.find_unsorted ~domains c with
+  | None -> Ok ()
+  | Some t ->
+      let input = input_of_index n t in
+      (* independent cross-check: the witness must also fail under the
+         interpretive evaluator, or engine and network disagree *)
+      if Sortedness.is_sorted (Network.eval nw input) then
+        failwith "Zero_one.verify: engine and direct evaluation disagree";
+      Error input
 
-let slice_failing nw ~lo ~hi =
-  let n = Network.wires nw in
-  let cols = run_network nw lo hi in
-  let viol = violations n (hi - lo) cols in
-  let found = ref None in
-  Array.iteri
-    (fun j v ->
-      if !found = None && v <> 0 then begin
-        let b = ref 0 in
-        while (v lsr !b) land 1 = 0 do
-          incr b
-        done;
-        found := Some (lo + (j * bits_per_word) + !b)
-      end)
-    viol;
-  !found
+let is_sorting_network ?max_wires ?domains nw =
+  match verify ?max_wires ?domains nw with Ok () -> true | Error _ -> false
 
-let failing_input ?max_wires ?(domains = 1) nw =
-  let n = check_guard ?max_wires nw in
-  let hits =
-    Par.map_ranges ~domains ~lo:0 ~hi:(1 lsl n) (fun ~lo ~hi ->
-        slice_failing nw ~lo ~hi)
-  in
-  match List.find_opt Option.is_some hits with
-  | None -> None
-  | Some None -> assert false
-  | Some (Some t) ->
-      let input = Array.init n (fun w -> (t lsr w) land 1) in
-      let out = Network.eval nw input in
-      if Sortedness.is_sorted out then
-        failwith "Zero_one.failing_input: packed and direct evaluation disagree";
-      Some input
-
-let slice_unsorted nw ~lo ~hi =
-  let n = Network.wires nw in
-  let cols = run_network nw lo hi in
-  Array.fold_left
-    (fun acc v -> acc + Bitops.popcount v)
-    0
-    (violations n (hi - lo) cols)
+let failing_input ?max_wires ?domains nw =
+  match verify ?max_wires ?domains nw with
+  | Ok () -> None
+  | Error input -> Some input
 
 let unsorted_count ?max_wires ?(domains = 1) nw =
-  let n = check_guard ?max_wires nw in
-  let counts =
-    Par.map_ranges ~domains ~lo:0 ~hi:(1 lsl n) (fun ~lo ~hi ->
-        slice_unsorted nw ~lo ~hi)
-  in
-  List.fold_left ( + ) 0 counts
+  ignore (check_guard ?max_wires nw);
+  Bitslice.count_unsorted ~domains (Cache.compile nw)

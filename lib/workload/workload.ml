@@ -24,6 +24,23 @@ let k_rotated ~n ~k =
   let k = ((k mod n) + n) mod n in
   Array.init n (fun i -> (i + k) mod n)
 
+(* Batch variants consume the generator in the same order as [count]
+   sequential calls, so swapping a per-sample loop for a batch +
+   [Compiled.eval_many] sweep reproduces identical tables. *)
+let batch ~count gen =
+  if count < 0 then invalid_arg "Workload.batch: negative count";
+  let out = Array.make count [||] in
+  for i = 0 to count - 1 do
+    out.(i) <- gen ()
+  done;
+  out
+
+let permutation_batch rng ~n ~count =
+  batch ~count (fun () -> random_permutation rng ~n)
+
+let zero_one_batch rng ~n ~count =
+  batch ~count (fun () -> random_zero_one rng ~n)
+
 let bitonic_input rng ~n =
   let peak = Xoshiro.int rng ~bound:(n + 1) in
   let values = random_permutation rng ~n in

@@ -25,6 +25,15 @@ val nearly_sorted : Xoshiro.t -> n:int -> swaps:int -> int array
 val k_rotated : n:int -> k:int -> int array
 (** The identity rotated by [k] positions. *)
 
+val permutation_batch : Xoshiro.t -> n:int -> count:int -> int array array
+(** [count] independent uniform permutations, drawn in the same
+    generator order as [count] calls to {!random_permutation} — the
+    input shape consumed by {!Compiled.eval_many} sweeps. *)
+
+val zero_one_batch : Xoshiro.t -> n:int -> count:int -> int array array
+(** [count] independent uniform 0-1 vectors (see
+    {!permutation_batch}). *)
+
 val bitonic_input : Xoshiro.t -> n:int -> int array
 (** A random bitonic sequence (ascending run followed by a descending
     run), as consumed by one bitonic-merge butterfly. *)

@@ -52,6 +52,24 @@ let test_invalid_args () =
      | exception Invalid_argument _ -> true
      | _ -> false)
 
+let test_recommended_domains_env () =
+  let with_env v f =
+    Unix.putenv "SNLB_DOMAINS" v;
+    Fun.protect ~finally:(fun () -> Unix.putenv "SNLB_DOMAINS" "") f
+  in
+  with_env "3" (fun () ->
+      check_int "override honored" 3 (Par.recommended_domains ()));
+  with_env "999" (fun () ->
+      check_int "clamped above" 64 (Par.recommended_domains ()));
+  with_env "0" (fun () ->
+      check_int "clamped below" 1 (Par.recommended_domains ()));
+  with_env "-7" (fun () ->
+      check_int "negative clamped" 1 (Par.recommended_domains ()));
+  (* non-numeric values fall back to the hardware heuristic *)
+  with_env "lots" (fun () ->
+      let d = Par.recommended_domains () in
+      check_bool "fallback in range" true (d >= 1 && d <= 64))
+
 let test_zero_one_domains_agree () =
   List.iter
     (fun nw ->
@@ -88,7 +106,9 @@ let () =
           Alcotest.test_case "empty range" `Quick test_map_ranges_empty;
           Alcotest.test_case "sums agree" `Quick test_map_ranges_sums;
           Alcotest.test_case "map_list order" `Quick test_map_list_order;
-          Alcotest.test_case "argument validation" `Quick test_invalid_args ] );
+          Alcotest.test_case "argument validation" `Quick test_invalid_args;
+          Alcotest.test_case "SNLB_DOMAINS override" `Quick
+            test_recommended_domains_env ] );
       ( "zero-one",
         [ Alcotest.test_case "domains agree" `Quick test_zero_one_domains_agree;
           Alcotest.test_case "witness under domains" `Quick test_zero_one_domains_witness ] );
