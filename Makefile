@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-json tables examples clean
+.PHONY: all build test test-slow bench bench-json tables examples clean
 
 all: build
 
@@ -10,13 +10,20 @@ build:
 test:
 	dune runtest
 
+# Long-running searches (n >= 7 reference runs, 2e9-node shuffle
+# refutations) excluded from tier-1.
+test-slow:
+	dune build @search-slow
+
 bench:
 	dune exec bench/main.exe
 
 # Engine microbenchmarks only; writes name -> ns/op to BENCH_engine.json
-# so successive PRs have a perf trajectory to compare against.
+# so successive PRs have a perf trajectory to compare against. The same
+# run times the exact-bounds search (pruned vs reference, 1 vs K
+# domains) into BENCH_search.json.
 bench-json:
-	SNLB_BENCH_JSON=BENCH_engine.json dune exec bench/main.exe
+	SNLB_BENCH_JSON=BENCH_engine.json SNLB_BENCH_SEARCH_JSON=BENCH_search.json dune exec bench/main.exe
 
 tables:
 	dune exec bin/snlb_cli.exe -- table all --quick

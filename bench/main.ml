@@ -250,6 +250,41 @@ let write_json path results =
   close_out oc;
   Printf.printf "wrote %s (%d benchmarks, ns/op)\n" path (List.length results)
 
+(* Search-engine throughput: wall-clock rows for the exact-bounds BFS,
+   written as the same flat name -> float JSON as the engine file. Each
+   configuration contributes wall_ms / nodes / nodes_per_s /
+   peak_frontier / depth. The pruned n=6 run is the headline
+   (optimal-depth certification); the subsumption-free reference run
+   exposes the node reduction the pruning buys; the multi-domain rows
+   exercise Par-parallel expansion (any speedup is hardware-dependent —
+   a single-core host shows pure domain overhead). *)
+let search_json_rows () =
+  let k = max 2 (Par.recommended_domains ()) in
+  let time_run ~tag ~restrict ~domains n =
+    let t0 = Unix.gettimeofday () in
+    let outcome = Driver.optimal_depth ~restrict ~domains ~n () in
+    let wall = Unix.gettimeofday () -. t0 in
+    let stats, depth =
+      match outcome with
+      | Driver.Sorted { depth; stats; _ } -> (stats, depth)
+      | Driver.Unsorted stats | Driver.Inconclusive stats -> (stats, -1)
+    in
+    let prefix = Printf.sprintf "search/n=%d/%s/domains=%d" n tag domains in
+    [ (prefix ^ "/wall_ms", wall *. 1e3);
+      (prefix ^ "/nodes", float_of_int stats.Driver.nodes);
+      ( prefix ^ "/nodes_per_s",
+        if wall > 0. then float_of_int stats.Driver.nodes /. wall else 0. );
+      (prefix ^ "/peak_frontier", float_of_int stats.Driver.peak_frontier);
+      (prefix ^ "/depth", float_of_int depth) ]
+  in
+  List.concat
+    [ time_run ~tag:"pruned" ~restrict:true ~domains:1 6;
+      time_run ~tag:"pruned" ~restrict:true ~domains:k 6;
+      time_run ~tag:"reference" ~restrict:false ~domains:1 6;
+      time_run ~tag:"reference" ~restrict:false ~domains:k 6;
+      time_run ~tag:"pruned" ~restrict:true ~domains:1 7;
+      time_run ~tag:"pruned" ~restrict:true ~domains:k 7 ]
+
 let () =
   match Sys.getenv_opt "SNLB_BENCH_JSON" with
   | Some path ->
@@ -258,7 +293,10 @@ let () =
         run_bechamel (Test.make_grouped ~name:"snlb" engine_tests)
       in
       report_engine_speedup results;
-      write_json path results
+      write_json path results;
+      (match Sys.getenv_opt "SNLB_BENCH_SEARCH_JSON" with
+       | Some search_path -> write_json search_path (search_json_rows ())
+       | None -> ())
   | None ->
       let results = run_bechamel all_tests in
       report_engine_speedup results;

@@ -272,64 +272,137 @@ let load_cmd =
 (* search *)
 
 let search_cmd =
+  let search_n_arg =
+    let doc = "Number of channels." in
+    Arg.(value & opt int 6 & info [ "n"; "size" ] ~docv:"N" ~doc)
+  in
   let depth_arg =
-    let doc = "Stage count to decide (omit to search depths 1..max-depth)." in
+    let doc =
+      "Decide whether some network of at most $(docv) layers (stages in      --shuffle mode) sorts, instead of certifying the optimum."
+    in
     Arg.(value & opt (some int) None & info [ "depth" ] ~docv:"D" ~doc)
   in
+  let optimal_arg =
+    let doc =
+      "Certify the exact optimal depth (the default when --depth is absent)."
+    in
+    Arg.(value & flag & info [ "optimal" ] ~doc)
+  in
+  let shuffle_arg =
+    let doc =
+      "Search shuffle-based networks only (Knuth 5.3.4.47 / the paper's      Section 6) instead of free comparator layers."
+    in
+    Arg.(value & flag & info [ "shuffle" ] ~doc)
+  in
+  let domains_arg =
+    let doc = "Worker domains for expansion and subsumption filtering." in
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"K" ~doc)
+  in
   let max_depth_arg =
-    let doc = "Upper bound for iterative deepening." in
-    Arg.(value & opt int 6 & info [ "max-depth" ] ~docv:"D" ~doc)
+    let doc = "Depth cap for optimal search (default: n, or 6 with --shuffle)." in
+    Arg.(value & opt (some int) None & info [ "max-depth" ] ~docv:"D" ~doc)
   in
   let budget_arg =
-    let doc = "Search node budget." in
-    Arg.(value & opt int 50_000_000 & info [ "budget" ] ~docv:"NODES" ~doc)
+    let doc = "Search budget in nodes (move applications)." in
+    Arg.(value & opt int 200_000_000 & info [ "budget" ] ~docv:"NODES" ~doc)
   in
-  let run n depth max_depth budget =
-    if not (Bitops.is_power_of_two n) || n > 16 then begin
-      prerr_endline "search: n must be a power of two <= 16 (state space is 2^n)";
+  let pp_layer layer =
+    String.concat "" (List.map (fun (i, j) -> Printf.sprintf "(%d,%d)" i j) layer)
+  in
+  let print_stats (s : Driver.stats) =
+    Printf.printf
+      "nodes: %d  pruned: %d  deduped: %d  subsumed: %d  peak frontier: %d\n"
+      s.Driver.nodes s.Driver.pruned s.Driver.deduped s.Driver.subsumed
+      s.Driver.peak_frontier
+  in
+  let run n depth _optimal shuffle domains max_depth budget =
+    let budget = { Driver.max_nodes = budget; max_seconds = None } in
+    if shuffle then begin
+      if not (Bitops.is_power_of_two n) || n < 2 || n > 16 then begin
+        prerr_endline "search: --shuffle needs n a power of two in [2,16]";
+        1
+      end
+      else
+        match depth with
+        | Some depth -> (
+            match Min_depth.search ~n ~depth ~budget ~domains () with
+            | Min_depth.Sorter prog ->
+                Printf.printf "depth-%d shuffle-based sorter EXISTS for n=%d " depth n;
+                Printf.printf "(witness verified: %b)\n"
+                  (Min_depth.verify_witness ~n prog);
+                List.iteri
+                  (fun i ops ->
+                    Printf.printf "  stage %d: " (i + 1);
+                    Array.iter (fun op -> Format.printf "%a" Register_model.pp_op op) ops;
+                    print_newline ())
+                  prog;
+                0
+            | Min_depth.Impossible ->
+                Printf.printf "no depth-%d shuffle-based sorter for n=%d (exhaustive)\n"
+                  depth n;
+                0
+            | Min_depth.Inconclusive ->
+                Printf.printf "inconclusive within %d nodes; raise --budget\n"
+                  budget.Driver.max_nodes;
+                1)
+        | None -> (
+            let max_depth = Option.value max_depth ~default:6 in
+            match Min_depth.minimal_depth ~n ~max_depth ~budget ~domains () with
+            | Min_depth.Minimal (depth, _) ->
+                Printf.printf
+                  "minimal shuffle-based sorter depth for n=%d: %d (bitonic: %d)\n" n
+                  depth (Bitonic.depth_formula ~n);
+                0
+            | Min_depth.No_sorter ->
+                Printf.printf "no sorter within %d stages\n" max_depth;
+                0
+            | Min_depth.Unknown k ->
+                Printf.printf
+                  "inconclusive: stages <= %d refuted within %d nodes; raise --budget\n"
+                  k budget.Driver.max_nodes;
+                1)
+    end
+    else if n < 2 || n > 10 then begin
+      prerr_endline "search: n must be in [2,10] (state space is 2^n)";
       1
     end
-    else
-      match depth with
-      | Some depth -> (
-          match Min_depth.search ~n ~depth ~node_budget:budget () with
-          | Min_depth.Sorter prog ->
-              Printf.printf "depth-%d shuffle-based sorter EXISTS for n=%d " depth n;
-              Printf.printf "(witness verified: %b)
-" (Min_depth.verify_witness ~n prog);
-              List.iteri
-                (fun i ops ->
-                  Printf.printf "  stage %d: " (i + 1);
-                  Array.iter (fun op -> Format.printf "%a" Register_model.pp_op op) ops;
-                  print_newline ())
-                prog;
-              0
-          | Min_depth.Impossible ->
-              Printf.printf "no depth-%d shuffle-based sorter for n=%d (exhaustive)
-"
-                depth n;
-              0
-          | Min_depth.Inconclusive ->
-              Printf.printf "inconclusive within %d nodes; raise --budget
-" budget;
-              1)
-      | None -> (
-          match Min_depth.minimal_depth ~n ~max_depth ~node_budget:budget () with
-          | Some (depth, _) ->
-              Printf.printf "minimal shuffle-based sorter depth for n=%d: %d (bitonic: %d)
-"
-                n depth (Bitonic.depth_formula ~n);
-              0
-          | None ->
-              Printf.printf "no sorter within %d stages
-" max_depth;
-              0)
+    else begin
+      let max_depth =
+        match (max_depth, depth) with
+        | Some d, _ -> d
+        | None, Some d -> d
+        | None, None -> n
+      in
+      match Driver.optimal_depth ~domains ~budget ~max_depth ~n () with
+      | Driver.Sorted { depth; moves; stats } ->
+          Printf.printf "optimal depth for n=%d: %d (witness verified: %b)\n" n
+            depth
+            (Driver.verify_witness ~n moves);
+          List.iteri
+            (fun i layer -> Printf.printf "  layer %d: %s\n" (i + 1) (pp_layer layer))
+            moves;
+          print_stats stats;
+          0
+      | Driver.Unsorted stats ->
+          Printf.printf "no sorting network of depth <= %d for n=%d (exhaustive)\n"
+            max_depth n;
+          print_stats stats;
+          0
+      | Driver.Inconclusive stats ->
+          Printf.printf
+            "inconclusive within %d nodes (depths <= %d refuted); raise --budget\n"
+            budget.Driver.max_nodes stats.Driver.completed_levels;
+          print_stats stats;
+          1
+    end
   in
   let doc =
-    "Exhaustively decide minimal shuffle-based sorter depth for tiny n      (Knuth 5.3.4.47 / the paper's Section 6)."
+    "Exact optimal-depth search for small sorting networks: layered BFS with      subsumption pruning; --shuffle restricts to shuffle-based sorters      (Knuth 5.3.4.47 / the paper's Section 6)."
   in
   Cmd.v (Cmd.info "search" ~doc)
-    Term.(const run $ n_arg $ depth_arg $ max_depth_arg $ budget_arg)
+    Term.(
+      const run $ search_n_arg $ depth_arg $ optimal_arg $ shuffle_arg
+      $ domains_arg $ max_depth_arg $ budget_arg)
 
 (* route *)
 

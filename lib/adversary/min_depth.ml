@@ -3,6 +3,11 @@ type outcome =
   | Impossible
   | Inconclusive
 
+type minimal =
+  | Minimal of int * Register_model.op array list
+  | No_sorter
+  | Unknown of int
+
 (* Masks encode one zero-one input/state: bit r = value of register r. *)
 
 let shuffle_mask ~n ~d m =
@@ -31,12 +36,6 @@ let apply_ops ~pairs ops m =
   done;
   !m
 
-module Int_set = Set.Make (Int)
-
-let sorted_masks n =
-  (* ascending by register index: zeros at low registers *)
-  List.init (n + 1) (fun z -> ((1 lsl z) - 1) lsl (n - z)) |> Int_set.of_list
-
 let all_op_vectors ~pairs =
   (* enumerate {+,-,0,1}^pairs; Plus first so witnesses favour dense
      comparator levels *)
@@ -60,7 +59,7 @@ let prunable ~n ~d ~remaining state =
     let low_bits = d - remaining in
     let low_mask = (1 lsl low_bits) - 1 in
     let full = (1 lsl n) - 1 in
-    Int_set.exists
+    State.exists_mask
       (fun m ->
         if m <> 0 && m land (m - 1) = 0 then begin
           (* unit: position of the single one *)
@@ -77,73 +76,42 @@ let prunable ~n ~d ~remaining state =
       state
   end
 
-let key_of_state state =
-  let b = Buffer.create 64 in
-  Int_set.iter (fun m -> Buffer.add_string b (string_of_int m); Buffer.add_char b ',') state;
-  Buffer.contents b
-
-let search ~n ~depth ?(node_budget = 5_000_000) () =
-  if not (Bitops.is_power_of_two n) || n < 2 || n > 256 then
-    invalid_arg "Min_depth.search: n must be a power of two in [2,256]";
+(* Channel permutations do not commute with the fixed shuffle wiring,
+   so subsumption (sound for the free-layer search) is NOT sound here;
+   the frontier is deduplicated by state equality only. *)
+let system ~n =
   let d = Bitops.log2_exact n in
   let pairs = n / 2 in
-  let sorted = sorted_masks n in
   let vectors = all_op_vectors ~pairs in
-  let initial = Int_set.of_list (List.init (1 lsl n) (fun m -> m)) in
-  (* memo: state key -> largest remaining budget already refuted *)
-  let refuted : (string, int) Hashtbl.t = Hashtbl.create 4096 in
-  let nodes = ref 0 in
-  let exception Budget in
-  let rec go state remaining =
-    if Int_set.subset state sorted then Some []
-    else if remaining = 0 then None
-    else if prunable ~n ~d ~remaining state then None
-    else begin
-      incr nodes;
-      if !nodes > node_budget then raise Budget;
-      let key = key_of_state state in
-      match Hashtbl.find_opt refuted key with
-      | Some r when r >= remaining -> None
-      | Some _ | None ->
-          let rec try_vectors = function
-            | [] ->
-                Hashtbl.replace refuted key remaining;
-                None
-            | ops :: rest -> (
-                let state' =
-                  Int_set.map
-                    (fun m -> apply_ops ~pairs ops (shuffle_mask ~n ~d m))
-                    state
-                in
-                match go state' (remaining - 1) with
-                | Some tail -> Some (ops :: tail)
-                | None -> try_vectors rest)
-          in
-          try_vectors vectors
-    end
-  in
-  match go initial depth with
-  | Some program -> Sorter program
-  | None -> Impossible
-  | exception Budget -> Inconclusive
+  { Driver.n;
+    initial = State.initial ~n;
+    moves_at = (fun ~level:_ -> vectors);
+    apply =
+      (fun ops st ->
+        State.map_masks st (fun m -> apply_ops ~pairs ops (shuffle_mask ~n ~d m)));
+    prune = (fun ~level:_ ~remaining st -> prunable ~n ~d ~remaining st);
+    dedup = Driver.Equal }
+
+let check_n ~fn n =
+  if not (Bitops.is_power_of_two n) || n < 2 || n > 16 then
+    invalid_arg (fn ^ ": n must be a power of two in [2,16]")
+
+let search ~n ~depth ?budget ?domains () =
+  check_n ~fn:"Min_depth.search" n;
+  match Driver.run ?domains ?budget ~max_depth:depth (system ~n) with
+  | Driver.Sorted { moves; _ } -> Sorter moves
+  | Driver.Unsorted _ -> Impossible
+  | Driver.Inconclusive _ -> Inconclusive
 
 let verify_witness ~n program =
   let prog = Register_model.shuffle_program ~n program in
   Zero_one.is_sorting_network (Register_model.to_network prog)
 
-let minimal_depth ~n ~max_depth ?node_budget () =
-  let rec go depth =
-    if depth > max_depth then None
-    else
-      match search ~n ~depth ?node_budget () with
-      | Sorter program ->
-          assert (verify_witness ~n program);
-          Some (depth, program)
-      | Impossible -> go (depth + 1)
-      | Inconclusive ->
-          failwith
-            (Printf.sprintf
-               "Min_depth.minimal_depth: inconclusive at depth %d (raise node_budget)"
-               depth)
-  in
-  go 1
+let minimal_depth ~n ~max_depth ?budget ?domains () =
+  check_n ~fn:"Min_depth.minimal_depth" n;
+  match Driver.run ?domains ?budget ~max_depth (system ~n) with
+  | Driver.Sorted { depth; moves; _ } ->
+      assert (verify_witness ~n moves);
+      Minimal (depth, moves)
+  | Driver.Unsorted _ -> No_sorter
+  | Driver.Inconclusive stats -> Unknown stats.Driver.completed_levels

@@ -34,6 +34,9 @@
     - {!Compiled}, {!Bitslice}, {!Cache}: the compiled evaluation
       engine (flat instruction streams, 63-lane bit-sliced 0-1
       execution, structural compile cache).
+    - {!Search} ({!State}, {!Subsume}, {!Layers}, {!Driver}): the
+      exact-bounds search engine — layered BFS with subsumption
+      pruning for optimal depths of small networks.
     - {!Sortedness}, {!Zero_one}, {!Exhaustive}: verification.
     - {!Benes}: permutation routing.
     - {!Workload}, {!Stat_summary}, {!Ascii_table}: harness support. *)
@@ -85,6 +88,11 @@ module Ntt = Ntt
 module Compiled = Compiled
 module Bitslice = Bitslice
 module Cache = Cache
+module State = State
+module Subsume = Subsume
+module Layers = Layers
+module Driver = Driver
+module Search = Search
 module Workload = Workload
 module Par = Par
 module Stat_summary = Stat_summary

@@ -1,0 +1,72 @@
+(* Known optimal depths of sorting networks, n = 2..8 (Knuth; Bundala &
+   Závodný for n <= 16). The search below re-derives each value. *)
+let known = [ (2, 1); (3, 3); (4, 3); (5, 5); (6, 5); (7, 6); (8, 6) ]
+
+let best_registry_depth n =
+  List.filter_map
+    (fun e ->
+      if e.Sorter_registry.pow2_only && not (Bitops.is_power_of_two n) then None
+      else
+        match e.Sorter_registry.build n with
+        | nw -> Some (Network.depth nw)
+        | exception _ -> None)
+    Sorter_registry.all
+  |> function
+  | [] -> None
+  | ds -> Some (List.fold_left min max_int ds)
+
+let run ~quick =
+  Exp_util.header ~id:"E14"
+    ~title:"exact optimal depths (free search) vs adversary bound vs sorters";
+  let tbl =
+    Ascii_table.create
+      ~columns:
+        [ ("n", Ascii_table.Right);
+          ("optimal depth", Ascii_table.Right);
+          ("known", Ascii_table.Right);
+          ("Cor 4.1.1 bound", Ascii_table.Right);
+          ("best sorter", Ascii_table.Right);
+          ("nodes", Ascii_table.Right);
+          ("witness", Ascii_table.Left) ]
+  in
+  let ns = if quick then [ 2; 3; 4; 5; 6 ] else [ 2; 3; 4; 5; 6; 7; 8 ] in
+  List.iter
+    (fun n ->
+      let optimal, nodes, witness =
+        match Driver.optimal_depth ~n () with
+        | Driver.Sorted { depth; moves; stats } ->
+            ( string_of_int depth,
+              string_of_int stats.Driver.nodes,
+              if Driver.verify_witness ~n moves then "verified" else "BROKEN" )
+        | Driver.Unsorted stats ->
+            ("none<=n", string_of_int stats.Driver.nodes, "-")
+        | Driver.Inconclusive stats ->
+            ("budget", string_of_int stats.Driver.nodes, "-")
+      in
+      let adversary =
+        (* lglg n = 0 at n = 2 makes the bound vacuously infinite *)
+        if Bitops.is_power_of_two n && n >= 4 then
+          Exp_util.float2 (Theorem41.depth_lower_bound ~n)
+        else "-"
+      in
+      let best =
+        match best_registry_depth n with
+        | Some d -> string_of_int d
+        | None -> "-"
+      in
+      Ascii_table.add_row tbl
+        [ string_of_int n;
+          optimal;
+          string_of_int (List.assoc n known);
+          adversary;
+          best;
+          nodes;
+          witness ])
+    ns;
+  Ascii_table.print tbl;
+  Exp_util.footnote
+    "optimal depth: layered BFS over reachable 0-1 image states with canonical \
+     first layer, second layers up to symmetry, and Bundala-Zavodny subsumption; \
+     witnesses re-verified on all 2^n inputs by the compiled bit-sliced engine. \
+     The asymptotic Corollary 4.1.1 bound is vacuous at these sizes; the gap to \
+     the best library sorter closes at powers of two."

@@ -1,0 +1,10 @@
+(** E14 — exact optimal network depths for n <= 8 by the generic search
+    engine, against the known values (1, 3, 3, 5, 5, 6, 6 for
+    n = 2..8), the paper's asymptotic Corollary 4.1.1 depth bound, and
+    the shallowest sorter in the library registry.
+
+    Each row certifies the optimum with a layered breadth-first search
+    (subsumption-pruned) and re-verifies the witness with the
+    independent compiled 0-1 checker. Quick mode stops at n = 6. *)
+
+val run : quick:bool -> unit

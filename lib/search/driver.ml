@@ -1,0 +1,249 @@
+type budget = { max_nodes : int; max_seconds : float option }
+
+let default_budget = { max_nodes = 200_000_000; max_seconds = None }
+
+type stats = {
+  nodes : int;
+  pruned : int;
+  deduped : int;
+  subsumed : int;
+  frontier_sizes : int list;
+  peak_frontier : int;
+  completed_levels : int;
+  elapsed : float;
+}
+
+type 'm outcome =
+  | Sorted of { depth : int; moves : 'm list; stats : stats }
+  | Unsorted of stats
+  | Inconclusive of stats
+
+type dedup = Equal | Subsume
+
+type 'm system = {
+  n : int;
+  initial : State.t;
+  moves_at : level:int -> 'm list;
+  apply : 'm -> State.t -> State.t;
+  prune : level:int -> remaining:int -> State.t -> bool;
+  dedup : dedup;
+}
+
+let no_prune ~level:_ ~remaining:_ _ = false
+
+(* Greedy subsumption filter. Candidates (already equality-deduped,
+   sorted by ascending cardinality so the strongest states are kept
+   first) are tested against the cumulative representative list; the
+   test against representatives kept before this call parallelises in
+   batches, the test against representatives added within the batch is
+   a short sequential tail. Dropping a candidate is sound because some
+   kept representative subsumes it. *)
+let subsume_filter ~domains ~kept candidates =
+  let dropped = ref 0 in
+  let survivors = ref [] in
+  let batch_size = if domains <= 1 then max_int else domains * 16 in
+  let rec loop = function
+    | [] -> ()
+    | cands ->
+        let rec split i acc = function
+          | [] -> (List.rev acc, [])
+          | x :: rest when i < batch_size -> split (i + 1) (x :: acc) rest
+          | rest -> (List.rev acc, rest)
+        in
+        let batch, rest = split 0 [] cands in
+        let frozen = !kept in
+        let checked =
+          Par.map_list ~domains
+            (fun ((st, _, fp) as cand) ->
+              if
+                List.exists (fun (s2, f2) -> Subsume.subsumes (s2, f2) (st, fp)) frozen
+              then None
+              else Some cand)
+            batch
+        in
+        let batch_new = ref [] in
+        List.iter
+          (function
+            | None -> incr dropped
+            | Some ((st, pre, fp) as cand) ->
+                if
+                  List.exists
+                    (fun (s2, _, f2) -> Subsume.subsumes (s2, f2) (st, fp))
+                    !batch_new
+                then incr dropped
+                else begin
+                  batch_new := cand :: !batch_new;
+                  kept := (st, fp) :: !kept;
+                  survivors := (st, pre) :: !survivors
+                end)
+          checked;
+        loop rest
+  in
+  loop candidates;
+  (List.rev !survivors, !dropped)
+
+let run ?(domains = 1) ?(budget = default_budget) ~max_depth sys =
+  if max_depth < 0 then invalid_arg "Driver.run: max_depth must be >= 0";
+  let t0 = Sys.time () in
+  let nodes = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let over_budget = Atomic.make false in
+  let pruned_total = ref 0 in
+  let deduped_total = ref 0 in
+  let subsumed_total = ref 0 in
+  let sizes = ref [] in
+  let mk_stats completed =
+    { nodes = Atomic.get nodes;
+      pruned = !pruned_total;
+      deduped = !deduped_total;
+      subsumed = !subsumed_total;
+      frontier_sizes = List.rev !sizes;
+      peak_frontier = List.fold_left max 0 !sizes;
+      completed_levels = completed;
+      elapsed = Sys.time () -. t0 }
+  in
+  if State.is_sorted sys.initial then
+    Sorted { depth = 0; moves = []; stats = mk_stats 0 }
+  else begin
+    (* cross-level memory: states already represented (sound — the
+       earlier occurrence reaches any sorted descendant no later) *)
+    let seen : (int array, unit) Hashtbl.t = Hashtbl.create 4096 in
+    Hashtbl.replace seen (State.key sys.initial) ();
+    let kept : (State.t * Subsume.fingerprint) list ref = ref [] in
+    let frontier = ref [ (sys.initial, []) ] in
+    let result = ref None in
+    let level = ref 1 in
+    while !result = None && !level <= max_depth && !frontier <> [] do
+      let lvl = !level in
+      let moves = sys.moves_at ~level:lvl in
+      let nmoves = List.length moves in
+      let remaining = max_depth - lvl in
+      let last = lvl = max_depth in
+      let expand (st, pre) =
+        if Atomic.get stop then (None, [], 0)
+        else begin
+          let before = Atomic.fetch_and_add nodes nmoves in
+          let timed_out =
+            match budget.max_seconds with
+            | Some s -> Sys.time () -. t0 > s
+            | None -> false
+          in
+          if before + nmoves > budget.max_nodes || timed_out then begin
+            Atomic.set over_budget true;
+            Atomic.set stop true;
+            (None, [], 0)
+          end
+          else begin
+            let found = ref None in
+            let cands = ref [] in
+            let pruned = ref 0 in
+            (try
+               List.iter
+                 (fun m ->
+                   let st' = sys.apply m st in
+                   if State.is_sorted st' then begin
+                     found := Some (m :: pre);
+                     Atomic.set stop true;
+                     raise Exit
+                   end
+                   else if last then ()
+                   else if sys.prune ~level:lvl ~remaining st' then incr pruned
+                   else cands := (st', m :: pre) :: !cands)
+                 moves
+             with Exit -> ());
+            (!found, List.rev !cands, !pruned)
+          end
+        end
+      in
+      let chunks = Par.map_list ~domains expand !frontier in
+      List.iter (fun (_, _, p) -> pruned_total := !pruned_total + p) chunks;
+      match List.find_map (fun (f, _, _) -> f) chunks with
+      | Some rev_moves ->
+          result :=
+            Some
+              (Sorted
+                 { depth = lvl; moves = List.rev rev_moves; stats = mk_stats (lvl - 1) })
+      | None ->
+          if Atomic.get over_budget then
+            result := Some (Inconclusive (mk_stats (lvl - 1)))
+          else begin
+            let candidates = List.concat_map (fun (_, c, _) -> c) chunks in
+            (* equality dedup against everything ever seen *)
+            let fresh =
+              List.filter
+                (fun (st, _) ->
+                  let k = State.key st in
+                  if Hashtbl.mem seen k then begin
+                    incr deduped_total;
+                    false
+                  end
+                  else begin
+                    Hashtbl.replace seen k ();
+                    true
+                  end)
+                candidates
+            in
+            let survivors =
+              match sys.dedup with
+              | Equal -> fresh
+              | Subsume ->
+                  let with_fp =
+                    Par.map_list ~domains
+                      (fun (st, pre) -> (st, pre, Subsume.fingerprint st))
+                      fresh
+                  in
+                  let ordered =
+                    List.stable_sort
+                      (fun (_, _, fa) (_, _, fb) ->
+                        compare fa.Subsume.card fb.Subsume.card)
+                      with_fp
+                  in
+                  let kept_states, dropped =
+                    subsume_filter ~domains ~kept ordered
+                  in
+                  subsumed_total := !subsumed_total + dropped;
+                  kept_states
+            in
+            sizes := List.length survivors :: !sizes;
+            frontier := survivors;
+            incr level
+          end
+    done;
+    match !result with
+    | Some r -> r
+    | None ->
+        (* loop left because level > max_depth or the frontier emptied:
+           every reachable state was explored with its maximal
+           remaining budget, so no prefix of <= max_depth moves sorts *)
+        Unsorted (mk_stats (!level - 1))
+  end
+
+(* --- sorting-network instantiation --- *)
+
+type layer = Layers.layer
+
+let network_system ?(restrict = true) ~n () =
+  if n < 2 || n > 10 then
+    invalid_arg "Driver.network_system: n must be in [2, 10]";
+  let all = Layers.all ~n in
+  let first = [ Layers.first ~n ] in
+  let second = if restrict then Layers.second ~n else all in
+  let moves_at ~level =
+    if level = 1 then first else if level = 2 then second else all
+  in
+  { n;
+    initial = State.initial ~n;
+    moves_at;
+    apply = (fun layer st -> State.apply_comparators st layer);
+    prune = no_prune;
+    dedup = (if restrict then Subsume else Equal) }
+
+let optimal_depth ?domains ?budget ?restrict ?max_depth ~n () =
+  let max_depth = match max_depth with Some d -> d | None -> n in
+  run ?domains ?budget ~max_depth (network_system ?restrict ~n ())
+
+let witness_network ~n layers =
+  Network.of_gate_levels ~wires:n (List.map Layers.gates layers)
+
+let verify_witness ~n layers =
+  Bitslice.is_sorting_network (Cache.compile (witness_network ~n layers))

@@ -1,0 +1,109 @@
+(** Layered breadth-first search for exact small-network bounds, with
+    frontier deduplication, pluggable move generation, a node/time
+    budget, and multicore expansion.
+
+    The driver is generic over the move type ['m] so that both the
+    general sorting-network search (moves = comparator layers, frontier
+    deduplicated by {!Subsume}) and the shuffle-restricted register
+    search of {!Min_depth} (moves = op vectors, frontier deduplicated
+    by state equality — channel permutations do not commute with the
+    fixed shuffle, so subsumption would be unsound there) are thin
+    instantiations.
+
+    Level [k] of the BFS holds representatives of every state reachable
+    by a [k]-move prefix. Each level expands every frontier entry by
+    every move; a child that {!State.is_sorted} resolves the search
+    immediately (its move list is the witness), a child failing the
+    system's [prune] test or subsumed by a representative already kept
+    (at this or any earlier level — both reductions preserve at least
+    one depth-optimal witness) is dropped. The search is exhaustive up
+    to those reductions, so [Unsorted] is a proof that no [max_depth]-
+    move prefix sorts, and the first level at which a sorted child
+    appears is the exact optimum.
+
+    Expansion fans out across OCaml 5 domains via {!Par.map_list}, as
+    does the candidates-versus-kept part of the subsumption filter; a
+    shared atomic flag short-circuits all domains once a witness is
+    found or the budget trips. With [domains = 1] everything runs
+    inline and deterministically. *)
+
+type budget = { max_nodes : int; max_seconds : float option }
+(** [max_nodes] bounds move applications (edges explored);
+    [max_seconds] optionally bounds CPU time ({!Sys.time}, which sums
+    over domains). *)
+
+val default_budget : budget
+(** 200 million nodes, no time cap. *)
+
+type stats = {
+  nodes : int;  (** move applications performed *)
+  pruned : int;  (** children dropped by the system's prune test *)
+  deduped : int;  (** children dropped as equal to a seen state *)
+  subsumed : int;  (** children dropped by subsumption *)
+  frontier_sizes : int list;  (** surviving frontier per completed level *)
+  peak_frontier : int;
+  completed_levels : int;
+      (** levels fully expanded and deduplicated; on [Inconclusive],
+          depths up to this value are exhaustively refuted *)
+  elapsed : float;  (** CPU seconds *)
+}
+
+type 'm outcome =
+  | Sorted of { depth : int; moves : 'm list; stats : stats }
+      (** a sorting prefix exists; [moves] (in application order) is a
+          witness of the {e minimal} length [depth <= max_depth] *)
+  | Unsorted of stats
+      (** no prefix of up to [max_depth] moves sorts (exhaustive) *)
+  | Inconclusive of stats  (** budget exhausted first *)
+
+type dedup = Equal | Subsume
+
+type 'm system = {
+  n : int;
+  initial : State.t;
+  moves_at : level:int -> 'm list;
+      (** moves available for the layer at 1-based [level] *)
+  apply : 'm -> State.t -> State.t;
+  prune : level:int -> remaining:int -> State.t -> bool;
+      (** sound necessary-condition filter: [true] only if the state
+          cannot reach a sorted state within [remaining] more moves *)
+  dedup : dedup;
+}
+
+val no_prune : level:int -> remaining:int -> State.t -> bool
+
+val run : ?domains:int -> ?budget:budget -> max_depth:int -> 'm system -> 'm outcome
+(** [run ~max_depth sys] searches prefixes of up to [max_depth] moves.
+    [domains] (default 1) parallelises expansion and subsumption
+    filtering. With [domains > 1] the witness (not its length) and the
+    node counts may vary between runs; every outcome is sound. *)
+
+(** {1 Sorting-network instantiation} *)
+
+type layer = Layers.layer
+
+val network_system : ?restrict:bool -> n:int -> unit -> layer system
+(** The general optimal-depth search on [n] wires. Both modes fix the
+    canonical maximal first layer (Parberry; Bundala–Závodný Lemma 3 —
+    justified independently of any frontier reduction). With [restrict]
+    (default [true]) levels 2+ additionally use second layers up to
+    first-layer symmetry and subsumption deduplication; with
+    [~restrict:false] they use every layer and equality-only
+    deduplication — the slow exhaustive reference the pruned search is
+    validated against. @raise Invalid_argument unless [2 <= n <= 10]. *)
+
+val optimal_depth :
+  ?domains:int -> ?budget:budget -> ?restrict:bool -> ?max_depth:int ->
+  n:int -> unit -> layer outcome
+(** [optimal_depth ~n ()] certifies the exact minimal depth of a
+    sorting network on [n] wires (for [Sorted], [depth] is optimal and
+    [moves] a witness). [max_depth] defaults to [n], an upper bound by
+    odd-even transposition sort. *)
+
+val witness_network : n:int -> layer list -> Network.t
+(** The witness as a circuit-model network, one level per layer. *)
+
+val verify_witness : n:int -> layer list -> bool
+(** Checks a witness on all [2^n] zero-one inputs through the compiled
+    engine ({!Cache} + {!Bitslice}) — independent of the searcher's
+    own state arithmetic. *)

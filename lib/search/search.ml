@@ -1,0 +1,7 @@
+(* Namespace wrapper so callers can write Search.Driver etc.; the
+   library is unwrapped, matching the rest of the repository. *)
+
+module State = State
+module Subsume = Subsume
+module Layers = Layers
+module Driver = Driver

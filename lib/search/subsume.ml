@@ -1,0 +1,98 @@
+type fingerprint = {
+  card : int;
+  level_card : int array;
+  chan_ones : int array array;
+}
+
+let fingerprint st =
+  let n = State.n st in
+  let level_card = Array.make (n + 1) 0 in
+  let chan_ones = Array.make_matrix n (n + 1) 0 in
+  let card = ref 0 in
+  State.iter_masks
+    (fun m ->
+      let k = Bitops.popcount m in
+      incr card;
+      level_card.(k) <- level_card.(k) + 1;
+      let w = ref m in
+      while !w <> 0 do
+        let c = Bitops.floor_log2 (!w land - !w) in
+        chan_ones.(c).(k) <- chan_ones.(c).(k) + 1;
+        w := !w land (!w - 1)
+      done)
+    st;
+  { card = !card; level_card; chan_ones }
+
+let level_cards_le fa fb =
+  let ok = ref true in
+  Array.iteri (fun k a -> if a > fb.level_card.(k) then ok := false) fa.level_card;
+  !ok
+
+(* Channel c of A may map to c' of B only if at every level B has at
+   least as many vectors with the bit set, and at least as many with it
+   clear (the injection preserves levels and the mapped bit). *)
+let channel_ok fa fb c c' =
+  let levels = Array.length fa.level_card in
+  let ok = ref true in
+  for k = 0 to levels - 1 do
+    if
+      fa.chan_ones.(c).(k) > fb.chan_ones.(c').(k)
+      || fa.level_card.(k) - fa.chan_ones.(c).(k)
+         > fb.level_card.(k) - fb.chan_ones.(c').(k)
+    then ok := false
+  done;
+  !ok
+
+let channel_candidates fa fb =
+  let n = Array.length fa.chan_ones in
+  Array.init n (fun c ->
+      List.filter (channel_ok fa fb c) (List.init n Fun.id))
+
+let permute_mask pi m =
+  let img = ref 0 in
+  let w = ref m in
+  while !w <> 0 do
+    let c = Bitops.floor_log2 (!w land - !w) in
+    img := !img lor (1 lsl pi.(c));
+    w := !w land (!w - 1)
+  done;
+  !img
+
+let subsumes (sa, fa) (sb, fb) =
+  if State.n sa <> State.n sb then
+    invalid_arg "Subsume.subsumes: states of different widths";
+  State.subset sa sb
+  || fa.card <= fb.card
+     && level_cards_le fa fb
+     &&
+     let n = State.n sa in
+     let cand = channel_candidates fa fb in
+     Array.for_all (fun l -> l <> []) cand
+     &&
+     (* assign the most constrained channels first *)
+     let order = Array.init n Fun.id in
+     Array.sort
+       (fun c c' -> compare (List.length cand.(c)) (List.length cand.(c')))
+       order;
+     let pi = Array.make n (-1) in
+     let used = Array.make n false in
+     let rec assign i =
+       if i = n then
+         State.for_all_masks (fun m -> State.mem sb (permute_mask pi m)) sa
+       else
+         let c = order.(i) in
+         List.exists
+           (fun c' ->
+             (not used.(c'))
+             && begin
+                  pi.(c) <- c';
+                  used.(c') <- true;
+                  let r = assign (i + 1) in
+                  used.(c') <- false;
+                  r
+                end)
+           cand.(c)
+     in
+     assign 0
+
+let subsumes_states a b = subsumes (a, fingerprint a) (b, fingerprint b)

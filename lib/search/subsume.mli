@@ -1,0 +1,54 @@
+(** Subsumption between search states under channel permutation
+    (Bundala–Závodný), with the cheap necessary-condition filters of
+    Frăsinaru–Răschip applied before any permutation is attempted.
+
+    State [A] {e subsumes} state [B] when some wire permutation [pi]
+    satisfies [pi(A) ⊆ B]: any comparator suffix that completes [B] to
+    a sorting network, conjugated by [pi], completes [A] in the same
+    number of layers, so [B] may be dropped from a frontier that keeps
+    [A] without losing any depth-optimal network. (Conjugation can
+    reverse comparators; by Knuth's untangling argument — exercise
+    5.3.4.16 — a generalized network rewrites to a standard one of the
+    same depth, so depth conclusions are unaffected.)
+
+    The permutation search is a backtracking match over channels,
+    gated by three filters, each necessary for [pi(A) ⊆ B] because
+    [pi] maps the vectors of [A] {e injectively} into [B] preserving
+    ones-count (the "level" of a vector):
+
+    - cardinality: [|A| <= |B|];
+    - per-level cardinality: [|A_k| <= |B_k|] for every level [k];
+    - channel histograms: channel [c] of [A] may map to [c'] of [B]
+      only if, at every level [k], [A_k] has no more vectors with bit
+      [c] set (resp. clear) than [B_k] has with bit [c'] set (resp.
+      clear). *)
+
+type fingerprint = {
+  card : int;  (** number of vectors *)
+  level_card : int array;  (** index [k]: vectors with [k] ones *)
+  chan_ones : int array array;
+      (** [chan_ones.(c).(k)]: vectors with [k] ones and bit [c] set *)
+}
+
+val fingerprint : State.t -> fingerprint
+(** One pass over the state; cost [O(card * n)]. Frontier entries cache
+    this so repeated subsumption tests pay it once. *)
+
+val level_cards_le : fingerprint -> fingerprint -> bool
+(** The per-level cardinality filter: [|A_k| <= |B_k|] for all [k]. *)
+
+val channel_candidates : fingerprint -> fingerprint -> int list array
+(** [channel_candidates fa fb] lists, per channel [c] of [A], the
+    channels of [B] that pass the histogram filter. An empty list for
+    any channel refutes subsumption without a permutation search. *)
+
+val subsumes : State.t * fingerprint -> State.t * fingerprint -> bool
+(** [subsumes (a, fa) (b, fb)] decides whether [a] subsumes [b]. The
+    identity-permutation case ([subset a b]) is tested first, then the
+    filters, then the backtracking match (channels ordered by fewest
+    candidates, final subset check over the vectors of [a]).
+    @raise Invalid_argument if the states have different widths. *)
+
+val subsumes_states : State.t -> State.t -> bool
+(** [subsumes] computing both fingerprints on the fly (tests, one-off
+    queries). *)

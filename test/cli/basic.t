@@ -44,7 +44,7 @@ And is defeated by a true sorter:
 
 Minimal-depth search (Knuth 5.3.4.47 at n=4):
 
-  $ snlb search -n 4
+  $ snlb search -n 4 --shuffle
   minimal shuffle-based sorter depth for n=4: 3 (bitonic: 3)
 
 Benes routing:

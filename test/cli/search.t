@@ -1,0 +1,45 @@
+The generic optimal-depth search certifies the known optima for small n
+(domains pinned to 1 so node counts and the witness are deterministic).
+
+  $ snlb search -n 4 --optimal --domains 1
+  optimal depth for n=4: 3 (witness verified: true)
+    layer 1: (0,1)(2,3)
+    layer 2: (0,2)(1,3)
+    layer 3: (1,2)
+  nodes: 14  pruned: 0  deduped: 2  subsumed: 1  peak frontier: 1
+
+  $ snlb search -n 6 --optimal --domains 1 | head -1
+  optimal depth for n=6: 5 (witness verified: true)
+
+Deciding a fixed depth: no 4-layer network sorts 5 channels.
+
+  $ snlb search -n 5 --depth 4
+  no sorting network of depth <= 4 for n=5 (exhaustive)
+  nodes: 183  pruned: 0  deduped: 34  subsumed: 16  peak frontier: 5
+
+An exhausted node budget is reported as inconclusive, with the depths
+that were still fully refuted, and a nonzero exit code.
+
+  $ snlb search -n 6 --budget 100
+  inconclusive within 100 nodes (depths <= 2 refuted); raise --budget
+  nodes: 160  pruned: 0  deduped: 3  subsumed: 3  peak frontier: 3
+  [1]
+
+The shuffle-restricted mode (Knuth 5.3.4.47) rides the same driver.
+
+  $ snlb search -n 4 --shuffle --depth 2
+  no depth-2 shuffle-based sorter for n=4 (exhaustive)
+
+  $ snlb search -n 8 --shuffle --budget 50
+  inconclusive: stages <= 0 refuted within 50 nodes; raise --budget
+  [1]
+
+Invalid widths are rejected.
+
+  $ snlb search -n 12
+  search: n must be in [2,10] (state space is 2^n)
+  [1]
+
+  $ snlb search -n 6 --shuffle
+  search: --shuffle needs n a power of two in [2,16]
+  [1]

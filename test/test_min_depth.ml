@@ -1,14 +1,18 @@
-(* Tests for the minimal-depth search (Section 6 / Knuth 5.3.4.47). *)
+(* Tests for the minimal-depth search (Section 6 / Knuth 5.3.4.47),
+   now a shuffle-restricted instantiation of the generic driver. *)
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
+let budget max_nodes = { Driver.max_nodes; max_seconds = None }
+
 let test_n2 () =
   match Min_depth.minimal_depth ~n:2 ~max_depth:2 () with
-  | Some (1, prog) ->
+  | Min_depth.Minimal (1, prog) ->
       check_bool "verified" true (Min_depth.verify_witness ~n:2 prog)
-  | Some (d, _) -> Alcotest.failf "n=2 minimal depth %d, want 1" d
-  | None -> Alcotest.fail "n=2 must have a 1-stage sorter"
+  | Min_depth.Minimal (d, _) -> Alcotest.failf "n=2 minimal depth %d, want 1" d
+  | Min_depth.No_sorter -> Alcotest.fail "n=2 must have a 1-stage sorter"
+  | Min_depth.Unknown _ -> Alcotest.fail "n=2 must be decidable"
 
 let test_n4_exact () =
   (match Min_depth.search ~n:4 ~depth:2 () with
@@ -16,11 +20,12 @@ let test_n4_exact () =
   | Min_depth.Sorter _ -> Alcotest.fail "no 2-stage sorter exists for n=4"
   | Min_depth.Inconclusive -> Alcotest.fail "n=4 depth 2 must be decidable");
   match Min_depth.minimal_depth ~n:4 ~max_depth:4 () with
-  | Some (3, prog) ->
+  | Min_depth.Minimal (3, prog) ->
       check_bool "verified" true (Min_depth.verify_witness ~n:4 prog);
       check_int "matches bitonic" (Bitonic.depth_formula ~n:4) 3
-  | Some (d, _) -> Alcotest.failf "n=4 minimal depth %d, want 3" d
-  | None -> Alcotest.fail "bitonic is a 3-stage witness"
+  | Min_depth.Minimal (d, _) -> Alcotest.failf "n=4 minimal depth %d, want 3" d
+  | Min_depth.No_sorter -> Alcotest.fail "bitonic is a 3-stage witness"
+  | Min_depth.Unknown _ -> Alcotest.fail "n=4 must be decidable"
 
 let test_n8_depth3_impossible () =
   match Min_depth.search ~n:8 ~depth:3 () with
@@ -29,7 +34,7 @@ let test_n8_depth3_impossible () =
   | Min_depth.Inconclusive -> Alcotest.fail "should be decidable"
 
 let test_n8_depth4_impossible () =
-  match Min_depth.search ~n:8 ~depth:4 ~node_budget:20_000_000 () with
+  match Min_depth.search ~n:8 ~depth:4 ~budget:(budget 500_000_000) () with
   | Min_depth.Impossible -> ()
   | Min_depth.Sorter _ -> Alcotest.fail "depth-4 sorter for n=8 would be a discovery; recheck"
   | Min_depth.Inconclusive -> Alcotest.fail "budget too small"
@@ -43,10 +48,18 @@ let test_bitonic_witness_shape () =
   check_bool "bitonic passes verify_witness" true (Min_depth.verify_witness ~n opss)
 
 let test_budget_reported () =
-  match Min_depth.search ~n:8 ~depth:5 ~node_budget:50 () with
+  match Min_depth.search ~n:8 ~depth:5 ~budget:(budget 50) () with
   | Min_depth.Inconclusive -> ()
   | Min_depth.Sorter _ | Min_depth.Impossible ->
       Alcotest.fail "a 50-node budget cannot decide depth 5"
+
+let test_minimal_unknown () =
+  (* minimal_depth must report budget exhaustion distinguishably
+     instead of raising *)
+  match Min_depth.minimal_depth ~n:8 ~max_depth:5 ~budget:(budget 50) () with
+  | Min_depth.Unknown k -> check_bool "refuted levels >= 0" true (k >= 0)
+  | Min_depth.Minimal _ | Min_depth.No_sorter ->
+      Alcotest.fail "a 50-node budget cannot decide n=8"
 
 let test_invalid_n () =
   check_bool "rejects n=6" true
@@ -63,4 +76,5 @@ let () =
           Alcotest.test_case "n=8 depth 4 impossible" `Slow test_n8_depth4_impossible;
           Alcotest.test_case "bitonic as witness" `Quick test_bitonic_witness_shape;
           Alcotest.test_case "budget honoured" `Quick test_budget_reported;
+          Alcotest.test_case "minimal_depth reports Unknown" `Quick test_minimal_unknown;
           Alcotest.test_case "invalid n" `Quick test_invalid_n ] ) ]

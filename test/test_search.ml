@@ -1,0 +1,218 @@
+(* Tests for the exact-bounds search subsystem (lib/search): packed
+   state arithmetic, subsumption with its necessary-condition filters,
+   layer generation up to symmetry, and the BFS driver against both the
+   known optimal depths and the subsumption-free reference search. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- State --- *)
+
+let test_state_initial () =
+  let st = State.initial ~n:4 in
+  check_int "card" 16 (State.card st);
+  check_bool "mem 0" true (State.mem st 0);
+  check_bool "mem 15" true (State.mem st 15);
+  check_bool "not sorted" false (State.is_sorted st);
+  let st2 = State.initial ~n:2 in
+  (* one ascending comparator sorts two wires: image {00, 01r.. } *)
+  let st2' = State.apply_comparators st2 [ (0, 1) ] in
+  check_int "n=2 sorted card" 3 (State.card st2');
+  check_bool "n=2 sorted" true (State.is_sorted st2');
+  check_bool "masks" true (State.masks st2' = [ 0b00; 0b10; 0b11 ])
+
+let test_state_of_masks () =
+  let st = State.of_masks ~n:4 [ 0b0011; 0b0101; 0b0011 ] in
+  check_int "dups collapse" 2 (State.card st);
+  check_bool "roundtrip" true (State.masks st = [ 0b0011; 0b0101 ]);
+  let img = State.map_masks st (fun m -> m lxor 0b1111) in
+  check_bool "map" true (State.masks img = [ 0b1010; 0b1100 ]);
+  check_bool "subset" true
+    (State.subset st (State.of_masks ~n:4 [ 0b0011; 0b0101; 0b1000 ]));
+  check_bool "not subset" false
+    (State.subset st (State.of_masks ~n:4 [ 0b0011 ]));
+  check_bool "equal" true (State.equal st (State.of_masks ~n:4 [ 0b0101; 0b0011 ]));
+  check_bool "invalid mask rejected" true
+    (match State.of_masks ~n:4 [ 16 ] with
+     | exception Invalid_argument _ -> true
+     | _ -> false)
+
+let test_state_sorted_recognition () =
+  (* exactly the n+1 sorted vectors: ones packed at the high wires *)
+  let n = 5 in
+  let sorted = List.init (n + 1) (fun k -> ((1 lsl k) - 1) lsl (n - k)) in
+  check_bool "sorted set" true (State.is_sorted (State.of_masks ~n sorted));
+  check_bool "unsorted vector" false
+    (State.is_sorted (State.of_masks ~n (0b00001 :: sorted)))
+
+(* --- Subsume --- *)
+
+let st4 = State.of_masks ~n:4
+
+let test_subsume_permuted_positive () =
+  (* {0011} maps to {0101} by the wire swap 1 <-> 2 *)
+  let a = st4 [ 0b0011 ] and b = st4 [ 0b0101 ] in
+  check_bool "a subsumes b" true (Subsume.subsumes_states a b);
+  check_bool "b subsumes a" true (Subsume.subsumes_states b a);
+  (* plain subset: identity permutation fast path *)
+  check_bool "subset path" true
+    (Subsume.subsumes_states (st4 [ 0b0011 ]) (st4 [ 0b0011; 0b1000 ]))
+
+let test_subsume_card_filter () =
+  let a = st4 [ 0b0001; 0b0010 ] and b = st4 [ 0b0001 ] in
+  check_bool "larger cannot subsume" false (Subsume.subsumes_states a b)
+
+let test_subsume_level_filter () =
+  (* equal cardinality but level profiles differ: (1,2) vs (1,1) ones *)
+  let a = st4 [ 0b0001; 0b0011 ] and b = st4 [ 0b0001; 0b0010 ] in
+  let fa = Subsume.fingerprint a and fb = Subsume.fingerprint b in
+  check_bool "level filter refutes" false (Subsume.level_cards_le fa fb);
+  check_bool "subsumes agrees" false (Subsume.subsumes (a, fa) (b, fb))
+
+let test_subsume_channel_filter () =
+  (* same level profile (two level-2 vectors) but A's wire 0 lies in
+     both vectors and no wire of B does: candidate list comes back
+     empty before any permutation search *)
+  let a = st4 [ 0b0011; 0b0101 ] and b = st4 [ 0b0011; 0b1100 ] in
+  let fa = Subsume.fingerprint a and fb = Subsume.fingerprint b in
+  check_bool "wire 0 has no candidate" true
+    ((Subsume.channel_candidates fa fb).(0) = []);
+  check_bool "subsumes agrees" false (Subsume.subsumes (a, fa) (b, fb))
+
+let test_subsume_backtracking_negative () =
+  (* level-2 vectors are graph edges; a 6-cycle and two triangles have
+     identical degree histograms (every filter passes) yet are not
+     isomorphic, so only the exhaustive matching refutes this one *)
+  let c6 =
+    State.of_masks ~n:6
+      [ 0b000011; 0b000110; 0b001100; 0b011000; 0b110000; 0b100001 ]
+  and triangles =
+    State.of_masks ~n:6
+      [ 0b000011; 0b000110; 0b000101; 0b011000; 0b110000; 0b101000 ]
+  in
+  let fa = Subsume.fingerprint c6 and fb = Subsume.fingerprint triangles in
+  check_bool "every wire keeps candidates" true
+    (Array.for_all (fun l -> l <> []) (Subsume.channel_candidates fa fb));
+  check_bool "C6 !~ 2xC3" false (Subsume.subsumes (c6, fa) (triangles, fb));
+  check_bool "2xC3 !~ C6" false (Subsume.subsumes (triangles, fb) (c6, fa))
+
+let test_subsume_permutation_property =
+  QCheck.Test.make ~name:"any permuted image subsumes both ways" ~count:200
+    QCheck.(pair (int_range 3 6) int)
+    (fun (n, seed) ->
+      let rng = Xoshiro.of_seed seed in
+      let pi = Perm.random rng n in
+      let nmasks = 1 + Xoshiro.int rng ~bound:10 in
+      let masks = List.init nmasks (fun _ -> Xoshiro.int rng ~bound:(1 lsl n)) in
+      let image m =
+        List.fold_left
+          (fun acc w -> if (m lsr w) land 1 = 1 then acc lor (1 lsl Perm.apply pi w) else acc)
+          0
+          (List.init n Fun.id)
+      in
+      let a = State.of_masks ~n masks in
+      let b = State.of_masks ~n (List.map image masks) in
+      Subsume.subsumes_states a b && Subsume.subsumes_states b a)
+
+(* --- Layers --- *)
+
+let test_layer_counts () =
+  check_int "n=4 all" 9 (List.length (Layers.all ~n:4));
+  check_int "n=5 all" 25 (List.length (Layers.all ~n:5));
+  check_int "n=6 all" 75 (List.length (Layers.all ~n:6));
+  check_bool "first n=5" true (Layers.first ~n:5 = [ (0, 1); (2, 3) ]);
+  check_int "n=4 second" 4 (List.length (Layers.second ~n:4));
+  check_int "n=6 second" 9 (List.length (Layers.second ~n:6));
+  List.iter
+    (fun layer ->
+      check_bool "second is a matching from all" true
+        (List.mem layer (Layers.all ~n:6)))
+    (Layers.second ~n:6)
+
+(* --- Driver --- *)
+
+let optimal n =
+  match Driver.optimal_depth ~n () with
+  | Driver.Sorted { depth; moves; stats } -> (depth, moves, stats)
+  | Driver.Unsorted _ | Driver.Inconclusive _ ->
+      Alcotest.failf "n=%d: search did not return a witness" n
+
+let test_known_optimal_depths () =
+  List.iter
+    (fun (n, want) ->
+      let depth, moves, _ = optimal n in
+      check_int (Printf.sprintf "n=%d optimal" n) want depth;
+      check_int "witness length" want (List.length moves);
+      check_bool "witness verifies" true (Driver.verify_witness ~n moves);
+      check_int "network depth" want
+        (Network.depth (Driver.witness_network ~n moves)))
+    [ (2, 1); (3, 3); (4, 3); (5, 5); (6, 5) ]
+
+let test_reference_agreement () =
+  (* the subsumption-pruned search agrees with the equality-dedup
+     reference, and at n=6 expands over 10x fewer nodes *)
+  List.iter
+    (fun n ->
+      let depth, _, stats = optimal n in
+      match Driver.optimal_depth ~restrict:false ~n () with
+      | Driver.Sorted { depth = ref_depth; stats = ref_stats; _ } ->
+          check_int (Printf.sprintf "n=%d reference depth" n) depth ref_depth;
+          if n = 6 then
+            check_bool
+              (Printf.sprintf "pruning ratio %d/%d >= 10" ref_stats.Driver.nodes
+                 stats.Driver.nodes)
+              true
+              (ref_stats.Driver.nodes >= 10 * stats.Driver.nodes)
+      | Driver.Unsorted _ | Driver.Inconclusive _ ->
+          Alcotest.failf "n=%d: reference search failed" n)
+    [ 2; 3; 4; 5; 6 ]
+
+let test_unsorted_exhaustive () =
+  match Driver.optimal_depth ~max_depth:4 ~n:5 () with
+  | Driver.Unsorted stats ->
+      check_int "all 4 levels completed" 4 stats.Driver.completed_levels
+  | Driver.Sorted _ -> Alcotest.fail "no depth-4 network sorts n=5"
+  | Driver.Inconclusive _ -> Alcotest.fail "must be decidable"
+
+let test_budget_inconclusive () =
+  match
+    Driver.optimal_depth ~budget:{ Driver.max_nodes = 100; max_seconds = None }
+      ~n:6 ()
+  with
+  | Driver.Inconclusive stats ->
+      check_bool "some levels refuted" true (stats.Driver.completed_levels >= 1);
+      check_bool "stopped early" true (stats.Driver.completed_levels < 5)
+  | Driver.Sorted _ | Driver.Unsorted _ ->
+      Alcotest.fail "100 nodes cannot certify n=6"
+
+let test_multi_domain_agreement () =
+  (* same optimum through the parallel expansion / filter path *)
+  match Driver.optimal_depth ~domains:2 ~n:5 () with
+  | Driver.Sorted { depth; moves; _ } ->
+      check_int "n=5 at 2 domains" 5 depth;
+      check_bool "witness verifies" true (Driver.verify_witness ~n:5 moves)
+  | Driver.Unsorted _ | Driver.Inconclusive _ ->
+      Alcotest.fail "n=5 must be certified at 2 domains"
+
+let () =
+  Alcotest.run "search"
+    [ ( "state",
+        [ Alcotest.test_case "initial and comparators" `Quick test_state_initial;
+          Alcotest.test_case "of_masks/map/subset" `Quick test_state_of_masks;
+          Alcotest.test_case "sortedness" `Quick test_state_sorted_recognition ] );
+      ( "subsume",
+        [ Alcotest.test_case "permuted positive" `Quick test_subsume_permuted_positive;
+          Alcotest.test_case "cardinality filter" `Quick test_subsume_card_filter;
+          Alcotest.test_case "level filter" `Quick test_subsume_level_filter;
+          Alcotest.test_case "channel filter" `Quick test_subsume_channel_filter;
+          Alcotest.test_case "backtracking negative" `Quick
+            test_subsume_backtracking_negative;
+          QCheck_alcotest.to_alcotest test_subsume_permutation_property ] );
+      ("layers", [ Alcotest.test_case "counts" `Quick test_layer_counts ]);
+      ( "driver",
+        [ Alcotest.test_case "known optima n<=6" `Quick test_known_optimal_depths;
+          Alcotest.test_case "reference agreement + 10x pruning" `Quick
+            test_reference_agreement;
+          Alcotest.test_case "exhaustive refutation" `Quick test_unsorted_exhaustive;
+          Alcotest.test_case "budget inconclusive" `Quick test_budget_inconclusive;
+          Alcotest.test_case "two domains agree" `Quick test_multi_domain_agreement ] ) ]
