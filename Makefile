@@ -21,9 +21,14 @@ bench:
 # Engine microbenchmarks only; writes name -> ns/op to BENCH_engine.json
 # so successive PRs have a perf trajectory to compare against. The same
 # run times the exact-bounds search (pruned vs reference, 1 vs K
-# domains) into BENCH_search.json.
+# domains) into BENCH_search.json. Both files must carry the global
+# observability counters (obs/ rows) alongside the timings.
 bench-json:
 	SNLB_BENCH_JSON=BENCH_engine.json SNLB_BENCH_SEARCH_JSON=BENCH_search.json dune exec bench/main.exe
+	grep -q '"obs/engine.cache.hits"' BENCH_engine.json
+	grep -q '"obs/engine.cache.evictions"' BENCH_engine.json
+	grep -q '"search/n=6/pruned/domains=1/subsumed"' BENCH_search.json
+	grep -q '"obs/search.nodes"' BENCH_search.json
 
 tables:
 	dune exec bin/snlb_cli.exe -- table all --quick

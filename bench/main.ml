@@ -250,6 +250,24 @@ let write_json path results =
   close_out oc;
   Printf.printf "wrote %s (%d benchmarks, ns/op)\n" path (List.length results)
 
+(* Global observability counters, folded into the JSON files so the
+   perf trajectory carries cache behaviour (hits / misses / evictions)
+   and search work (nodes / pruned / subsumed) alongside ns/op. *)
+let obs_rows () =
+  let counters =
+    List.map
+      (fun (name, v) -> ("obs/" ^ name, float_of_int v))
+      (Metrics.counters ())
+  in
+  let hists =
+    List.concat_map
+      (fun (name, s) ->
+        [ ("obs/" ^ name ^ ".count", float_of_int s.Metrics.count);
+          ("obs/" ^ name ^ ".mean", Metrics.mean s) ])
+      (Metrics.histograms ())
+  in
+  counters @ hists
+
 (* Search-engine throughput: wall-clock rows for the exact-bounds BFS,
    written as the same flat name -> float JSON as the engine file. Each
    configuration contributes wall_ms / nodes / nodes_per_s /
@@ -261,9 +279,9 @@ let write_json path results =
 let search_json_rows () =
   let k = max 2 (Par.recommended_domains ()) in
   let time_run ~tag ~restrict ~domains n =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.wall () in
     let outcome = Driver.optimal_depth ~restrict ~domains ~n () in
-    let wall = Unix.gettimeofday () -. t0 in
+    let wall = Clock.wall () -. t0 in
     let stats, depth =
       match outcome with
       | Driver.Sorted { depth; stats; _ } -> (stats, depth)
@@ -274,7 +292,12 @@ let search_json_rows () =
       (prefix ^ "/nodes", float_of_int stats.Driver.nodes);
       ( prefix ^ "/nodes_per_s",
         if wall > 0. then float_of_int stats.Driver.nodes /. wall else 0. );
+      (prefix ^ "/pruned", float_of_int stats.Driver.pruned);
+      (prefix ^ "/deduped", float_of_int stats.Driver.deduped);
+      (prefix ^ "/subsumed", float_of_int stats.Driver.subsumed);
       (prefix ^ "/peak_frontier", float_of_int stats.Driver.peak_frontier);
+      (prefix ^ "/elapsed_wall_s", stats.Driver.elapsed);
+      (prefix ^ "/elapsed_cpu_s", stats.Driver.elapsed_cpu);
       (prefix ^ "/depth", float_of_int depth) ]
   in
   List.concat
@@ -293,9 +316,15 @@ let () =
         run_bechamel (Test.make_grouped ~name:"snlb" engine_tests)
       in
       report_engine_speedup results;
-      write_json path results;
+      (* the obs/ rows carry whatever the bechamel loops accumulated in
+         the global registry (cache hit/miss/eviction traffic, verify
+         sweep rates) *)
+      write_json path (results @ obs_rows ());
       (match Sys.getenv_opt "SNLB_BENCH_SEARCH_JSON" with
-       | Some search_path -> write_json search_path (search_json_rows ())
+       | Some search_path ->
+           Metrics.reset ();
+           let rows = search_json_rows () in
+           write_json search_path (rows @ obs_rows ())
        | None -> ())
   | None ->
       let results = run_bechamel all_tests in

@@ -33,6 +33,38 @@ let build_sorter algo n =
 let pp_array a =
   "[" ^ String.concat " " (Array.to_list (Array.map string_of_int a)) ^ "]"
 
+(* observability: --trace streams span events as NDJSON while the run
+   is in flight, --metrics prints the global counter/histogram summary
+   after it *)
+
+let trace_arg =
+  let doc = "Stream observability span events as NDJSON lines to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Print the global metrics summary (counters and histograms) after the run."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let print_metrics () =
+  let t =
+    Ascii_table.create
+      ~columns:[ ("metric", Ascii_table.Left); ("value", Ascii_table.Right) ]
+  in
+  List.iter (fun (name, v) -> Ascii_table.add_row t [ name; v ]) (Obs.summary ());
+  Ascii_table.print t
+
+let with_obs ~trace ~metrics f =
+  let oc = Option.map open_out trace in
+  let sink = match oc with None -> Sink.null | Some oc -> Sink.ndjson oc in
+  Fun.protect
+    ~finally:(fun () -> Option.iter close_out oc)
+    (fun () ->
+      let code = f sink in
+      if metrics then print_metrics ();
+      code)
+
 (* sort *)
 
 let sort_cmd =
@@ -65,7 +97,7 @@ let verify_cmd =
     in
     Arg.(value & opt int 0 & info [ "domains" ] ~docv:"D" ~doc)
   in
-  let run algo n domains =
+  let run algo n domains trace metrics =
     match build_sorter algo n with
     | Error e ->
         prerr_endline e;
@@ -74,9 +106,17 @@ let verify_cmd =
         let domains =
           if domains <= 0 then Par.recommended_domains () else domains
         in
+        with_obs ~trace ~metrics @@ fun sink ->
         Printf.printf "verifying %s on n=%d over all %d zero-one inputs...\n%!"
           algo n (1 lsl n);
-        (match Zero_one.verify ~domains nw with
+        let answer =
+          Span.run ~sink ~name:"verify" @@ fun sp ->
+          Span.add sp "algo" (Sink.Str algo);
+          Span.add sp "n" (Sink.Int n);
+          Span.add sp "domains" (Sink.Int domains);
+          Zero_one.verify ~domains nw
+        in
+        (match answer with
         | Ok () ->
             Printf.printf "sorting network: true\n";
             0
@@ -92,7 +132,7 @@ let verify_cmd =
      bit-sliced 63 inputs per word on the compiled engine."
   in
   Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const run $ algo_arg $ n_arg $ domains_arg)
+    Term.(const run $ algo_arg $ n_arg $ domains_arg $ trace_arg $ metrics_arg)
 
 (* certify *)
 
@@ -105,12 +145,13 @@ let certify_cmd =
     let doc = "Number of lg-n-stage shuffle blocks." in
     Arg.(value & opt int 2 & info [ "blocks" ] ~docv:"B" ~doc)
   in
-  let run kind n blocks seed =
+  let run kind n blocks seed trace metrics =
     if not (Bitops.is_power_of_two n) then begin
       prerr_endline "certify: n must be a power of two";
       1
     end
     else begin
+      with_obs ~trace ~metrics @@ fun sink ->
       let d = Bitops.log2_exact n in
       let rng = Xoshiro.of_seed seed in
       let prog =
@@ -123,7 +164,7 @@ let certify_cmd =
             Shuffle_net.random_program rng ~n ~stages:(blocks * d)
       in
       let it = Shuffle_net.to_iterated prog in
-      let r = Theorem41.run it in
+      let r = Theorem41.run ~sink it in
       Printf.printf "n=%d, %d blocks of %d shuffle stages\n" n
         (Iterated.block_count it) d;
       List.iter
@@ -158,7 +199,9 @@ let certify_cmd =
      emit a validated fooling pair."
   in
   Cmd.v (Cmd.info "certify" ~doc)
-    Term.(const run $ kind_arg $ n_arg $ blocks_arg $ seed_arg)
+    Term.(
+      const run $ kind_arg $ n_arg $ blocks_arg $ seed_arg $ trace_arg
+      $ metrics_arg)
 
 (* table *)
 
@@ -315,7 +358,7 @@ let search_cmd =
       s.Driver.nodes s.Driver.pruned s.Driver.deduped s.Driver.subsumed
       s.Driver.peak_frontier
   in
-  let run n depth _optimal shuffle domains max_depth budget =
+  let run n depth _optimal shuffle domains max_depth budget trace metrics =
     let budget = { Driver.max_nodes = budget; max_seconds = None } in
     if shuffle then begin
       if not (Bitops.is_power_of_two n) || n < 2 || n > 16 then begin
@@ -323,9 +366,10 @@ let search_cmd =
         1
       end
       else
+        with_obs ~trace ~metrics @@ fun sink ->
         match depth with
         | Some depth -> (
-            match Min_depth.search ~n ~depth ~budget ~domains () with
+            match Min_depth.search ~n ~depth ~budget ~domains ~sink () with
             | Min_depth.Sorter prog ->
                 Printf.printf "depth-%d shuffle-based sorter EXISTS for n=%d " depth n;
                 Printf.printf "(witness verified: %b)\n"
@@ -347,7 +391,7 @@ let search_cmd =
                 1)
         | None -> (
             let max_depth = Option.value max_depth ~default:6 in
-            match Min_depth.minimal_depth ~n ~max_depth ~budget ~domains () with
+            match Min_depth.minimal_depth ~n ~max_depth ~budget ~domains ~sink () with
             | Min_depth.Minimal (depth, _) ->
                 Printf.printf
                   "minimal shuffle-based sorter depth for n=%d: %d (bitonic: %d)\n" n
@@ -367,13 +411,14 @@ let search_cmd =
       1
     end
     else begin
+      with_obs ~trace ~metrics @@ fun sink ->
       let max_depth =
         match (max_depth, depth) with
         | Some d, _ -> d
         | None, Some d -> d
         | None, None -> n
       in
-      match Driver.optimal_depth ~domains ~budget ~max_depth ~n () with
+      match Driver.optimal_depth ~domains ~budget ~sink ~max_depth ~n () with
       | Driver.Sorted { depth; moves; stats } ->
           Printf.printf "optimal depth for n=%d: %d (witness verified: %b)\n" n
             depth
@@ -402,7 +447,7 @@ let search_cmd =
   Cmd.v (Cmd.info "search" ~doc)
     Term.(
       const run $ search_n_arg $ depth_arg $ optimal_arg $ shuffle_arg
-      $ domains_arg $ max_depth_arg $ budget_arg)
+      $ domains_arg $ max_depth_arg $ budget_arg $ trace_arg $ metrics_arg)
 
 (* route *)
 

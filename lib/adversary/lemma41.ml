@@ -6,7 +6,8 @@ type stats = {
   merges : Mset.merge_stats list;
 }
 
-let run ?(policy = Mset.Argmin) st rd =
+let run ?(policy = Mset.Argmin) ?(sink = Sink.null) st rd =
+  Span.run ~sink ~name:"lemma41" @@ fun sp ->
   let a_size =
     Array.fold_left
       (fun acc w ->
@@ -35,6 +36,10 @@ let run ?(policy = Mset.Argmin) st rd =
   | Mset.Fixed _ -> ());
   (* t(l) = k^3 + l k^2. *)
   assert (coll.Mset.t = (st.Mset.k * k2) + (l * k2));
+  Span.add sp "a_size" (Sink.Int a_size);
+  Span.add sp "b_size" (Sink.Int coll.Mset.total);
+  Span.add sp "levels" (Sink.Int l);
+  Span.add sp "sets" (Sink.Int coll.Mset.t);
   ( coll,
     { a_size;
       b_size = coll.Mset.total;

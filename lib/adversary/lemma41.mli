@@ -24,10 +24,13 @@ type stats = {
 
 val run :
   ?policy:Mset.offset_policy ->
+  ?sink:Sink.t ->
   Mset.state ->
   Reverse_delta.t ->
   Mset.collection * stats
 (** Mutates the state (pattern refinement and symbolic routing) and
     returns the root collection. The lemma's loss bound (Property 4)
     and set count (implied by Property 1) are asserted unless an
-    ablation [policy] of [Fixed _] is in force. *)
+    ablation [policy] of [Fixed _] is in force. [sink] receives one
+    timed ["lemma41"] span per call, carrying [a_size] / [b_size] /
+    [levels] / [sets]. *)

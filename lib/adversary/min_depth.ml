@@ -96,9 +96,9 @@ let check_n ~fn n =
   if not (Bitops.is_power_of_two n) || n < 2 || n > 16 then
     invalid_arg (fn ^ ": n must be a power of two in [2,16]")
 
-let search ~n ~depth ?budget ?domains () =
+let search ~n ~depth ?budget ?domains ?sink () =
   check_n ~fn:"Min_depth.search" n;
-  match Driver.run ?domains ?budget ~max_depth:depth (system ~n) with
+  match Driver.run ?domains ?budget ?sink ~max_depth:depth (system ~n) with
   | Driver.Sorted { moves; _ } -> Sorter moves
   | Driver.Unsorted _ -> Impossible
   | Driver.Inconclusive _ -> Inconclusive
@@ -107,9 +107,9 @@ let verify_witness ~n program =
   let prog = Register_model.shuffle_program ~n program in
   Zero_one.is_sorting_network (Register_model.to_network prog)
 
-let minimal_depth ~n ~max_depth ?budget ?domains () =
+let minimal_depth ~n ~max_depth ?budget ?domains ?sink () =
   check_n ~fn:"Min_depth.minimal_depth" n;
-  match Driver.run ?domains ?budget ~max_depth (system ~n) with
+  match Driver.run ?domains ?budget ?sink ~max_depth (system ~n) with
   | Driver.Sorted { depth; moves; _ } ->
       assert (verify_witness ~n moves);
       Minimal (depth, moves)

@@ -38,16 +38,18 @@ type minimal =
       (** budget exhausted; depths up to the payload {e are} refuted *)
 
 val search :
-  n:int -> depth:int -> ?budget:Driver.budget -> ?domains:int -> unit -> outcome
+  n:int -> depth:int -> ?budget:Driver.budget -> ?domains:int ->
+  ?sink:Sink.t -> unit -> outcome
 (** [search ~n ~depth ()] decides whether some shuffle-based network of
     at most [depth] stages sorts all inputs (a [Sorter] witness may be
     shorter than [depth]). [budget] (default {!Driver.default_budget})
-    bounds move applications as in {!Driver.run}.
+    bounds move applications as in {!Driver.run}; [sink] receives the
+    driver's per-level span events.
     @raise Invalid_argument unless [n] is a power of two in [2, 16]. *)
 
 val minimal_depth :
-  n:int -> max_depth:int -> ?budget:Driver.budget -> ?domains:int -> unit ->
-  minimal
+  n:int -> max_depth:int -> ?budget:Driver.budget -> ?domains:int ->
+  ?sink:Sink.t -> unit -> minimal
 (** The least [D <= max_depth] admitting a sorter, with a verified
     witness ([Minimal]); [No_sorter] if every depth up to [max_depth]
     is refuted; [Unknown k] if the budget ran out after exhaustively

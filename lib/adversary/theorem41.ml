@@ -31,7 +31,7 @@ let max_survivable_blocks ~n =
   in
   go 0
 
-let run ?k ?policy it =
+let run ?k ?policy ?(sink = Sink.null) it =
   let n = Iterated.n it in
   let k =
     match k with Some k -> k | None -> max 2 (Bitops.ceil_log2 n)
@@ -40,23 +40,35 @@ let run ?k ?policy it =
   let reports = ref [] in
   let survived = ref 0 in
   let exhausted = ref true in
+  Span.run ~sink ~name:"adversary" @@ fun adv_sp ->
   (try
      List.iteri
        (fun index (b : Iterated.block) ->
-         (match b.pre with
-         | None -> ()
-         | Some p -> Mset.apply_swap_level st p);
-         let coll, stats = Lemma41.run ?policy st b.body in
-         let chosen, d_size = Mset.best_set coll in
-         Mset.rho_rename st coll chosen;
-         reports :=
-           { index;
-             a_size = stats.Lemma41.a_size;
-             b_size = stats.Lemma41.b_size;
-             sets = stats.Lemma41.sets;
-             d_size;
-             paper_bound = paper_bound ~n ~blocks:(index + 1) }
-           :: !reports;
+         (* the per-block span must close before the early-exit raise,
+            or the block's event would be swallowed with it *)
+         let d_size =
+           Span.run ~sink ~name:"block" @@ fun sp ->
+           (match b.pre with
+           | None -> ()
+           | Some p -> Mset.apply_swap_level st p);
+           let coll, stats = Lemma41.run ?policy ~sink st b.body in
+           let chosen, d_size = Mset.best_set coll in
+           Mset.rho_rename st coll chosen;
+           reports :=
+             { index;
+               a_size = stats.Lemma41.a_size;
+               b_size = stats.Lemma41.b_size;
+               sets = stats.Lemma41.sets;
+               d_size;
+               paper_bound = paper_bound ~n ~blocks:(index + 1) }
+             :: !reports;
+           Span.add sp "index" (Sink.Int index);
+           Span.add sp "a_size" (Sink.Int stats.Lemma41.a_size);
+           Span.add sp "b_size" (Sink.Int stats.Lemma41.b_size);
+           Span.add sp "sets" (Sink.Int stats.Lemma41.sets);
+           Span.add sp "d_size" (Sink.Int d_size);
+           d_size
+         in
          if d_size >= 2 then incr survived
          else begin
            exhausted := false;
@@ -64,6 +76,9 @@ let run ?k ?policy it =
          end)
        (Iterated.blocks it)
    with Exit -> ());
+  Span.add adv_sp "n" (Sink.Int n);
+  Span.add adv_sp "blocks" (Sink.Int (List.length !reports));
+  Span.add adv_sp "survived" (Sink.Int !survived);
   { reports = List.rev !reports;
     survived = !survived;
     final_pattern = Array.copy st.Mset.input_sym;

@@ -34,10 +34,14 @@ type result = {
   exhausted : bool;  (** all blocks processed (vs. stopped at |D| <= 1) *)
 }
 
-val run : ?k:int -> ?policy:Mset.offset_policy -> Iterated.t -> result
+val run :
+  ?k:int -> ?policy:Mset.offset_policy -> ?sink:Sink.t -> Iterated.t -> result
 (** [run ?k ?policy it] processes the blocks of [it]. [k] defaults to
     [max 2 (lg n)], the theorem's choice; [policy] is the Lemma 4.1
-    offset rule (ablation hook). *)
+    offset rule (ablation hook). [sink] receives one timed span per
+    block (path ["adversary/block"], fields [index] / [a_size] /
+    [b_size] / [sets] / [d_size]) nesting the {!Lemma41} span, plus a
+    closing ["adversary"] event. *)
 
 val paper_bound : n:int -> blocks:int -> float
 (** [n / (lg n)^(4 d)] — the explicit bound of Theorem 4.1. *)

@@ -39,6 +39,9 @@
       pruning for optimal depths of small networks.
     - {!Sortedness}, {!Zero_one}, {!Exhaustive}: verification.
     - {!Benes}: permutation routing.
+    - {!Clock}, {!Metrics}, {!Sink}, {!Span}, {!Obs}: the
+      observability layer — monotonic clocks, global counters and
+      histograms, timed hierarchical spans, NDJSON / in-memory sinks.
     - {!Workload}, {!Stat_summary}, {!Ascii_table}: harness support. *)
 
 module Bitops = Bitops
@@ -97,3 +100,8 @@ module Workload = Workload
 module Par = Par
 module Stat_summary = Stat_summary
 module Ascii_table = Ascii_table
+module Clock = Clock
+module Metrics = Metrics
+module Sink = Sink
+module Span = Span
+module Obs = Obs

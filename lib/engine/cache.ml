@@ -4,7 +4,14 @@
    gate triples), so two independently built but identical networks
    share one compiled form.  Polymorphic hashing may truncate deep
    keys; equality is full structural comparison, so collisions only
-   cost a probe, never a wrong hit. *)
+   cost a probe, never a wrong hit.
+
+   The cache is bounded by second-chance (clock) eviction: each entry
+   carries a used bit, set on every hit; when the table is full the
+   sweep hand (the insertion-order queue) clears used bits until it
+   finds a cold entry to evict.  Hot entries — registry sorters hit on
+   every verification — keep their bit set and survive arbitrarily
+   many sweeps, unlike the wholesale reset this replaces. *)
 
 type key = int * (int array option * (int * int * int) list) list
 
@@ -23,39 +30,99 @@ let canonical_key nw : key =
             lvl.Network.gates ))
       (Network.levels nw) )
 
-type stats = { hits : int; misses : int; entries : int }
+type stats = { hits : int; misses : int; entries : int; evictions : int }
 
-let max_entries = 512
+type entry = { compiled : Compiled.t; mutable used : bool }
+
+(* Observability mirrors of the internal counters: the global registry
+   is reset independently of [clear] (Obs.Metrics.reset vs tests
+   resetting the cache), so both sets are kept. *)
+let c_hits = Metrics.counter "engine.cache.hits"
+let c_misses = Metrics.counter "engine.cache.misses"
+let c_evictions = Metrics.counter "engine.cache.evictions"
+let h_compile = Metrics.histogram "engine.cache.compile_s"
 
 let lock = Mutex.create ()
-let table : (key, Compiled.t) Hashtbl.t = Hashtbl.create 64
+let table : (key, entry) Hashtbl.t = Hashtbl.create 64
+let order : key Queue.t = Queue.create ()
+let capacity = ref 512
 let hit_count = ref 0
 let miss_count = ref 0
+let evict_count = ref 0
+
+(* Second-chance sweep; the caller holds [lock].  Terminates: a full
+   rotation clears every used bit, so the second reaches a cold entry. *)
+let evict_down_to target =
+  while Hashtbl.length table > target do
+    match Queue.take_opt order with
+    | None -> assert false (* queue mirrors the table *)
+    | Some k -> (
+        match Hashtbl.find_opt table k with
+        | None -> () (* unreachable: removal always dequeues first *)
+        | Some e ->
+            if e.used then begin
+              e.used <- false;
+              Queue.push k order
+            end
+            else begin
+              Hashtbl.remove table k;
+              incr evict_count;
+              Metrics.incr c_evictions
+            end)
+  done
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Cache.set_capacity: capacity must be >= 1";
+  Mutex.lock lock;
+  capacity := n;
+  evict_down_to n;
+  Mutex.unlock lock
 
 let compile nw =
   let k = canonical_key nw in
   Mutex.lock lock;
   match Hashtbl.find_opt table k with
-  | Some c ->
+  | Some e ->
+      e.used <- true;
       incr hit_count;
       Mutex.unlock lock;
-      c
+      Metrics.incr c_hits;
+      e.compiled
   | None ->
-      Mutex.unlock lock;
-      (* compile outside the lock; a racing duplicate compile is
-         harmless (last write wins, both results are equivalent) *)
-      let c = Compiled.of_network nw in
-      Mutex.lock lock;
+      (* count the miss at decision time, then compile outside the
+         lock; concurrent duplicate compiles each count one miss *)
       incr miss_count;
-      if Hashtbl.length table >= max_entries then Hashtbl.reset table;
-      Hashtbl.replace table k c;
       Mutex.unlock lock;
-      c
+      Metrics.incr c_misses;
+      let t0 = Clock.wall () in
+      let c = Compiled.of_network nw in
+      Metrics.observe h_compile (Clock.wall () -. t0);
+      Mutex.lock lock;
+      (* re-check: a racing domain may have inserted this key while we
+         compiled.  First insert wins, so every caller gets the same
+         physical compiled form and [entries] never double-counts. *)
+      let result =
+        match Hashtbl.find_opt table k with
+        | Some e ->
+            e.used <- true;
+            e.compiled
+        | None ->
+            if Hashtbl.length table >= !capacity then
+              evict_down_to (!capacity - 1);
+            Hashtbl.replace table k { compiled = c; used = false };
+            Queue.push k order;
+            c
+      in
+      Mutex.unlock lock;
+      result
 
 let stats () =
   Mutex.lock lock;
   let s =
-    { hits = !hit_count; misses = !miss_count; entries = Hashtbl.length table }
+    { hits = !hit_count;
+      misses = !miss_count;
+      entries = Hashtbl.length table;
+      evictions = !evict_count }
   in
   Mutex.unlock lock;
   s
@@ -63,6 +130,8 @@ let stats () =
 let clear () =
   Mutex.lock lock;
   Hashtbl.reset table;
+  Queue.clear order;
   hit_count := 0;
   miss_count := 0;
+  evict_count := 0;
   Mutex.unlock lock

@@ -8,17 +8,33 @@
     share one compiled form.
 
     Domain-safe: the table is guarded by a mutex; compilation itself
-    runs outside the critical section. The cache is bounded (it resets
-    wholesale past 512 entries, a size no workload in this repository
-    approaches). *)
+    runs outside the critical section, and a racing duplicate compile
+    of the same key is resolved first-insert-wins, so every caller
+    receives the same physical compiled form and the stats stay
+    consistent (each compile counts one miss; [entries] counts keys).
+
+    The cache is bounded (512 entries by default) with second-chance
+    eviction: every hit marks the entry used, and when the table is
+    full the sweep evicts the first entry found cold — so hot entries
+    survive past the bound instead of being dropped by a wholesale
+    reset.
+
+    Hits, misses, evictions and compile time are also recorded in the
+    global {!Obs.Metrics} registry ([engine.cache.*]), surfaced by
+    [snlb ... --metrics] and [make bench-json]. *)
 
 val compile : Network.t -> Compiled.t
 (** [compile nw] is [Compiled.of_network nw], memoised structurally. *)
 
-type stats = { hits : int; misses : int; entries : int }
+type stats = { hits : int; misses : int; entries : int; evictions : int }
 
 val stats : unit -> stats
-(** Cumulative hit/miss counters and current table size. *)
+(** Cumulative hit/miss/eviction counters and current table size. *)
+
+val set_capacity : int -> unit
+(** Change the entry bound (default 512), evicting down if the table
+    is over it. Tests use a small capacity to exercise eviction.
+    @raise Invalid_argument if the capacity is < 1. *)
 
 val clear : unit -> unit
 (** Drop all entries and reset the counters (tests, benchmarks). *)

@@ -1,0 +1,17 @@
+(* The high-water mark makes gettimeofday monotone per process: a
+   reading below an earlier one (NTP step, manual clock change) is
+   replaced by the earlier one, so durations never go negative. *)
+
+let high_water = Atomic.make neg_infinity
+
+let wall () =
+  let t = Unix.gettimeofday () in
+  let rec raise_to () =
+    let prev = Atomic.get high_water in
+    if t <= prev then prev
+    else if Atomic.compare_and_set high_water prev t then t
+    else raise_to ()
+  in
+  raise_to ()
+
+let cpu = Sys.time

@@ -1,0 +1,16 @@
+(** Clocks for the observability layer.
+
+    Budgets, span durations and event timestamps all read the {e wall}
+    clock: [Unix.gettimeofday] monotonicised through a process-global
+    high-water mark, so a system clock stepping backwards can never
+    produce a negative duration or re-trip a time budget early. CPU
+    time ({!Sys.time}) is reported alongside wall time where useful —
+    it sums over OCaml domains, so on a multicore run it exceeds wall
+    time by up to the domain count. *)
+
+val wall : unit -> float
+(** Wall-clock seconds since the Unix epoch, never decreasing within
+    the process. Domain-safe (lock-free). *)
+
+val cpu : unit -> float
+(** Process CPU seconds ({!Sys.time}); sums over all domains. *)

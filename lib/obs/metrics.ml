@@ -1,0 +1,122 @@
+type counter = { cell : int Atomic.t }
+
+type histogram = {
+  hlock : Mutex.t;
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+  hbuckets : int array;
+}
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : int array;
+}
+
+let nbuckets = 64
+
+(* bucket i covers [2^(i-32), 2^(i-31)): i = 32 + floor (log2 v),
+   clamped into [0, 63]; zero and negative observations land in 0 *)
+let bucket_of v =
+  if v <= 0. then 0
+  else
+    let l = int_of_float (Float.floor (Float.log2 v)) in
+    Int.min (nbuckets - 1) (Int.max 0 (l + 32))
+
+(* The registry: interned handles keyed by name. The lock guards only
+   registration and enumeration, never the recording hot path. *)
+let lock = Mutex.create ()
+let counter_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
+let hist_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  Mutex.lock lock;
+  let c =
+    match Hashtbl.find_opt counter_tbl name with
+    | Some c -> c
+    | None ->
+        let c = { cell = Atomic.make 0 } in
+        Hashtbl.add counter_tbl name c;
+        c
+  in
+  Mutex.unlock lock;
+  c
+
+let incr c = ignore (Atomic.fetch_and_add c.cell 1)
+let add c n = ignore (Atomic.fetch_and_add c.cell n)
+let value c = Atomic.get c.cell
+
+let fresh_hist () =
+  { hlock = Mutex.create ();
+    count = 0;
+    sum = 0.;
+    vmin = infinity;
+    vmax = neg_infinity;
+    hbuckets = Array.make nbuckets 0 }
+
+let histogram name =
+  Mutex.lock lock;
+  let h =
+    match Hashtbl.find_opt hist_tbl name with
+    | Some h -> h
+    | None ->
+        let h = fresh_hist () in
+        Hashtbl.add hist_tbl name h;
+        h
+  in
+  Mutex.unlock lock;
+  h
+
+let observe h v =
+  if Float.is_finite v then begin
+    Mutex.lock h.hlock;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.vmin then h.vmin <- v;
+    if v > h.vmax then h.vmax <- v;
+    h.hbuckets.(bucket_of v) <- h.hbuckets.(bucket_of v) + 1;
+    Mutex.unlock h.hlock
+  end
+
+let snapshot h =
+  Mutex.lock h.hlock;
+  let s =
+    { count = h.count;
+      sum = h.sum;
+      min = h.vmin;
+      max = h.vmax;
+      buckets = Array.copy h.hbuckets }
+  in
+  Mutex.unlock h.hlock;
+  s
+
+let mean s = if s.count = 0 then 0. else s.sum /. float_of_int s.count
+
+let sorted_bindings tbl f =
+  Mutex.lock lock;
+  let xs = Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl [] in
+  Mutex.unlock lock;
+  List.map (fun (name, v) -> (name, f v))
+    (List.sort (fun (a, _) (b, _) -> compare a b) xs)
+
+let counters () = sorted_bindings counter_tbl (fun c -> value c)
+let histograms () = sorted_bindings hist_tbl snapshot
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counter_tbl;
+  Hashtbl.iter
+    (fun _ h ->
+      Mutex.lock h.hlock;
+      h.count <- 0;
+      h.sum <- 0.;
+      h.vmin <- infinity;
+      h.vmax <- neg_infinity;
+      Array.fill h.hbuckets 0 nbuckets 0;
+      Mutex.unlock h.hlock)
+    hist_tbl;
+  Mutex.unlock lock

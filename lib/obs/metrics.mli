@@ -1,0 +1,58 @@
+(** Named counters and histograms in a process-global registry.
+
+    A counter is an atomic int, so the hot subsystems (compile cache,
+    search driver, 0-1 verifier) can record events from any domain
+    without locking; an increment is one [Atomic.fetch_and_add].
+    A histogram records count / sum / min / max plus power-of-two
+    magnitude buckets, guarded by a per-histogram mutex (observations
+    are rare next to counter bumps — compile times, sweep rates).
+
+    Handles are obtained by name and interned: [counter "x"] twice
+    returns the same cell, so independent modules naming the same
+    metric share it. {!reset} zeroes every registered metric {e in
+    place} — handles held at module initialisation stay valid. *)
+
+type counter
+
+val counter : string -> counter
+(** Get-or-create the counter registered under this name. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val value : counter -> int
+
+type histogram
+
+val histogram : string -> histogram
+(** Get-or-create the histogram registered under this name. *)
+
+val observe : histogram -> float -> unit
+(** Record one observation. Non-finite values are dropped. *)
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;  (** [infinity] while empty *)
+  max : float;  (** [neg_infinity] while empty *)
+  buckets : int array;
+      (** bucket [i] counts observations [v] with
+          [2^(i-32) <= v < 2^(i-31)] (clamped at both ends); the
+          bucket counts sum to [count] *)
+}
+
+val snapshot : histogram -> summary
+
+val mean : summary -> float
+(** [sum / count], or [0.] while empty. *)
+
+val counters : unit -> (string * int) list
+(** Every registered counter with its current value, sorted by name. *)
+
+val histograms : unit -> (string * summary) list
+(** Every registered histogram with its snapshot, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every registered counter and histogram (tests, benchmarks).
+    Registration survives: existing handles keep recording. *)

@@ -1,0 +1,22 @@
+module Clock = Clock
+module Metrics = Metrics
+module Sink = Sink
+module Span = Span
+
+let pp_float v =
+  if Float.is_finite v then Printf.sprintf "%.4g" v else "-"
+
+let summary () =
+  let counter_rows =
+    List.map (fun (name, v) -> (name, string_of_int v)) (Metrics.counters ())
+  in
+  let hist_rows =
+    List.concat_map
+      (fun (name, (s : Metrics.summary)) ->
+        [ (name ^ ".count", string_of_int s.Metrics.count);
+          (name ^ ".mean", pp_float (Metrics.mean s));
+          (name ^ ".min", pp_float s.Metrics.min);
+          (name ^ ".max", pp_float s.Metrics.max) ])
+      (Metrics.histograms ())
+  in
+  List.sort compare (counter_rows @ hist_rows)

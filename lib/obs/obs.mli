@@ -1,0 +1,25 @@
+(** Observability umbrella: [Obs.Clock], [Obs.Metrics], [Obs.Sink],
+    [Obs.Span], plus the renderer-agnostic summary the CLI and bench
+    harness turn into tables / JSON.
+
+    The layer is dependency-free (stdlib + [Unix] only) and costs
+    nothing when disabled: counters are single atomic adds, spans with
+    a {!Sink.null} sink skip the clock reads entirely. The hot
+    subsystems record into it unconditionally — [Engine.Cache]
+    (hits / misses / evictions / compile time), [Search.Driver]
+    (per-level spans and counters), the adversary (per-block spans)
+    and [Verify.Zero_one] (inputs swept, inputs/sec) — and the edges
+    surface it: [snlb ... --trace FILE] streams NDJSON events,
+    [--metrics] prints this summary, [make bench-json] folds the
+    counters into the BENCH files. *)
+
+module Clock = Clock
+module Metrics = Metrics
+module Sink = Sink
+module Span = Span
+
+val summary : unit -> (string * string) list
+(** Every registered metric as a [(name, rendered value)] row, sorted
+    by name: counters verbatim, histograms expanded into
+    [name.count], [name.mean], [name.min], [name.max] (empty
+    histograms render min/max as ["-"]). *)

@@ -1,0 +1,95 @@
+type value = Int of int | Float of float | Str of string
+
+type event = {
+  ts : float;
+  ev : string;
+  name : string;
+  fields : (string * value) list;
+}
+
+type t =
+  | Null
+  | Ndjson of { oc : out_channel; m : Mutex.t }
+  | Memory of { events : event list ref; m : Mutex.t }
+  | Tee of t * t
+
+let null = Null
+let ndjson oc = Ndjson { oc; m = Mutex.create () }
+
+let memory () =
+  let events = ref [] and m = Mutex.create () in
+  let read () =
+    Mutex.lock m;
+    let l = List.rev !events in
+    Mutex.unlock m;
+    l
+  in
+  (Memory { events; m }, read)
+
+let tee a b =
+  match (a, b) with Null, s | s, Null -> s | a, b -> Tee (a, b)
+
+let enabled = function Null -> false | Ndjson _ | Memory _ | Tee _ -> true
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_value buf = function
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      Buffer.add_string buf
+        (if Float.is_finite f then Printf.sprintf "%.9g" f else "0")
+  | Str s ->
+      Buffer.add_char buf '"';
+      add_escaped buf s;
+      Buffer.add_char buf '"'
+
+let to_json e =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "{\"ts\":%.6f,\"ev\":\"" e.ts);
+  add_escaped buf e.ev;
+  Buffer.add_string buf "\",\"name\":\"";
+  add_escaped buf e.name;
+  Buffer.add_char buf '"';
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf ",\"";
+      add_escaped buf k;
+      Buffer.add_string buf "\":";
+      add_value buf v)
+    e.fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let rec deliver t e =
+  match t with
+  | Null -> ()
+  | Ndjson { oc; m } ->
+      Mutex.lock m;
+      output_string oc (to_json e);
+      output_char oc '\n';
+      flush oc;
+      Mutex.unlock m
+  | Memory { events; m } ->
+      Mutex.lock m;
+      events := e :: !events;
+      Mutex.unlock m
+  | Tee (a, b) ->
+      deliver a e;
+      deliver b e
+
+let emit t ~ev ~name fields =
+  match t with
+  | Null -> ()
+  | t -> deliver t { ts = Clock.wall (); ev; name; fields }

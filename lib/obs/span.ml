@@ -1,0 +1,28 @@
+type t = { sink : Sink.t; mutable extra : (string * Sink.value) list }
+
+let stack : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let add sp k v =
+  if Sink.enabled sp.sink then sp.extra <- (k, v) :: sp.extra
+
+let run ?(sink = Sink.null) ~name f =
+  if not (Sink.enabled sink) then f { sink; extra = [] }
+  else begin
+    let st = Domain.DLS.get stack in
+    st := name :: !st;
+    let path = String.concat "/" (List.rev !st) in
+    let w0 = Clock.wall () and c0 = Clock.cpu () in
+    let sp = { sink; extra = [] } in
+    match f sp with
+    | r ->
+        st := List.tl !st;
+        Sink.emit sink ~ev:"span" ~name:path
+          (("wall_s", Sink.Float (Clock.wall () -. w0))
+          :: ("cpu_s", Sink.Float (Clock.cpu () -. c0))
+          :: List.rev sp.extra);
+        r
+    | exception e ->
+        st := List.tl !st;
+        raise e
+  end

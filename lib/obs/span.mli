@@ -1,0 +1,22 @@
+(** Hierarchical timed spans.
+
+    [run ~sink ~name f] times [f] and emits one ["span"] event on
+    successful return, carrying [wall_s] and [cpu_s] plus any fields
+    the body attached with {!add}. Nesting is tracked per domain
+    ([Domain.DLS]), so the event's [name] is the ["/"]-joined path of
+    enclosing spans — e.g. a {!Lemma41} span inside a {!Theorem41}
+    block reports as ["adversary/block/lemma41"] — and spans opened
+    concurrently on different domains never interleave paths.
+
+    With a disabled sink ({!Sink.null}) the body runs with no clock
+    reads, no stack push and no allocation beyond the span handle —
+    the instrumented hot paths cost nothing when nobody is watching.
+    A raising body pops the stack but emits nothing. *)
+
+type t
+
+val add : t -> string -> Sink.value -> unit
+(** Attach a field to the enclosing span's close event (emission
+    order follows attachment order). No-op on a disabled sink. *)
+
+val run : ?sink:Sink.t -> name:string -> (t -> 'a) -> 'a

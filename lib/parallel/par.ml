@@ -8,9 +8,24 @@ let recommended_domains () =
   match Sys.getenv_opt "SNLB_DOMAINS" with
   | None -> default ()
   | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some v -> clamp_domains v
-      | None -> default ())
+      (* an empty / all-whitespace value means "unset", silently *)
+      match String.trim s with
+      | "" -> default ()
+      | t -> (
+          match int_of_string_opt t with
+          | Some v when v >= 1 && v <= 64 -> v
+          | Some v ->
+              let c = clamp_domains v in
+              Printf.eprintf
+                "snlb: SNLB_DOMAINS=%d out of range [1, 64]; clamping to %d\n%!"
+                v c;
+              c
+          | None ->
+              let d = default () in
+              Printf.eprintf
+                "snlb: SNLB_DOMAINS=%S is not an integer; using default %d\n%!"
+                s d;
+              d))
 
 let map_ranges ~domains ~lo ~hi f =
   if lo > hi then invalid_arg "Par.map_ranges: lo > hi";

@@ -12,8 +12,11 @@ val recommended_domains : unit -> int
     chunk count are never spawned. The [SNLB_DOMAINS] environment
     variable overrides the heuristic with a fixed count, clamped to
     [\[1, 64\]] — CI and benchmarks use it to pin parallelism
-    deterministically. A non-integer (or empty) value falls back to
-    the heuristic. *)
+    deterministically. An out-of-range or non-integer value is never
+    silently honoured: it triggers a one-line [stderr] warning naming
+    the bad value before clamping (respectively falling back to the
+    heuristic). An empty or all-whitespace value means "unset" and is
+    ignored without a warning. *)
 
 val map_ranges :
   domains:int -> lo:int -> hi:int -> (lo:int -> hi:int -> 'a) -> 'a list

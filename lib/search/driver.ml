@@ -11,6 +11,7 @@ type stats = {
   peak_frontier : int;
   completed_levels : int;
   elapsed : float;
+  elapsed_cpu : float;
 }
 
 type 'm outcome =
@@ -30,6 +31,13 @@ type 'm system = {
 }
 
 let no_prune ~level:_ ~remaining:_ _ = false
+
+(* Cumulative global counters, surfaced by --metrics / bench-json. *)
+let c_nodes = Metrics.counter "search.nodes"
+let c_pruned = Metrics.counter "search.pruned"
+let c_deduped = Metrics.counter "search.deduped"
+let c_subsumed = Metrics.counter "search.subsumed"
+let c_levels = Metrics.counter "search.levels"
 
 (* Greedy subsumption filter. Candidates (already equality-deduped,
    sorted by ascending cardinality so the strongest states are kept
@@ -82,9 +90,11 @@ let subsume_filter ~domains ~kept candidates =
   loop candidates;
   (List.rev !survivors, !dropped)
 
-let run ?(domains = 1) ?(budget = default_budget) ~max_depth sys =
+let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
+    ?on_level ~max_depth sys =
   if max_depth < 0 then invalid_arg "Driver.run: max_depth must be >= 0";
-  let t0 = Sys.time () in
+  let w0 = Clock.wall () in
+  let cpu0 = Clock.cpu () in
   let nodes = Atomic.make 0 in
   let stop = Atomic.make false in
   let over_budget = Atomic.make false in
@@ -100,123 +110,178 @@ let run ?(domains = 1) ?(budget = default_budget) ~max_depth sys =
       frontier_sizes = List.rev !sizes;
       peak_frontier = List.fold_left max 0 !sizes;
       completed_levels = completed;
-      elapsed = Sys.time () -. t0 }
+      elapsed = Clock.wall () -. w0;
+      elapsed_cpu = Clock.cpu () -. cpu0 }
   in
-  if State.is_sorted sys.initial then
-    Sorted { depth = 0; moves = []; stats = mk_stats 0 }
-  else begin
-    (* cross-level memory: states already represented (sound — the
-       earlier occurrence reaches any sorted descendant no later) *)
-    let seen : (int array, unit) Hashtbl.t = Hashtbl.create 4096 in
-    Hashtbl.replace seen (State.key sys.initial) ();
-    let kept : (State.t * Subsume.fingerprint) list ref = ref [] in
-    let frontier = ref [ (sys.initial, []) ] in
-    let result = ref None in
-    let level = ref 1 in
-    while !result = None && !level <= max_depth && !frontier <> [] do
-      let lvl = !level in
-      let moves = sys.moves_at ~level:lvl in
-      let nmoves = List.length moves in
-      let remaining = max_depth - lvl in
-      let last = lvl = max_depth in
-      let expand (st, pre) =
-        if Atomic.get stop then (None, [], 0)
-        else begin
-          let before = Atomic.fetch_and_add nodes nmoves in
-          let timed_out =
-            match budget.max_seconds with
-            | Some s -> Sys.time () -. t0 > s
-            | None -> false
-          in
-          if before + nmoves > budget.max_nodes || timed_out then begin
-            Atomic.set over_budget true;
-            Atomic.set stop true;
-            (None, [], 0)
-          end
+  let record_totals s =
+    Metrics.add c_nodes s.nodes;
+    Metrics.add c_pruned s.pruned;
+    Metrics.add c_deduped s.deduped;
+    Metrics.add c_subsumed s.subsumed;
+    Metrics.add c_levels s.completed_levels
+  in
+  Span.run ~sink ~name:"search" @@ fun search_sp ->
+  let outcome =
+    if State.is_sorted sys.initial then
+      Sorted { depth = 0; moves = []; stats = mk_stats 0 }
+    else begin
+      (* cross-level memory: states already represented (sound — the
+         earlier occurrence reaches any sorted descendant no later) *)
+      let seen : (int array, unit) Hashtbl.t = Hashtbl.create 4096 in
+      Hashtbl.replace seen (State.key sys.initial) ();
+      let kept : (State.t * Subsume.fingerprint) list ref = ref [] in
+      let frontier = ref [ (sys.initial, []) ] in
+      let result = ref None in
+      let level = ref 1 in
+      while !result = None && !level <= max_depth && !frontier <> [] do
+        let lvl = !level in
+        let nodes0 = Atomic.get nodes in
+        let pruned0 = !pruned_total
+        and deduped0 = !deduped_total
+        and subsumed0 = !subsumed_total in
+        (* nested under the "search" span: the event path is
+           "search/level" *)
+        Span.run ~sink ~name:"level" @@ fun sp ->
+        let moves = sys.moves_at ~level:lvl in
+        let nmoves = List.length moves in
+        let remaining = max_depth - lvl in
+        let last = lvl = max_depth in
+        let expand (st, pre) =
+          if Atomic.get stop then (None, [], 0)
           else begin
-            let found = ref None in
-            let cands = ref [] in
-            let pruned = ref 0 in
-            (try
-               List.iter
-                 (fun m ->
-                   let st' = sys.apply m st in
-                   if State.is_sorted st' then begin
-                     found := Some (m :: pre);
-                     Atomic.set stop true;
-                     raise Exit
-                   end
-                   else if last then ()
-                   else if sys.prune ~level:lvl ~remaining st' then incr pruned
-                   else cands := (st', m :: pre) :: !cands)
-                 moves
-             with Exit -> ());
-            (!found, List.rev !cands, !pruned)
+            let before = Atomic.fetch_and_add nodes nmoves in
+            let timed_out =
+              match budget.max_seconds with
+              | Some s -> Clock.wall () -. w0 > s
+              | None -> false
+            in
+            if before + nmoves > budget.max_nodes || timed_out then begin
+              Atomic.set over_budget true;
+              Atomic.set stop true;
+              (None, [], 0)
+            end
+            else begin
+              let found = ref None in
+              let cands = ref [] in
+              let pruned = ref 0 in
+              (try
+                 List.iter
+                   (fun m ->
+                     let st' = sys.apply m st in
+                     if State.is_sorted st' then begin
+                       found := Some (m :: pre);
+                       Atomic.set stop true;
+                       raise Exit
+                     end
+                     else if last then ()
+                     else if sys.prune ~level:lvl ~remaining st' then incr pruned
+                     else cands := (st', m :: pre) :: !cands)
+                   moves
+               with Exit -> ());
+              (!found, List.rev !cands, !pruned)
+            end
           end
-        end
-      in
-      let chunks = Par.map_list ~domains expand !frontier in
-      List.iter (fun (_, _, p) -> pruned_total := !pruned_total + p) chunks;
-      match List.find_map (fun (f, _, _) -> f) chunks with
-      | Some rev_moves ->
-          result :=
-            Some
-              (Sorted
-                 { depth = lvl; moves = List.rev rev_moves; stats = mk_stats (lvl - 1) })
+        in
+        let chunks = Par.map_list ~domains expand !frontier in
+        List.iter (fun (_, _, p) -> pruned_total := !pruned_total + p) chunks;
+        let surviving =
+          match List.find_map (fun (f, _, _) -> f) chunks with
+          | Some rev_moves ->
+              result :=
+                Some
+                  (Sorted
+                     { depth = lvl;
+                       moves = List.rev rev_moves;
+                       stats = mk_stats (lvl - 1) });
+              0
+          | None ->
+              if Atomic.get over_budget then begin
+                result := Some (Inconclusive (mk_stats (lvl - 1)));
+                0
+              end
+              else begin
+                let candidates = List.concat_map (fun (_, c, _) -> c) chunks in
+                (* equality dedup against everything ever seen *)
+                let fresh =
+                  List.filter
+                    (fun (st, _) ->
+                      let k = State.key st in
+                      if Hashtbl.mem seen k then begin
+                        incr deduped_total;
+                        false
+                      end
+                      else begin
+                        Hashtbl.replace seen k ();
+                        true
+                      end)
+                    candidates
+                in
+                let survivors =
+                  match sys.dedup with
+                  | Equal -> fresh
+                  | Subsume ->
+                      let with_fp =
+                        Par.map_list ~domains
+                          (fun (st, pre) -> (st, pre, Subsume.fingerprint st))
+                          fresh
+                      in
+                      let ordered =
+                        List.stable_sort
+                          (fun (_, _, fa) (_, _, fb) ->
+                            compare fa.Subsume.card fb.Subsume.card)
+                          with_fp
+                      in
+                      let kept_states, dropped =
+                        subsume_filter ~domains ~kept ordered
+                      in
+                      subsumed_total := !subsumed_total + dropped;
+                      kept_states
+                in
+                let width = List.length survivors in
+                sizes := width :: !sizes;
+                frontier := survivors;
+                incr level;
+                width
+              end
+        in
+        (* per-level deltas: summing these fields over all level events
+           reproduces the run's final stats exactly *)
+        Span.add sp "level" (Sink.Int lvl);
+        Span.add sp "nodes" (Sink.Int (Atomic.get nodes - nodes0));
+        Span.add sp "pruned" (Sink.Int (!pruned_total - pruned0));
+        Span.add sp "deduped" (Sink.Int (!deduped_total - deduped0));
+        Span.add sp "subsumed" (Sink.Int (!subsumed_total - subsumed0));
+        Span.add sp "frontier" (Sink.Int surviving);
+        match on_level with
+        | Some f when !result = None ->
+            (* level lvl fully expanded and deduplicated *)
+            f ~level:lvl ~frontier:surviving (mk_stats lvl)
+        | Some _ | None -> ()
+      done;
+      match !result with
+      | Some r -> r
       | None ->
-          if Atomic.get over_budget then
-            result := Some (Inconclusive (mk_stats (lvl - 1)))
-          else begin
-            let candidates = List.concat_map (fun (_, c, _) -> c) chunks in
-            (* equality dedup against everything ever seen *)
-            let fresh =
-              List.filter
-                (fun (st, _) ->
-                  let k = State.key st in
-                  if Hashtbl.mem seen k then begin
-                    incr deduped_total;
-                    false
-                  end
-                  else begin
-                    Hashtbl.replace seen k ();
-                    true
-                  end)
-                candidates
-            in
-            let survivors =
-              match sys.dedup with
-              | Equal -> fresh
-              | Subsume ->
-                  let with_fp =
-                    Par.map_list ~domains
-                      (fun (st, pre) -> (st, pre, Subsume.fingerprint st))
-                      fresh
-                  in
-                  let ordered =
-                    List.stable_sort
-                      (fun (_, _, fa) (_, _, fb) ->
-                        compare fa.Subsume.card fb.Subsume.card)
-                      with_fp
-                  in
-                  let kept_states, dropped =
-                    subsume_filter ~domains ~kept ordered
-                  in
-                  subsumed_total := !subsumed_total + dropped;
-                  kept_states
-            in
-            sizes := List.length survivors :: !sizes;
-            frontier := survivors;
-            incr level
-          end
-    done;
-    match !result with
-    | Some r -> r
-    | None ->
-        (* loop left because level > max_depth or the frontier emptied:
-           every reachable state was explored with its maximal
-           remaining budget, so no prefix of <= max_depth moves sorts *)
-        Unsorted (mk_stats (!level - 1))
-  end
+          (* loop left because level > max_depth or the frontier emptied:
+             every reachable state was explored with its maximal
+             remaining budget, so no prefix of <= max_depth moves sorts *)
+          Unsorted (mk_stats (!level - 1))
+    end
+  in
+  let s, verdict =
+    match outcome with
+    | Sorted { stats; _ } -> (stats, "sorted")
+    | Unsorted stats -> (stats, "unsorted")
+    | Inconclusive stats -> (stats, "inconclusive")
+  in
+  record_totals s;
+  Span.add search_sp "outcome" (Sink.Str verdict);
+  Span.add search_sp "nodes" (Sink.Int s.nodes);
+  Span.add search_sp "pruned" (Sink.Int s.pruned);
+  Span.add search_sp "deduped" (Sink.Int s.deduped);
+  Span.add search_sp "subsumed" (Sink.Int s.subsumed);
+  Span.add search_sp "peak_frontier" (Sink.Int s.peak_frontier);
+  Span.add search_sp "completed_levels" (Sink.Int s.completed_levels);
+  outcome
 
 (* --- sorting-network instantiation --- *)
 
@@ -238,9 +303,9 @@ let network_system ?(restrict = true) ~n () =
     prune = no_prune;
     dedup = (if restrict then Subsume else Equal) }
 
-let optimal_depth ?domains ?budget ?restrict ?max_depth ~n () =
+let optimal_depth ?domains ?budget ?sink ?on_level ?restrict ?max_depth ~n () =
   let max_depth = match max_depth with Some d -> d | None -> n in
-  run ?domains ?budget ~max_depth (network_system ?restrict ~n ())
+  run ?domains ?budget ?sink ?on_level ~max_depth (network_system ?restrict ~n ())
 
 let witness_network ~n layers =
   Network.of_gate_levels ~wires:n (List.map Layers.gates layers)

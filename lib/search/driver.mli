@@ -1,6 +1,6 @@
 (** Layered breadth-first search for exact small-network bounds, with
     frontier deduplication, pluggable move generation, a node/time
-    budget, and multicore expansion.
+    budget, multicore expansion, and built-in observability.
 
     The driver is generic over the move type ['m] so that both the
     general sorting-network search (moves = comparator layers, frontier
@@ -25,12 +25,22 @@
     does the candidates-versus-kept part of the subsumption filter; a
     shared atomic flag short-circuits all domains once a witness is
     found or the budget trips. With [domains = 1] everything runs
-    inline and deterministically. *)
+    inline and deterministically.
+
+    Observability: a run wrapped around an {!Obs.Sink} emits one
+    ["span"] event per level (path ["search/level"]) whose [nodes] /
+    [pruned] / [deduped] / [subsumed] fields are per-level deltas —
+    summing them over all level events reproduces the final {!stats}
+    exactly — plus a closing ["search"] event with the totals; the
+    [on_level] callback delivers live cumulative stats after each
+    completed level. Both cost nothing when absent. *)
 
 type budget = { max_nodes : int; max_seconds : float option }
 (** [max_nodes] bounds move applications (edges explored);
-    [max_seconds] optionally bounds CPU time ({!Sys.time}, which sums
-    over domains). *)
+    [max_seconds] optionally bounds {e wall-clock} time
+    ({!Obs.Clock.wall}), so a budget means the same seconds at any
+    [domains] count. (Earlier versions metered [Sys.time], which sums
+    CPU over domains and tripped [domains]x too early.) *)
 
 val default_budget : budget
 (** 200 million nodes, no time cap. *)
@@ -45,7 +55,10 @@ type stats = {
   completed_levels : int;
       (** levels fully expanded and deduplicated; on [Inconclusive],
           depths up to this value are exhaustively refuted *)
-  elapsed : float;  (** CPU seconds *)
+  elapsed : float;  (** wall-clock seconds *)
+  elapsed_cpu : float;
+      (** CPU seconds, summed over domains (>= [elapsed] on multicore
+          runs when cores are busy) *)
 }
 
 type 'm outcome =
@@ -72,11 +85,22 @@ type 'm system = {
 
 val no_prune : level:int -> remaining:int -> State.t -> bool
 
-val run : ?domains:int -> ?budget:budget -> max_depth:int -> 'm system -> 'm outcome
+val run :
+  ?domains:int ->
+  ?budget:budget ->
+  ?sink:Sink.t ->
+  ?on_level:(level:int -> frontier:int -> stats -> unit) ->
+  max_depth:int ->
+  'm system ->
+  'm outcome
 (** [run ~max_depth sys] searches prefixes of up to [max_depth] moves.
     [domains] (default 1) parallelises expansion and subsumption
-    filtering. With [domains > 1] the witness (not its length) and the
-    node counts may vary between runs; every outcome is sound. *)
+    filtering. [sink] (default {!Sink.null}) receives the per-level
+    and closing span events; [on_level ~level ~frontier stats] fires
+    after each {e completed} level with the surviving frontier size
+    and a cumulative stats snapshot. With [domains > 1] the witness
+    (not its length) and the node counts may vary between runs; every
+    outcome is sound. *)
 
 (** {1 Sorting-network instantiation} *)
 
@@ -93,7 +117,9 @@ val network_system : ?restrict:bool -> n:int -> unit -> layer system
     validated against. @raise Invalid_argument unless [2 <= n <= 10]. *)
 
 val optimal_depth :
-  ?domains:int -> ?budget:budget -> ?restrict:bool -> ?max_depth:int ->
+  ?domains:int -> ?budget:budget -> ?sink:Sink.t ->
+  ?on_level:(level:int -> frontier:int -> stats -> unit) ->
+  ?restrict:bool -> ?max_depth:int ->
   n:int -> unit -> layer outcome
 (** [optimal_depth ~n ()] certifies the exact minimal depth of a
     sorting network on [n] wires (for [Sorted], [depth] is optimal and

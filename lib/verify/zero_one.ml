@@ -13,10 +13,20 @@ let check_guard ?(max_wires = 26) nw =
 
 let input_of_index n t = Array.init n (fun w -> (t lsr w) land 1)
 
+let c_sweeps = Metrics.counter "verify.zero_one.sweeps"
+let c_inputs = Metrics.counter "verify.zero_one.inputs"
+let h_rate = Metrics.histogram "verify.zero_one.inputs_per_s"
+
 let verify ?max_wires ?(domains = 1) nw =
   let n = check_guard ?max_wires nw in
   let c = Cache.compile nw in
-  match Bitslice.find_unsorted ~domains c with
+  let t0 = Clock.wall () in
+  let answer = Bitslice.find_unsorted ~domains c in
+  let dt = Float.max 1e-9 (Clock.wall () -. t0) in
+  Metrics.incr c_sweeps;
+  Metrics.add c_inputs (1 lsl n);
+  Metrics.observe h_rate (float_of_int (1 lsl n) /. dt);
+  match answer with
   | None -> Ok ()
   | Some t ->
       let input = input_of_index n t in

@@ -1,0 +1,54 @@
+--trace streams one NDJSON span event per search level plus a closing
+search span, without disturbing the regular output (domains pinned to 1
+so the counts are deterministic).
+
+  $ snlb search -n 6 --domains 1 --trace trace.ndjson | head -1
+  optimal depth for n=6: 5 (witness verified: true)
+
+  $ grep -c '"ev":"span"' trace.ndjson
+  6
+
+  $ grep -c '"name":"search/level"' trace.ndjson
+  5
+
+  $ grep -c '"name":"search"' trace.ndjson
+  1
+
+Every line is one JSON object carrying the required keys.
+
+  $ awk '
+  >   !/^\{.*\}$/                 { print "bad shape: " $0; bad = 1 }
+  >   !/"ts":/ || !/"ev":/ || !/"name":/ || !/"wall_s":/ || !/"cpu_s":/ {
+  >     print "missing key: " $0; bad = 1
+  >   }
+  >   END { exit bad }
+  > ' trace.ndjson
+
+The per-level deltas sum to the closing span's totals.
+
+  $ awk -F'"nodes":' '
+  >   /"name":"search\/level"/ { split($2, a, ","); sum += a[1] }
+  >   /"name":"search",/       { split($2, a, ","); total = a[1] }
+  >   END { if (sum == total) print "level deltas sum to total"
+  >         else printf "mismatch: %d != %d\n", sum, total }
+  > ' trace.ndjson
+  level deltas sum to total
+
+--metrics prints the global counter/histogram table after the run; the
+search.* counter names are stable even though the values vary with
+timing-dependent metrics elsewhere in the table.
+
+  $ snlb search -n 6 --domains 1 --metrics | grep -o '^search\.[a-z_]*' | sort
+  search.deduped
+  search.levels
+  search.nodes
+  search.pruned
+  search.subsumed
+
+The shuffle-restricted search traces through the same driver.
+
+  $ snlb search -n 4 --shuffle --depth 2 --trace shuffle.ndjson
+  no depth-2 shuffle-based sorter for n=4 (exhaustive)
+
+  $ grep -c '"name":"search/level"' shuffle.ndjson
+  2

@@ -245,6 +245,54 @@ let test_cache_distinguishes_structure () =
   check_bool "different structures, different compiled" true (cp != cr);
   check_int "two entries" 2 (Cache.stats ()).Cache.entries
 
+let test_cache_eviction () =
+  Cache.clear ();
+  Cache.set_capacity 8;
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.set_capacity 512;
+      Cache.clear ())
+    (fun () ->
+      let hot = Bitonic.network ~n:8 in
+      let c_hot = Cache.compile hot in
+      (* flood with distinct single-gate networks, touching the hot
+         entry between insertions so its used bit stays set *)
+      for i = 1 to 40 do
+        ignore
+          (Cache.compile
+             (Network.of_gate_levels ~wires:64 [ [ Gate.compare_up 0 i ] ]));
+        ignore (Cache.compile hot)
+      done;
+      let s = Cache.stats () in
+      check_bool "evictions happened" true (s.Cache.evictions > 0);
+      check_bool "table stays bounded" true (s.Cache.entries <= 8);
+      let c_hot' = Cache.compile hot in
+      check_bool "hot entry survived every sweep" true (c_hot == c_hot');
+      check_int "hot re-lookup was a hit, not a recompile" s.Cache.misses
+        (Cache.stats ()).Cache.misses)
+
+let test_cache_concurrent_compile () =
+  Cache.clear ();
+  (* all domains compile the same (structurally equal) network; the
+     duplicate-compile race must resolve to one shared entry with
+     consistent counters *)
+  let handles =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () -> Cache.compile (Bitonic.network ~n:16)))
+  in
+  let results = List.map Domain.join handles in
+  let s = Cache.stats () in
+  check_int "one entry" 1 s.Cache.entries;
+  check_int "every call counted once" 4 (s.Cache.hits + s.Cache.misses);
+  check_bool "at least one miss" true (s.Cache.misses >= 1);
+  (match results with
+  | first :: rest ->
+      List.iter
+        (fun c -> check_bool "same physical compiled form" true (c == first))
+        rest
+  | [] -> assert false);
+  Cache.clear ()
+
 (* --- witness path through Zero_one --- *)
 
 let test_zero_one_verify_witness () =
@@ -268,7 +316,11 @@ let () =
       ( "cache",
         [ Alcotest.test_case "hits and clear" `Quick test_cache_hits;
           Alcotest.test_case "structural discrimination" `Quick
-            test_cache_distinguishes_structure ] );
+            test_cache_distinguishes_structure;
+          Alcotest.test_case "second-chance eviction" `Quick
+            test_cache_eviction;
+          Alcotest.test_case "concurrent duplicate compile" `Quick
+            test_cache_concurrent_compile ] );
       ( "zero-one",
         [ Alcotest.test_case "verify returns witness" `Quick
             test_zero_one_verify_witness ] );

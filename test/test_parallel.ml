@@ -59,6 +59,11 @@ let test_recommended_domains_env () =
   in
   with_env "3" (fun () ->
       check_int "override honored" 3 (Par.recommended_domains ()));
+  (* the clamp boundaries themselves are valid and warning-free *)
+  with_env "1" (fun () ->
+      check_int "lower boundary honored" 1 (Par.recommended_domains ()));
+  with_env "64" (fun () ->
+      check_int "upper boundary honored" 64 (Par.recommended_domains ()));
   with_env "999" (fun () ->
       check_int "clamped above" 64 (Par.recommended_domains ()));
   with_env "0" (fun () ->

@@ -185,6 +185,43 @@ let test_budget_inconclusive () =
   | Driver.Sorted _ | Driver.Unsorted _ ->
       Alcotest.fail "100 nodes cannot certify n=6"
 
+let test_wall_clock_budget () =
+  (* the n=7 reference search needs minutes, so a 0.3 s wall budget
+     must trip it — after roughly the same wall time whether 1 or 4
+     domains expand.  The old CPU-summed budget (Sys.time across
+     domains) tripped the 4-domain run ~4x early, well under the
+     lower bound asserted here. *)
+  let budget = { Driver.max_nodes = 1_000_000_000; max_seconds = Some 0.3 } in
+  let run domains =
+    let t0 = Clock.wall () in
+    let outcome =
+      Driver.optimal_depth ~domains ~budget ~restrict:false ~n:7 ()
+    in
+    let wall = Clock.wall () -. t0 in
+    match outcome with
+    | Driver.Inconclusive stats -> (wall, stats)
+    | Driver.Sorted _ | Driver.Unsorted _ ->
+        Alcotest.fail "0.3 s cannot decide the n=7 reference search"
+  in
+  let wall1, stats1 = run 1 in
+  let wall4, stats4 = run 4 in
+  List.iter
+    (fun (domains, wall, stats) ->
+      check_bool
+        (Printf.sprintf "domains=%d ran up to the budget (%.3f s)" domains wall)
+        true (wall > 0.25);
+      check_bool
+        (Printf.sprintf "domains=%d stopped within 2x the budget (%.3f s)"
+           domains wall)
+        true (wall < 0.6);
+      check_bool "stats.elapsed is wall-clock" true
+        (stats.Driver.elapsed <= wall +. 0.05);
+      check_bool "cpu elapsed also reported" true
+        (stats.Driver.elapsed_cpu >= 0.))
+    [ (1, wall1, stats1); (4, wall4, stats4) ];
+  check_bool "equal wall budgets complete comparable levels" true
+    (abs (stats4.Driver.completed_levels - stats1.Driver.completed_levels) <= 1)
+
 let test_multi_domain_agreement () =
   (* same optimum through the parallel expansion / filter path *)
   match Driver.optimal_depth ~domains:2 ~n:5 () with
@@ -215,4 +252,6 @@ let () =
             test_reference_agreement;
           Alcotest.test_case "exhaustive refutation" `Quick test_unsorted_exhaustive;
           Alcotest.test_case "budget inconclusive" `Quick test_budget_inconclusive;
+          Alcotest.test_case "wall-clock time budget" `Quick
+            test_wall_clock_budget;
           Alcotest.test_case "two domains agree" `Quick test_multi_domain_agreement ] ) ]
