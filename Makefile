@@ -29,6 +29,10 @@ bench-json:
 	grep -q '"obs/engine.cache.evictions"' BENCH_engine.json
 	grep -q '"search/n=6/pruned/domains=1/subsumed"' BENCH_search.json
 	grep -q '"obs/search.nodes"' BENCH_search.json
+	grep -q '"search/n=7/pruned-ckpt/domains=1/wall_ms"' BENCH_search.json
+	grep -q '"obs/checkpoint.writes"' BENCH_search.json
+	grep -q '"obs/checkpoint.bytes"' BENCH_search.json
+	grep -q '"obs/checkpoint.write_ms.mean"' BENCH_search.json
 
 tables:
 	dune exec bin/snlb_cli.exe -- table all --quick

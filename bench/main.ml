@@ -153,7 +153,7 @@ let experiment_tests =
       (Staged.stage (fun () ->
            match Min_depth.search ~n:4 ~depth:3 () with
            | Min_depth.Sorter _ -> ()
-           | Min_depth.Impossible | Min_depth.Inconclusive -> assert false));
+           | Min_depth.Impossible | Min_depth.Inconclusive | Min_depth.Interrupted -> assert false));
     Test.make ~name:"E12/shellsort-build/ciura-n=1024"
       (Staged.stage (fun () ->
            ignore
@@ -278,14 +278,14 @@ let obs_rows () =
    a single-core host shows pure domain overhead). *)
 let search_json_rows () =
   let k = max 2 (Par.recommended_domains ()) in
-  let time_run ~tag ~restrict ~domains n =
+  let time_run ?checkpoint ~tag ~restrict ~domains n =
     let t0 = Clock.wall () in
-    let outcome = Driver.optimal_depth ~restrict ~domains ~n () in
+    let outcome = Driver.optimal_depth ?checkpoint ~restrict ~domains ~n () in
     let wall = Clock.wall () -. t0 in
     let stats, depth =
       match outcome with
       | Driver.Sorted { depth; stats; _ } -> (stats, depth)
-      | Driver.Unsorted stats | Driver.Inconclusive stats -> (stats, -1)
+      | Driver.Unsorted stats | Driver.Inconclusive stats | Driver.Interrupted stats -> (stats, -1)
     in
     let prefix = Printf.sprintf "search/n=%d/%s/domains=%d" n tag domains in
     [ (prefix ^ "/wall_ms", wall *. 1e3);
@@ -300,13 +300,32 @@ let search_json_rows () =
       (prefix ^ "/elapsed_cpu_s", stats.Driver.elapsed_cpu);
       (prefix ^ "/depth", float_of_int depth) ]
   in
+  (* checkpointing overhead: the same n=7 pruned search with
+     checkpointing on. pruned-ckpt uses the CLI's default 60 s cadence
+     — on a sub-second run no write falls due, so the row isolates the
+     steady-state cost between flushes (a closure per boundary), which
+     must stay < 2% of the plain run. pruned-ckpt0 flushes at every
+     boundary (interval 0), the worst case, so the obs/checkpoint.*
+     rows alongside carry real write counts, bytes and timings. *)
+  let checkpointed ~tag ~interval =
+    let path = Filename.temp_file "snlb-bench" ".snap" in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun p -> if Sys.file_exists p then Sys.remove p)
+          [ path; Atomic_file.backup_path path ])
+      (fun () ->
+        time_run ~checkpoint:(path, interval) ~tag ~restrict:true ~domains:1 7)
+  in
   List.concat
     [ time_run ~tag:"pruned" ~restrict:true ~domains:1 6;
       time_run ~tag:"pruned" ~restrict:true ~domains:k 6;
       time_run ~tag:"reference" ~restrict:false ~domains:1 6;
       time_run ~tag:"reference" ~restrict:false ~domains:k 6;
       time_run ~tag:"pruned" ~restrict:true ~domains:1 7;
-      time_run ~tag:"pruned" ~restrict:true ~domains:k 7 ]
+      time_run ~tag:"pruned" ~restrict:true ~domains:k 7;
+      checkpointed ~tag:"pruned-ckpt" ~interval:60.;
+      checkpointed ~tag:"pruned-ckpt0" ~interval:0. ]
 
 let () =
   match Sys.getenv_opt "SNLB_BENCH_JSON" with

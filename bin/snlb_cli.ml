@@ -65,14 +65,79 @@ let with_obs ~trace ~metrics f =
       if metrics then print_metrics ();
       code)
 
+(* Exit codes. 0 = success (including exhaustive negative verdicts);
+   1 = genuine failure (non-sorting witness, invalid certificate, bad
+   input file); 2 = usage error (also Cmdliner's own parse errors, via
+   ~term_err below); 3 = budget exhausted before any verdict; 130 =
+   interrupted by a signal or cancellation (the shell convention for
+   death-by-SIGINT), with progress saved when a checkpoint is
+   configured. *)
+
+let exit_failure = 1
+let exit_usage = 2
+let exit_budget = 3
+let exit_interrupted = 130
+
+let usage_error msg =
+  prerr_endline msg;
+  exit_usage
+
+let c_interrupted = Metrics.counter "run.interrupted"
+
+(* Long-running subcommands poll a cooperative token at their natural
+   boundaries; SIGINT/SIGTERM trip it, so the run drains cleanly,
+   flushes its final checkpoint, and reports a distinct exit code
+   instead of dying with a torn file. *)
+let with_signals f =
+  let cancel = Cancel.create () in
+  let install sg =
+    match Sys.signal sg (Sys.Signal_handle (fun _ -> Cancel.cancel cancel)) with
+    | old -> Some (sg, old)
+    | exception Invalid_argument _ | exception Sys_error _ -> None
+  in
+  let installed = List.filter_map install [ Sys.sigint; Sys.sigterm ] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (sg, old) -> try Sys.set_signal sg old with _ -> ())
+        installed)
+    (fun () -> f cancel)
+
+let interrupted_exit what =
+  Metrics.incr c_interrupted;
+  flush stdout;
+  Printf.eprintf "snlb: %s interrupted\n%!" what;
+  exit_interrupted
+
+(* --checkpoint / --checkpoint-interval / --resume, shared by the
+   subcommands that can run for hours (search, certify) *)
+
+let checkpoint_arg =
+  let doc =
+    "Write crash-safe progress snapshots to $(docv) (atomic rename; the \
+     previous snapshot is kept as $(docv).bak)."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let interval_arg =
+  let doc =
+    "Seconds between checkpoint writes (0 = every consistent boundary)."
+  in
+  Arg.(value & opt float 60. & info [ "checkpoint-interval" ] ~docv:"SECS" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from the snapshot at --checkpoint instead of starting fresh \
+     (a missing or damaged snapshot degrades to a fresh run)."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
 (* sort *)
 
 let sort_cmd =
   let run algo n seed =
     match build_sorter algo n with
-    | Error e ->
-        prerr_endline e;
-        1
+    | Error e -> usage_error e
     | Ok nw ->
         let rng = Xoshiro.of_seed seed in
         let input = Workload.random_permutation rng ~n in
@@ -99,9 +164,7 @@ let verify_cmd =
   in
   let run algo n domains trace metrics =
     match build_sorter algo n with
-    | Error e ->
-        prerr_endline e;
-        1
+    | Error e -> usage_error e
     | Ok nw ->
         let domains =
           if domains <= 0 then Par.recommended_domains () else domains
@@ -145,13 +208,14 @@ let certify_cmd =
     let doc = "Number of lg-n-stage shuffle blocks." in
     Arg.(value & opt int 2 & info [ "blocks" ] ~docv:"B" ~doc)
   in
-  let run kind n blocks seed trace metrics =
-    if not (Bitops.is_power_of_two n) then begin
-      prerr_endline "certify: n must be a power of two";
-      1
-    end
+  let run kind n blocks seed ckpt resume trace metrics =
+    if not (Bitops.is_power_of_two n) then
+      usage_error "certify: n must be a power of two"
+    else if resume && ckpt = None then
+      usage_error "certify: --resume needs --checkpoint FILE"
     else begin
       with_obs ~trace ~metrics @@ fun sink ->
+      with_signals @@ fun cancel ->
       let d = Bitops.log2_exact n in
       let rng = Xoshiro.of_seed seed in
       let prog =
@@ -164,7 +228,7 @@ let certify_cmd =
             Shuffle_net.random_program rng ~n ~stages:(blocks * d)
       in
       let it = Shuffle_net.to_iterated prog in
-      let r = Theorem41.run ~sink it in
+      let r = Theorem41.run ~sink ~cancel ?checkpoint:ckpt ~resume it in
       Printf.printf "n=%d, %d blocks of %d shuffle stages\n" n
         (Iterated.block_count it) d;
       List.iter
@@ -174,34 +238,42 @@ let certify_cmd =
         r.reports;
       Printf.printf "blocks survived: %d / %d\n" r.survived
         (Iterated.block_count it);
-      match Certificate.of_pattern r.final_pattern with
-      | None ->
-          Printf.printf
-            "adversary defeated: no fooling pair (network may sort).\n";
-          0
-      | Some cert ->
-          let nw = Iterated.to_network it in
-          Printf.printf "fooling pair: swap values %d,%d (wires %d,%d)\n"
-            cert.Certificate.value0 cert.Certificate.value1
-            cert.Certificate.wire0 cert.Certificate.wire1;
-          (match Certificate.validate nw cert with
-          | Ok () ->
-              Printf.printf
-                "certificate VALID: the network is not a sorting network.\n";
-              0
-          | Error e ->
-              Printf.printf "certificate INVALID: %s\n" e;
-              1)
+      if r.interrupted then begin
+        Printf.printf "adversary interrupted after %d blocks\n"
+          (List.length r.reports);
+        interrupted_exit "certify"
+      end
+      else
+        match Certificate.of_pattern r.final_pattern with
+        | None ->
+            Printf.printf
+              "adversary defeated: no fooling pair (network may sort).\n";
+            0
+        | Some cert -> (
+            let nw = Iterated.to_network it in
+            Printf.printf "fooling pair: swap values %d,%d (wires %d,%d)\n"
+              cert.Certificate.value0 cert.Certificate.value1
+              cert.Certificate.wire0 cert.Certificate.wire1;
+            match Certificate.validate nw cert with
+            | Ok () ->
+                Printf.printf
+                  "certificate VALID: the network is not a sorting network.\n";
+                0
+            | Error e ->
+                Printf.printf "certificate INVALID: %s\n" e;
+                exit_failure)
     end
   in
   let doc =
     "Run the Plaxton-Suel adversary against a shuffle-based network and \
-     emit a validated fooling pair."
+     emit a validated fooling pair. With --checkpoint the adversary \
+     snapshots its state after every block and --resume continues an \
+     interrupted run."
   in
   Cmd.v (Cmd.info "certify" ~doc)
     Term.(
-      const run $ kind_arg $ n_arg $ blocks_arg $ seed_arg $ trace_arg
-      $ metrics_arg)
+      const run $ kind_arg $ n_arg $ blocks_arg $ seed_arg $ checkpoint_arg
+      $ resume_arg $ trace_arg $ metrics_arg)
 
 (* table *)
 
@@ -227,7 +299,7 @@ let table_cmd =
       | None ->
           Printf.eprintf "unknown experiment %s; known: %s, all\n" id
             (String.concat ", " (List.map (fun e -> e.Registry.id) Registry.all));
-          1
+          exit_usage
   in
   let doc = "Regenerate an experiment table (see EXPERIMENTS.md)." in
   Cmd.v (Cmd.info "table" ~doc) Term.(const run $ id_arg $ quick_arg)
@@ -241,9 +313,7 @@ let dot_cmd =
   in
   let run algo n out =
     match build_sorter algo n with
-    | Error e ->
-        prerr_endline e;
-        1
+    | Error e -> usage_error e
     | Ok nw ->
         let dot = Network.to_dot nw in
         (match out with
@@ -262,9 +332,7 @@ let dot_cmd =
 let draw_cmd =
   let run algo n =
     match build_sorter algo n with
-    | Error e ->
-        prerr_endline e;
-        1
+    | Error e -> usage_error e
     | Ok nw ->
         print_string (Diagram.render nw);
         0
@@ -281,14 +349,16 @@ let save_cmd =
   in
   let run algo n file =
     match build_sorter algo n with
-    | Error e ->
-        prerr_endline e;
-        1
+    | Error e -> usage_error e
     | Ok nw ->
-        Network_io.save file nw;
-        Printf.printf "wrote %s (%d wires, %d comparators)\n" file
-          (Network.wires nw) (Network.size nw);
-        0
+        (match Network_io.save file nw with
+        | Ok () ->
+            Printf.printf "wrote %s (%d wires, %d comparators)\n" file
+              (Network.wires nw) (Network.size nw);
+            0
+        | Error e ->
+            Printf.eprintf "%s: %s\n" file e;
+            exit_failure)
   in
   let doc = "Serialise a network to the snlb text format." in
   Cmd.v (Cmd.info "save" ~doc) Term.(const run $ algo_arg $ n_arg $ file_arg)
@@ -358,105 +428,137 @@ let search_cmd =
       s.Driver.nodes s.Driver.pruned s.Driver.deduped s.Driver.subsumed
       s.Driver.peak_frontier
   in
-  let run n depth _optimal shuffle domains max_depth budget trace metrics =
+  let run n depth _optimal shuffle domains max_depth budget ckpt interval
+      resume trace metrics =
     let budget = { Driver.max_nodes = budget; max_seconds = None } in
-    if shuffle then begin
-      if not (Bitops.is_power_of_two n) || n < 2 || n > 16 then begin
-        prerr_endline "search: --shuffle needs n a power of two in [2,16]";
-        1
-      end
-      else
-        with_obs ~trace ~metrics @@ fun sink ->
-        match depth with
-        | Some depth -> (
-            match Min_depth.search ~n ~depth ~budget ~domains ~sink () with
-            | Min_depth.Sorter prog ->
-                Printf.printf "depth-%d shuffle-based sorter EXISTS for n=%d " depth n;
-                Printf.printf "(witness verified: %b)\n"
-                  (Min_depth.verify_witness ~n prog);
-                List.iteri
-                  (fun i ops ->
-                    Printf.printf "  stage %d: " (i + 1);
-                    Array.iter (fun op -> Format.printf "%a" Register_model.pp_op op) ops;
-                    print_newline ())
-                  prog;
-                0
-            | Min_depth.Impossible ->
-                Printf.printf "no depth-%d shuffle-based sorter for n=%d (exhaustive)\n"
-                  depth n;
-                0
-            | Min_depth.Inconclusive ->
-                Printf.printf "inconclusive within %d nodes; raise --budget\n"
-                  budget.Driver.max_nodes;
-                1)
-        | None -> (
-            let max_depth = Option.value max_depth ~default:6 in
-            match Min_depth.minimal_depth ~n ~max_depth ~budget ~domains ~sink () with
-            | Min_depth.Minimal (depth, _) ->
-                Printf.printf
-                  "minimal shuffle-based sorter depth for n=%d: %d (bitonic: %d)\n" n
-                  depth (Bitonic.depth_formula ~n);
-                0
-            | Min_depth.No_sorter ->
-                Printf.printf "no sorter within %d stages\n" max_depth;
-                0
-            | Min_depth.Unknown k ->
-                Printf.printf
-                  "inconclusive: stages <= %d refuted within %d nodes; raise --budget\n"
-                  k budget.Driver.max_nodes;
-                1)
-    end
-    else if n < 2 || n > 10 then begin
-      prerr_endline "search: n must be in [2,10] (state space is 2^n)";
-      1
-    end
+    if resume && ckpt = None then
+      usage_error "search: --resume needs --checkpoint FILE"
     else begin
-      with_obs ~trace ~metrics @@ fun sink ->
-      let max_depth =
-        match (max_depth, depth) with
-        | Some d, _ -> d
-        | None, Some d -> d
-        | None, None -> n
+      let checkpoint = Option.map (fun path -> (path, interval)) ckpt in
+      let resume_state =
+        if not resume then None
+        else
+          match Driver.resume ~path:(Option.get ckpt) with
+          | Ok rs ->
+              Printf.eprintf "snlb: resuming %s\n%!" (Driver.describe rs);
+              Some rs
+          | Error e ->
+              Printf.eprintf "snlb: cannot resume (%s); starting fresh\n%!" e;
+              None
       in
-      match Driver.optimal_depth ~domains ~budget ~sink ~max_depth ~n () with
-      | Driver.Sorted { depth; moves; stats } ->
-          Printf.printf "optimal depth for n=%d: %d (witness verified: %b)\n" n
-            depth
-            (Driver.verify_witness ~n moves);
-          List.iteri
-            (fun i layer -> Printf.printf "  layer %d: %s\n" (i + 1) (pp_layer layer))
-            moves;
-          print_stats stats;
-          0
-      | Driver.Unsorted stats ->
-          Printf.printf "no sorting network of depth <= %d for n=%d (exhaustive)\n"
-            max_depth n;
-          print_stats stats;
-          0
-      | Driver.Inconclusive stats ->
-          Printf.printf
-            "inconclusive within %d nodes (depths <= %d refuted); raise --budget\n"
-            budget.Driver.max_nodes stats.Driver.completed_levels;
-          print_stats stats;
-          1
+      if shuffle then begin
+        if not (Bitops.is_power_of_two n) || n < 2 || n > 16 then
+          usage_error "search: --shuffle needs n a power of two in [2,16]"
+        else
+          with_obs ~trace ~metrics @@ fun sink ->
+          with_signals @@ fun cancel ->
+          match depth with
+          | Some depth -> (
+              match
+                Min_depth.search ~n ~depth ~budget ~domains ~sink ~cancel
+                  ?checkpoint ?resume:resume_state ()
+              with
+              | Min_depth.Sorter prog ->
+                  Printf.printf "depth-%d shuffle-based sorter EXISTS for n=%d " depth n;
+                  Printf.printf "(witness verified: %b)\n"
+                    (Min_depth.verify_witness ~n prog);
+                  List.iteri
+                    (fun i ops ->
+                      Printf.printf "  stage %d: " (i + 1);
+                      Array.iter (fun op -> Format.printf "%a" Register_model.pp_op op) ops;
+                      print_newline ())
+                    prog;
+                  0
+              | Min_depth.Impossible ->
+                  Printf.printf "no depth-%d shuffle-based sorter for n=%d (exhaustive)\n"
+                    depth n;
+                  0
+              | Min_depth.Inconclusive ->
+                  Printf.printf "inconclusive within %d nodes; raise --budget\n"
+                    budget.Driver.max_nodes;
+                  exit_budget
+              | Min_depth.Interrupted -> interrupted_exit "search")
+          | None -> (
+              let max_depth = Option.value max_depth ~default:6 in
+              match
+                Min_depth.minimal_depth ~n ~max_depth ~budget ~domains ~sink
+                  ~cancel ?checkpoint ?resume:resume_state ()
+              with
+              | Min_depth.Minimal (depth, _) ->
+                  Printf.printf
+                    "minimal shuffle-based sorter depth for n=%d: %d (bitonic: %d)\n" n
+                    depth (Bitonic.depth_formula ~n);
+                  0
+              | Min_depth.No_sorter ->
+                  Printf.printf "no sorter within %d stages\n" max_depth;
+                  0
+              | Min_depth.Unknown k ->
+                  Printf.printf
+                    "inconclusive: stages <= %d refuted within %d nodes; raise --budget\n"
+                    k budget.Driver.max_nodes;
+                  exit_budget
+              | Min_depth.Stopped k ->
+                  Printf.printf "stages <= %d refuted before interruption\n" k;
+                  interrupted_exit "search")
+      end
+      else if n < 2 || n > 10 then
+        usage_error "search: n must be in [2,10] (state space is 2^n)"
+      else begin
+        with_obs ~trace ~metrics @@ fun sink ->
+        with_signals @@ fun cancel ->
+        let max_depth =
+          match (max_depth, depth) with
+          | Some d, _ -> d
+          | None, Some d -> d
+          | None, None -> n
+        in
+        match
+          Driver.optimal_depth ~domains ~budget ~sink ~cancel ?checkpoint
+            ?resume:resume_state ~max_depth ~n ()
+        with
+        | Driver.Sorted { depth; moves; stats } ->
+            Printf.printf "optimal depth for n=%d: %d (witness verified: %b)\n" n
+              depth
+              (Driver.verify_witness ~n moves);
+            List.iteri
+              (fun i layer -> Printf.printf "  layer %d: %s\n" (i + 1) (pp_layer layer))
+              moves;
+            print_stats stats;
+            0
+        | Driver.Unsorted stats ->
+            Printf.printf "no sorting network of depth <= %d for n=%d (exhaustive)\n"
+              max_depth n;
+            print_stats stats;
+            0
+        | Driver.Inconclusive stats ->
+            Printf.printf
+              "inconclusive within %d nodes (depths <= %d refuted); raise --budget\n"
+              budget.Driver.max_nodes stats.Driver.completed_levels;
+            print_stats stats;
+            exit_budget
+        | Driver.Interrupted stats ->
+            Printf.printf "depths <= %d refuted before interruption\n"
+              stats.Driver.completed_levels;
+            print_stats stats;
+            interrupted_exit "search"
+      end
     end
   in
   let doc =
-    "Exact optimal-depth search for small sorting networks: layered BFS with      subsumption pruning; --shuffle restricts to shuffle-based sorters      (Knuth 5.3.4.47 / the paper's Section 6)."
+    "Exact optimal-depth search for small sorting networks: layered BFS with      subsumption pruning; --shuffle restricts to shuffle-based sorters      (Knuth 5.3.4.47 / the paper's Section 6). With --checkpoint the      search snapshots its progress at level boundaries and --resume      continues an interrupted run from the last snapshot."
   in
   Cmd.v (Cmd.info "search" ~doc)
     Term.(
       const run $ search_n_arg $ depth_arg $ optimal_arg $ shuffle_arg
-      $ domains_arg $ max_depth_arg $ budget_arg $ trace_arg $ metrics_arg)
+      $ domains_arg $ max_depth_arg $ budget_arg $ checkpoint_arg
+      $ interval_arg $ resume_arg $ trace_arg $ metrics_arg)
 
 (* route *)
 
 let route_cmd =
   let run n seed =
-    if not (Bitops.is_power_of_two n) then begin
-      prerr_endline "route: n must be a power of two";
-      1
-    end
+    if not (Bitops.is_power_of_two n) then
+      usage_error "route: n must be a power of two"
     else begin
       let rng = Xoshiro.of_seed seed in
       let p = Perm.random rng n in
@@ -507,4 +609,4 @@ let main =
     [ list_cmd; sort_cmd; verify_cmd; certify_cmd; table_cmd; dot_cmd;
       draw_cmd; save_cmd; load_cmd; search_cmd; route_cmd ]
 
-let () = exit (Cmd.eval' main)
+let () = exit (Cmd.eval' ~term_err:exit_usage main)

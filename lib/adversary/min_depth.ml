@@ -2,11 +2,13 @@ type outcome =
   | Sorter of Register_model.op array list
   | Impossible
   | Inconclusive
+  | Interrupted
 
 type minimal =
   | Minimal of int * Register_model.op array list
   | No_sorter
   | Unknown of int
+  | Stopped of int
 
 (* Masks encode one zero-one input/state: bit r = value of register r. *)
 
@@ -84,6 +86,7 @@ let system ~n =
   let pairs = n / 2 in
   let vectors = all_op_vectors ~pairs in
   { Driver.n;
+    tag = "shuffle-ops";
     initial = State.initial ~n;
     moves_at = (fun ~level:_ -> vectors);
     apply =
@@ -96,22 +99,31 @@ let check_n ~fn n =
   if not (Bitops.is_power_of_two n) || n < 2 || n > 16 then
     invalid_arg (fn ^ ": n must be a power of two in [2,16]")
 
-let search ~n ~depth ?budget ?domains ?sink () =
+let search ~n ~depth ?budget ?domains ?sink ?cancel ?checkpoint ?resume () =
   check_n ~fn:"Min_depth.search" n;
-  match Driver.run ?domains ?budget ?sink ~max_depth:depth (system ~n) with
+  match
+    Driver.run ?domains ?budget ?sink ?cancel ?checkpoint ?resume
+      ~max_depth:depth (system ~n)
+  with
   | Driver.Sorted { moves; _ } -> Sorter moves
   | Driver.Unsorted _ -> Impossible
   | Driver.Inconclusive _ -> Inconclusive
+  | Driver.Interrupted _ -> Interrupted
 
 let verify_witness ~n program =
   let prog = Register_model.shuffle_program ~n program in
   Zero_one.is_sorting_network (Register_model.to_network prog)
 
-let minimal_depth ~n ~max_depth ?budget ?domains ?sink () =
+let minimal_depth ~n ~max_depth ?budget ?domains ?sink ?cancel ?checkpoint
+    ?resume () =
   check_n ~fn:"Min_depth.minimal_depth" n;
-  match Driver.run ?domains ?budget ?sink ~max_depth (system ~n) with
+  match
+    Driver.run ?domains ?budget ?sink ?cancel ?checkpoint ?resume ~max_depth
+      (system ~n)
+  with
   | Driver.Sorted { depth; moves; _ } ->
       assert (verify_witness ~n moves);
       Minimal (depth, moves)
   | Driver.Unsorted _ -> No_sorter
   | Driver.Inconclusive stats -> Unknown stats.Driver.completed_levels
+  | Driver.Interrupted stats -> Stopped stats.Driver.completed_levels

@@ -29,6 +29,7 @@ type outcome =
       (** a witness program: op vectors, one per stage *)
   | Impossible  (** exhaustively refuted at this depth *)
   | Inconclusive  (** search aborted by the budget *)
+  | Interrupted  (** cancelled; a configured checkpoint can resume *)
 
 type minimal =
   | Minimal of int * Register_model.op array list
@@ -36,24 +37,32 @@ type minimal =
   | No_sorter  (** every depth up to [max_depth] exhaustively refuted *)
   | Unknown of int
       (** budget exhausted; depths up to the payload {e are} refuted *)
+  | Stopped of int
+      (** cancelled; depths up to the payload {e are} refuted, and a
+          configured checkpoint can resume the rest *)
 
 val search :
   n:int -> depth:int -> ?budget:Driver.budget -> ?domains:int ->
-  ?sink:Sink.t -> unit -> outcome
+  ?sink:Sink.t -> ?cancel:Cancel.t -> ?checkpoint:string * float ->
+  ?resume:Driver.resume_state -> unit -> outcome
 (** [search ~n ~depth ()] decides whether some shuffle-based network of
     at most [depth] stages sorts all inputs (a [Sorter] witness may be
     shorter than [depth]). [budget] (default {!Driver.default_budget})
     bounds move applications as in {!Driver.run}; [sink] receives the
-    driver's per-level span events.
+    driver's per-level span events; [cancel] / [checkpoint] / [resume]
+    behave exactly as in {!Driver.run} (snapshots carry the
+    ["shuffle-ops"] tag, so they cannot be resumed into the free-layer
+    search or vice versa).
     @raise Invalid_argument unless [n] is a power of two in [2, 16]. *)
 
 val minimal_depth :
   n:int -> max_depth:int -> ?budget:Driver.budget -> ?domains:int ->
-  ?sink:Sink.t -> unit -> minimal
+  ?sink:Sink.t -> ?cancel:Cancel.t -> ?checkpoint:string * float ->
+  ?resume:Driver.resume_state -> unit -> minimal
 (** The least [D <= max_depth] admitting a sorter, with a verified
     witness ([Minimal]); [No_sorter] if every depth up to [max_depth]
     is refuted; [Unknown k] if the budget ran out after exhaustively
-    refuting depths up to [k]. *)
+    refuting depths up to [k]; [Stopped k] likewise on cancellation. *)
 
 val verify_witness : n:int -> Register_model.op array list -> bool
 (** Checks a witness with the independent 0-1 verifier. *)

@@ -13,6 +13,7 @@ type result = {
   final_pattern : Pattern.t;
   final_m_set : int list;
   exhausted : bool;
+  interrupted : bool;
 }
 
 let log2f x = log x /. log 2.
@@ -31,56 +32,154 @@ let max_survivable_blocks ~n =
   in
   go 0
 
-let run ?k ?policy ?(sink = Sink.null) it =
+(* --- per-block checkpointing --- *)
+
+let checkpoint_kind = "snlb-adversary"
+
+(* Everything the block loop needs to continue after the last fully
+   processed block: the mutable adversary state, the reports so far,
+   and the index of the next block to process. *)
+type snapshot = {
+  s_next : int;
+  s_state : Mset.state;
+  s_reports : block_report list;  (* reversed, as accumulated *)
+  s_survived : int;
+}
+
+let write_checkpoint ~path ~n ~k ~blocks snap =
+  match
+    Checkpoint.write ~path
+      { Checkpoint.kind = checkpoint_kind;
+        meta =
+          [ ("n", string_of_int n);
+            ("k", string_of_int k);
+            ("blocks", string_of_int blocks);
+            ("next", string_of_int snap.s_next) ];
+        payload = Marshal.to_string snap [] }
+  with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "snlb: adversary checkpoint write failed (%s); run continues\n%!" e
+
+let load_checkpoint ~path ~n ~k ~blocks =
+  match Checkpoint.load ~path with
+  | Error e ->
+      Printf.eprintf "snlb: cannot resume adversary run (%s); starting fresh\n%!" e;
+      None
+  | Ok (ck, source) ->
+      (match source with
+      | `Primary -> ()
+      | `Backup reason ->
+          Printf.eprintf "snlb: falling back to checkpoint backup %s (%s)\n%!"
+            (Atomic_file.backup_path path) reason);
+      let meta_int key =
+        Option.bind (List.assoc_opt key ck.Checkpoint.meta) int_of_string_opt
+      in
+      if
+        ck.Checkpoint.kind = checkpoint_kind
+        && meta_int "n" = Some n
+        && meta_int "k" = Some k
+        && meta_int "blocks" = Some blocks
+      then Some (Marshal.from_string ck.Checkpoint.payload 0 : snapshot)
+      else begin
+        Printf.eprintf
+          "snlb: checkpoint %s does not match this adversary run; starting fresh\n%!"
+          path;
+        None
+      end
+
+let run ?k ?policy ?(sink = Sink.null) ?cancel ?checkpoint ?(resume = false) it =
   let n = Iterated.n it in
   let k =
     match k with Some k -> k | None -> max 2 (Bitops.ceil_log2 n)
   in
-  let st = Mset.create ~n ~k in
-  let reports = ref [] in
-  let survived = ref 0 in
+  let blocks = Iterated.block_count it in
+  let snap =
+    match (resume, checkpoint) with
+    | true, Some path -> load_checkpoint ~path ~n ~k ~blocks
+    | true, None ->
+        Printf.eprintf "snlb: resume requested without a checkpoint path; starting fresh\n%!";
+        None
+    | false, _ -> None
+  in
+  let st = match snap with Some s -> s.s_state | None -> Mset.create ~n ~k in
+  let reports = ref (match snap with Some s -> s.s_reports | None -> []) in
+  let survived = ref (match snap with Some s -> s.s_survived | None -> 0) in
+  let first_block = match snap with Some s -> s.s_next | None -> 0 in
   let exhausted = ref true in
+  let interrupted = ref false in
+  let cancelled () =
+    match cancel with Some t -> Cancel.cancelled t | None -> false
+  in
   Span.run ~sink ~name:"adversary" @@ fun adv_sp ->
   (try
      List.iteri
        (fun index (b : Iterated.block) ->
-         (* the per-block span must close before the early-exit raise,
-            or the block's event would be swallowed with it *)
-         let d_size =
-           Span.run ~sink ~name:"block" @@ fun sp ->
-           (match b.pre with
-           | None -> ()
-           | Some p -> Mset.apply_swap_level st p);
-           let coll, stats = Lemma41.run ?policy ~sink st b.body in
-           let chosen, d_size = Mset.best_set coll in
-           Mset.rho_rename st coll chosen;
-           reports :=
-             { index;
-               a_size = stats.Lemma41.a_size;
-               b_size = stats.Lemma41.b_size;
-               sets = stats.Lemma41.sets;
-               d_size;
-               paper_bound = paper_bound ~n ~blocks:(index + 1) }
-             :: !reports;
-           Span.add sp "index" (Sink.Int index);
-           Span.add sp "a_size" (Sink.Int stats.Lemma41.a_size);
-           Span.add sp "b_size" (Sink.Int stats.Lemma41.b_size);
-           Span.add sp "sets" (Sink.Int stats.Lemma41.sets);
-           Span.add sp "d_size" (Sink.Int d_size);
-           d_size
-         in
-         if d_size >= 2 then incr survived
-         else begin
-           exhausted := false;
-           raise Exit
+         if index >= first_block then begin
+           if cancelled () then begin
+             interrupted := true;
+             exhausted := false;
+             raise Exit
+           end;
+           (* the per-block span must close before the early-exit raise,
+              or the block's event would be swallowed with it *)
+           let d_size =
+             Span.run ~sink ~name:"block" @@ fun sp ->
+             (match b.pre with
+             | None -> ()
+             | Some p -> Mset.apply_swap_level st p);
+             let coll, stats = Lemma41.run ?policy ~sink st b.body in
+             let chosen, d_size = Mset.best_set coll in
+             Mset.rho_rename st coll chosen;
+             reports :=
+               { index;
+                 a_size = stats.Lemma41.a_size;
+                 b_size = stats.Lemma41.b_size;
+                 sets = stats.Lemma41.sets;
+                 d_size;
+                 paper_bound = paper_bound ~n ~blocks:(index + 1) }
+               :: !reports;
+             Span.add sp "index" (Sink.Int index);
+             Span.add sp "a_size" (Sink.Int stats.Lemma41.a_size);
+             Span.add sp "b_size" (Sink.Int stats.Lemma41.b_size);
+             Span.add sp "sets" (Sink.Int stats.Lemma41.sets);
+             Span.add sp "d_size" (Sink.Int d_size);
+             d_size
+           in
+           (* block boundary: persist progress before deciding to stop *)
+           (match checkpoint with
+           | Some path ->
+               write_checkpoint ~path ~n ~k ~blocks
+                 { s_next = index + 1;
+                   s_state = st;
+                   s_reports = !reports;
+                   s_survived =
+                     (if d_size >= 2 then !survived + 1 else !survived) }
+           | None -> ());
+           if d_size >= 2 then incr survived
+           else begin
+             exhausted := false;
+             raise Exit
+           end;
+           (* simulated kill between blocks, after the boundary flush,
+              so every incarnation advances exactly one block *)
+           if index + 1 < blocks && (Fault.fire "kill-block" || cancelled ())
+           then begin
+             interrupted := true;
+             exhausted := false;
+             raise Exit
+           end
          end)
        (Iterated.blocks it)
    with Exit -> ());
   Span.add adv_sp "n" (Sink.Int n);
   Span.add adv_sp "blocks" (Sink.Int (List.length !reports));
   Span.add adv_sp "survived" (Sink.Int !survived);
+  (if !interrupted then
+     Span.add adv_sp "outcome" (Sink.Str "interrupted"));
   { reports = List.rev !reports;
     survived = !survived;
     final_pattern = Array.copy st.Mset.input_sym;
     final_m_set = Pattern.m_set st.Mset.input_sym 0;
-    exhausted = !exhausted }
+    exhausted = !exhausted;
+    interrupted = !interrupted }

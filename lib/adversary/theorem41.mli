@@ -32,16 +32,34 @@ type result = {
       (** the [M_0]-set of [final_pattern] — noncolliding in every
           processed block *)
   exhausted : bool;  (** all blocks processed (vs. stopped at |D| <= 1) *)
+  interrupted : bool;
+      (** stopped by a {!Cancel} token or an injected ["kill-block"]
+          {!Fault} with blocks remaining; a configured checkpoint holds
+          the last completed block for resumption *)
 }
 
 val run :
-  ?k:int -> ?policy:Mset.offset_policy -> ?sink:Sink.t -> Iterated.t -> result
+  ?k:int -> ?policy:Mset.offset_policy -> ?sink:Sink.t ->
+  ?cancel:Cancel.t -> ?checkpoint:string -> ?resume:bool ->
+  Iterated.t -> result
 (** [run ?k ?policy it] processes the blocks of [it]. [k] defaults to
     [max 2 (lg n)], the theorem's choice; [policy] is the Lemma 4.1
     offset rule (ablation hook). [sink] receives one timed span per
     block (path ["adversary/block"], fields [index] / [a_size] /
     [b_size] / [sets] / [d_size]) nesting the {!Lemma41} span, plus a
-    closing ["adversary"] event. *)
+    closing ["adversary"] event.
+
+    Crash safety: with [~checkpoint:path] the run publishes a snapshot
+    of the adversary state through {!Checkpoint.write} after {e every}
+    block (blocks are the only consistent boundaries, and block counts
+    are tiny — [O(lg n / lglg n)] — so no interval throttle is needed);
+    [cancel] is polled between blocks. [~resume:true] restores the
+    snapshot at [checkpoint] and continues with the next unprocessed
+    block, so an interrupted-and-resumed run reports exactly the
+    [reports] / [survived] / final pattern of an uninterrupted one. A
+    missing, corrupt or mismatched (different [n], [k] or block
+    structure) snapshot degrades to a fresh run with a [stderr]
+    warning. *)
 
 val paper_bound : n:int -> blocks:int -> float
 (** [n / (lg n)^(4 d)] — the explicit bound of Theorem 4.1. *)

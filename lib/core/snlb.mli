@@ -105,3 +105,8 @@ module Metrics = Metrics
 module Sink = Sink
 module Span = Span
 module Obs = Obs
+module Crc32 = Crc32
+module Atomic_file = Atomic_file
+module Fault = Fault
+module Cancel = Cancel
+module Checkpoint = Checkpoint

@@ -18,7 +18,7 @@ let run ~quick =
           assert (Min_depth.verify_witness ~n prog);
           "sorter exists (witness verified)"
       | Min_depth.Impossible -> "impossible (exhaustive)"
-      | Min_depth.Inconclusive -> "inconclusive (budget)"
+      | Min_depth.Inconclusive | Min_depth.Interrupted -> "inconclusive (budget)"
     in
     Ascii_table.add_row tbl
       [ string_of_int n; string_of_int depth; verdict;

@@ -40,7 +40,7 @@ let run ~quick =
               if Driver.verify_witness ~n moves then "verified" else "BROKEN" )
         | Driver.Unsorted stats ->
             ("none<=n", string_of_int stats.Driver.nodes, "-")
-        | Driver.Inconclusive stats ->
+        | Driver.Inconclusive stats | Driver.Interrupted stats ->
             ("budget", string_of_int stats.Driver.nodes, "-")
       in
       let adversary =

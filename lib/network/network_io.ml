@@ -97,11 +97,7 @@ let of_string text =
         | exception Invalid_argument m -> Error m)
   with Fail m -> Error m
 
-let save path nw =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string nw))
+let save path nw = Atomic_file.write ~backup:false ~path (to_string nw)
 
 let load path =
   match open_in path with

@@ -25,7 +25,9 @@ val of_string : string -> (Network.t, string) result
 (** Round-trip guarantee: [of_string (to_string nw)] succeeds and the
     result evaluates identically to [nw] (tested). *)
 
-val save : string -> Network.t -> unit
-(** [save path nw] writes the textual form to [path]. *)
+val save : string -> Network.t -> (unit, string) result
+(** [save path nw] writes the textual form to [path] atomically
+    ({!Atomic_file.write}: temp file, fsync, rename), so a crash
+    mid-save can never leave a torn file where a good one was. *)
 
 val load : string -> (Network.t, string) result

@@ -64,3 +64,6 @@ let map_list ~domains f xs =
     List.iter (List.iter (fun (i, y) -> out.(i) <- Some y)) results;
     Array.to_list (Array.map Option.get out)
   end
+
+let map_list_until ~domains ~stop ~default f xs =
+  map_list ~domains (fun x -> if stop () then default else f x) xs

@@ -30,3 +30,18 @@ val map_ranges :
 val map_list : domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_list ~domains f xs] maps [f] over [xs] with up to [domains]
     concurrent domains, preserving order. *)
+
+val map_list_until :
+  domains:int ->
+  stop:(unit -> bool) ->
+  default:'b ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+(** {!map_list} with cooperative cancellation: [stop] is consulted
+    before each element, and once it returns [true] every remaining
+    element yields [default] without calling [f], so an in-flight
+    fan-out drains in order instead of being abandoned mid-level.
+    [stop] runs on worker domains — it must be domain-safe (an atomic
+    read, e.g. [Resilience.Cancel.cancelled]) and cheap. Elements
+    mapped before the trip keep their real results. *)

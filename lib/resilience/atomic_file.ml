@@ -1,0 +1,53 @@
+let backup_path path = path ^ ".bak"
+
+let fsync_dir dir =
+  (* best-effort: some filesystems refuse O_RDONLY fsync on a directory *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let write ?(backup = false) ~path contents =
+  if Fault.fire "ckpt-write-fail" then Error "injected fault: write failure"
+  else begin
+    let contents =
+      if Fault.fire "ckpt-truncate" then
+        String.sub contents 0 (String.length contents / 2)
+      else contents
+    in
+    let dir = Filename.dirname path in
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) (Domain.self () :> int)
+    in
+    let publish () =
+      let fd =
+        Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+      in
+      let cleanup_fd = ref (Some fd) in
+      Fun.protect
+        ~finally:(fun () -> Option.iter Unix.close !cleanup_fd)
+        (fun () ->
+          let len = String.length contents in
+          let written = Unix.write_substring fd contents 0 len in
+          if written <> len then failwith "short write";
+          Unix.fsync fd;
+          Unix.close fd;
+          cleanup_fd := None);
+      if backup && Sys.file_exists path then Unix.rename path (backup_path path);
+      Unix.rename tmp path;
+      fsync_dir dir
+    in
+    match publish () with
+    | () -> Ok ()
+    | exception e ->
+        (try Sys.remove tmp with Sys_error _ -> ());
+        let msg =
+          match e with
+          | Unix.Unix_error (err, fn, arg) ->
+              Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err)
+          | Sys_error m | Failure m -> m
+          | e -> Printexc.to_string e
+        in
+        Error (Printf.sprintf "atomic write to %s failed: %s" path msg)
+  end

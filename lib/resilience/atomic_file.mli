@@ -1,0 +1,28 @@
+(** Crash-safe file publication: tmp + fsync + rename.
+
+    A write that goes through this module is all-or-nothing: readers
+    (and a process restarted after a crash) see either the complete
+    previous contents of [path] or the complete new contents, never a
+    truncated or interleaved file. The contents are written to a
+    private temporary file in the destination directory, fsynced,
+    renamed over [path] (atomic within a POSIX filesystem), and the
+    directory entry is fsynced best-effort so the rename itself
+    survives a power loss.
+
+    {!Network_io.save} and {!Checkpoint.write} both route through
+    here. Fault injection ({!Fault}) can force a failed write
+    (["ckpt-write-fail"]) or publish a deliberately torn file
+    (["ckpt-truncate"]) to exercise callers' recovery paths. *)
+
+val write : ?backup:bool -> path:string -> string -> (unit, string) result
+(** [write ~path contents] atomically replaces [path] with [contents].
+    With [~backup:true] (default [false]) an existing [path] is first
+    renamed to [path ^ ".bak"], so the previous good version survives
+    even a publication that is later found corrupt. Never raises:
+    filesystem errors come back as [Error]; on failure the temporary
+    file is removed and the previous [path] (when [backup] is off) is
+    untouched. *)
+
+val backup_path : string -> string
+(** [backup_path path] is [path ^ ".bak"], where {!write} [~backup:true]
+    parks the previous version. *)

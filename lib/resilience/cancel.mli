@@ -1,0 +1,19 @@
+(** Cooperative cancellation.
+
+    A token is a single atomic flag: signal handlers (or any other
+    thread/domain) {!cancel} it, and long-running loops — the search
+    driver's expansion workers, the adversary's block loop — poll
+    {!cancelled} at their natural yield points and drain cleanly
+    instead of being abandoned mid-step. Cancellation is one-way and
+    sticky: once tripped, a token stays tripped. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, untripped token. *)
+
+val cancel : t -> unit
+(** Trip the token. Safe from signal handlers and any domain. *)
+
+val cancelled : t -> bool
+(** Has the token been tripped? One atomic read. *)

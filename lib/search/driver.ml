@@ -18,11 +18,13 @@ type 'm outcome =
   | Sorted of { depth : int; moves : 'm list; stats : stats }
   | Unsorted of stats
   | Inconclusive of stats
+  | Interrupted of stats
 
 type dedup = Equal | Subsume
 
 type 'm system = {
   n : int;
+  tag : string;
   initial : State.t;
   moves_at : level:int -> 'm list;
   apply : 'm -> State.t -> State.t;
@@ -38,6 +40,8 @@ let c_pruned = Metrics.counter "search.pruned"
 let c_deduped = Metrics.counter "search.deduped"
 let c_subsumed = Metrics.counter "search.subsumed"
 let c_levels = Metrics.counter "search.levels"
+let c_ckpt_failures = Metrics.counter "checkpoint.failures"
+let c_resumes = Metrics.counter "checkpoint.resumes"
 
 (* Greedy subsumption filter. Candidates (already equality-deduped,
    sorted by ascending cardinality so the strongest states are kept
@@ -90,18 +94,152 @@ let subsume_filter ~domains ~kept candidates =
   loop candidates;
   (List.rev !survivors, !dropped)
 
+(* --- checkpoint / resume --- *)
+
+let checkpoint_kind = "snlb-search-driver"
+
+(* Everything run needs to continue from a level boundary exactly as
+   if it had never stopped: the frontier (with the move prefixes that
+   produced it), the cross-level equality and subsumption memories,
+   every counter, and the wall/CPU time already spent (so budgets and
+   reported stats cover the whole logical run, not just the last
+   incarnation). *)
+type 'm snapshot = {
+  s_level : int;  (* next level to expand (1-based) *)
+  s_frontier : (State.t * 'm list) list;
+  s_seen : (int array, unit) Hashtbl.t;
+  s_kept : (State.t * Subsume.fingerprint) list;
+  s_nodes : int;
+  s_pruned : int;
+  s_deduped : int;
+  s_subsumed : int;
+  s_sizes : int list;  (* reversed frontier_sizes, as kept by the loop *)
+  s_elapsed : float;
+  s_elapsed_cpu : float;
+}
+
+type resume_state = {
+  rs_tag : string;
+  rs_n : int;
+  rs_max_depth : int;
+  rs_dedup : string;
+  rs_level : int;
+  rs_payload : string;
+}
+
+let dedup_name = function Equal -> "equal" | Subsume -> "subsume"
+
+let meta_int meta key =
+  match List.assoc_opt key meta with
+  | None -> Error (Printf.sprintf "missing meta key %S" key)
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "meta key %S is not an integer (%S)" key v))
+
+let resume ~path =
+  match Checkpoint.load ~path with
+  | Error _ as e -> e
+  | Ok (ck, source) -> (
+      (match source with
+      | `Primary -> ()
+      | `Backup reason ->
+          Printf.eprintf
+            "snlb: falling back to checkpoint backup %s (%s)\n%!"
+            (Atomic_file.backup_path path) reason);
+      if ck.Checkpoint.kind <> checkpoint_kind then
+        Error
+          (Printf.sprintf "checkpoint %s holds a %S snapshot, not a search"
+             path ck.Checkpoint.kind)
+      else
+        let meta = ck.Checkpoint.meta in
+        let ( let* ) = Result.bind in
+        let* n = meta_int meta "n" in
+        let* max_depth = meta_int meta "max_depth" in
+        let* level = meta_int meta "level" in
+        let* tag =
+          match List.assoc_opt "tag" meta with
+          | Some t -> Ok t
+          | None -> Error "missing meta key \"tag\""
+        in
+        let* dedup =
+          match List.assoc_opt "dedup" meta with
+          | Some d -> Ok d
+          | None -> Error "missing meta key \"dedup\""
+        in
+        Ok
+          { rs_tag = tag;
+            rs_n = n;
+            rs_max_depth = max_depth;
+            rs_dedup = dedup;
+            rs_level = level;
+            rs_payload = ck.Checkpoint.payload })
+
+let describe rs =
+  Printf.sprintf "%s search, n=%d, max_depth=%d, next level %d" rs.rs_tag
+    rs.rs_n rs.rs_max_depth rs.rs_level
+
+(* The snapshot is only trusted when every compatibility key matches
+   the run it is resumed into: the completed levels of a different
+   max_depth were explored under a different prune budget, a different
+   dedup mode keeps a different frontier, and a different move tag is
+   a different search entirely. On mismatch the run degrades to a
+   fresh start with a warning — resuming must never be less safe than
+   rerunning. *)
+let validate_resume ~max_depth sys rs =
+  if rs.rs_tag <> sys.tag then
+    Error (Printf.sprintf "move tag %S does not match this search (%S)" rs.rs_tag sys.tag)
+  else if rs.rs_n <> sys.n then
+    Error (Printf.sprintf "checkpoint is for n=%d, this search is n=%d" rs.rs_n sys.n)
+  else if rs.rs_max_depth <> max_depth then
+    Error
+      (Printf.sprintf "checkpoint max_depth=%d, this search max_depth=%d"
+         rs.rs_max_depth max_depth)
+  else if rs.rs_dedup <> dedup_name sys.dedup then
+    Error
+      (Printf.sprintf "checkpoint dedup=%s, this search dedup=%s" rs.rs_dedup
+         (dedup_name sys.dedup))
+  else Ok ()
+
 let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
-    ?on_level ~max_depth sys =
+    ?on_level ?cancel ?checkpoint ?resume:resume_from ~max_depth sys =
   if max_depth < 0 then invalid_arg "Driver.run: max_depth must be >= 0";
-  let w0 = Clock.wall () in
-  let cpu0 = Clock.cpu () in
-  let nodes = Atomic.make 0 in
+  (* a validated snapshot, or None for a fresh start *)
+  let snap : 'm snapshot option =
+    match resume_from with
+    | None -> None
+    | Some rs -> (
+        match validate_resume ~max_depth sys rs with
+        | Ok () ->
+            Metrics.incr c_resumes;
+            Some (Marshal.from_string rs.rs_payload 0 : 'm snapshot)
+        | Error why ->
+            Printf.eprintf
+              "snlb: ignoring incompatible checkpoint (%s); starting fresh\n%!"
+              why;
+            None)
+  in
+  let prior_elapsed, prior_cpu =
+    match snap with
+    | Some s -> (s.s_elapsed, s.s_elapsed_cpu)
+    | None -> (0., 0.)
+  in
+  let w0 = Clock.wall () -. prior_elapsed in
+  let cpu0 = Clock.cpu () -. prior_cpu in
+  let nodes =
+    Atomic.make (match snap with Some s -> s.s_nodes | None -> 0)
+  in
   let stop = Atomic.make false in
   let over_budget = Atomic.make false in
-  let pruned_total = ref 0 in
-  let deduped_total = ref 0 in
-  let subsumed_total = ref 0 in
-  let sizes = ref [] in
+  let interrupted = ref false in
+  let cancelled () =
+    (match cancel with Some t -> Cancel.cancelled t | None -> false)
+    || !interrupted
+  in
+  let pruned_total = ref (match snap with Some s -> s.s_pruned | None -> 0) in
+  let deduped_total = ref (match snap with Some s -> s.s_deduped | None -> 0) in
+  let subsumed_total = ref (match snap with Some s -> s.s_subsumed | None -> 0) in
+  let sizes = ref (match snap with Some s -> s.s_sizes | None -> []) in
   let mk_stats completed =
     { nodes = Atomic.get nodes;
       pruned = !pruned_total;
@@ -120,6 +258,44 @@ let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
     Metrics.add c_subsumed s.subsumed;
     Metrics.add c_levels s.completed_levels
   in
+  (* Checkpoints are cut at level boundaries — the only points where
+     the loop state is a consistent prefix of the search. [interval]
+     throttles the writes; the latest unwritten boundary payload is
+     retained so an interruption can flush it. *)
+  let ckpt_path, ckpt_interval =
+    match checkpoint with
+    | Some (p, i) -> (Some p, max 0. i)
+    | None -> (None, 0.)
+  in
+  (* the cadence clock starts now: the first on-cadence write falls
+     due one full interval into the run, so short runs don't pay for
+     a write they'll never need (an interruption flushes regardless) *)
+  let last_write = ref (Clock.wall ()) in
+  let pending : (unit -> string * int) option ref = ref None in
+  let flush_payload mk =
+    let payload, boundary_level = mk () in
+    match ckpt_path with
+    | None -> ()
+    | Some path -> (
+        match
+          Checkpoint.write ~path
+            { Checkpoint.kind = checkpoint_kind;
+              meta =
+                [ ("tag", sys.tag);
+                  ("n", string_of_int sys.n);
+                  ("max_depth", string_of_int max_depth);
+                  ("dedup", dedup_name sys.dedup);
+                  ("level", string_of_int boundary_level) ];
+              payload }
+        with
+        | Ok () ->
+            last_write := Clock.wall ();
+            pending := None
+        | Error e ->
+            Metrics.incr c_ckpt_failures;
+            Printf.eprintf
+              "snlb: checkpoint write failed (%s); search continues\n%!" e)
+  in
   Span.run ~sink ~name:"search" @@ fun search_sp ->
   let outcome =
     if State.is_sorted sys.initial then
@@ -127,12 +303,53 @@ let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
     else begin
       (* cross-level memory: states already represented (sound — the
          earlier occurrence reaches any sorted descendant no later) *)
-      let seen : (int array, unit) Hashtbl.t = Hashtbl.create 4096 in
-      Hashtbl.replace seen (State.key sys.initial) ();
-      let kept : (State.t * Subsume.fingerprint) list ref = ref [] in
-      let frontier = ref [ (sys.initial, []) ] in
+      let seen : (int array, unit) Hashtbl.t =
+        match snap with Some s -> s.s_seen | None -> Hashtbl.create 4096
+      in
+      if Option.is_none snap then Hashtbl.replace seen (State.key sys.initial) ();
+      let kept : (State.t * Subsume.fingerprint) list ref =
+        ref (match snap with Some s -> s.s_kept | None -> [])
+      in
+      let frontier =
+        ref
+          (match snap with
+          | Some s -> s.s_frontier
+          | None -> [ (sys.initial, []) ])
+      in
       let result = ref None in
-      let level = ref 1 in
+      let level = ref (match snap with Some s -> s.s_level | None -> 1) in
+      (* Capture the boundary NOW but serialize lazily, at flush time:
+         the scalars below are overwritten by the very next level's
+         expansion, so they are pinned eagerly, while the structures
+         ([frontier] / [seen] / [kept]) are only mutated at the next
+         boundary — which installs a fresh thunk before anything can
+         flush this one. Skipped boundaries therefore cost a closure,
+         not a Marshal of the whole search state. *)
+      let snapshot_payload () =
+        let s_level = !level
+        and s_nodes = Atomic.get nodes
+        and s_pruned = !pruned_total
+        and s_deduped = !deduped_total
+        and s_subsumed = !subsumed_total
+        and s_sizes = !sizes
+        and s_elapsed = Clock.wall () -. w0
+        and s_elapsed_cpu = Clock.cpu () -. cpu0 in
+        fun () ->
+          ( Marshal.to_string
+              { s_level;
+                s_frontier = !frontier;
+                s_seen = seen;
+                s_kept = !kept;
+                s_nodes;
+                s_pruned;
+                s_deduped;
+                s_subsumed;
+                s_sizes;
+                s_elapsed;
+                s_elapsed_cpu }
+              [],
+            s_level )
+      in
       while !result = None && !level <= max_depth && !frontier <> [] do
         let lvl = !level in
         let nodes0 = Atomic.get nodes in
@@ -147,42 +364,43 @@ let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
         let remaining = max_depth - lvl in
         let last = lvl = max_depth in
         let expand (st, pre) =
-          if Atomic.get stop then (None, [], 0)
+          let before = Atomic.fetch_and_add nodes nmoves in
+          let timed_out =
+            match budget.max_seconds with
+            | Some s -> Clock.wall () -. w0 > s
+            | None -> false
+          in
+          if before + nmoves > budget.max_nodes || timed_out then begin
+            Atomic.set over_budget true;
+            Atomic.set stop true;
+            (None, [], 0)
+          end
           else begin
-            let before = Atomic.fetch_and_add nodes nmoves in
-            let timed_out =
-              match budget.max_seconds with
-              | Some s -> Clock.wall () -. w0 > s
-              | None -> false
-            in
-            if before + nmoves > budget.max_nodes || timed_out then begin
-              Atomic.set over_budget true;
-              Atomic.set stop true;
-              (None, [], 0)
-            end
-            else begin
-              let found = ref None in
-              let cands = ref [] in
-              let pruned = ref 0 in
-              (try
-                 List.iter
-                   (fun m ->
-                     let st' = sys.apply m st in
-                     if State.is_sorted st' then begin
-                       found := Some (m :: pre);
-                       Atomic.set stop true;
-                       raise Exit
-                     end
-                     else if last then ()
-                     else if sys.prune ~level:lvl ~remaining st' then incr pruned
-                     else cands := (st', m :: pre) :: !cands)
-                   moves
-               with Exit -> ());
-              (!found, List.rev !cands, !pruned)
-            end
+            let found = ref None in
+            let cands = ref [] in
+            let pruned = ref 0 in
+            (try
+               List.iter
+                 (fun m ->
+                   let st' = sys.apply m st in
+                   if State.is_sorted st' then begin
+                     found := Some (m :: pre);
+                     Atomic.set stop true;
+                     raise Exit
+                   end
+                   else if last then ()
+                   else if sys.prune ~level:lvl ~remaining st' then incr pruned
+                   else cands := (st', m :: pre) :: !cands)
+                 moves
+             with Exit -> ());
+            (!found, List.rev !cands, !pruned)
           end
         in
-        let chunks = Par.map_list ~domains expand !frontier in
+        let chunks =
+          Par.map_list_until ~domains
+            ~stop:(fun () -> Atomic.get stop || cancelled ())
+            ~default:(None, [], 0) expand !frontier
+        in
         List.iter (fun (_, _, p) -> pruned_total := !pruned_total + p) chunks;
         let surviving =
           match List.find_map (fun (f, _, _) -> f) chunks with
@@ -197,6 +415,15 @@ let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
           | None ->
               if Atomic.get over_budget then begin
                 result := Some (Inconclusive (mk_stats (lvl - 1)));
+                0
+              end
+              else if cancelled () then begin
+                (* killed mid-level: the current level's partial work is
+                   discarded; the checkpoint (if any) holds the last
+                   completed boundary, so a resumed run repeats exactly
+                   this level and the cumulative counts match a
+                   never-interrupted run *)
+                result := Some (Interrupted (mk_stats (lvl - 1)));
                 0
               end
               else begin
@@ -252,12 +479,31 @@ let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
         Span.add sp "deduped" (Sink.Int (!deduped_total - deduped0));
         Span.add sp "subsumed" (Sink.Int (!subsumed_total - subsumed0));
         Span.add sp "frontier" (Sink.Int surviving);
-        match on_level with
+        (match on_level with
         | Some f when !result = None ->
             (* level lvl fully expanded and deduplicated *)
             f ~level:lvl ~frontier:surviving (mk_stats lvl)
-        | Some _ | None -> ()
+        | Some _ | None -> ());
+        (* level boundary: cut a snapshot, flush on the cadence *)
+        if !result = None then begin
+          if ckpt_path <> None then begin
+            let payload = snapshot_payload () in
+            pending := Some payload;
+            if Clock.wall () -. !last_write >= ckpt_interval then
+              flush_payload payload
+          end;
+          (* simulated mid-run kill: fires after the boundary flush so
+             every incarnation makes progress (exactly one level) *)
+          if Fault.fire "kill-level" then interrupted := true;
+          if cancelled () then
+            result := Some (Interrupted (mk_stats lvl))
+        end
       done;
+      (* a final flush covers boundaries the cadence skipped, so an
+         interrupted run never loses more than the in-flight level *)
+      (match (!result, !pending) with
+      | Some (Interrupted _), Some payload -> flush_payload payload
+      | _ -> ());
       match !result with
       | Some r -> r
       | None ->
@@ -272,6 +518,7 @@ let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
     | Sorted { stats; _ } -> (stats, "sorted")
     | Unsorted stats -> (stats, "unsorted")
     | Inconclusive stats -> (stats, "inconclusive")
+    | Interrupted stats -> (stats, "interrupted")
   in
   record_totals s;
   Span.add search_sp "outcome" (Sink.Str verdict);
@@ -297,15 +544,18 @@ let network_system ?(restrict = true) ~n () =
     if level = 1 then first else if level = 2 then second else all
   in
   { n;
+    tag = (if restrict then "layers" else "layers-reference");
     initial = State.initial ~n;
     moves_at;
     apply = (fun layer st -> State.apply_comparators st layer);
     prune = no_prune;
     dedup = (if restrict then Subsume else Equal) }
 
-let optimal_depth ?domains ?budget ?sink ?on_level ?restrict ?max_depth ~n () =
+let optimal_depth ?domains ?budget ?sink ?on_level ?cancel ?checkpoint ?resume
+    ?restrict ?max_depth ~n () =
   let max_depth = match max_depth with Some d -> d | None -> n in
-  run ?domains ?budget ?sink ?on_level ~max_depth (network_system ?restrict ~n ())
+  run ?domains ?budget ?sink ?on_level ?cancel ?checkpoint ?resume ~max_depth
+    (network_system ?restrict ~n ())
 
 let witness_network ~n layers =
   Network.of_gate_levels ~wires:n (List.map Layers.gates layers)

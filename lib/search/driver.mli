@@ -33,7 +33,27 @@
     summing them over all level events reproduces the final {!stats}
     exactly — plus a closing ["search"] event with the totals; the
     [on_level] callback delivers live cumulative stats after each
-    completed level. Both cost nothing when absent. *)
+    completed level. Both cost nothing when absent.
+
+    Crash safety: with [~checkpoint:(path, interval)] the driver cuts
+    a snapshot of its whole loop state at every level boundary (the
+    only points where that state is a consistent prefix of the
+    search) and publishes it through {!Checkpoint.write} whenever
+    [interval] seconds have passed since the last write — or since the
+    start of the run, so the first write falls due one full interval
+    in ([0.] = every boundary); boundaries skipped by the cadence
+    cost a closure, not a serialization, so checkpointing is near-free
+    between writes; a run interrupted by a {!Cancel} token, a signal
+    handler tripping one, or an injected ["kill-level"] {!Fault}
+    returns [Interrupted] after flushing the newest unwritten
+    boundary. {!resume} reads a snapshot back; [run ~resume] then
+    continues from that boundary with identical frontier, dedup
+    memory, counters and already-spent budget, so the eventual
+    outcome, witness and cumulative node counts are exactly those of
+    a never-interrupted run. An incompatible or stale snapshot (other
+    width, [max_depth], dedup mode or move tag) degrades to a fresh
+    run with a [stderr] warning — resuming is never less safe than
+    rerunning. *)
 
 type budget = { max_nodes : int; max_seconds : float option }
 (** [max_nodes] bounds move applications (edges explored);
@@ -68,11 +88,20 @@ type 'm outcome =
   | Unsorted of stats
       (** no prefix of up to [max_depth] moves sorts (exhaustive) *)
   | Inconclusive of stats  (** budget exhausted first *)
+  | Interrupted of stats
+      (** cancelled (token, signal, or injected kill) before a
+          verdict; [completed_levels] depths are still exhaustively
+          refuted, and a configured checkpoint holds the last
+          completed boundary for {!resume} *)
 
 type dedup = Equal | Subsume
 
 type 'm system = {
   n : int;
+  tag : string;
+      (** names the move type for checkpoint compatibility (e.g.
+          ["layers"], ["shuffle-ops"]); a snapshot only resumes into a
+          system with the same tag *)
   initial : State.t;
   moves_at : level:int -> 'm list;
       (** moves available for the layer at 1-based [level] *)
@@ -85,11 +114,27 @@ type 'm system = {
 
 val no_prune : level:int -> remaining:int -> State.t -> bool
 
+type resume_state
+(** A validated checkpoint snapshot, ready to hand to {!run}. *)
+
+val resume : path:string -> (resume_state, string) result
+(** Read a search checkpoint back, falling back to the [.bak] copy
+    (with a [stderr] warning) when the primary is missing or corrupt.
+    [Error] if neither copy is a valid search checkpoint — a torn or
+    bit-flipped file is reported, never raised, and {e never} silently
+    accepted (the envelope CRC catches any single corrupted byte). *)
+
+val describe : resume_state -> string
+(** One line naming the snapshot: tag, width, depth cap, next level. *)
+
 val run :
   ?domains:int ->
   ?budget:budget ->
   ?sink:Sink.t ->
   ?on_level:(level:int -> frontier:int -> stats -> unit) ->
+  ?cancel:Cancel.t ->
+  ?checkpoint:string * float ->
+  ?resume:resume_state ->
   max_depth:int ->
   'm system ->
   'm outcome
@@ -98,9 +143,14 @@ val run :
     filtering. [sink] (default {!Sink.null}) receives the per-level
     and closing span events; [on_level ~level ~frontier stats] fires
     after each {e completed} level with the surviving frontier size
-    and a cumulative stats snapshot. With [domains > 1] the witness
-    (not its length) and the node counts may vary between runs; every
-    outcome is sound. *)
+    and a cumulative stats snapshot. [cancel] is polled by every
+    worker domain between expansions and at level boundaries; once
+    tripped the fan-out drains and the run returns [Interrupted].
+    [checkpoint:(path, interval)] snapshots progress at level
+    boundaries at most every [interval] seconds (see the module
+    preamble); [resume] continues from such a snapshot. With
+    [domains > 1] the witness (not its length) and the node counts may
+    vary between runs; every outcome is sound. *)
 
 (** {1 Sorting-network instantiation} *)
 
@@ -119,6 +169,7 @@ val network_system : ?restrict:bool -> n:int -> unit -> layer system
 val optimal_depth :
   ?domains:int -> ?budget:budget -> ?sink:Sink.t ->
   ?on_level:(level:int -> frontier:int -> stats -> unit) ->
+  ?cancel:Cancel.t -> ?checkpoint:string * float -> ?resume:resume_state ->
   ?restrict:bool -> ?max_depth:int ->
   n:int -> unit -> layer outcome
 (** [optimal_depth ~n ()] certifies the exact minimal depth of a

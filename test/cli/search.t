@@ -23,7 +23,7 @@ that were still fully refuted, and a nonzero exit code.
   $ snlb search -n 6 --budget 100
   inconclusive within 100 nodes (depths <= 2 refuted); raise --budget
   nodes: 160  pruned: 0  deduped: 3  subsumed: 3  peak frontier: 3
-  [1]
+  [3]
 
 The shuffle-restricted mode (Knuth 5.3.4.47) rides the same driver.
 
@@ -32,14 +32,14 @@ The shuffle-restricted mode (Knuth 5.3.4.47) rides the same driver.
 
   $ snlb search -n 8 --shuffle --budget 50
   inconclusive: stages <= 0 refuted within 50 nodes; raise --budget
-  [1]
+  [3]
 
 Invalid widths are rejected.
 
   $ snlb search -n 12
   search: n must be in [2,10] (state space is 2^n)
-  [1]
+  [2]
 
   $ snlb search -n 6 --shuffle
   search: --shuffle needs n a power of two in [2,16]
-  [1]
+  [2]

@@ -11,7 +11,7 @@ let certify n want =
       check_bool "witness verifies" true (Driver.verify_witness ~n moves);
       Printf.printf "n=%d: depth %d, %d nodes, peak frontier %d\n%!" n depth
         stats.Driver.nodes stats.Driver.peak_frontier
-  | Driver.Unsorted _ | Driver.Inconclusive _ ->
+  | Driver.Unsorted _ | Driver.Inconclusive _ | Driver.Interrupted _ ->
       Alcotest.failf "n=%d search failed" n
 
 let test_n7 () = certify 7 6
@@ -45,7 +45,7 @@ let test_shuffle_n8_depth5_refuted () =
   with
   | Min_depth.Impossible -> ()
   | Min_depth.Sorter _ -> Alcotest.fail "a 5-stage shuffle sorter would be news"
-  | Min_depth.Inconclusive -> Alcotest.fail "budget too small"
+  | Min_depth.Inconclusive | Min_depth.Interrupted -> Alcotest.fail "budget too small"
 
 let () =
   Alcotest.run "search-slow"

@@ -69,10 +69,32 @@ let test_save_load () =
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
       let nw = Odd_even_merge.network ~n:8 in
-      Network_io.save path nw;
+      (match Network_io.save path nw with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("save failed: " ^ e));
       match Network_io.load path with
       | Ok nw2 -> Alcotest.(check int) "size" (Network.size nw) (Network.size nw2)
       | Error e -> Alcotest.fail e)
+
+let test_load_truncated () =
+  (* a file torn mid-write (e.g. by a crash under a non-atomic writer)
+     must load as a clean [Error], never as a silently-shorter network
+     or an exception *)
+  let path = Filename.temp_file "snlb" ".net" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let nw = Odd_even_merge.network ~n:8 in
+      let full = Network_io.to_string nw in
+      (* cut inside a token on the last line so the damage is visible
+         to the parser, not just a missing trailing level *)
+      let cut = String.length full - 2 in
+      let oc = open_out path in
+      output_string oc (String.sub full 0 cut);
+      close_out oc;
+      match Network_io.load path with
+      | Error e -> check_bool "error names a line" true (contains e "line")
+      | Ok _ -> Alcotest.fail "truncated file loaded successfully")
 
 (* diagrams *)
 
@@ -121,7 +143,8 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
           Alcotest.test_case "comments and blanks" `Quick test_comments_and_blank_lines;
           Alcotest.test_case "empty network" `Quick test_empty_network;
-          Alcotest.test_case "save/load" `Quick test_save_load ] );
+          Alcotest.test_case "save/load" `Quick test_save_load;
+          Alcotest.test_case "truncated file rejected" `Quick test_load_truncated ] );
       ( "diagrams",
         [ Alcotest.test_case "shape" `Quick test_diagram_shape;
           Alcotest.test_case "exchange marker" `Quick test_diagram_exchange_marker;

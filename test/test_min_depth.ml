@@ -12,32 +12,32 @@ let test_n2 () =
       check_bool "verified" true (Min_depth.verify_witness ~n:2 prog)
   | Min_depth.Minimal (d, _) -> Alcotest.failf "n=2 minimal depth %d, want 1" d
   | Min_depth.No_sorter -> Alcotest.fail "n=2 must have a 1-stage sorter"
-  | Min_depth.Unknown _ -> Alcotest.fail "n=2 must be decidable"
+  | Min_depth.Unknown _ | Min_depth.Stopped _ -> Alcotest.fail "n=2 must be decidable"
 
 let test_n4_exact () =
   (match Min_depth.search ~n:4 ~depth:2 () with
   | Min_depth.Impossible -> ()
   | Min_depth.Sorter _ -> Alcotest.fail "no 2-stage sorter exists for n=4"
-  | Min_depth.Inconclusive -> Alcotest.fail "n=4 depth 2 must be decidable");
+  | Min_depth.Inconclusive | Min_depth.Interrupted -> Alcotest.fail "n=4 depth 2 must be decidable");
   match Min_depth.minimal_depth ~n:4 ~max_depth:4 () with
   | Min_depth.Minimal (3, prog) ->
       check_bool "verified" true (Min_depth.verify_witness ~n:4 prog);
       check_int "matches bitonic" (Bitonic.depth_formula ~n:4) 3
   | Min_depth.Minimal (d, _) -> Alcotest.failf "n=4 minimal depth %d, want 3" d
   | Min_depth.No_sorter -> Alcotest.fail "bitonic is a 3-stage witness"
-  | Min_depth.Unknown _ -> Alcotest.fail "n=4 must be decidable"
+  | Min_depth.Unknown _ | Min_depth.Stopped _ -> Alcotest.fail "n=4 must be decidable"
 
 let test_n8_depth3_impossible () =
   match Min_depth.search ~n:8 ~depth:3 () with
   | Min_depth.Impossible -> ()
   | Min_depth.Sorter _ -> Alcotest.fail "no 3-stage sorter for n=8 (< trivial bound would be absurd... but 3 = lg n is still too shallow)"
-  | Min_depth.Inconclusive -> Alcotest.fail "should be decidable"
+  | Min_depth.Inconclusive | Min_depth.Interrupted -> Alcotest.fail "should be decidable"
 
 let test_n8_depth4_impossible () =
   match Min_depth.search ~n:8 ~depth:4 ~budget:(budget 500_000_000) () with
   | Min_depth.Impossible -> ()
   | Min_depth.Sorter _ -> Alcotest.fail "depth-4 sorter for n=8 would be a discovery; recheck"
-  | Min_depth.Inconclusive -> Alcotest.fail "budget too small"
+  | Min_depth.Inconclusive | Min_depth.Interrupted -> Alcotest.fail "budget too small"
 
 let test_bitonic_witness_shape () =
   (* the searcher's own witness format: feeding bitonic's op vectors
@@ -50,6 +50,7 @@ let test_bitonic_witness_shape () =
 let test_budget_reported () =
   match Min_depth.search ~n:8 ~depth:5 ~budget:(budget 50) () with
   | Min_depth.Inconclusive -> ()
+  | Min_depth.Interrupted -> Alcotest.fail "nothing cancels this run"
   | Min_depth.Sorter _ | Min_depth.Impossible ->
       Alcotest.fail "a 50-node budget cannot decide depth 5"
 
@@ -58,6 +59,7 @@ let test_minimal_unknown () =
      instead of raising *)
   match Min_depth.minimal_depth ~n:8 ~max_depth:5 ~budget:(budget 50) () with
   | Min_depth.Unknown k -> check_bool "refuted levels >= 0" true (k >= 0)
+  | Min_depth.Stopped _ -> Alcotest.fail "nothing cancels this run"
   | Min_depth.Minimal _ | Min_depth.No_sorter ->
       Alcotest.fail "a 50-node budget cannot decide n=8"
 

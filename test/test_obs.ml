@@ -183,7 +183,7 @@ let test_driver_trace_totals () =
     | Driver.Sorted { depth; stats; _ } ->
         check_int "n=6 optimum" 5 depth;
         stats
-    | Driver.Unsorted _ | Driver.Inconclusive _ ->
+    | Driver.Unsorted _ | Driver.Inconclusive _ | Driver.Interrupted _ ->
         Alcotest.fail "n=6 must be certified"
   in
   let levels, finals =

@@ -134,7 +134,7 @@ let test_layer_counts () =
 let optimal n =
   match Driver.optimal_depth ~n () with
   | Driver.Sorted { depth; moves; stats } -> (depth, moves, stats)
-  | Driver.Unsorted _ | Driver.Inconclusive _ ->
+  | Driver.Unsorted _ | Driver.Inconclusive _ | Driver.Interrupted _ ->
       Alcotest.failf "n=%d: search did not return a witness" n
 
 let test_known_optimal_depths () =
@@ -163,7 +163,7 @@ let test_reference_agreement () =
                  stats.Driver.nodes)
               true
               (ref_stats.Driver.nodes >= 10 * stats.Driver.nodes)
-      | Driver.Unsorted _ | Driver.Inconclusive _ ->
+      | Driver.Unsorted _ | Driver.Inconclusive _ | Driver.Interrupted _ ->
           Alcotest.failf "n=%d: reference search failed" n)
     [ 2; 3; 4; 5; 6 ]
 
@@ -172,7 +172,8 @@ let test_unsorted_exhaustive () =
   | Driver.Unsorted stats ->
       check_int "all 4 levels completed" 4 stats.Driver.completed_levels
   | Driver.Sorted _ -> Alcotest.fail "no depth-4 network sorts n=5"
-  | Driver.Inconclusive _ -> Alcotest.fail "must be decidable"
+  | Driver.Inconclusive _ | Driver.Interrupted _ ->
+      Alcotest.fail "must be decidable"
 
 let test_budget_inconclusive () =
   match
@@ -182,7 +183,7 @@ let test_budget_inconclusive () =
   | Driver.Inconclusive stats ->
       check_bool "some levels refuted" true (stats.Driver.completed_levels >= 1);
       check_bool "stopped early" true (stats.Driver.completed_levels < 5)
-  | Driver.Sorted _ | Driver.Unsorted _ ->
+  | Driver.Sorted _ | Driver.Unsorted _ | Driver.Interrupted _ ->
       Alcotest.fail "100 nodes cannot certify n=6"
 
 let test_wall_clock_budget () =
@@ -200,7 +201,7 @@ let test_wall_clock_budget () =
     let wall = Clock.wall () -. t0 in
     match outcome with
     | Driver.Inconclusive stats -> (wall, stats)
-    | Driver.Sorted _ | Driver.Unsorted _ ->
+    | Driver.Sorted _ | Driver.Unsorted _ | Driver.Interrupted _ ->
         Alcotest.fail "0.3 s cannot decide the n=7 reference search"
   in
   let wall1, stats1 = run 1 in
@@ -228,7 +229,7 @@ let test_multi_domain_agreement () =
   | Driver.Sorted { depth; moves; _ } ->
       check_int "n=5 at 2 domains" 5 depth;
       check_bool "witness verifies" true (Driver.verify_witness ~n:5 moves)
-  | Driver.Unsorted _ | Driver.Inconclusive _ ->
+  | Driver.Unsorted _ | Driver.Inconclusive _ | Driver.Interrupted _ ->
       Alcotest.fail "n=5 must be certified at 2 domains"
 
 let () =
