@@ -21,18 +21,24 @@ bench:
 # Engine microbenchmarks only; writes name -> ns/op to BENCH_engine.json
 # so successive PRs have a perf trajectory to compare against. The same
 # run times the exact-bounds search (pruned vs reference, 1 vs K
-# domains) into BENCH_search.json. Both files must carry the global
-# observability counters (obs/ rows) alongside the timings.
+# domains) into BENCH_search.json and the static analyzer's throughput
+# (networks/sec, comparators/sec) into BENCH_analysis.json. All files
+# must carry the global observability counters (obs/ rows) alongside
+# the timings.
 bench-json:
-	SNLB_BENCH_JSON=BENCH_engine.json SNLB_BENCH_SEARCH_JSON=BENCH_search.json dune exec bench/main.exe
+	SNLB_BENCH_JSON=BENCH_engine.json SNLB_BENCH_SEARCH_JSON=BENCH_search.json SNLB_BENCH_ANALYSIS_JSON=BENCH_analysis.json dune exec bench/main.exe
 	grep -q '"obs/engine.cache.hits"' BENCH_engine.json
 	grep -q '"obs/engine.cache.evictions"' BENCH_engine.json
 	grep -q '"search/n=6/pruned/domains=1/subsumed"' BENCH_search.json
 	grep -q '"obs/search.nodes"' BENCH_search.json
+	grep -q '"obs/analysis.redundant_moves"' BENCH_search.json
 	grep -q '"search/n=7/pruned-ckpt/domains=1/wall_ms"' BENCH_search.json
 	grep -q '"obs/checkpoint.writes"' BENCH_search.json
 	grep -q '"obs/checkpoint.bytes"' BENCH_search.json
 	grep -q '"obs/checkpoint.write_ms.mean"' BENCH_search.json
+	grep -q '"analysis/bitonic-n=16/networks_per_s"' BENCH_analysis.json
+	grep -q '"analysis/bitonic-n=32/comparators_per_s"' BENCH_analysis.json
+	grep -q '"obs/analysis.networks"' BENCH_analysis.json
 
 tables:
 	dune exec bin/snlb_cli.exe -- table all --quick

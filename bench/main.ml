@@ -295,6 +295,7 @@ let search_json_rows () =
       (prefix ^ "/pruned", float_of_int stats.Driver.pruned);
       (prefix ^ "/deduped", float_of_int stats.Driver.deduped);
       (prefix ^ "/subsumed", float_of_int stats.Driver.subsumed);
+      (prefix ^ "/redundant", float_of_int stats.Driver.redundant);
       (prefix ^ "/peak_frontier", float_of_int stats.Driver.peak_frontier);
       (prefix ^ "/elapsed_wall_s", stats.Driver.elapsed);
       (prefix ^ "/elapsed_cpu_s", stats.Driver.elapsed_cpu);
@@ -327,6 +328,32 @@ let search_json_rows () =
       checkpointed ~tag:"pruned-ckpt" ~interval:60.;
       checkpointed ~tag:"pruned-ckpt0" ~interval:0. ]
 
+(* Analyzer throughput: repeated full analyses (structural lints, both
+   abstract domains' walk, conformance recognizers) of mid-size bitonic
+   networks, reported as networks/sec and comparators/sec so analyzer
+   perf regressions show up in the same trajectory as engine ns/op.
+   n = 16/32 sit above the exact-domain cutoff, so these rows time the
+   order-bounds domain — the one that scales with network size. *)
+let analysis_json_rows () =
+  let time_net ~name nw =
+    let comparators = Network.size nw in
+    let reps = 100 in
+    ignore (Analysis.analyze nw) (* warm-up *);
+    let t0 = Clock.wall () in
+    for _ = 1 to reps do
+      ignore (Analysis.analyze nw)
+    done;
+    let per = (Clock.wall () -. t0) /. float_of_int reps in
+    let prefix = "analysis/" ^ name in
+    [ (prefix ^ "/wall_ms", per *. 1e3);
+      (prefix ^ "/networks_per_s", if per > 0. then 1. /. per else 0.);
+      ( prefix ^ "/comparators_per_s",
+        if per > 0. then float_of_int comparators /. per else 0. ) ]
+  in
+  List.concat
+    [ time_net ~name:"bitonic-n=16" (Bitonic.network ~n:16);
+      time_net ~name:"bitonic-n=32" (Bitonic.network ~n:32) ]
+
 let () =
   match Sys.getenv_opt "SNLB_BENCH_JSON" with
   | Some path ->
@@ -344,6 +371,12 @@ let () =
            Metrics.reset ();
            let rows = search_json_rows () in
            write_json search_path (rows @ obs_rows ())
+       | None -> ());
+      (match Sys.getenv_opt "SNLB_BENCH_ANALYSIS_JSON" with
+       | Some analysis_path ->
+           Metrics.reset ();
+           let rows = analysis_json_rows () in
+           write_json analysis_path (rows @ obs_rows ())
        | None -> ())
   | None ->
       let results = run_bechamel all_tests in

@@ -1,6 +1,6 @@
 (* snlb: command-line front end for the sorting-network lower-bound
    library.  Subcommands: list, sort, verify, certify, table, dot,
-   draw, save, load, search, route. *)
+   draw, save, load, lint, search, route. *)
 
 open Cmdliner
 
@@ -208,26 +208,68 @@ let certify_cmd =
     let doc = "Number of lg-n-stage shuffle blocks." in
     Arg.(value & opt int 2 & info [ "blocks" ] ~docv:"B" ~doc)
   in
-  let run kind n blocks seed ckpt resume trace metrics =
-    if not (Bitops.is_power_of_two n) then
-      usage_error "certify: n must be a power of two"
-    else if resume && ckpt = None then
+  let file_arg =
+    let doc =
+      "Run the adversary against a serialised network instead of a \
+       generated family. The network must statically conform to the \
+       paper's iterated-reverse-delta topology (checked by the \
+       analyzer's recognizer); non-conforming inputs are rejected \
+       before any adversary work."
+    in
+    Arg.(value & opt (some string) None & info [ "file" ] ~docv:"NET" ~doc)
+  in
+  let run kind file n blocks seed ckpt resume trace metrics =
+    if resume && ckpt = None then
       usage_error "certify: --resume needs --checkpoint FILE"
+    else if file = None && not (Bitops.is_power_of_two n) then
+      usage_error "certify: n must be a power of two"
     else begin
+      let from_file =
+        match file with
+        | None -> Ok None
+        | Some path -> (
+            match Network_io.load path with
+            | Error e -> Error (path ^ ": " ^ e)
+            | Ok nw -> (
+                (* Theorem 4.1's precondition, decided statically: the
+                   circuit must be an iterated reverse delta network *)
+                match Conform.to_iterated nw with
+                | Error e ->
+                    Error
+                      (Printf.sprintf
+                         "%s: not an iterated reverse delta network (%s); \
+                          Theorem 4.1 does not apply"
+                         path e)
+                | Ok it -> Ok (Some it)))
+      in
+      match from_file with
+      | Error e ->
+          prerr_endline ("certify: " ^ e);
+          exit_failure
+      | Ok maybe_it ->
       with_obs ~trace ~metrics @@ fun sink ->
       with_signals @@ fun cancel ->
-      let d = Bitops.log2_exact n in
-      let rng = Xoshiro.of_seed seed in
-      let prog =
-        match kind with
-        | "all-plus" -> Shuffle_net.all_plus_program ~n ~stages:(blocks * d)
-        | "random" -> Shuffle_net.random_program rng ~n ~stages:(blocks * d)
-        | "bitonic" -> Bitonic.shuffle_program ~n
-        | other ->
-            prerr_endline ("unknown kind " ^ other ^ ", using random");
-            Shuffle_net.random_program rng ~n ~stages:(blocks * d)
+      let it =
+        match maybe_it with
+        | Some it -> it
+        | None ->
+            let d = Bitops.log2_exact n in
+            let rng = Xoshiro.of_seed seed in
+            let prog =
+              match kind with
+              | "all-plus" ->
+                  Shuffle_net.all_plus_program ~n ~stages:(blocks * d)
+              | "random" ->
+                  Shuffle_net.random_program rng ~n ~stages:(blocks * d)
+              | "bitonic" -> Bitonic.shuffle_program ~n
+              | other ->
+                  prerr_endline ("unknown kind " ^ other ^ ", using random");
+                  Shuffle_net.random_program rng ~n ~stages:(blocks * d)
+            in
+            Shuffle_net.to_iterated prog
       in
-      let it = Shuffle_net.to_iterated prog in
+      let n = Iterated.n it in
+      let d = Bitops.log2_exact n in
       let r = Theorem41.run ~sink ~cancel ?checkpoint:ckpt ~resume it in
       Printf.printf "n=%d, %d blocks of %d shuffle stages\n" n
         (Iterated.block_count it) d;
@@ -272,7 +314,7 @@ let certify_cmd =
   in
   Cmd.v (Cmd.info "certify" ~doc)
     Term.(
-      const run $ kind_arg $ n_arg $ blocks_arg $ seed_arg $ checkpoint_arg
+      const run $ kind_arg $ file_arg $ n_arg $ blocks_arg $ seed_arg $ checkpoint_arg
       $ resume_arg $ trace_arg $ metrics_arg)
 
 (* table *)
@@ -368,19 +410,132 @@ let load_cmd =
     let doc = "Network file in the snlb text format." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
-  let run file =
+  let check_arg =
+    let doc =
+      "Analysis gate: $(b,off) loads anything parseable, $(b,warn) \
+       (default) rejects networks with error-severity diagnostics, \
+       $(b,strict) also rejects warnings (dead comparators, untouched \
+       channels, ...)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("off", Analysis.Off); ("warn", Analysis.Warn);
+                    ("strict", Analysis.Strict) ]) Analysis.Warn
+      & info [ "check" ] ~docv:"MODE" ~doc)
+  in
+  let run file check =
     match Network_io.load file with
     | Error e ->
         Printf.eprintf "%s: %s\n" file e;
         1
     | Ok nw ->
-        Format.printf "%s: %a@." file Network.pp_stats nw;
-        (if Network.wires nw <= 20 then
-           Printf.printf "sorting network: %b\n" (Zero_one.is_sorting_network nw));
-        0
+        (* warning/error diagnostics go to stderr; proved-fact infos
+           stay in [snlb lint], keeping clean-network output stable *)
+        let show diags =
+          List.iter
+            (fun d ->
+              if d.Diag.severity <> Diag.Info then prerr_endline (Diag.to_text d))
+            diags
+        in
+        (match Analysis.check ~strictness:check nw with
+        | Error diags ->
+            show diags;
+            Printf.eprintf "%s: rejected by the analysis gate (--check off to bypass)\n"
+              file;
+            1
+        | Ok diags ->
+            show diags;
+            Format.printf "%s: %a@." file Network.pp_stats nw;
+            (if Network.wires nw <= 20 then
+               Printf.printf "sorting network: %b\n" (Zero_one.is_sorting_network nw));
+            0)
   in
-  let doc = "Load a serialised network, print stats and verify it." in
-  Cmd.v (Cmd.info "load" ~doc) Term.(const run $ file_arg)
+  let doc =
+    "Load a serialised network through the analysis gate, print stats \
+     and verify it."
+  in
+  Cmd.v (Cmd.info "load" ~doc) Term.(const run $ file_arg $ check_arg)
+
+(* lint *)
+
+let lint_cmd =
+  let file_arg =
+    let doc =
+      "Network file to lint (snlb text format); omit to lint a \
+       registry network chosen with --algo/-n."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: $(b,text) or $(b,json) (NDJSON, one \
+               diagnostic per line)." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let exact_max_arg =
+    let doc =
+      "Widest network analysed with the exact reachable-set domain; \
+       wider ones use the sound order-bounds approximation."
+    in
+    Arg.(value & opt int 12 & info [ "exact-max" ] ~docv:"N" ~doc)
+  in
+  let strict_arg =
+    let doc = "Exit 1 on warnings too, not just errors." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let opt_str name = function None -> name ^ ": no" | Some v ->
+    Printf.sprintf "%s: yes (%d)" name v
+  in
+  let run file algo n fmt exact_max strict metrics =
+    let nw =
+      match file with
+      | Some path -> (
+          match Network_io.load path with
+          | Ok nw -> Ok (path, nw)
+          | Error e -> Error (path ^ ": " ^ e))
+      | None -> (
+          match build_sorter algo n with
+          | Ok nw -> Ok (Printf.sprintf "%s n=%d" algo n, nw)
+          | Error e -> Error e)
+    in
+    match nw with
+    | Error e -> usage_error ("lint: " ^ e)
+    | Ok (name, nw) ->
+        let r =
+          Analysis.analyze ~exact_max_wires:exact_max ~cross_check:true nw
+        in
+        (match fmt with
+        | `Json ->
+            List.iter (fun d -> print_endline (Diag.to_json d)) r.diags
+        | `Text ->
+            List.iter (fun d -> print_endline (Diag.to_text d)) r.diags;
+            let f = r.facts in
+            Printf.printf
+              "%s: %d wires, %d levels, %d comparators (%d dead, %d \
+               redundant), %s, %s, %s\n"
+              name f.wires f.levels f.comparators (List.length f.dead)
+              (List.length f.redundant)
+              (opt_str "shuffle-based" f.shuffle_stages)
+              (opt_str "iterated reverse delta" f.reverse_delta_blocks)
+              (opt_str "delta" f.delta_blocks));
+        if metrics then print_metrics ();
+        let errs = Diag.count r.diags Diag.Error
+        and warns = Diag.count r.diags Diag.Warning in
+        if errs > 0 || (strict && warns > 0) then 1 else 0
+  in
+  let doc =
+    "Statically analyse a comparator network: abstract-interpretation \
+     sortedness and dead/redundant-comparator proofs, structural lints, \
+     and shuffle/delta topology conformance. Exits 1 when an \
+     error-severity diagnostic is present (with --strict, warnings \
+     too)."
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const run $ file_arg $ algo_arg $ n_arg $ format_arg $ exact_max_arg
+      $ strict_arg $ metrics_arg)
 
 (* search *)
 
@@ -424,9 +579,10 @@ let search_cmd =
   in
   let print_stats (s : Driver.stats) =
     Printf.printf
-      "nodes: %d  pruned: %d  deduped: %d  subsumed: %d  peak frontier: %d\n"
+      "nodes: %d  pruned: %d  deduped: %d  subsumed: %d  redundant: %d  \
+       peak frontier: %d\n"
       s.Driver.nodes s.Driver.pruned s.Driver.deduped s.Driver.subsumed
-      s.Driver.peak_frontier
+      s.Driver.redundant s.Driver.peak_frontier
   in
   let run n depth _optimal shuffle domains max_depth budget ckpt interval
       resume trace metrics =
@@ -607,6 +763,6 @@ let main =
   in
   Cmd.group (Cmd.info "snlb" ~version:"1.0.0" ~doc)
     [ list_cmd; sort_cmd; verify_cmd; certify_cmd; table_cmd; dot_cmd;
-      draw_cmd; save_cmd; load_cmd; search_cmd; route_cmd ]
+      draw_cmd; save_cmd; load_cmd; lint_cmd; search_cmd; route_cmd ]
 
 let () = exit (Cmd.eval' ~term_err:exit_usage main)

@@ -93,6 +93,10 @@ let system ~n =
       (fun ops st ->
         State.map_masks st (fun m -> apply_ops ~pairs ops (shuffle_mask ~n ~d m)));
     prune = (fun ~level:_ ~remaining st -> prunable ~n ~d ~remaining st);
+    (* redundancy hook off: the op-vector move set is tiny (4^(n/2)
+       vectors, n <= 8 in practice) and equality dedup already
+       collapses the children a never-firing op would duplicate *)
+    redundant_of = Driver.no_redundant;
     dedup = Driver.Equal }
 
 let check_n ~fn n =

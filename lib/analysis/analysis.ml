@@ -1,0 +1,276 @@
+let c_networks = Metrics.counter "analysis.networks"
+let c_comparators = Metrics.counter "analysis.comparators"
+let c_dead = Metrics.counter "analysis.dead"
+let c_redundant = Metrics.counter "analysis.redundant"
+let c_cross = Metrics.counter "analysis.cross_checks"
+
+type sortedness =
+  | Sorting_proved
+  | Sorting_refuted of int
+  | Sorted_by_bounds
+  | Unknown
+
+type gate_ref = { level : int; gate : int; a : int; b : int }
+
+type facts = {
+  wires : int;
+  levels : int;
+  depth : int;
+  comparators : int;
+  exchanges : int;
+  exact : bool;
+  sortedness : sortedness;
+  dead : gate_ref list;
+  redundant : gate_ref list;
+  shuffle_stages : int option;
+  reverse_delta_blocks : int option;
+  delta_blocks : int option;
+}
+
+type report = { facts : facts; diags : Diag.t list }
+
+(* One walk, either domain. Queries for all gates of a level run
+   against the level-entry state (the gates of a level fire in
+   parallel); transfers are then applied sequentially, which is
+   equivalent because gates of one level touch disjoint wires. *)
+let classify_gates ~exact nw =
+  let dead = ref [] and redundant = ref [] in
+  let record lvl gi g ~is_dead ~is_red =
+    if is_dead || is_red then begin
+      let a, b = match g with
+        | Gate.Compare { lo; hi } -> (lo, hi)
+        | Gate.Exchange { a; b } -> (a, b)
+      in
+      let r = { level = lvl; gate = gi; a; b } in
+      if is_dead || is_red then dead := r :: !dead;
+      if is_red then redundant := r :: !redundant
+    end
+  in
+  let final_sortedness =
+    if exact then begin
+      let n = Network.wires nw in
+      let st = ref (Reach.all n) in
+      List.iteri
+        (fun li (level : Network.level) ->
+          (match level.pre with
+          | None -> ()
+          | Some p -> st := Reach.apply_perm !st p);
+          List.iteri
+            (fun gi g ->
+              record (li + 1) gi g
+                ~is_dead:(Reach.gate_dead !st g)
+                ~is_red:(Reach.gate_redundant !st g))
+            level.gates;
+          List.iter (fun g -> st := Reach.apply_gate !st g) level.gates)
+        (Network.levels nw);
+      match Reach.find_unsorted !st with
+      | None -> Sorting_proved
+      | Some m -> Sorting_refuted m
+    end
+    else begin
+      let b = Bounds.create (Network.wires nw) in
+      List.iteri
+        (fun li (level : Network.level) ->
+          (match level.pre with
+          | None -> ()
+          | Some p -> Bounds.transfer_perm b p);
+          List.iteri
+            (fun gi g ->
+              record (li + 1) gi g ~is_dead:(Bounds.gate_dead b g)
+                ~is_red:(Bounds.gate_redundant b g))
+            level.gates;
+          List.iter (fun g -> Bounds.transfer_gate b g) level.gates)
+        (Network.levels nw);
+      if Bounds.sorted_proved b then Sorted_by_bounds else Unknown
+    end
+  in
+  (final_sortedness, List.rev !dead, List.rev !redundant)
+
+let mask_bits ~n m =
+  String.init n (fun i -> if m land (1 lsl (n - 1 - i)) <> 0 then '1' else '0')
+
+let analyze_gen ?(exact_max_wires = 12) ?(cross_check = false)
+    ~conformance nw =
+  let n = Network.wires nw in
+  let exact = n <= min exact_max_wires Reach.max_wires in
+  let sortedness, dead, redundant = classify_gates ~exact nw in
+  let comparators = Network.size nw in
+  let exchanges =
+    List.fold_left
+      (fun acc (l : Network.level) ->
+        acc
+        + List.length (List.filter (fun g -> not (Gate.is_comparator g)) l.gates))
+      0 (Network.levels nw)
+  in
+  Metrics.incr c_networks;
+  Metrics.add c_comparators comparators;
+  Metrics.add c_dead (List.length dead);
+  Metrics.add c_redundant (List.length redundant);
+  let shuffle_stages, reverse_delta_blocks, delta_blocks =
+    if conformance then
+      ( Conform.shuffle_stages nw,
+        Conform.iterated_reverse_delta nw,
+        Conform.delta_blocks nw )
+    else (None, None, None)
+  in
+  let facts =
+    {
+      wires = n;
+      levels = List.length (Network.levels nw);
+      depth = Network.depth nw;
+      comparators;
+      exchanges;
+      exact;
+      sortedness;
+      dead;
+      redundant;
+      shuffle_stages;
+      reverse_delta_blocks;
+      delta_blocks;
+    }
+  in
+  let diags = ref (List.rev (Lint.structural nw)) in
+  let add d = diags := d :: !diags in
+  let red_set = List.map (fun r -> (r.level, r.gate)) redundant in
+  List.iter
+    (fun r ->
+      let span = { Diag.level = r.level; gate = Some r.gate } in
+      if List.mem (r.level, r.gate) red_set then
+        add
+          (Diag.make ~span ~code:"SNL202" ~severity:Diag.Info
+             (Printf.sprintf
+                "redundant comparator (%d,%d): wires provably equal, \
+                 orientation immaterial"
+                r.a r.b))
+      else
+        add
+          (Diag.make ~span ~code:"SNL201" ~severity:Diag.Warning
+             (Printf.sprintf
+                "dead comparator (%d,%d): never exchanges on any reachable \
+                 input; removable"
+                r.a r.b)))
+    dead;
+  (match sortedness with
+  | Sorting_proved ->
+      add
+        (Diag.make ~code:"SNL204" ~severity:Diag.Info
+           (Printf.sprintf
+              "sorting network: proved over all %d zero-one inputs (exact \
+               domain)"
+              (1 lsl n)))
+  | Sorting_refuted m ->
+      add
+        (Diag.make ~code:"SNL203" ~severity:Diag.Info
+           (Printf.sprintf
+              "not a sorting network: some zero-one input leaves unsorted \
+               output %s (exact domain)"
+              (mask_bits ~n m)))
+  | Sorted_by_bounds ->
+      add
+        (Diag.make ~code:"SNL205" ~severity:Diag.Info
+           "sorting network: proved by the order-bounds domain")
+  | Unknown -> ());
+  if conformance then begin
+    (match shuffle_stages with
+    | Some s ->
+        add
+          (Diag.make ~code:"SNL301" ~severity:Diag.Info
+             (Printf.sprintf
+                "shuffle-based: all %d stages act on shuffle register pairs" s))
+    | None -> ());
+    (match reverse_delta_blocks with
+    | Some b ->
+        add
+          (Diag.make ~code:"SNL302" ~severity:Diag.Info
+             (Printf.sprintf
+                "iterated reverse delta: %d block%s of %d levels (Definition \
+                 3.4)"
+                b
+                (if b = 1 then "" else "s")
+                (Bitops.log2_exact n)))
+    | None -> ());
+    match delta_blocks with
+    | Some b ->
+        add
+          (Diag.make ~code:"SNL303" ~severity:Diag.Info
+             (Printf.sprintf "delta skeleton: %d block%s (levels mirrored)" b
+                (if b = 1 then "" else "s")))
+    | None -> ()
+  end;
+  if cross_check && exact then begin
+    Metrics.incr c_cross;
+    let engine_sorts = Bitslice.is_sorting_network (Cache.compile nw) in
+    let claimed = sortedness = Sorting_proved in
+    if engine_sorts <> claimed then
+      add
+        (Diag.make ~code:"SNL999" ~severity:Diag.Error
+           (Printf.sprintf
+              "analyzer/engine disagree on sortedness (analyzer: %b, \
+               bit-sliced engine: %b) — please report"
+              claimed engine_sorts))
+  end;
+  { facts; diags = List.rev !diags }
+
+let analyze ?exact_max_wires ?cross_check nw =
+  analyze_gen ?exact_max_wires ?cross_check ~conformance:true nw
+
+let remove_dead nw facts =
+  let dead = List.map (fun r -> (r.level, r.gate)) facts.dead in
+  let levels =
+    List.mapi
+      (fun li (level : Network.level) ->
+        let gates =
+          List.filteri (fun gi _ -> not (List.mem (li + 1, gi) dead)) level.gates
+        in
+        { level with Network.gates })
+      (Network.levels nw)
+  in
+  Network.create ~wires:(Network.wires nw) levels
+
+let flip_redundant nw facts =
+  let red = List.map (fun r -> (r.level, r.gate)) facts.redundant in
+  let levels =
+    List.mapi
+      (fun li (level : Network.level) ->
+        let gates =
+          List.mapi
+            (fun gi g ->
+              if List.mem (li + 1, gi) red then
+                match g with
+                | Gate.Compare { lo; hi } -> Gate.Compare { lo = hi; hi = lo }
+                | Gate.Exchange _ as g -> g
+              else g)
+            level.gates
+        in
+        { level with Network.gates })
+      (Network.levels nw)
+  in
+  Network.create ~wires:(Network.wires nw) levels
+
+type strictness = Off | Warn | Strict
+
+let check ?(strictness = Warn) nw =
+  match strictness with
+  | Off -> Ok []
+  | Warn | Strict ->
+      let { diags; _ } = analyze_gen ~conformance:false nw in
+      let errs = Diag.count diags Diag.Error
+      and warns = Diag.count diags Diag.Warning in
+      if errs > 0 || (strictness = Strict && warns > 0) then Error diags
+      else Ok diags
+
+let load ?strictness path =
+  match Network_io.load path with
+  | Error e -> Error e
+  | Ok nw -> (
+      match check ?strictness nw with
+      | Ok diags -> Ok (nw, diags)
+      | Error diags ->
+          let errs = Diag.count diags Diag.Error
+          and warns = Diag.count diags Diag.Warning in
+          Error
+            (Printf.sprintf "network rejected by analysis (%d error%s, %d warning%s)"
+               errs
+               (if errs = 1 then "" else "s")
+               warns
+               (if warns = 1 then "" else "s")))

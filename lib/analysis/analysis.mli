@@ -1,0 +1,82 @@
+(** The analyzer façade: one level-by-level walk of a network through
+    the abstract domains, producing a facts record plus typed
+    diagnostics; the strictness gate for loading; the observability
+    counters.
+
+    Domain choice: networks with at most [exact_max_wires] wires
+    (default 12) use the exact 0-1 reachable-set domain ({!Reach}) —
+    sortedness is then decided (proved {e or} refuted), and
+    dead/redundant classifications are exact on 0-1 behaviour. Wider
+    networks use the polynomial order-bounds domain ({!Bounds}) —
+    sortedness can only be proved, never refuted, and dead/redundant
+    are sound under-approximations (every flagged gate really is
+    dead/redundant; unflagged gates are unclassified).
+
+    Definitions (see DESIGN.md for the soundness argument):
+    - a comparator is {b dead} when it never exchanges on any
+      reachable input — removing it leaves the network's function
+      unchanged (diagnostics: SNL201, warning);
+    - a comparator is {b redundant} when its two wires provably carry
+      equal values — flipping its orientation changes nothing
+      (SNL202, info). Redundant implies dead; each gate gets one
+      diagnostic, the strongest that applies, while {!facts} lists
+      every dead gate (redundant included) in [dead]. *)
+
+type sortedness =
+  | Sorting_proved  (** exact domain: all reachable 0-1 outputs sorted *)
+  | Sorting_refuted of int
+      (** exact domain: this reachable output mask is unsorted *)
+  | Sorted_by_bounds  (** order-bounds domain proved sortedness *)
+  | Unknown  (** bounds domain could not decide *)
+
+type gate_ref = { level : int; gate : int; a : int; b : int }
+(** [level] 1-based, [gate] 0-based within the level, [a]/[b] the
+    wires ([lo]/[hi] for comparators). *)
+
+type facts = {
+  wires : int;
+  levels : int;
+  depth : int;
+  comparators : int;
+  exchanges : int;
+  exact : bool;  (** exact 0-1 domain used *)
+  sortedness : sortedness;
+  dead : gate_ref list;  (** every dead comparator, redundant included *)
+  redundant : gate_ref list;
+  shuffle_stages : int option;
+  reverse_delta_blocks : int option;
+  delta_blocks : int option;
+}
+
+type report = { facts : facts; diags : Diag.t list }
+
+val analyze : ?exact_max_wires:int -> ?cross_check:bool -> Network.t -> report
+(** [cross_check] (default false): when the exact domain decided
+    sortedness, re-derive the verdict independently through the
+    compiled bit-sliced engine; a disagreement — an analyzer bug —
+    yields an SNL999 error diagnostic (and is counted). *)
+
+val remove_dead : Network.t -> facts -> Network.t
+(** The network with every comparator in [facts.dead] removed
+    (extensionally equal by soundness of the dead classification). *)
+
+val flip_redundant : Network.t -> facts -> Network.t
+(** The network with every comparator in [facts.redundant]
+    orientation-flipped (ditto). *)
+
+(** {1 Load gate} *)
+
+type strictness = Off | Warn | Strict
+
+val check : ?strictness:strictness -> Network.t -> (Diag.t list, Diag.t list) result
+(** Gate a loaded network. [Off]: [Ok []] always. [Warn] (default):
+    [Ok diags] unless an error-severity diagnostic is present. [Strict]:
+    [Error diags] if any warning or error is present. Diagnostics are
+    the structural + semantic set of {!analyze} (no conformance — that
+    is opt-in via [snlb lint]). *)
+
+val load :
+  ?strictness:strictness -> string -> (Network.t * Diag.t list, string) result
+(** [Network_io.load] followed by {!check} (the gate cannot live
+    inside lib/network without a dependency cycle — this wrapper is
+    the composed entry point; the CLI's [snlb load --check] uses it). *)

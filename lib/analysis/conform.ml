@@ -1,0 +1,383 @@
+(* Topology conformance (see conform.mli for the algorithm notes). *)
+
+(* --- flattened gate levels, with the routing residue stripped --- *)
+
+(* Like {!Network.flatten}, but per level: [pre] permutations are
+   absorbed into a running wire relabeling (conformance is invariant
+   under relabeling — reverse delta leaf labels are arbitrary). A
+   level that was {e pure routing} — a [pre] and no gates — is
+   ambiguous after flattening: in a register-model program it is an
+   idle stage that still occupies a slot in the level cadence (the
+   shuffle-based bitonic has whole idle stages early in each phase),
+   while in an iterated network it is an inter-block permutation that
+   occupies no level at all. The two readings give two canonical gate
+   level sequences; recognizers try both ([keep] first) and accept if
+   either conforms. Mixed networks — some perm levels structural,
+   some not — may be conservatively rejected, which the mli
+   documents. Trailing pure-routing levels (e.g. the output-routing
+   residue {!Network.flatten} leaves) are never kept: no block ends in
+   routing. Gate-free levels {e without} a [pre] are genuine padding
+   and always kept. *)
+let slots nw =
+  let n = Network.wires nw in
+  let slot = Array.init n (fun r -> r) in
+  List.map
+    (fun (lvl : Network.level) ->
+      (match lvl.pre with
+      | None -> ()
+      | Some p ->
+          let old = Array.copy slot in
+          for r = 0 to n - 1 do
+            slot.(Perm.apply p r) <- old.(r)
+          done);
+      let routing = lvl.gates = [] && lvl.pre <> None in
+      (routing, List.map (Gate.map_wires (fun r -> slot.(r))) lvl.gates))
+    (Network.levels nw)
+
+let drop_trailing_routing sl =
+  let rec dw = function (true, _) :: rest -> dw rest | l -> l in
+  List.rev (dw (List.rev sl))
+
+(* Both canonical readings; [forms] deduplicates when they agree. *)
+let gate_levels_keep nw = List.map snd (drop_trailing_routing (slots nw))
+
+let gate_levels_drop nw =
+  List.filter_map (fun (r, g) -> if r then None else Some g) (slots nw)
+
+(* [keep] first suits the stage-cadence readings (shuffle check);
+   block recognition prefers [drop] — treating perm-only levels as
+   inter-block routing is the iterated-network reading, and when both
+   readings decompose (an ambiguity real circuits can exhibit) the
+   routing one reports the coarser, intended block count. *)
+let forms nw =
+  let keep = gate_levels_keep nw and drop = gate_levels_drop nw in
+  if keep = drop then [ keep ] else [ keep; drop ]
+
+(* --- shuffle-based --- *)
+
+let shuffle_stages nw =
+  let n = Network.wires nw in
+  if not (Bitops.is_power_of_two n) || n < 2 then None
+  else begin
+    let d = Bitops.log2_exact n in
+    let of_gls gls =
+      let ok =
+        List.for_all2
+          (fun gates bit ->
+            List.for_all
+              (fun g ->
+                let a, b = Gate.wires g in
+                a lxor b = 1 lsl bit)
+              gates)
+          gls
+          (List.mapi (fun i _ -> d - 1 - (i mod d)) gls)
+      in
+      if ok && gls <> [] then Some (List.length gls) else None
+    in
+    List.find_map of_gls (forms nw)
+  end
+
+(* --- reverse delta recognition --- *)
+
+(* During recognition a component is either a bare wire or a committed
+   subtree of capacity [2^t]: two colour classes of earlier components
+   plus the cross gates that joined them. Wire counts and capacities
+   differ once never-touched wires are involved; capacities drive the
+   aligned (buddy) packing, wire counts the totals. *)
+type item =
+  | Leaf of int
+  | Comp of comp
+
+and comp = {
+  cap : int;
+  wires_in : int;
+  side0 : item list;
+  side1 : item list;
+  crosses : Reverse_delta.cross list;
+}
+
+let item_cap = function Leaf _ -> 1 | Comp c -> c.cap
+let item_wires = function Leaf _ -> 1 | Comp c -> c.wires_in
+
+exception No
+
+let wires_of items = List.fold_left (fun s it -> s + item_wires it) 0 items
+
+(* A component's two sides are interchangeable: flipping swaps the
+   subtrees and mirrors every cross (left/right and min orientation). *)
+let flip_comp c =
+  {
+    c with
+    side0 = c.side1;
+    side1 = c.side0;
+    crosses =
+      List.map
+        (fun (x : Reverse_delta.cross) ->
+          {
+            Reverse_delta.left = x.right;
+            right = x.left;
+            kind =
+              (match x.kind with
+              | Reverse_delta.Min_left -> Reverse_delta.Min_right
+              | Reverse_delta.Min_right -> Reverse_delta.Min_left
+              | Reverse_delta.Swap -> Reverse_delta.Swap);
+          })
+        c.crosses;
+  }
+
+(* Pack [items] into a subtree of [cap] leaf slots, building the tree.
+   Full-capacity components all live at this node: their cross levels
+   merge (their wire sets are disjoint), each oriented greedily to
+   balance the two halves; everything smaller drops into whichever
+   half has more wire room, largest capacity first. Power-of-two sizes
+   make the greedy split exact when components carry no internal
+   slack; with slack-filling or unbalanced orientations it can in
+   principle fail where a smarter assignment would succeed — the
+   verdict is then conservatively "no" (and "yes" is always replayed
+   and machine-checked, see below). *)
+let rec pack cap items =
+  if wires_of items > cap then raise No;
+  if cap = 1 then
+    match items with
+    | [ Leaf w ] -> Reverse_delta.Wire w
+    | _ -> raise No (* empty slot: not enough wires to fill the tree *)
+  else begin
+    let full, rest =
+      List.partition
+        (fun it -> match it with Comp c -> c.cap = cap | Leaf _ -> false)
+        items
+    in
+    let side0, side1, crosses =
+      List.fold_left
+        (fun (s0, s1, cr) it ->
+          match it with
+          | Leaf _ -> assert false
+          | Comp c ->
+              let asis =
+                max
+                  (wires_of s0 + wires_of c.side0)
+                  (wires_of s1 + wires_of c.side1)
+              and flipped =
+                max
+                  (wires_of s0 + wires_of c.side1)
+                  (wires_of s1 + wires_of c.side0)
+              in
+              let c = if asis <= flipped then c else flip_comp c in
+              (s0 @ c.side0, s1 @ c.side1, cr @ c.crosses))
+        ([], [], []) full
+    in
+    let half = cap / 2 in
+    let extra0, extra1 =
+      let sorted =
+        List.sort (fun a b -> compare (item_cap b) (item_cap a)) rest
+      in
+      List.fold_left
+        (fun (e0, e1) it ->
+          let w = item_wires it in
+          let r0 = half - wires_of (side0 @ e0)
+          and r1 = half - wires_of (side1 @ e1) in
+          if r0 >= r1 && r0 >= w then (it :: e0, e1)
+          else if r1 >= w then (e0, it :: e1)
+          else raise No)
+        ([], []) sorted
+    in
+    Reverse_delta.Node
+      {
+        sub0 = pack half (side0 @ extra0);
+        sub1 = pack half (side1 @ extra1);
+        cross = crosses;
+      }
+  end
+
+let reverse_delta_block ~wires gls =
+  if not (Bitops.is_power_of_two wires) || wires < 2 then None
+  else begin
+    let d = Bitops.log2_exact wires in
+    if List.length gls <> d then None
+    else
+      try
+        (* comp_of.(w) = index of w's current root in [roots] *)
+        let comp_of = Array.init wires (fun w -> w) in
+        let roots = Hashtbl.create wires in
+        for w = 0 to wires - 1 do
+          Hashtbl.replace roots w (Leaf w)
+        done;
+        let next_root = ref wires in
+        List.iteri
+          (fun t0 gates ->
+            let t = t0 + 1 in
+            let cap_t = 1 lsl t in
+            (* adjacency between roots, with the gates on each edge *)
+            let adj = Hashtbl.create 16 in
+            let touched = ref [] in
+            let add_edge r g r' =
+              if not (Hashtbl.mem adj r) then touched := r :: !touched;
+              Hashtbl.replace adj r ((r', g) :: (try Hashtbl.find adj r with Not_found -> []))
+            in
+            List.iter
+              (fun g ->
+                let a, b = Gate.wires g in
+                let ra = comp_of.(a) and rb = comp_of.(b) in
+                if ra = rb then raise No;
+                add_edge ra g rb;
+                add_edge rb g ra)
+              gates;
+            (* connected components of the touched roots; 2-colour *)
+            let colour = Hashtbl.create 16 in
+            List.iter
+              (fun start ->
+                if not (Hashtbl.mem colour start) then begin
+                  Hashtbl.replace colour start 0;
+                  let queue = Queue.create () in
+                  Queue.add start queue;
+                  let members = ref [] in
+                  while not (Queue.is_empty queue) do
+                    let r = Queue.pop queue in
+                    members := r :: !members;
+                    let c = Hashtbl.find colour r in
+                    List.iter
+                      (fun (r', _) ->
+                        match Hashtbl.find_opt colour r' with
+                        | None ->
+                            Hashtbl.replace colour r' (1 - c);
+                            Queue.add r' queue
+                        | Some c' -> if c' = c then raise No)
+                      (Hashtbl.find adj r)
+                  done;
+                  (* merge this component into one step-t comp *)
+                  let side c' =
+                    List.filter (fun r -> Hashtbl.find colour r = c') !members
+                  in
+                  let items c' = List.map (Hashtbl.find roots) (side c') in
+                  let s0 = items 0 and s1 = items 1 in
+                  let wires_of = List.fold_left (fun s it -> s + item_wires it) 0 in
+                  if wires_of s0 > cap_t / 2 || wires_of s1 > cap_t / 2 then
+                    raise No;
+                  (* gates become crosses; the side-0 endpoint is [left] *)
+                  let crosses =
+                    List.filter_map
+                      (fun g ->
+                        let a, b = Gate.wires g in
+                        if not (List.mem comp_of.(a) !members) then None
+                        else begin
+                          let a0 = Hashtbl.find colour comp_of.(a) = 0 in
+                          let left = if a0 then a else b
+                          and right = if a0 then b else a in
+                          let kind =
+                            match g with
+                            | Gate.Exchange _ -> Reverse_delta.Swap
+                            | Gate.Compare { lo; _ } ->
+                                if lo = left then Reverse_delta.Min_left
+                                else Reverse_delta.Min_right
+                          in
+                          Some { Reverse_delta.left; right; kind }
+                        end)
+                      gates
+                  in
+                  let comp =
+                    Comp
+                      {
+                        cap = cap_t;
+                        wires_in = wires_of s0 + wires_of s1;
+                        side0 = s0;
+                        side1 = s1;
+                        crosses;
+                      }
+                  in
+                  let id = !next_root in
+                  incr next_root;
+                  Hashtbl.replace roots id comp;
+                  List.iter (fun r -> Hashtbl.remove roots r) !members;
+                  Array.iteri
+                    (fun w r -> if List.mem r !members then comp_of.(w) <- id)
+                    comp_of
+                end)
+              (List.rev !touched))
+          gls;
+        let forest = Hashtbl.fold (fun _ it acc -> it :: acc) roots [] in
+        let rd = pack wires forest in
+        Reverse_delta.validate rd;
+        (* replay: the constructed tree must reproduce the block
+           gate-for-gate, making Some a machine-checked certificate *)
+        let replay = Network.levels (Reverse_delta.to_network ~wires rd) in
+        let norm gs =
+          List.sort compare
+            (List.map
+               (fun g ->
+                 match g with
+                 | Gate.Compare { lo; hi } -> (0, lo, hi)
+                 | Gate.Exchange { a; b } -> (1, min a b, max a b))
+               gs)
+        in
+        let same =
+          List.length replay = List.length gls
+          && List.for_all2
+               (fun (l : Network.level) gs -> norm l.gates = norm gs)
+               replay gls
+        in
+        if same then Some rd else None
+      with No -> None
+  end
+
+let chunks ~d gls =
+  let rec go acc cur k = function
+    | [] -> if k = 0 then Some (List.rev acc) else None
+    | g :: rest ->
+        if k + 1 = d then go (List.rev (g :: cur) :: acc) [] 0 rest
+        else go acc (g :: cur) (k + 1) rest
+  in
+  go [] [] 0 gls
+
+(* Candidate block decompositions, one per canonical reading that
+   chunks evenly. *)
+let blocks_of nw =
+  let n = Network.wires nw in
+  if not (Bitops.is_power_of_two n) || n < 2 then []
+  else
+    let d = Bitops.log2_exact n in
+    List.filter_map
+      (fun gls -> if gls = [] then None else chunks ~d gls)
+      (List.rev (forms nw))
+
+let count_if recognize nw =
+  let n = Network.wires nw in
+  List.find_map
+    (fun cs ->
+      if List.for_all (fun c -> recognize ~wires:n c) cs then
+        Some (List.length cs)
+      else None)
+    (blocks_of nw)
+
+let iterated_reverse_delta nw =
+  count_if (fun ~wires c -> reverse_delta_block ~wires c <> None) nw
+
+let delta_blocks nw =
+  count_if (fun ~wires c -> reverse_delta_block ~wires (List.rev c) <> None) nw
+
+let to_iterated nw =
+  let n = Network.wires nw in
+  match blocks_of nw with
+  | [] ->
+      Error
+        (Printf.sprintf
+           "network on %d wires is not a whole number of lg-n-level blocks \
+            (or n is not a power of two)"
+           n)
+  | candidates ->
+      let rec build i acc = function
+        | [] -> Ok (List.rev acc)
+        | c :: rest -> (
+            match reverse_delta_block ~wires:n c with
+            | Some rd -> build (i + 1) (rd :: acc) rest
+            | None ->
+                Error
+                  (Printf.sprintf "block %d is not a reverse delta network" i))
+      in
+      let rec try_all last = function
+        | [] -> last
+        | cs :: more -> (
+            match build 1 [] cs with
+            | Ok rds -> Ok (Iterated.uniform rds)
+            | Error _ as e -> try_all e more)
+      in
+      try_all (Error "unreachable") candidates

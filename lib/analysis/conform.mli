@@ -1,0 +1,82 @@
+(** Topology conformance: does a concrete circuit have the paper's
+    structure?
+
+    Three certificates, all decided on the {e flattened} form of the
+    network: [pre] permutations are absorbed into a running wire
+    relabeling (conformance is invariant under relabeling). A level
+    that is {e pure routing} — a [pre] and no gates — is ambiguous
+    after flattening: in a register-model program it is an idle stage
+    that still occupies a slot in the stage cadence, while in an
+    iterated network it is an inter-block permutation occupying no
+    level. Recognizers therefore try both canonical readings (keep
+    such levels as empty gate levels, or drop them entirely) and
+    accept if either conforms; block recognition prefers the
+    routing reading, so a circuit that decomposes both ways reports
+    the coarser inter-block count. Networks mixing structural and
+    routing perm levels may be conservatively rejected. Trailing
+    pure-routing levels (the output-routing residue
+    {!Network.flatten} leaves) are always ignored — they rename
+    outputs but do not change the skeleton:
+
+    - {b shuffle-based} ({!shuffle_stages}): the network is a
+      register-model program whose every stage permutation is the
+      shuffle. Characterisation used (see lib/topology/shuffle_net):
+      after flattening, the gates of global level [K] must pair wires
+      that differ exactly in index bit [d - k], where [n = 2^d] and
+      [k = ((K-1) mod d) + 1] — exactly the register pairs
+      [(2m, 2m+1)] seen through [k] unshuffles.
+
+    - {b iterated reverse delta} ({!iterated_reverse_delta},
+      {!reverse_delta_block}): the levels split into blocks of
+      [d = lg n], and each block is some [d]-level reverse delta
+      network on all [n] wires (Definition 3.4) — the inter-block
+      permutations of the paper's [(k, l)]-iterated networks are
+      absorbed by flattening into the next block's wire names, which
+      the definition permits (they are arbitrary). Recognition works
+      bottom-up: wires start as singleton components; a gate at block
+      step [t] must join two distinct components inside one
+      [2^t]-wire subtree, on opposite [2^(t-1)] halves, so each
+      connected component of the step-[t] gate graph is 2-coloured
+      (an odd cycle refutes conformance) and merged; components and
+      never-touched wires are packed into the remaining tree slots by
+      a greedy power-of-two (buddy) allocation. A successful
+      recognition {e constructs} the [Reverse_delta.t], validates it,
+      and replays it through [Reverse_delta.to_network] to check it
+      reproduces the block gate-for-gate — so a [Some] verdict is a
+      machine-checked certificate. A [None] can in principle be
+      conservative when the greedy packing of partially-constrained
+      subtrees fails where a cleverer one would not; for networks
+      whose merge components are full subtrees (all the shuffle-based
+      constructions) the recognition is exact.
+
+    - {b delta} ({!delta_blocks}): the mirror class — each block read
+      with its levels reversed is a reverse delta network.
+
+    The paper's Theorem 4.1 consumes {!to_iterated}: the certified
+    decomposition as an [Iterated.t], letting adversary runs
+    statically reject inapplicable networks. *)
+
+val shuffle_stages : Network.t -> int option
+(** [Some stages] iff [n] is a power of two and every gate sits on a
+    shuffle register pair of its stage; [stages] is the flattened
+    level count. [None] otherwise (including [n] not a power of 2). *)
+
+val reverse_delta_block : wires:int -> Gate.t list list -> Reverse_delta.t option
+(** Recognize one block: exactly [lg wires] gate levels (empty levels
+    allowed) forming a reverse delta network on wires [0, wires). *)
+
+val iterated_reverse_delta : Network.t -> int option
+(** [Some blocks] iff the flattened level count is a positive multiple
+    of [lg n] and every [lg n]-level chunk is a reverse delta network. *)
+
+val delta_blocks : Network.t -> int option
+(** Mirror verdict: every chunk, levels reversed, is a reverse delta
+    network. (A network that is both is butterfly-like, cf. E10.) *)
+
+val to_iterated : Network.t -> (Iterated.t, string) result
+(** The certified decomposition behind {!iterated_reverse_delta},
+    with identity inter-block permutations (flattening already moved
+    any routing into wire names). [Error] explains the first
+    non-conforming block or shape mismatch. The result's
+    [Iterated.to_network] is gate-for-gate the flattened input, minus
+    a trailing gate-free routing level if the input had one. *)

@@ -1,0 +1,106 @@
+let structural nw =
+  let n = Network.wires nw in
+  let touched = Array.make n false in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  List.iteri
+    (fun li (level : Network.level) ->
+      let lvl = li + 1 in
+      if level.gates = [] then
+        add
+          (Diag.make
+             ~span:{ Diag.level = lvl; gate = None }
+             ~code:"SNL104" ~severity:Diag.Info
+             (if level.pre = None then "gate-free level (padding)"
+              else "gate-free level (pure routing)"));
+      List.iteri
+        (fun gi g ->
+          let a, b = Gate.wires g in
+          touched.(a) <- true;
+          touched.(b) <- true;
+          match g with
+          | Gate.Compare { lo; hi } when lo > hi ->
+              add
+                (Diag.make
+                   ~span:{ Diag.level = lvl; gate = Some gi }
+                   ~code:"SNL101" ~severity:Diag.Warning
+                   (Printf.sprintf
+                      "descending comparator (min to wire %d > max to wire \
+                       %d); standard form orders min downward"
+                      lo hi))
+          | Gate.Exchange { a; b } ->
+              add
+                (Diag.make
+                   ~span:{ Diag.level = lvl; gate = Some gi }
+                   ~code:"SNL102" ~severity:Diag.Info
+                   (Printf.sprintf
+                      "unconditional exchange of wires %d and %d (free \
+                       rewiring, not a comparison)"
+                      a b))
+          | Gate.Compare _ -> ())
+        level.gates)
+    (Network.levels nw);
+  if n >= 2 then begin
+    let untouched = ref [] in
+    for w = n - 1 downto 0 do
+      if not touched.(w) then untouched := w :: !untouched
+    done;
+    match !untouched with
+    | [] -> ()
+    | ws ->
+        let shown = List.filteri (fun i _ -> i < 8) ws in
+        let listing = String.concat ", " (List.map string_of_int shown) in
+        let listing =
+          if List.length ws > 8 then listing ^ ", ..." else listing
+        in
+        add
+          (Diag.make ~code:"SNL103" ~severity:Diag.Warning
+             (Printf.sprintf "%d of %d channels untouched by any gate: %s"
+                (List.length ws) n listing))
+  end;
+  List.rev !diags
+
+let standardize nw =
+  let n = Network.wires nw in
+  (* sigma.(w) = the standardized wire currently carrying what the
+     original network holds on wire w at this point of execution *)
+  let sigma = Array.init n (fun w -> w) in
+  let swap a b =
+    let t = sigma.(a) in
+    sigma.(a) <- sigma.(b);
+    sigma.(b) <- t
+  in
+  let levels =
+    List.map
+      (fun (level : Network.level) ->
+        (match level.pre with
+        | None -> ()
+        | Some p ->
+            (* original contents move w -> p w; standardized wires stay *)
+            let s' = Array.make n 0 in
+            Array.iteri (fun w s -> s'.(Perm.apply p w) <- s) sigma;
+            Array.blit s' 0 sigma 0 n);
+        let gates =
+          List.filter_map
+            (fun g ->
+              match g with
+              | Gate.Exchange { a; b } ->
+                  swap a b;
+                  None
+              | Gate.Compare { lo; hi } ->
+                  let x = sigma.(lo) and y = sigma.(hi) in
+                  if x > y then swap lo hi;
+                  Some (Gate.Compare { lo = min x y; hi = max x y }))
+            level.gates
+        in
+        { Network.pre = None; gates })
+      (Network.levels nw)
+  in
+  (* original output wire w carries standardized wire sigma.(w): route
+     it home with one final permutation level *)
+  let sigma_p = Perm.of_array (Array.copy sigma) in
+  let levels =
+    if Perm.is_identity sigma_p then levels
+    else levels @ [ { Network.pre = Some (Perm.inverse sigma_p); gates = [] } ]
+  in
+  Network.create ~wires:n levels

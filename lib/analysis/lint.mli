@@ -1,0 +1,24 @@
+(** Structural lints and the standard-form rewrite.
+
+    These checks need no abstract interpretation — they read the
+    wiring only. (Out-of-range, self-comparing and overlapping gates
+    cannot occur in a constructed [Network.t]: [Network.create]
+    rejects them, and [Network_io] reports them with line numbers at
+    parse time. What remains checkable here is the valid-but-odd.) *)
+
+val structural : Network.t -> Diag.t list
+(** - SNL101 (warning) per descending comparator ([lo > hi]);
+    - SNL102 (info) per unconditional exchange element;
+    - SNL103 (warning) once, listing channels no gate ever touches
+      (for [wires >= 2]: such a channel can never be sorted against
+      the others);
+    - SNL104 (info) per gate-free level (pure routing or padding). *)
+
+val standardize : Network.t -> Network.t
+(** Knuth's untangling (exercise 5.3.4.16): rewrite every descending
+    comparator to ascending and absorb exchange elements and [pre]
+    permutations into a running relabelling of the wires, appending
+    one final gate-free routing level when the net relabelling is not
+    the identity. The result computes exactly the same input/output
+    function, has only ascending comparators and no exchanges, and
+    keeps the level count (plus possibly the routing level). *)

@@ -14,7 +14,8 @@ let all =
     { id = "E11"; title = "minimal-depth search (tiny n)"; run = E11.run };
     { id = "E12"; title = "Shellsort increment families"; run = E12.run };
     { id = "E13"; title = "near-miss detectability"; run = E13.run };
-    { id = "E14"; title = "exact optimal depths (search)"; run = E14.run } ]
+    { id = "E14"; title = "exact optimal depths (search)"; run = E14.run };
+    { id = "E15"; title = "static analysis of the classics"; run = E15.run } ]
 
 let find id =
   let canon = String.uppercase_ascii id in

@@ -67,6 +67,23 @@ let of_string text =
                   if lvl.pre <> None then fail lineno "duplicate perm in level";
                   if lvl.gates <> [] then fail lineno "perm must precede gates";
                   let arr = Array.of_list (List.map (int_of lineno) images) in
+                  let w = Option.get !wires in
+                  if Array.length arr <> w then
+                    fail lineno
+                      (Printf.sprintf "perm has %d entries, expected %d (wires)"
+                         (Array.length arr) w);
+                  let seen = Array.make w false in
+                  Array.iter
+                    (fun v ->
+                      if v < 0 || v >= w then
+                        fail lineno
+                          (Printf.sprintf "perm entry %d out of range [0, %d)" v
+                             w)
+                      else if seen.(v) then
+                        fail lineno
+                          (Printf.sprintf "duplicate perm entry %d" v)
+                      else seen.(v) <- true)
+                    arr;
                   (match Perm.of_array arr with
                   | p -> lvl.pre <- Some p
                   | exception Invalid_argument m -> fail lineno m))
@@ -75,11 +92,29 @@ let of_string text =
               | None -> fail lineno (kw ^ " outside a level")
               | Some lvl ->
                   let a = int_of lineno a and b = int_of lineno b in
+                  let w = Option.get !wires in
+                  List.iter
+                    (fun v ->
+                      if v < 0 || v >= w then
+                        fail lineno
+                          (Printf.sprintf "%s wire %d out of range [0, %d)" kw v
+                             w))
+                    [ a; b ];
+                  if a = b then fail lineno "gate wires must be distinct";
+                  List.iter
+                    (fun g ->
+                      let x, y = Gate.wires g in
+                      if x = a || y = a || x = b || y = b then
+                        fail lineno
+                          (Printf.sprintf
+                             "%s (%d, %d) reuses a wire already touched in \
+                              this level"
+                             kw a b))
+                    lvl.gates;
                   let gate =
                     if kw = "cmp" then Gate.Compare { lo = a; hi = b }
                     else Gate.Exchange { a; b }
                   in
-                  if a = b then fail lineno "gate wires must be distinct";
                   lvl.gates <- gate :: lvl.gates)
           | tokens ->
               fail lineno ("unrecognised directive: " ^ String.concat " " tokens))

@@ -17,7 +17,10 @@
     [cmp a b] places the minimum on wire [a] (so ["cmp 3 1"] is a
     descending comparator); [perm] gives the level's pre-permutation as
     the image list; blank lines and [#]-comments are ignored. Parsing
-    reports the offending line on error. *)
+    validates as it goes — [cmp]/[xchg]/[perm] wires out of
+    [0, wires), a gate reusing a wire already touched in its level,
+    and [perm] lines with missing or duplicate images are all rejected
+    with the offending line number. *)
 
 val to_string : Network.t -> string
 

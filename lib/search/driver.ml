@@ -7,6 +7,7 @@ type stats = {
   pruned : int;
   deduped : int;
   subsumed : int;
+  redundant : int;
   frontier_sizes : int list;
   peak_frontier : int;
   completed_levels : int;
@@ -29,10 +30,12 @@ type 'm system = {
   moves_at : level:int -> 'm list;
   apply : 'm -> State.t -> State.t;
   prune : level:int -> remaining:int -> State.t -> bool;
+  redundant_of : level:int -> State.t -> 'm -> bool;
   dedup : dedup;
 }
 
 let no_prune ~level:_ ~remaining:_ _ = false
+let no_redundant ~level:_ _ _ = false
 
 (* Cumulative global counters, surfaced by --metrics / bench-json. *)
 let c_nodes = Metrics.counter "search.nodes"
@@ -40,6 +43,11 @@ let c_pruned = Metrics.counter "search.pruned"
 let c_deduped = Metrics.counter "search.deduped"
 let c_subsumed = Metrics.counter "search.subsumed"
 let c_levels = Metrics.counter "search.levels"
+
+(* The static-analysis pruning hook lives under the analyzer's counter
+   namespace: these are redundancy facts (lib/analysis Reach domain)
+   consumed by the search. *)
+let c_redundant = Metrics.counter "analysis.redundant_moves"
 let c_ckpt_failures = Metrics.counter "checkpoint.failures"
 let c_resumes = Metrics.counter "checkpoint.resumes"
 
@@ -96,7 +104,11 @@ let subsume_filter ~domains ~kept candidates =
 
 (* --- checkpoint / resume --- *)
 
-let checkpoint_kind = "snlb-search-driver"
+(* -2: the snapshot gained [s_redundant] (the analysis-hook skip
+   counter); older snapshots deserialize into a different record
+   layout, so the kind is bumped and they are rejected as a whole —
+   rerunning is always sound, resuming into a wrong layout never is. *)
+let checkpoint_kind = "snlb-search-driver-2"
 
 (* Everything run needs to continue from a level boundary exactly as
    if it had never stopped: the frontier (with the move prefixes that
@@ -113,6 +125,7 @@ type 'm snapshot = {
   s_pruned : int;
   s_deduped : int;
   s_subsumed : int;
+  s_redundant : int;
   s_sizes : int list;  (* reversed frontier_sizes, as kept by the loop *)
   s_elapsed : float;
   s_elapsed_cpu : float;
@@ -239,12 +252,16 @@ let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
   let pruned_total = ref (match snap with Some s -> s.s_pruned | None -> 0) in
   let deduped_total = ref (match snap with Some s -> s.s_deduped | None -> 0) in
   let subsumed_total = ref (match snap with Some s -> s.s_subsumed | None -> 0) in
+  let redundant_total =
+    ref (match snap with Some s -> s.s_redundant | None -> 0)
+  in
   let sizes = ref (match snap with Some s -> s.s_sizes | None -> []) in
   let mk_stats completed =
     { nodes = Atomic.get nodes;
       pruned = !pruned_total;
       deduped = !deduped_total;
       subsumed = !subsumed_total;
+      redundant = !redundant_total;
       frontier_sizes = List.rev !sizes;
       peak_frontier = List.fold_left max 0 !sizes;
       completed_levels = completed;
@@ -256,6 +273,7 @@ let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
     Metrics.add c_pruned s.pruned;
     Metrics.add c_deduped s.deduped;
     Metrics.add c_subsumed s.subsumed;
+    Metrics.add c_redundant s.redundant;
     Metrics.add c_levels s.completed_levels
   in
   (* Checkpoints are cut at level boundaries — the only points where
@@ -331,6 +349,7 @@ let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
         and s_pruned = !pruned_total
         and s_deduped = !deduped_total
         and s_subsumed = !subsumed_total
+        and s_redundant = !redundant_total
         and s_sizes = !sizes
         and s_elapsed = Clock.wall () -. w0
         and s_elapsed_cpu = Clock.cpu () -. cpu0 in
@@ -344,6 +363,7 @@ let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
                 s_pruned;
                 s_deduped;
                 s_subsumed;
+                s_redundant;
                 s_sizes;
                 s_elapsed;
                 s_elapsed_cpu }
@@ -355,25 +375,41 @@ let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
         let nodes0 = Atomic.get nodes in
         let pruned0 = !pruned_total
         and deduped0 = !deduped_total
-        and subsumed0 = !subsumed_total in
+        and subsumed0 = !subsumed_total
+        and redundant0 = !redundant_total in
         (* nested under the "search" span: the event path is
            "search/level" *)
         Span.run ~sink ~name:"level" @@ fun sp ->
         let moves = sys.moves_at ~level:lvl in
-        let nmoves = List.length moves in
         let remaining = max_depth - lvl in
         let last = lvl = max_depth in
         let expand (st, pre) =
-          let before = Atomic.fetch_and_add nodes nmoves in
+          (* analysis hook: moves the system proves redundant for this
+             state (another available move reaches the same child) are
+             skipped before they are applied or counted as nodes *)
+          let is_red = sys.redundant_of ~level:lvl st in
+          let redundant = ref 0 in
+          let live =
+            List.filter
+              (fun m ->
+                if is_red m then begin
+                  incr redundant;
+                  false
+                end
+                else true)
+              moves
+          in
+          let nlive = List.length live in
+          let before = Atomic.fetch_and_add nodes nlive in
           let timed_out =
             match budget.max_seconds with
             | Some s -> Clock.wall () -. w0 > s
             | None -> false
           in
-          if before + nmoves > budget.max_nodes || timed_out then begin
+          if before + nlive > budget.max_nodes || timed_out then begin
             Atomic.set over_budget true;
             Atomic.set stop true;
-            (None, [], 0)
+            (None, [], 0, 0)
           end
           else begin
             let found = ref None in
@@ -391,19 +427,23 @@ let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
                    else if last then ()
                    else if sys.prune ~level:lvl ~remaining st' then incr pruned
                    else cands := (st', m :: pre) :: !cands)
-                 moves
+                 live
              with Exit -> ());
-            (!found, List.rev !cands, !pruned)
+            (!found, List.rev !cands, !pruned, !redundant)
           end
         in
         let chunks =
           Par.map_list_until ~domains
             ~stop:(fun () -> Atomic.get stop || cancelled ())
-            ~default:(None, [], 0) expand !frontier
+            ~default:(None, [], 0, 0) expand !frontier
         in
-        List.iter (fun (_, _, p) -> pruned_total := !pruned_total + p) chunks;
+        List.iter
+          (fun (_, _, p, r) ->
+            pruned_total := !pruned_total + p;
+            redundant_total := !redundant_total + r)
+          chunks;
         let surviving =
-          match List.find_map (fun (f, _, _) -> f) chunks with
+          match List.find_map (fun (f, _, _, _) -> f) chunks with
           | Some rev_moves ->
               result :=
                 Some
@@ -427,7 +467,9 @@ let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
                 0
               end
               else begin
-                let candidates = List.concat_map (fun (_, c, _) -> c) chunks in
+                let candidates =
+                  List.concat_map (fun (_, c, _, _) -> c) chunks
+                in
                 (* equality dedup against everything ever seen *)
                 let fresh =
                   List.filter
@@ -478,6 +520,7 @@ let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
         Span.add sp "pruned" (Sink.Int (!pruned_total - pruned0));
         Span.add sp "deduped" (Sink.Int (!deduped_total - deduped0));
         Span.add sp "subsumed" (Sink.Int (!subsumed_total - subsumed0));
+        Span.add sp "redundant" (Sink.Int (!redundant_total - redundant0));
         Span.add sp "frontier" (Sink.Int surviving);
         (match on_level with
         | Some f when !result = None ->
@@ -526,6 +569,7 @@ let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
   Span.add search_sp "pruned" (Sink.Int s.pruned);
   Span.add search_sp "deduped" (Sink.Int s.deduped);
   Span.add search_sp "subsumed" (Sink.Int s.subsumed);
+  Span.add search_sp "redundant" (Sink.Int s.redundant);
   Span.add search_sp "peak_frontier" (Sink.Int s.peak_frontier);
   Span.add search_sp "completed_levels" (Sink.Int s.completed_levels);
   outcome
@@ -543,12 +587,39 @@ let network_system ?(restrict = true) ~n () =
   let moves_at ~level =
     if level = 1 then first else if level = 2 then second else all
   in
+  (* Analysis hook (restricted mode, levels >= 3 only): a layer
+     containing a comparator [(i, j)] that never fires on the state's
+     reachable set — no reachable mask has bit [i] set and bit [j]
+     clear ({!Reach.unordered_pairs} over {!State.iter_masks}) —
+     reaches exactly the state of that layer minus the comparator.
+     [Layers.all] contains every nonempty matching, so from level 3 on
+     the smaller layer is itself an available move (or, when it
+     empties, the child equals the parent, which the equality dedup
+     already represents); skipping the larger layer therefore loses no
+     depth-optimal witness. Level 2 serves only symmetry
+     representatives, where the sub-layer may be absent, and level 1
+     is fixed — the hook stays off there. The reference system keeps
+     the hook off entirely: it is the exhaustive baseline the pruned
+     search is validated against. *)
+  let redundant_of ~level st =
+    if not restrict || level <= 2 then fun _ -> false
+    else begin
+      let tbl =
+        lazy (Reach.unordered_pairs ~n ~iter:(fun f -> State.iter_masks f st))
+      in
+      fun layer ->
+        List.exists
+          (fun (i, j) -> not (Reach.pair_unordered (Lazy.force tbl) ~n i j))
+          layer
+    end
+  in
   { n;
     tag = (if restrict then "layers" else "layers-reference");
     initial = State.initial ~n;
     moves_at;
     apply = (fun layer st -> State.apply_comparators st layer);
     prune = no_prune;
+    redundant_of;
     dedup = (if restrict then Subsume else Equal) }
 
 let optimal_depth ?domains ?budget ?sink ?on_level ?cancel ?checkpoint ?resume

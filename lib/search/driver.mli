@@ -70,6 +70,10 @@ type stats = {
   pruned : int;  (** children dropped by the system's prune test *)
   deduped : int;  (** children dropped as equal to a seen state *)
   subsumed : int;  (** children dropped by subsumption *)
+  redundant : int;
+      (** moves skipped before application by the system's
+          [redundant_of] static-analysis hook (never counted in
+          [nodes]) *)
   frontier_sizes : int list;  (** surviving frontier per completed level *)
   peak_frontier : int;
   completed_levels : int;
@@ -109,10 +113,21 @@ type 'm system = {
   prune : level:int -> remaining:int -> State.t -> bool;
       (** sound necessary-condition filter: [true] only if the state
           cannot reach a sorted state within [remaining] more moves *)
+  redundant_of : level:int -> State.t -> 'm -> bool;
+      (** static-analysis move filter, consulted {e before} a move is
+          applied: [true] only if some other available move (or the
+          already-represented parent) provably reaches the same child,
+          so skipping the move preserves a depth-optimal witness. The
+          driver partially applies [redundant_of ~level st] once per
+          expanded state — implementations amortize per-state work
+          (e.g. a reachable-set scan) in that closure. Skips are
+          counted in [stats.redundant] and the
+          ["analysis.redundant_moves"] metric, not in [nodes]. *)
   dedup : dedup;
 }
 
 val no_prune : level:int -> remaining:int -> State.t -> bool
+val no_redundant : level:int -> State.t -> 'a -> bool
 
 type resume_state
 (** A validated checkpoint snapshot, ready to hand to {!run}. *)
@@ -161,10 +176,15 @@ val network_system : ?restrict:bool -> n:int -> unit -> layer system
     canonical maximal first layer (Parberry; Bundala–Závodný Lemma 3 —
     justified independently of any frontier reduction). With [restrict]
     (default [true]) levels 2+ additionally use second layers up to
-    first-layer symmetry and subsumption deduplication; with
-    [~restrict:false] they use every layer and equality-only
-    deduplication — the slow exhaustive reference the pruned search is
-    validated against. @raise Invalid_argument unless [2 <= n <= 10]. *)
+    first-layer symmetry and subsumption deduplication, and levels 3+
+    consult the static-analysis [redundant_of] hook: a layer holding a
+    comparator that never fires on the state's reachable 0-1 set
+    ({!Reach.unordered_pairs}) is skipped, because [Layers.all]
+    contains the same layer without it — same child, one comparator
+    cheaper. With [~restrict:false] they use every layer, equality-only
+    deduplication and no analysis hook — the slow exhaustive reference
+    the pruned search is validated against.
+    @raise Invalid_argument unless [2 <= n <= 10]. *)
 
 val optimal_depth :
   ?domains:int -> ?budget:budget -> ?sink:Sink.t ->

@@ -66,11 +66,22 @@ Networks can be drawn:
 
 Serialisation round-trips:
 
-  $ snlb save --algo bitonic -n 8 net.txt
-  wrote net.txt (8 wires, 24 comparators)
+  $ snlb save --algo odd-even-merge -n 8 net.txt
+  wrote net.txt (8 wires, 19 comparators)
   $ snlb load net.txt
-  net.txt: wires=8 levels=6 depth=6 comparators=24 exchanges=0
+  net.txt: wires=8 levels=6 depth=6 comparators=19 exchanges=0
   sorting network: true
+
+The load gate surfaces analysis warnings (here: bitonic's descending
+comparators) without rejecting a valid network:
+
+  $ snlb save --algo bitonic -n 8 bnet.txt
+  wrote bnet.txt (8 wires, 24 comparators)
+  $ snlb load bnet.txt 2>&1 | grep -c 'warning\[SNL101\]'
+  6
+  $ snlb load --check off bnet.txt 2>&1 | grep -c 'warning'
+  0
+  [1]
 
 Parse errors carry line information:
 

@@ -6,14 +6,14 @@ exits 130 with its progress on disk.
   $ export SNLB_FAULT=kill-level
   $ snlb search -n 5 --checkpoint c.snap --checkpoint-interval 0
   depths <= 1 refuted before interruption
-  nodes: 1  pruned: 0  deduped: 0  subsumed: 0  peak frontier: 1
+  nodes: 1  pruned: 0  deduped: 0  subsumed: 0  redundant: 0  peak frontier: 1
   snlb: search interrupted
   [130]
 
   $ snlb search -n 5 --checkpoint c.snap --checkpoint-interval 0 --resume
   snlb: resuming layers search, n=5, max_depth=5, next level 2
   depths <= 2 refuted before interruption
-  nodes: 8  pruned: 0  deduped: 2  subsumed: 3  peak frontier: 2
+  nodes: 8  pruned: 0  deduped: 2  subsumed: 3  redundant: 0  peak frontier: 2
   snlb: search interrupted
   [130]
 
@@ -29,7 +29,7 @@ the totals of a never-interrupted run (compare the fresh run below).
     layer 3: (1,2)(3,4)
     layer 4: (0,1)(2,3)
     layer 5: (1,2)
-  nodes: 208  pruned: 0  deduped: 145  subsumed: 28  peak frontier: 5
+  nodes: 46  pruned: 0  deduped: 7  subsumed: 28  redundant: 162  peak frontier: 5
 
   $ snlb search -n 5
   optimal depth for n=5: 5 (witness verified: true)
@@ -38,7 +38,7 @@ the totals of a never-interrupted run (compare the fresh run below).
     layer 3: (1,2)(3,4)
     layer 4: (0,1)(2,3)
     layer 5: (1,2)
-  nodes: 208  pruned: 0  deduped: 145  subsumed: 28  peak frontier: 5
+  nodes: 46  pruned: 0  deduped: 7  subsumed: 28  redundant: 162  peak frontier: 5
 
 A corrupted snapshot is detected (here: one damaged byte) and the
 atomic writer's backup of the previous boundary is used instead.

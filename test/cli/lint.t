@@ -1,0 +1,56 @@
+The linter proves sortedness exactly for n <= 12 and reports the
+conformance verdicts (Batcher's odd-even merge is clean but not
+shuffle-based):
+
+  $ snlb lint --algo odd-even-merge -n 8
+  info[SNL204] sorting network: proved over all 256 zero-one inputs (exact domain)
+  odd-even-merge n=8: 8 wires, 6 levels, 19 comparators (0 dead, 0 redundant), shuffle-based: no, iterated reverse delta: no, delta: no
+
+The shuffle-based bitonic sorter conforms to every topology the
+lower bound cares about -- shuffle stages, iterated reverse delta
+blocks (Definition 3.4), and the delta skeleton:
+
+  $ snlb lint --algo bitonic-shuffle -n 8 | tail -5
+  info[SNL204] sorting network: proved over all 256 zero-one inputs (exact domain)
+  info[SNL301] shuffle-based: all 9 stages act on shuffle register pairs
+  info[SNL302] iterated reverse delta: 3 blocks of 3 levels (Definition 3.4)
+  info[SNL303] delta skeleton: 3 blocks (levels mirrored)
+  bitonic-shuffle n=8: 8 wires, 9 levels, 24 comparators (0 dead, 0 redundant), shuffle-based: yes (9), iterated reverse delta: yes (3), delta: yes (3)
+
+An injected dead comparator (a re-compare after the network already
+sorted) is flagged as removable; plain mode exits 0 on warnings,
+--strict turns them into failures:
+
+  $ printf 'snlb-network 1\nwires 4\nlevel\ncmp 0 1\ncmp 2 3\nlevel\ncmp 0 2\ncmp 1 3\nlevel\ncmp 1 2\nlevel\ncmp 0 1\n' > dead.txt
+  $ snlb lint dead.txt | head -2
+  warning[SNL201] level 4 gate 0: dead comparator (0,1): never exchanges on any reachable input; removable
+  info[SNL204] sorting network: proved over all 16 zero-one inputs (exact domain)
+  $ snlb lint --strict dead.txt > /dev/null
+  [1]
+
+Machine consumers get NDJSON with stable codes and spans:
+
+  $ snlb lint --format json dead.txt | head -2
+  {"code":"SNL201","severity":"warning","level":4,"gate":0,"message":"dead comparator (0,1): never exchanges on any reachable input; removable"}
+  {"code":"SNL204","severity":"info","message":"sorting network: proved over all 16 zero-one inputs (exact domain)"}
+
+A truncated sorter is refuted, not just "unknown" -- the exact domain
+exhibits a reachable unsorted output:
+
+  $ printf 'snlb-network 1\nwires 4\nlevel\ncmp 0 1\ncmp 2 3\nlevel\ncmp 0 2\ncmp 1 3\n' > notsort.txt
+  $ snlb lint notsort.txt | head -1
+  info[SNL203] not a sorting network: some zero-one input leaves unsorted output 1010 (exact domain)
+
+The same conformance machinery gates `certify --file`: Theorem 4.1
+only applies to iterated reverse delta networks, so the plain bitonic
+sorter (whose 10 levels are no whole number of lg-n blocks) is
+rejected statically, while the shuffle-based form runs:
+
+  $ snlb save --algo bitonic -n 16 b.txt > /dev/null
+  $ snlb certify --file b.txt --kind all-plus
+  certify: b.txt: not an iterated reverse delta network (network on 16 wires is not a whole number of lg-n-level blocks (or n is not a power of two)); Theorem 4.1 does not apply
+  [1]
+  $ snlb save --algo bitonic-shuffle -n 16 bs.txt > /dev/null
+  $ snlb certify --file bs.txt --kind all-plus | tail -2
+  blocks survived: 3 / 4
+  adversary defeated: no fooling pair (network may sort).

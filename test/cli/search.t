@@ -6,7 +6,7 @@ The generic optimal-depth search certifies the known optima for small n
     layer 1: (0,1)(2,3)
     layer 2: (0,2)(1,3)
     layer 3: (1,2)
-  nodes: 14  pruned: 0  deduped: 2  subsumed: 1  peak frontier: 1
+  nodes: 6  pruned: 0  deduped: 2  subsumed: 1  redundant: 8  peak frontier: 1
 
   $ snlb search -n 6 --optimal --domains 1 | head -1
   optimal depth for n=6: 5 (witness verified: true)
@@ -15,14 +15,14 @@ Deciding a fixed depth: no 4-layer network sorts 5 channels.
 
   $ snlb search -n 5 --depth 4
   no sorting network of depth <= 4 for n=5 (exhaustive)
-  nodes: 183  pruned: 0  deduped: 34  subsumed: 16  peak frontier: 5
+  nodes: 45  pruned: 0  deduped: 2  subsumed: 16  redundant: 138  peak frontier: 5
 
 An exhausted node budget is reported as inconclusive, with the depths
 that were still fully refuted, and a nonzero exit code.
 
   $ snlb search -n 6 --budget 100
-  inconclusive within 100 nodes (depths <= 2 refuted); raise --budget
-  nodes: 160  pruned: 0  deduped: 3  subsumed: 3  peak frontier: 3
+  inconclusive within 100 nodes (depths <= 3 refuted); raise --budget
+  nodes: 106  pruned: 0  deduped: 9  subsumed: 82  redundant: 135  peak frontier: 5
   [3]
 
 The shuffle-restricted mode (Knuth 5.3.4.47) rides the same driver.

@@ -1,0 +1,458 @@
+(* Tests for the static analyzer (lib/analysis): exact and approximate
+   abstract domains against exhaustive engine evaluation, dead/redundant
+   classification soundness on random networks, the standard-form
+   rewrite, topology conformance certificates, and the load gate. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- helpers --- *)
+
+let zero_one_inputs n =
+  Array.init (1 lsl n) (fun m ->
+      Array.init n (fun w -> (m lsr w) land 1))
+
+(* extensional equality on all 2^n zero-one inputs, via the compiled
+   engine — independent of the analyzer's arithmetic *)
+let same_zero_one_function a b =
+  let n = Network.wires a in
+  let ca = Cache.compile a and cb = Cache.compile b in
+  Array.for_all
+    (fun input -> Compiled.eval ca input = Compiled.eval cb input)
+    (zero_one_inputs n)
+
+let random_network rng ~n ~levels =
+  let level () =
+    let wires = Array.init n (fun i -> i) in
+    (* Fisher–Yates, then pair a random prefix *)
+    for i = n - 1 downto 1 do
+      let j = Xoshiro.int rng ~bound:(i + 1) in
+      let t = wires.(i) in
+      wires.(i) <- wires.(j);
+      wires.(j) <- t
+    done;
+    let pairs = Xoshiro.int rng ~bound:((n / 2) + 1) in
+    List.init pairs (fun k ->
+        let a = wires.(2 * k) and b = wires.((2 * k) + 1) in
+        match Xoshiro.int rng ~bound:4 with
+        | 0 -> Gate.Exchange { a; b }
+        | 1 -> Gate.Compare { lo = max a b; hi = min a b }
+        | _ -> Gate.Compare { lo = min a b; hi = max a b })
+  in
+  Network.of_gate_levels ~wires:n (List.init levels (fun _ -> level ()))
+
+(* --- exact domain vs engine: 200 random networks, n <= 10 --- *)
+
+let test_random_agreement () =
+  let rng = Xoshiro.of_seed 2024 in
+  for i = 1 to 200 do
+    let n = 2 + Xoshiro.int rng ~bound:9 (* 2..10 *) in
+    let levels = 1 + Xoshiro.int rng ~bound:8 in
+    let nw = random_network rng ~n ~levels in
+    let r = Analysis.analyze ~cross_check:true nw in
+    check_bool "exact domain used" true r.facts.exact;
+    (* sortedness verdict agrees with exhaustive evaluation *)
+    let engine_sorts = Zero_one.is_sorting_network nw in
+    let claimed = r.facts.sortedness = Analysis.Sorting_proved in
+    if claimed <> engine_sorts then
+      Alcotest.failf "net %d (n=%d): analyzer %b, engine %b" i n claimed
+        engine_sorts;
+    (* the built-in cross-check must agree too (no SNL999) *)
+    check_bool "no internal disagreement" false
+      (List.exists (fun (d : Diag.t) -> d.code = "SNL999") r.diags);
+    (* removing dead comparators preserves the 0-1 function *)
+    check_bool "dead removal preserves function" true
+      (same_zero_one_function nw (Analysis.remove_dead nw r.facts));
+    (* flipping redundant comparators preserves the 0-1 function *)
+    check_bool "redundant flip preserves function" true
+      (same_zero_one_function nw (Analysis.flip_redundant nw r.facts))
+  done
+
+(* The exact domain's dead classification, cross-validated against
+   concrete simulation: a gate is marked dead iff NO 0-1 input makes
+   it act (comparator seeing lo=1/hi=0, exchange seeing unequal bits).
+   This checks soundness AND completeness of Reach's transfer function
+   through an independent level-stepping evaluator. (Note: "live"
+   does not mean "removal changes the function" — a live comparator's
+   effect can be masked downstream; dead => removable only.) *)
+let test_dead_iff_never_fires () =
+  let rng = Xoshiro.of_seed 7 in
+  for _ = 1 to 20 do
+    let n = 2 + Xoshiro.int rng ~bound:5 in
+    let nw = random_network rng ~n ~levels:(1 + Xoshiro.int rng ~bound:4) in
+    let r = Analysis.analyze nw in
+    let dead =
+      List.map (fun g -> (g.Analysis.level, g.Analysis.gate)) r.facts.dead
+    in
+    (* fires.(level).(gate) <- true when some input makes the gate act *)
+    let fires =
+      Array.of_list
+        (List.map
+           (fun (l : Network.level) ->
+             Array.make (max 1 (List.length l.gates)) false)
+           (Network.levels nw))
+    in
+    for m = 0 to (1 lsl n) - 1 do
+      let v = Array.init n (fun w -> (m lsr w) land 1) in
+      List.iteri
+        (fun li (level : Network.level) ->
+          (match level.pre with
+          | None -> ()
+          | Some p ->
+              let moved = Perm.permute_array p (Array.copy v) in
+              Array.blit moved 0 v 0 n);
+          List.iteri
+            (fun gi g ->
+              match g with
+              | Gate.Compare { lo; hi } ->
+                  if v.(lo) > v.(hi) then fires.(li).(gi) <- true
+              | Gate.Exchange { a; b } ->
+                  if v.(a) <> v.(b) then fires.(li).(gi) <- true)
+            level.gates;
+          List.iter
+            (fun g ->
+              match g with
+              | Gate.Compare { lo; hi } ->
+                  if v.(lo) > v.(hi) then begin
+                    let t = v.(lo) in
+                    v.(lo) <- v.(hi);
+                    v.(hi) <- t
+                  end
+              | Gate.Exchange { a; b } ->
+                  let t = v.(a) in
+                  v.(a) <- v.(b);
+                  v.(b) <- t)
+            level.gates)
+        (Network.levels nw)
+    done;
+    List.iteri
+      (fun li (level : Network.level) ->
+        List.iteri
+          (fun gi _ ->
+            check_bool "dead iff never fires" (not (List.mem (li + 1, gi) dead))
+              fires.(li).(gi))
+          level.gates)
+      (Network.levels nw)
+  done
+
+(* --- bounds domain: sound, never contradicts the exact domain --- *)
+
+let test_bounds_sound () =
+  let rng = Xoshiro.of_seed 99 in
+  for _ = 1 to 100 do
+    let n = 2 + Xoshiro.int rng ~bound:7 in
+    let nw = random_network rng ~n ~levels:(1 + Xoshiro.int rng ~bound:6) in
+    let exact = Analysis.analyze nw in
+    let approx = Analysis.analyze ~exact_max_wires:0 nw in
+    check_bool "bounds domain used" false approx.facts.exact;
+    (* bounds sortedness claim implies engine sortedness *)
+    if approx.facts.sortedness = Analysis.Sorted_by_bounds then
+      check_bool "bounds sortedness is sound" true
+        (Zero_one.is_sorting_network nw);
+    (* every bounds-dead gate is exactly dead, ditto redundant *)
+    let key g = (g.Analysis.level, g.Analysis.gate) in
+    let sub a b =
+      List.for_all (fun g -> List.mem (key g) (List.map key b)) a
+    in
+    check_bool "bounds dead subset of exact dead" true
+      (sub approx.facts.dead exact.facts.dead);
+    check_bool "bounds redundant subset of exact redundant" true
+      (sub approx.facts.redundant exact.facts.redundant)
+  done;
+  (* the bounds domain does prove bitonic sorts (it is complete enough
+     for comparator chains? no — it is not; just assert soundness on a
+     sorted-by-construction instance where it can decide: a single
+     bubble pass on 2 wires) *)
+  let two = Network.of_gate_levels ~wires:2 [ [ Gate.compare_up 0 1 ] ] in
+  let r = Analysis.analyze ~exact_max_wires:0 two in
+  check_bool "n=2 proved by bounds" true
+    (r.Analysis.facts.sortedness = Analysis.Sorted_by_bounds)
+
+(* odd-even transposition is proved sorted by the bounds domain at
+   sizes far beyond the exact cutoff (the 0-1 sets would be 2^64) *)
+let test_bounds_large () =
+  let nw = Transposition.network ~n:64 in
+  let r = Analysis.analyze nw in
+  check_bool "large: bounds domain" false r.facts.exact;
+  check_bool "large: no dead comparators" true (r.facts.dead = []);
+  check_bool "large transposition proved" true
+    (r.facts.sortedness = Analysis.Sorted_by_bounds)
+
+(* --- dead/redundant detection on crafted networks --- *)
+
+let test_injected_dead () =
+  (* sort 4 wires, then re-compare (0,1): provably dead *)
+  let nw =
+    Network.of_gate_levels ~wires:4
+      [
+        [ Gate.compare_up 0 1; Gate.compare_up 2 3 ];
+        [ Gate.compare_up 0 2; Gate.compare_up 1 3 ];
+        [ Gate.compare_up 1 2 ];
+        [ Gate.compare_up 0 1 ];
+      ]
+  in
+  let r = Analysis.analyze nw in
+  check_int "one dead comparator" 1 (List.length r.facts.dead);
+  let g = List.hd r.facts.dead in
+  check_int "dead at level 4" 4 g.Analysis.level;
+  check_bool "SNL201 emitted" true
+    (List.exists
+       (fun (d : Diag.t) -> d.code = "SNL201" && d.severity = Diag.Warning)
+       r.diags);
+  check_bool "still sorts" true (r.facts.sortedness = Analysis.Sorting_proved);
+  (* the duplicate-in-consecutive-levels case is visible to the bounds
+     domain too *)
+  let r' = Analysis.analyze ~exact_max_wires:0 nw in
+  check_int "bounds sees it too" 1 (List.length r'.Analysis.facts.dead)
+
+let test_redundant_flip () =
+  (* compare (0,1) twice in a row: the second is redundant (wires
+     already ordered — flipping it would break nothing only if the
+     wires were EQUAL, so it is dead but not redundant); force true
+     redundancy with an exchange of provably equal wires instead *)
+  let nw =
+    Network.of_gate_levels ~wires:2
+      [ [ Gate.compare_up 0 1 ]; [ Gate.compare_up 0 1 ] ]
+  in
+  let r = Analysis.analyze nw in
+  check_int "second comparator dead" 1 (List.length r.facts.dead);
+  check_int "but not redundant" 0 (List.length r.facts.redundant);
+  (* constant wires: after comparing a wire with itself via two
+     comparators against sorted extremes, min and max wires of a
+     sorted pair compared again are equal only in degenerate nets;
+     instead: a 1-wire-pair exchanged twice makes the second exchange
+     dead *)
+  let nw2 =
+    Network.of_gate_levels ~wires:3
+      [
+        [ Gate.compare_up 0 1 ];
+        [ Gate.compare_up 1 2 ];
+        [ Gate.compare_up 0 1 ];
+        [ Gate.compare_up 0 2 ];
+      ]
+  in
+  let r2 = Analysis.analyze nw2 in
+  (* (0,2) after full sort of 3 wires is dead *)
+  check_bool "final (0,2) dead" true
+    (List.exists (fun g -> g.Analysis.level = 4) r2.facts.dead)
+
+(* --- standardize --- *)
+
+let test_standardize () =
+  let rng = Xoshiro.of_seed 4242 in
+  for _ = 1 to 50 do
+    let n = 2 + Xoshiro.int rng ~bound:7 in
+    let nw = random_network rng ~n ~levels:(1 + Xoshiro.int rng ~bound:5) in
+    let std = Lint.standardize nw in
+    check_bool "standardize preserves the function" true
+      (same_zero_one_function nw std);
+    (* only ascending comparators, no exchanges *)
+    List.iter
+      (fun (level : Network.level) ->
+        List.iter
+          (fun g ->
+            match g with
+            | Gate.Compare { lo; hi } ->
+                check_bool "ascending" true (lo < hi)
+            | Gate.Exchange _ -> Alcotest.fail "exchange survived standardize")
+          level.gates)
+      (Network.levels std)
+  done
+
+(* --- conformance --- *)
+
+let test_conform_shuffle () =
+  List.iter
+    (fun n ->
+      let d = Bitops.log2_exact n in
+      (* register form *)
+      let prog = Bitonic.shuffle_program ~n in
+      let reg = Register_model.to_network prog in
+      let r = Analysis.analyze ~exact_max_wires:8 reg in
+      check_bool "register form shuffle-based" true
+        (r.facts.shuffle_stages = Some (d * d));
+      check_bool "register form iterated reverse delta" true
+        (r.facts.reverse_delta_blocks = Some d);
+      (* the registry serves it pre-flattened; conformance must agree *)
+      let flat = Network.flatten reg in
+      check_bool "flattened still shuffle-based" true
+        (Conform.shuffle_stages flat = Some (d * d));
+      check_bool "flattened still iterated reverse delta" true
+        (Conform.iterated_reverse_delta flat = Some d))
+    [ 4; 8; 16 ]
+
+let test_conform_classics_negative () =
+  (* classic bitonic is NOT shuffle-based and NOT an iterated reverse
+     delta (its third level re-compares inside a committed 4-subtree) *)
+  let nw = Bitonic.network ~n:8 in
+  check_bool "classic bitonic not shuffle-based" true
+    (Conform.shuffle_stages nw = None);
+  check_bool "classic bitonic not iterated rd" true
+    (Conform.iterated_reverse_delta nw = None)
+
+let test_conform_random_reverse_delta () =
+  (* random reverse delta networks exercise partial cross levels,
+     mixed orientations and exchanges; recognition must certify every
+     one of them *)
+  let rng = Xoshiro.of_seed 11 in
+  for _ = 1 to 40 do
+    let levels = 1 + Xoshiro.int rng ~bound:4 in
+    let rd =
+      Random_net.reverse_delta rng ~levels ~density:0.7 ~swap_prob:0.2
+    in
+    let n = 1 lsl levels in
+    let nw = Reverse_delta.to_network ~wires:n rd in
+    check_bool "random rd recognized" true
+      (Conform.iterated_reverse_delta nw = Some 1)
+  done;
+  (* iterated, with inter-block permutations (absorbed by flattening) *)
+  for _ = 1 to 20 do
+    let blocks = 1 + Xoshiro.int rng ~bound:3 in
+    let it =
+      Random_net.iterated rng ~n:8 ~blocks ~density:0.6 ~swap_prob:0.1
+        ~permute:true
+    in
+    let nw = Iterated.to_network it in
+    check_bool "random iterated recognized" true
+      (Conform.iterated_reverse_delta nw = Some blocks)
+  done
+
+let test_conform_butterfly_both () =
+  (* the butterfly is both a delta and a reverse delta network
+     (Kruskal–Snir); check both verdicts fire on it *)
+  let bf = Delta_net.butterfly ~levels:3 in
+  let rd = Delta_net.to_reverse_delta bf in
+  let nw = Reverse_delta.to_network ~wires:8 rd in
+  check_bool "butterfly is reverse delta" true
+    (Conform.iterated_reverse_delta nw = Some 1);
+  check_bool "butterfly (mirrored) is delta" true
+    (Conform.delta_blocks nw = Some 1)
+
+let test_to_iterated_certificate () =
+  let prog = Bitonic.shuffle_program ~n:8 in
+  let nw = Register_model.to_network prog in
+  match Conform.to_iterated nw with
+  | Error e -> Alcotest.failf "bitonic-shuffle rejected: %s" e
+  | Ok it ->
+      check_int "three blocks" 3 (Iterated.block_count it);
+      (* the certified decomposition evaluates identically *)
+      check_bool "decomposition is extensionally equal" true
+        (same_zero_one_function nw (Iterated.to_network it))
+
+let test_to_iterated_reject () =
+  match Conform.to_iterated (Bitonic.network ~n:8) with
+  | Ok _ -> Alcotest.fail "classic bitonic wrongly certified"
+  | Error _ -> ()
+
+(* --- unordered-pairs table (shared with the search driver) --- *)
+
+let test_unordered_pairs () =
+  let n = 4 in
+  let st = Reach.all n in
+  let st = Reach.apply_gate st (Gate.compare_up 0 1) in
+  let iter f = Reach.iter f st in
+  let tbl = Reach.unordered_pairs ~n ~iter in
+  (* (0,1) ordered now; (1,0) still has no witness either way round? —
+     after compare_up 0 1 no mask has bit0=1,bit1=0, so (0,1) is
+     "ordered": placing an ascending comparator 0->1 is dead *)
+  check_bool "0->1 ordered" false (Reach.pair_unordered tbl ~n 0 1);
+  check_bool "1->0 unordered" true (Reach.pair_unordered tbl ~n 1 0);
+  check_bool "2->3 unordered" true (Reach.pair_unordered tbl ~n 2 3)
+
+(* --- load gate --- *)
+
+let test_check_gate () =
+  let clean =
+    Network.of_gate_levels ~wires:2 [ [ Gate.compare_up 0 1 ] ]
+  in
+  (match Analysis.check clean with
+  | Ok ds -> check_int "clean: no warnings" 0 (Diag.count ds Diag.Warning)
+  | Error _ -> Alcotest.fail "clean network rejected");
+  let with_dead =
+    Network.of_gate_levels ~wires:2
+      [ [ Gate.compare_up 0 1 ]; [ Gate.compare_up 0 1 ] ]
+  in
+  (match Analysis.check with_dead with
+  | Ok ds -> check_int "warn mode passes with warning" 1 (Diag.count ds Diag.Warning)
+  | Error _ -> Alcotest.fail "warn mode must not reject warnings");
+  (match Analysis.check ~strictness:Analysis.Strict with_dead with
+  | Ok _ -> Alcotest.fail "strict mode must reject warnings"
+  | Error _ -> ());
+  match Analysis.check ~strictness:Analysis.Off with_dead with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "off mode must be silent"
+
+let test_load_gate () =
+  let dir = Filename.temp_file "snlb_analysis" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "net.txt" in
+  let nw =
+    Network.of_gate_levels ~wires:2
+      [ [ Gate.compare_up 0 1 ]; [ Gate.compare_up 0 1 ] ]
+  in
+  (match Network_io.save path nw with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save: %s" e);
+  (match Analysis.load path with
+  | Ok (nw', ds) ->
+      check_int "load: wires" 2 (Network.wires nw');
+      check_int "load: warning surfaced" 1 (Diag.count ds Diag.Warning)
+  | Error e -> Alcotest.failf "warn-mode load failed: %s" e);
+  (match Analysis.load ~strictness:Analysis.Strict path with
+  | Ok _ -> Alcotest.fail "strict load must reject"
+  | Error _ -> ());
+  Sys.remove path;
+  Unix.rmdir dir
+
+(* --- diagnostics plumbing --- *)
+
+let test_diag_json () =
+  let d =
+    Diag.make
+      ~span:{ Diag.level = 3; gate = Some 1 }
+      ~code:"SNL201" ~severity:Diag.Warning "dead \"comparator\""
+  in
+  check_bool "json shape" true
+    (Diag.to_json d
+    = "{\"code\":\"SNL201\",\"severity\":\"warning\",\"level\":3,\"gate\":1,\"message\":\"dead \\\"comparator\\\"\"}");
+  check_bool "text shape" true
+    (Diag.to_text d = "warning[SNL201] level 3 gate 1: dead \"comparator\"");
+  check_bool "code table knows SNL201" true (Diag.describe "SNL201" <> None);
+  check_bool "code table sorted unique" true
+    (let cs = List.map fst Diag.codes in
+     cs = List.sort_uniq compare cs)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "domains",
+        [
+          Alcotest.test_case "random-agreement-200" `Quick test_random_agreement;
+          Alcotest.test_case "dead-iff-never-fires" `Quick
+            test_dead_iff_never_fires;
+          Alcotest.test_case "bounds-sound" `Quick test_bounds_sound;
+          Alcotest.test_case "bounds-large" `Quick test_bounds_large;
+          Alcotest.test_case "injected-dead" `Quick test_injected_dead;
+          Alcotest.test_case "redundant-flip" `Quick test_redundant_flip;
+          Alcotest.test_case "standardize" `Quick test_standardize;
+          Alcotest.test_case "unordered-pairs" `Quick test_unordered_pairs;
+        ] );
+      ( "conformance",
+        [
+          Alcotest.test_case "shuffle-based" `Quick test_conform_shuffle;
+          Alcotest.test_case "classics-negative" `Quick
+            test_conform_classics_negative;
+          Alcotest.test_case "random-reverse-delta" `Quick
+            test_conform_random_reverse_delta;
+          Alcotest.test_case "butterfly-both" `Quick test_conform_butterfly_both;
+          Alcotest.test_case "to-iterated" `Quick test_to_iterated_certificate;
+          Alcotest.test_case "to-iterated-reject" `Quick test_to_iterated_reject;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "check-strictness" `Quick test_check_gate;
+          Alcotest.test_case "load-gate" `Quick test_load_gate;
+          Alcotest.test_case "diag-json" `Quick test_diag_json;
+        ] );
+    ]

@@ -22,7 +22,7 @@ let quietly f () =
     f
 
 let test_registry_complete () =
-  Alcotest.(check int) "14 experiments" 14 (List.length Registry.all);
+  Alcotest.(check int) "15 experiments" 15 (List.length Registry.all);
   List.iter
     (fun e ->
       Alcotest.(check bool) ("find " ^ e.Registry.id) true
@@ -38,4 +38,5 @@ let () =
   Alcotest.run "experiments"
     [ ("registry", [ Alcotest.test_case "complete" `Quick test_registry_complete ]);
       ( "smoke (quick mode)",
-        List.map smoke [ "E1"; "E3"; "E5"; "E6"; "E10"; "E11"; "E12"; "E13"; "E14" ] ) ]
+        List.map smoke
+          [ "E1"; "E3"; "E5"; "E6"; "E10"; "E11"; "E12"; "E13"; "E14"; "E15" ] ) ]

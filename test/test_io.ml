@@ -44,11 +44,25 @@ let test_parse_errors () =
   expect_error "snlb-network 2\nwires 4\n" "version";
   expect_error "snlb-network 1\nwires 4\ncmp 0 1\n" "outside a level";
   expect_error "snlb-network 1\nwires 4\nlevel\ncmp 0 0\n" "distinct";
-  expect_error "snlb-network 1\nwires 4\nlevel\ncmp 0 9\n" "out of";
   expect_error "snlb-network 1\nwires 4\nlevel\ncmp zero 1\n" "integer";
-  expect_error "snlb-network 1\nwires 4\nlevel\nperm 0 0 1 2\n" "twice";
   expect_error "snlb-network 1\nwires 4\nlevel\ncmp 0 1\nperm 1 0 3 2\n" "precede";
-  expect_error "snlb-network 1\nwires 4\nlevel\nfrobnicate\n" "unrecognised"
+  expect_error "snlb-network 1\nwires 4\nlevel\nfrobnicate\n" "unrecognised";
+  (* out-of-range and duplicate wires, per directive kind, each with
+     the offending line number *)
+  expect_error "snlb-network 1\nwires 4\nlevel\ncmp 0 9\n" "line 4: cmp wire 9 out of range";
+  expect_error "snlb-network 1\nwires 4\nlevel\ncmp -1 2\n" "out of range";
+  expect_error "snlb-network 1\nwires 4\nlevel\nxchg 0 7\n" "line 4: xchg wire 7 out of range";
+  expect_error "snlb-network 1\nwires 4\nlevel\nxchg -2 1\n" "out of range";
+  expect_error "snlb-network 1\nwires 4\nlevel\ncmp 0 1\ncmp 1 2\n"
+    "line 5: cmp (1, 2) reuses a wire";
+  expect_error "snlb-network 1\nwires 4\nlevel\ncmp 0 1\nxchg 2 0\n"
+    "line 5: xchg (2, 0) reuses a wire";
+  expect_error "snlb-network 1\nwires 4\nlevel\nperm 0 1 2\n" "expected 4";
+  expect_error "snlb-network 1\nwires 4\nlevel\nperm 0 1 2 9\n"
+    "line 4: perm entry 9 out of range";
+  expect_error "snlb-network 1\nwires 4\nlevel\nperm 0 1 2 -1\n" "out of range";
+  expect_error "snlb-network 1\nwires 4\nlevel\nperm 0 0 1 2\n"
+    "line 4: duplicate perm entry 0"
 
 let test_comments_and_blank_lines () =
   let text = "# a comment\nsnlb-network 1\n\nwires 2\nlevel\n# inner\ncmp 0 1\n" in

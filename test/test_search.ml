@@ -167,6 +167,33 @@ let test_reference_agreement () =
           Alcotest.failf "n=%d: reference search failed" n)
     [ 2; 3; 4; 5; 6 ]
 
+let test_redundant_hook_agreement () =
+  (* the static-analysis move filter must not change any verdict: the
+     same system with the hook disabled finds the same optimal depth,
+     and the hook actually fires (skips are counted, never as nodes) *)
+  List.iter
+    (fun n ->
+      let sys = Driver.network_system ~n () in
+      let sys_off = { sys with Driver.redundant_of = Driver.no_redundant } in
+      let depth_of = function
+        | Driver.Sorted { depth; stats; _ } -> (depth, stats)
+        | Driver.Unsorted _ | Driver.Inconclusive _ | Driver.Interrupted _ ->
+            Alcotest.failf "n=%d: search failed" n
+      in
+      let d_on, s_on = depth_of (Driver.run ~max_depth:n sys) in
+      let d_off, s_off = depth_of (Driver.run ~max_depth:n sys_off) in
+      check_int (Printf.sprintf "n=%d depth, hook on vs off" n) d_off d_on;
+      check_int (Printf.sprintf "n=%d hook-off skips nothing" n) 0
+        s_off.Driver.redundant;
+      if n >= 5 then
+        check_bool (Printf.sprintf "n=%d hook fires" n) true
+          (s_on.Driver.redundant > 0);
+      (* skipped moves are not applications: with the hook on, the
+         search can only expand fewer or equal nodes *)
+      check_bool (Printf.sprintf "n=%d hook never adds nodes" n) true
+        (s_on.Driver.nodes <= s_off.Driver.nodes))
+    [ 3; 4; 5; 6 ]
+
 let test_unsorted_exhaustive () =
   match Driver.optimal_depth ~max_depth:4 ~n:5 () with
   | Driver.Unsorted stats ->
@@ -251,6 +278,8 @@ let () =
         [ Alcotest.test_case "known optima n<=6" `Quick test_known_optimal_depths;
           Alcotest.test_case "reference agreement + 10x pruning" `Quick
             test_reference_agreement;
+          Alcotest.test_case "redundant hook on/off agreement" `Quick
+            test_redundant_hook_agreement;
           Alcotest.test_case "exhaustive refutation" `Quick test_unsorted_exhaustive;
           Alcotest.test_case "budget inconclusive" `Quick test_budget_inconclusive;
           Alcotest.test_case "wall-clock time budget" `Quick
