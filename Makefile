@@ -21,12 +21,13 @@ bench:
 # Engine microbenchmarks only; writes name -> ns/op to BENCH_engine.json
 # so successive PRs have a perf trajectory to compare against. The same
 # run times the exact-bounds search (pruned vs reference, 1 vs K
-# domains) into BENCH_search.json and the static analyzer's throughput
-# (networks/sec, comparators/sec) into BENCH_analysis.json. All files
-# must carry the global observability counters (obs/ rows) alongside
-# the timings.
+# domains) into BENCH_search.json, the static analyzer's throughput
+# (networks/sec, comparators/sec) into BENCH_analysis.json, and the
+# serve scheduler's 32-client batched-vs-sequential throughput and
+# lane-fill ratio into BENCH_serve.json. All files must carry the
+# global observability counters (obs/ rows) alongside the timings.
 bench-json:
-	SNLB_BENCH_JSON=BENCH_engine.json SNLB_BENCH_SEARCH_JSON=BENCH_search.json SNLB_BENCH_ANALYSIS_JSON=BENCH_analysis.json dune exec bench/main.exe
+	SNLB_BENCH_JSON=BENCH_engine.json SNLB_BENCH_SEARCH_JSON=BENCH_search.json SNLB_BENCH_ANALYSIS_JSON=BENCH_analysis.json SNLB_BENCH_SERVE_JSON=BENCH_serve.json dune exec bench/main.exe
 	grep -q '"obs/engine.cache.hits"' BENCH_engine.json
 	grep -q '"obs/engine.cache.evictions"' BENCH_engine.json
 	grep -q '"search/n=6/pruned/domains=1/subsumed"' BENCH_search.json
@@ -39,6 +40,12 @@ bench-json:
 	grep -q '"analysis/bitonic-n=16/networks_per_s"' BENCH_analysis.json
 	grep -q '"analysis/bitonic-n=32/comparators_per_s"' BENCH_analysis.json
 	grep -q '"obs/analysis.networks"' BENCH_analysis.json
+	grep -q '"serve/verify/batched/requests_per_s"' BENCH_serve.json
+	grep -q '"serve/verify/speedup"' BENCH_serve.json
+	grep -q '"serve/eval/lane_fill_ratio"' BENCH_serve.json
+	grep -q '"obs/serve.verify.sweeps"' BENCH_serve.json
+	grep -q '"obs/serve.batch.rounds"' BENCH_serve.json
+	awk -F': ' '/"serve\/verify\/speedup"/ { exit !($$2 + 0 >= 3.0) }' BENCH_serve.json
 
 tables:
 	dune exec bin/snlb_cli.exe -- table all --quick

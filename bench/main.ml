@@ -354,6 +354,86 @@ let analysis_json_rows () =
     [ time_net ~name:"bitonic-n=16" (Bitonic.network ~n:16);
       time_net ~name:"bitonic-n=32" (Bitonic.network ~n:32) ]
 
+(* Serve scheduler throughput: the in-process Batcher under a 32-client
+   concurrent workload, batched (gather window + shared engine passes)
+   vs sequential one-request-per-pass (window 0, max_batch 1) — the
+   same baseline mode the daemon degrades to with batching disabled.
+   Two workloads: 0-1 eval requests, which lane-pack up to 63 clients
+   per bit-sliced pass (lane_fill_ratio = lanes used / 63 * passes),
+   and verify requests on one network, which coalesce into a single
+   2^n sweep per round. The cache is off so every row measures
+   scheduler + engine work, not response-cache hits. *)
+let serve_json_rows () =
+  let clients = 32 in
+  let nw = Odd_even_merge.network ~n:16 in
+  let run_clients ~config ~per_client ~job =
+    let b = Batcher.create config in
+    let t0 = Clock.wall () in
+    let threads =
+      List.init clients (fun c ->
+          Thread.create
+            (fun () ->
+              for k = 1 to per_client do
+                job b c k
+              done)
+            ())
+    in
+    List.iter Thread.join threads;
+    let wall = Clock.wall () -. t0 in
+    Batcher.drain b;
+    let n = clients * per_client in
+    (wall, if wall > 0. then float_of_int n /. wall else 0.)
+  in
+  let batched =
+    { Batcher.window = 0.001; max_batch = 1024; domains = 1; cache = None }
+  in
+  let sequential =
+    { Batcher.window = 0.; max_batch = 1; domains = 1; cache = None }
+  in
+  let rows ~tag ~rps_b ~rps_s ~work_name ~work_b ~work_s =
+    let prefix m = Printf.sprintf "serve/%s/%s" tag m in
+    [ (prefix "batched/requests_per_s", rps_b);
+      (prefix "sequential/requests_per_s", rps_s);
+      (prefix "speedup", if rps_s > 0. then rps_b /. rps_s else 0.);
+      (prefix ("batched/" ^ work_name), float_of_int work_b);
+      (prefix ("sequential/" ^ work_name), float_of_int work_s) ]
+  in
+  let verify_job b _ _ = ignore (Batcher.verify b nw) in
+  let verify_rows =
+    let s0 = Batcher.sweeps () in
+    let _, rps_b =
+      run_clients ~config:batched ~per_client:8 ~job:verify_job
+    in
+    let s1 = Batcher.sweeps () in
+    let _, rps_s =
+      run_clients ~config:sequential ~per_client:8 ~job:verify_job
+    in
+    rows ~tag:"verify" ~rps_b ~rps_s ~work_name:"sweeps" ~work_b:(s1 - s0)
+      ~work_s:(Batcher.sweeps () - s1)
+  in
+  let eval_job b c k =
+    ignore (Batcher.eval01 b nw (((c * 131) + (k * 7919)) land 0xFFFF))
+  in
+  let eval_rows =
+    let p0 = Batcher.eval_passes () and l0 = Batcher.eval_lanes () in
+    let _, rps_b = run_clients ~config:batched ~per_client:32 ~job:eval_job in
+    let p1 = Batcher.eval_passes () and l1 = Batcher.eval_lanes () in
+    let _, rps_s =
+      run_clients ~config:sequential ~per_client:32 ~job:eval_job
+    in
+    (* lanes/passes of the batched run: 1.0 would mean every bit-sliced
+       pass carried a full 63 client inputs *)
+    let fill =
+      if p1 > p0 then
+        float_of_int (l1 - l0) /. float_of_int ((p1 - p0) * Bitslice.lanes)
+      else 0.
+    in
+    rows ~tag:"eval" ~rps_b ~rps_s ~work_name:"passes" ~work_b:(p1 - p0)
+      ~work_s:(Batcher.eval_passes () - p1)
+    @ [ ("serve/eval/lane_fill_ratio", fill) ]
+  in
+  verify_rows @ eval_rows
+
 let () =
   match Sys.getenv_opt "SNLB_BENCH_JSON" with
   | Some path ->
@@ -377,6 +457,12 @@ let () =
            Metrics.reset ();
            let rows = analysis_json_rows () in
            write_json analysis_path (rows @ obs_rows ())
+       | None -> ());
+      (match Sys.getenv_opt "SNLB_BENCH_SERVE_JSON" with
+       | Some serve_path ->
+           Metrics.reset ();
+           let rows = serve_json_rows () in
+           write_json serve_path (rows @ obs_rows ())
        | None -> ())
   | None ->
       let results = run_bechamel all_tests in

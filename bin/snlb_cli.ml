@@ -1,6 +1,6 @@
 (* snlb: command-line front end for the sorting-network lower-bound
    library.  Subcommands: list, sort, verify, certify, table, dot,
-   draw, save, load, lint, search, route. *)
+   draw, save, load, lint, search, route, serve, client. *)
 
 open Cmdliner
 
@@ -737,6 +737,215 @@ let route_cmd =
   let doc = "Route a random permutation through a Benes network." in
   Cmd.v (Cmd.info "route" ~doc) Term.(const run $ n_arg $ seed_arg)
 
+(* serve / client *)
+
+let socket_arg =
+  let doc = "Serve on (or dial) a Unix-domain socket at $(docv)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "Serve on (or dial) TCP port $(docv) on 127.0.0.1." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let serve_addr socket port =
+  match (socket, port) with
+  | Some path, None -> Ok (Server.Unix_path path)
+  | None, Some p -> Ok (Server.Tcp p)
+  | None, None -> Error "give --socket PATH or --port PORT"
+  | Some _, Some _ -> Error "give --socket or --port, not both"
+
+let serve_cmd =
+  let domains_arg =
+    let doc = "Parallel domains per verify sweep (0 = auto)." in
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D" ~doc)
+  in
+  let window_arg =
+    let doc =
+      "Batch gather window in milliseconds: how long the scheduler \
+       lingers after a request arrives so concurrent clients land in \
+       the same bit-sliced pass (0 = no gathering)."
+    in
+    Arg.(value & opt float 2.0 & info [ "window-ms" ] ~docv:"MS" ~doc)
+  in
+  let cache_arg =
+    let doc = "Response-cache capacity in entries (0 disables)." in
+    Arg.(value & opt int 512 & info [ "cache-capacity" ] ~docv:"K" ~doc)
+  in
+  let max_request_arg =
+    let doc = "Largest accepted request frame, in bytes." in
+    Arg.(value & opt int (1 lsl 20) & info [ "max-request" ] ~docv:"BYTES" ~doc)
+  in
+  let max_wires_arg =
+    let doc =
+      "Widest accepted network (verification sweeps 2^wires inputs)."
+    in
+    Arg.(value & opt int 16 & info [ "max-wires" ] ~docv:"N" ~doc)
+  in
+  let run socket port domains window_ms cache_capacity max_request max_wires
+      trace metrics =
+    match serve_addr socket port with
+    | Error e -> usage_error ("serve: " ^ e)
+    | Ok addr ->
+        if window_ms < 0. || cache_capacity < 0 || max_request < 1
+           || max_wires < 2 then
+          usage_error "serve: nonsensical limits"
+        else begin
+          let domains =
+            if domains <= 0 then Par.recommended_domains () else domains
+          in
+          let config =
+            { (Server.default_config addr) with
+              Server.domains;
+              window = window_ms /. 1000.;
+              cache_capacity;
+              max_request;
+              max_wires;
+            }
+          in
+          with_obs ~trace ~metrics @@ fun sink ->
+          with_signals @@ fun cancel ->
+          let ready () =
+            Printf.printf "serve: listening on %s\n%!" (Server.addr_text addr)
+          in
+          match Server.run ~sink ~ready ~cancel config with
+          | Error e ->
+              prerr_endline ("serve: " ^ e);
+              exit_failure
+          | Ok () ->
+              if Cancel.cancelled cancel then begin
+                if metrics then print_metrics ();
+                interrupted_exit "serve"
+              end
+              else 0
+        end
+  in
+  let doc =
+    "Run the network-verification daemon: length-prefixed JSON requests \
+     (verify / certify / lint / eval) over a Unix or loopback TCP \
+     socket, with concurrent clients' requests coalesced into shared \
+     63-lane bit-sliced engine passes and verdicts cached under \
+     wire-permutation canonical keys. SIGINT/SIGTERM drain in-flight \
+     requests and exit 130. The wire protocol is documented in \
+     README.md."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ port_arg $ domains_arg $ window_arg $ cache_arg
+      $ max_request_arg $ max_wires_arg $ trace_arg $ metrics_arg)
+
+let client_cmd =
+  let verb_arg =
+    let doc = "Request verb: verify, certify, lint, or eval." in
+    Arg.(
+      required
+      & pos 0 (some (enum
+           [ ("verify", "verify"); ("certify", "certify"); ("lint", "lint");
+             ("eval", "eval") ])) None
+      & info [] ~docv:"VERB" ~doc)
+  in
+  let file_arg =
+    let doc = "Send the network from $(docv) (snlb text format) \
+               instead of a registry sorter." in
+    Arg.(value & opt (some string) None & info [ "file" ] ~docv:"NET" ~doc)
+  in
+  let input_arg =
+    let doc = "Input values for eval, comma-separated." in
+    Arg.(value & opt (some string) None & info [ "input" ] ~docv:"V,V,..." ~doc)
+  in
+  let repeat_arg =
+    let doc = "Send the request $(docv) times (distinct ids, one \
+               connection)." in
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"K" ~doc)
+  in
+  let wait_arg =
+    let doc = "Retry the dial for up to $(docv) seconds while the \
+               daemon starts." in
+    Arg.(value & opt float 5.0 & info [ "wait" ] ~docv:"SECS" ~doc)
+  in
+  let dial addr wait =
+    let deadline = Unix.gettimeofday () +. wait in
+    let rec go () =
+      match Server.connect addr with
+      | fd -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          if Unix.gettimeofday () >= deadline then
+            Error (Unix.error_message e)
+          else begin
+            Unix.sleepf 0.05;
+            go ()
+          end
+    in
+    go ()
+  in
+  let run socket port verb algo n file input repeat wait =
+    match serve_addr socket port with
+    | Error e -> usage_error ("client: " ^ e)
+    | Ok addr -> (
+        let net_fields =
+          match file with
+          | Some path -> (
+              match In_channel.with_open_bin path In_channel.input_all with
+              | text -> Ok [ ("network", Json.Str text) ]
+              | exception Sys_error e -> Error e)
+          | None -> Ok [ ("algo", Json.Str algo); ("n", Json.Int n) ]
+        in
+        let input_fields =
+          match input with
+          | None -> Ok []
+          | Some s -> (
+              match
+                List.map
+                  (fun v -> Json.Int (int_of_string (String.trim v)))
+                  (String.split_on_char ',' s)
+              with
+              | vs -> Ok [ ("input", Json.List vs) ]
+              | exception Failure _ -> Error "client: bad --input")
+        in
+        match (net_fields, input_fields) with
+        | Error e, _ | _, Error e -> usage_error ("client: " ^ e)
+        | Ok net_fields, Ok input_fields -> (
+            match dial addr wait with
+            | Error e ->
+                prerr_endline ("client: cannot connect: " ^ e);
+                exit_failure
+            | Ok fd ->
+                let reader = Frame.reader fd in
+                let failures = ref 0 in
+                for k = 1 to repeat do
+                  let req =
+                    Json.Obj
+                      (("id", Json.Int k) :: ("verb", Json.Str verb)
+                      :: (net_fields @ input_fields))
+                  in
+                  Frame.write fd (Json.to_string req);
+                  match Frame.read ~max:(1 lsl 24) reader with
+                  | Ok payload ->
+                      print_endline payload;
+                      (match
+                         Option.bind
+                           (Option.bind (Json.of_string payload |> Result.to_option)
+                              (Json.member "ok"))
+                           Json.to_bool
+                       with
+                      | Some true -> ()
+                      | _ -> incr failures)
+                  | Error err ->
+                      Printf.eprintf "client: %s\n" (Frame.error_text err);
+                      incr failures
+                done;
+                Unix.close fd;
+                if !failures > 0 then exit_failure else 0))
+  in
+  let doc =
+    "Send requests to a running $(b,snlb serve) daemon and print the \
+     JSON responses, one per line. Exits 1 if any response is an \
+     error."
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const run $ socket_arg $ port_arg $ verb_arg $ algo_arg $ n_arg
+      $ file_arg $ input_arg $ repeat_arg $ wait_arg)
+
 (* list *)
 
 let list_cmd =
@@ -763,6 +972,7 @@ let main =
   in
   Cmd.group (Cmd.info "snlb" ~version:"1.0.0" ~doc)
     [ list_cmd; sort_cmd; verify_cmd; certify_cmd; table_cmd; dot_cmd;
-      draw_cmd; save_cmd; load_cmd; lint_cmd; search_cmd; route_cmd ]
+      draw_cmd; save_cmd; load_cmd; lint_cmd; search_cmd; route_cmd;
+      serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval' ~term_err:exit_usage main)

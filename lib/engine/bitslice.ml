@@ -142,6 +142,50 @@ let count_unsorted_range c ~lo ~hi =
   done;
   !count
 
+(* Arbitrary (non-consecutive) test inputs packed one per lane: the
+   gather/batch/scatter entry point the verification service uses to
+   fill one word-parallel pass with unrelated clients' inputs. *)
+let eval_masks c masks =
+  let n = c.Compiled.wires in
+  let m = Array.length masks in
+  if m > lanes then
+    invalid_arg
+      (Printf.sprintf "Bitslice.eval_masks: %d masks (max %d lanes)" m lanes);
+  Array.iteri
+    (fun j mask ->
+      if mask < 0 || (n < 62 && mask lsr n <> 0) then
+        invalid_arg
+          (Printf.sprintf "Bitslice.eval_masks: mask %d at lane %d out of [0, 2^%d)"
+             mask j n))
+    masks;
+  let state = Array.make n 0 in
+  for w = 0 to n - 1 do
+    let word = ref 0 in
+    for j = 0 to m - 1 do
+      if (Array.unsafe_get masks j lsr w) land 1 = 1 then
+        word := !word lor (1 lsl j)
+    done;
+    state.(w) <- !word
+  done;
+  exec_words c state;
+  let out = Array.make m 0 in
+  let scatter r word =
+    if word <> 0 then
+      for j = 0 to m - 1 do
+        if (word lsr j) land 1 = 1 then out.(j) <- out.(j) lor (1 lsl r)
+      done
+  in
+  (match c.Compiled.take with
+  | None -> for r = 0 to n - 1 do scatter r state.(r) done
+  | Some take -> for r = 0 to n - 1 do scatter r state.(take.(r)) done);
+  out
+
+(* A 0-1 output is ascending by wire index iff its mask is a block of
+   ones packed at the high wires. *)
+let mask_sorted ~wires mask =
+  let k = popcount mask in
+  mask = ((1 lsl k) - 1) lsl (wires - k)
+
 let check_width fn c =
   let n = c.Compiled.wires in
   if n >= 62 then

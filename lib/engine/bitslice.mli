@@ -33,6 +33,23 @@ val find_unsorted_range :
 val count_unsorted_range : Compiled.t -> lo:int -> hi:int -> int
 (** Number of test inputs in [\[lo, hi)] left unsorted. *)
 
+val eval_masks : Compiled.t -> int array -> int array
+(** [eval_masks c masks] evaluates up to {!lanes} {e arbitrary} 0-1
+    test inputs — mask bit [w] is the value on wire [w] — in one
+    word-parallel pass over the instruction stream, returning the
+    output masks in input order (read through the final routing map
+    when the source network permutes its outputs). Unlike the range
+    sweeps above, the lanes need not be consecutive integers: this is
+    the gather/batch/scatter entry point that lets a request scheduler
+    pack unrelated clients' inputs into one shared pass.
+    @raise Invalid_argument if more than {!lanes} masks are given or a
+    mask is outside [0, 2^wires). *)
+
+val mask_sorted : wires:int -> int -> bool
+(** [mask_sorted ~wires m] is true iff the 0-1 vector encoded by [m]
+    is ascending by wire index (all ones packed at the high wires) —
+    the per-lane sortedness test for {!eval_masks} outputs. *)
+
 val find_unsorted : ?domains:int -> Compiled.t -> int option
 (** [find_unsorted c] sweeps all [2^wires] test inputs with up to
     [domains] (default 1) domains, short-circuiting every domain on

@@ -50,11 +50,19 @@ let map_ranges ~domains ~lo ~hi f =
         first :: List.map Domain.join handles
   end
 
-let map_list ~domains f xs =
+let map_list ?(min_per_domain = 1) ~domains f xs =
   if domains < 1 then invalid_arg "Par.map_list: domains < 1";
+  if min_per_domain < 1 then invalid_arg "Par.map_list: min_per_domain < 1";
   let arr = Array.of_list xs in
   let n = Array.length arr in
-  if domains = 1 || n <= 1 then List.map f xs
+  (* Work-size threshold: spawning a domain costs orders of magnitude
+     more than mapping one small element, so a list that cannot feed
+     every domain at least [min_per_domain] elements shrinks its
+     fan-out — down to fully sequential — instead of paying spawn and
+     GC-synchronisation overhead that dwarfs the work (the domains=2
+     10x regression on small search frontiers). *)
+  let domains = min domains (n / min_per_domain) in
+  if domains <= 1 || n <= 1 then List.map f xs
   else begin
     let out = Array.make n None in
     let results =
@@ -65,5 +73,5 @@ let map_list ~domains f xs =
     Array.to_list (Array.map Option.get out)
   end
 
-let map_list_until ~domains ~stop ~default f xs =
-  map_list ~domains (fun x -> if stop () then default else f x) xs
+let map_list_until ?min_per_domain ~domains ~stop ~default f xs =
+  map_list ?min_per_domain ~domains (fun x -> if stop () then default else f x) xs

@@ -27,11 +27,21 @@ val map_ranges :
     with the other chunks. With [domains <= 1] everything runs inline.
     @raise Invalid_argument if [lo > hi] or [domains < 1]. *)
 
-val map_list : domains:int -> ('a -> 'b) -> 'a list -> 'b list
+val map_list :
+  ?min_per_domain:int -> domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_list ~domains f xs] maps [f] over [xs] with up to [domains]
-    concurrent domains, preserving order. *)
+    concurrent domains, preserving order. [min_per_domain] (default 1)
+    is a work-size threshold: the fan-out is capped at
+    [length xs / min_per_domain] domains, so a list too small to feed
+    every domain that many elements runs on fewer domains — or fully
+    sequentially — instead of paying a spawn per handful of elements.
+    Callers whose per-element work is small relative to a domain spawn
+    (the search driver's frontier expansion) should pass a threshold;
+    [1] preserves the old always-parallel behaviour.
+    @raise Invalid_argument if [domains < 1] or [min_per_domain < 1]. *)
 
 val map_list_until :
+  ?min_per_domain:int ->
   domains:int ->
   stop:(unit -> bool) ->
   default:'b ->

@@ -51,6 +51,14 @@ let c_redundant = Metrics.counter "analysis.redundant_moves"
 let c_ckpt_failures = Metrics.counter "checkpoint.failures"
 let c_resumes = Metrics.counter "checkpoint.resumes"
 
+(* Work-size thresholds for the parallel sections: a domain spawn
+   costs far more than expanding or fingerprinting one small state, so
+   fan-out only engages once every domain can be fed at least this
+   many elements (small frontiers — all of n <= 6 — stay sequential;
+   see Par.map_list). *)
+let expand_min_per_domain = 32
+let subsume_min_per_domain = 16
+
 (* Greedy subsumption filter. Candidates (already equality-deduped,
    sorted by ascending cardinality so the strongest states are kept
    first) are tested against the cumulative representative list; the
@@ -61,7 +69,7 @@ let c_resumes = Metrics.counter "checkpoint.resumes"
 let subsume_filter ~domains ~kept candidates =
   let dropped = ref 0 in
   let survivors = ref [] in
-  let batch_size = if domains <= 1 then max_int else domains * 16 in
+  let batch_size = if domains <= 1 then max_int else domains * 32 in
   let rec loop = function
     | [] -> ()
     | cands ->
@@ -73,7 +81,7 @@ let subsume_filter ~domains ~kept candidates =
         let batch, rest = split 0 [] cands in
         let frozen = !kept in
         let checked =
-          Par.map_list ~domains
+          Par.map_list ~min_per_domain:subsume_min_per_domain ~domains
             (fun ((st, _, fp) as cand) ->
               if
                 List.exists (fun (s2, f2) -> Subsume.subsumes (s2, f2) (st, fp)) frozen
@@ -433,7 +441,7 @@ let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
           end
         in
         let chunks =
-          Par.map_list_until ~domains
+          Par.map_list_until ~min_per_domain:expand_min_per_domain ~domains
             ~stop:(fun () -> Atomic.get stop || cancelled ())
             ~default:(None, [], 0, 0) expand !frontier
         in
@@ -490,7 +498,8 @@ let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
                   | Equal -> fresh
                   | Subsume ->
                       let with_fp =
-                        Par.map_list ~domains
+                        Par.map_list ~min_per_domain:expand_min_per_domain
+                          ~domains
                           (fun (st, pre) -> (st, pre, Subsume.fingerprint st))
                           fresh
                       in

@@ -52,3 +52,38 @@ val subsumes : State.t * fingerprint -> State.t * fingerprint -> bool
 val subsumes_states : State.t -> State.t -> bool
 (** [subsumes] computing both fingerprints on the fly (tests, one-off
     queries). *)
+
+(** {1 Canonical wire-permutation form}
+
+    Two networks are {e isomorphic} here when some wire permutation
+    [pi] carries the 0-1 reachable set of one onto the other's — the
+    same relabeling equivalence the subsumption filters exploit, on
+    whole networks. The canonical form picks a distinguished image of
+    the reachable set: channels are classed by their per-level ones
+    histograms (permutation-covariant, so the classing is
+    isomorphism-invariant) and the lexicographically smallest image
+    over class-respecting permutations wins. Equal canonical forms
+    always imply isomorphism (the form is an image under a concrete
+    permutation); the converse holds whenever the class-factorial
+    enumeration fits the internal cap, which covers every network
+    whose channels are even mildly distinguishable — beyond the cap
+    the form degrades deterministically to a fixed class-ordered
+    image, losing sharing but never soundness. The verification
+    service keys its response cache on this form so isomorphic
+    submissions hit one entry. *)
+
+val canonical_masks : State.t -> int array
+(** The canonical image of the state's mask set, sorted ascending. *)
+
+val canonical_key : Network.t -> string
+(** Exact canonical cache key: width plus the canonical mask list of
+    the network's 0-1 reachable set (computed by a bit-sliced sweep of
+    all [2^wires] inputs). Keys are equal exactly when the canonical
+    forms are — no hash collisions.
+    @raise Invalid_argument unless [2 <= wires <= 16]. *)
+
+val canonical_hash : Network.t -> int64
+(** [canonical_key] folded through a SplitMix64 avalanche into 64
+    bits: isomorphic networks always collide; distinct canonical forms
+    collide only with ordinary 64-bit hash probability.
+    @raise Invalid_argument unless [2 <= wires <= 16]. *)

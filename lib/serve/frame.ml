@@ -1,0 +1,106 @@
+(* Length-prefixed framing over a file descriptor.
+
+   A frame is the payload's byte length in ASCII decimal, a newline,
+   the payload, a newline:
+
+     <len>\n<payload>\n
+
+   The redundant trailing newline keeps the stream greppable/tailable
+   (each payload sits on its own line) and doubles as a cheap
+   synchronisation check: its absence means the peer and we disagree
+   about the length, and the connection is torn down rather than
+   resynchronised by guesswork. *)
+
+type error =
+  | Eof  (* clean end of stream at a frame boundary *)
+  | Oversized of int  (* declared length beyond the configured cap *)
+  | Malformed of string  (* anything that breaks the framing grammar *)
+
+let max_header_digits = 12
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable pos : int;  (* next unread byte in [buf] *)
+  mutable len : int;  (* valid bytes in [buf] *)
+}
+
+let reader fd = { fd; buf = Bytes.create 65536; pos = 0; len = 0 }
+
+(* -1 on EOF; raises Unix_error only for real I/O failures *)
+let refill r =
+  if r.pos < r.len then ()
+  else begin
+    r.pos <- 0;
+    r.len <- 0;
+    let rec go () =
+      match Unix.read r.fd r.buf 0 (Bytes.length r.buf) with
+      | k -> r.len <- k
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+  end
+
+let read_byte r =
+  refill r;
+  if r.len = 0 then None
+  else begin
+    let c = Bytes.get r.buf r.pos in
+    r.pos <- r.pos + 1;
+    Some c
+  end
+
+let read ~max r =
+  (* header: 1..max_header_digits decimal digits then '\n' *)
+  let rec header acc digits =
+    match read_byte r with
+    | None -> if digits = 0 then Error Eof else Error (Malformed "eof in frame header")
+    | Some '\n' ->
+        if digits = 0 then Error (Malformed "empty frame header") else Ok acc
+    | Some ('0' .. '9' as c) ->
+        if digits >= max_header_digits then
+          Error (Malformed "frame header too long")
+        else header ((acc * 10) + (Char.code c - Char.code '0')) (digits + 1)
+    | Some c ->
+        Error (Malformed (Printf.sprintf "bad byte %C in frame header" c))
+  in
+  match header 0 0 with
+  | Error _ as e -> e
+  | Ok len when len > max -> Error (Oversized len)
+  | Ok len -> (
+      let payload = Bytes.create len in
+      let rec fill off =
+        if off = len then true
+        else begin
+          refill r;
+          if r.len = 0 then false
+          else begin
+            let k = min (r.len - r.pos) (len - off) in
+            Bytes.blit r.buf r.pos payload off k;
+            r.pos <- r.pos + k;
+            fill (off + k)
+          end
+        end
+      in
+      if not (fill 0) then Error (Malformed "eof in frame payload")
+      else
+        match read_byte r with
+        | Some '\n' -> Ok (Bytes.unsafe_to_string payload)
+        | Some _ -> Error (Malformed "missing frame terminator")
+        | None -> Error (Malformed "eof before frame terminator"))
+
+let write fd payload =
+  let s = Printf.sprintf "%d\n%s\n" (String.length payload) payload in
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let error_text = function
+  | Eof -> "eof"
+  | Oversized n -> Printf.sprintf "oversized frame (%d bytes)" n
+  | Malformed msg -> msg

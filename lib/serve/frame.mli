@@ -1,0 +1,36 @@
+(** Length-prefixed framing for the serve wire protocol.
+
+    One frame is [<len>\n<payload>\n]: the payload's byte length in
+    ASCII decimal, a newline, the payload, a trailing newline. The
+    trailing newline keeps a captured stream line-oriented (NDJSON
+    when payloads are one-line JSON) and detects length disagreement:
+    a frame whose terminator is missing is malformed, and the
+    connection should be closed rather than resynchronised.
+
+    Reading is buffered per {!reader}; writing is a single
+    [Unix.write] loop — callers serialise concurrent writers (the
+    session loop owns its connection's write side). *)
+
+type error =
+  | Eof  (** clean end of stream between frames *)
+  | Oversized of int
+      (** declared payload length exceeds the configured cap; the
+          payload has {e not} been consumed — close the connection *)
+  | Malformed of string  (** framing grammar violation *)
+
+type reader
+
+val reader : Unix.file_descr -> reader
+(** A buffered frame reader owning its buffer (one per connection). *)
+
+val read : max:int -> reader -> (string, error) result
+(** Next payload, or why not. [Eof] only at a clean frame boundary —
+    truncation mid-frame is [Malformed].
+    @raise Unix.Unix_error on real I/O failure (not EOF). *)
+
+val write : Unix.file_descr -> string -> unit
+(** Write one complete frame, retrying short writes.
+    @raise Unix.Unix_error e.g. [EPIPE] when the peer is gone (the
+    server ignores SIGPIPE so the error surfaces here). *)
+
+val error_text : error -> string

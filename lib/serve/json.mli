@@ -1,0 +1,36 @@
+(** Minimal JSON values for the serve wire protocol.
+
+    A deliberately small RFC 8259 subset — objects, arrays, strings
+    with full escape handling (including surrogate pairs), 63-bit
+    ints, floats, booleans, null — so [lib/serve] carries no parser
+    dependency. Numbers without a fraction or exponent parse as
+    {!Int}; everything else numeric as {!Float}. Object key order is
+    preserved on both parse and print. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** One-line rendering, strings escaped per RFC 8259; non-finite
+    floats serialise as [0] (matching {!Sink.to_json}). *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of exactly one value (trailing garbage is an error).
+    Errors carry the byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on non-objects and missing keys. *)
+
+val to_int : t -> int option
+
+val to_str : t -> string option
+
+val to_list : t -> t list option
+
+val to_bool : t -> bool option

@@ -1,0 +1,114 @@
+(* Canonical response cache for verify verdicts.
+
+   Keying. Two networks that are wire-permutation isomorphic (their
+   0-1 reachable sets coincide up to a channel relabeling) share one
+   canonical form (Subsume.canonical_key) — but sharing a *verdict*
+   across an isomorphism class is only sound for STANDARD networks
+   (no pre permutations, no exchanges, every comparator ascending:
+   lo < hi). For a standard network the thresholds are fixed points,
+   so the reachable set R always contains the n+1 threshold vectors T
+   and the network sorts iff R = T; if R_B = pi(R_A) and R_A = T then
+   R_B is a (n+1)-element superset-image of T, hence exactly T, so
+   the verdict is a property of the canonical form. A non-standard
+   network can reach the same canonical form while failing to sort
+   (e.g. a sorter followed by a nontrivial output permutation), so
+   those are cached under their exact structural key only.
+
+   Witnesses. A failing 0-1 input is a property of the concrete
+   network, not of its isomorphism class, so a canonical hit on a
+   negative verdict may only reuse the stored witness when the
+   structural keys also match; otherwise the verdict is served
+   without a witness (the client can ask [certify] for one).
+
+   Eviction is second-chance (the Engine.Cache policy): hits mark
+   entries used; a full cache evicts the first cold entry found,
+   giving recently hit entries a second pass through the ring. *)
+
+type entry = {
+  sorts : bool;
+  witness : int array option;  (* a failing 0-1 input when [not sorts] *)
+  skey : string;  (* structural key of the network that produced it *)
+}
+
+type slot = { v : entry; mutable used : bool }
+
+type t = {
+  m : Mutex.t;
+  tbl : (string, slot) Hashtbl.t;
+  ring : string Queue.t;
+  capacity : int;
+}
+
+let c_hits = Metrics.counter "serve.cache.hits"
+let c_misses = Metrics.counter "serve.cache.misses"
+let c_evictions = Metrics.counter "serve.cache.evictions"
+
+let create ?(capacity = 512) () =
+  if capacity < 1 then invalid_arg "Scache.create: capacity < 1";
+  { m = Mutex.create (); tbl = Hashtbl.create 64; ring = Queue.create (); capacity }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let find t key =
+  with_lock t @@ fun () ->
+  match Hashtbl.find_opt t.tbl key with
+  | Some slot ->
+      slot.used <- true;
+      Metrics.incr c_hits;
+      Some slot.v
+  | None ->
+      Metrics.incr c_misses;
+      None
+
+(* find without touching the hit/miss counters (and without marking
+   the entry used): the batch worker's duplicate-suppression re-check,
+   which must not double-count the miss the session already paid *)
+let peek t key =
+  with_lock t @@ fun () ->
+  Option.map (fun s -> s.v) (Hashtbl.find_opt t.tbl key)
+
+let add t key v =
+  with_lock t @@ fun () ->
+  if Hashtbl.mem t.tbl key then Hashtbl.replace t.tbl key { v; used = true }
+  else begin
+    while Hashtbl.length t.tbl >= t.capacity do
+      (* the ring holds exactly the table's keys, so this terminates:
+         each pass clears one used flag or evicts *)
+      let k = Queue.pop t.ring in
+      let s = Hashtbl.find t.tbl k in
+      if s.used then begin
+        s.used <- false;
+        Queue.push k t.ring
+      end
+      else begin
+        Hashtbl.remove t.tbl k;
+        Metrics.incr c_evictions
+      end
+    done;
+    Hashtbl.replace t.tbl key { v; used = false };
+    Queue.push key t.ring
+  end
+
+let entries t = with_lock t @@ fun () -> Hashtbl.length t.tbl
+
+(* --- key derivation --- *)
+
+let is_standard nw =
+  List.for_all
+    (fun lvl ->
+      lvl.Network.pre = None
+      && List.for_all
+           (function
+             | Gate.Compare { lo; hi } -> lo < hi
+             | Gate.Exchange _ -> false)
+           lvl.Network.gates)
+    (Network.levels nw)
+
+let structural_key nw = "s:" ^ Network_io.to_string nw
+
+let key nw =
+  let w = Network.wires nw in
+  if is_standard nw && w >= 2 && w <= 16 then "c:" ^ Subsume.canonical_key nw
+  else structural_key nw

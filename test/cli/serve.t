@@ -1,0 +1,80 @@
+The verification daemon speaks length-prefixed JSON over a Unix socket.
+Start it in the background and let the client's dial-retry (--wait)
+absorb startup latency.
+
+  $ snlb serve --socket ./s.sock --trace serve.ndjson > serve.out 2>&1 &
+  $ SERVE_PID=$!
+
+A verify round-trip: the first submission pays the engine sweep, the
+resubmission is served from the canonical response cache.
+
+  $ snlb client --socket ./s.sock verify --algo odd-even-merge -n 8 | grep -o '"ok":true,"sorts":true,"cached":false'
+  "ok":true,"sorts":true,"cached":false
+
+  $ snlb client --socket ./s.sock verify --algo odd-even-merge -n 8 | grep -o '"sorts":true,"cached":true'
+  "sorts":true,"cached":true
+
+pratt n=8 is a different circuit but also a true sorter, so its
+canonical reachable set -- and therefore its verdict -- is already
+cached; it still reports its own sweep-free hit.
+
+  $ snlb client --socket ./s.sock verify --algo pratt -n 8 | grep -o '"cached":true'
+  "cached":true
+
+eval on a 0-1 input goes through the lane-packing batcher; on a
+general input, through the compiled engine inline.
+
+  $ snlb client --socket ./s.sock eval --algo odd-even-merge -n 8 --input 1,0,1,0,0,1,0,1
+  {"id":1,"trace":"c4-r1","ok":true,"output":[0,0,0,0,1,1,1,1],"sorted":true}
+
+  $ snlb client --socket ./s.sock eval --algo odd-even-merge -n 8 --input 7,3,5,1,6,0,4,2
+  {"id":1,"trace":"c5-r1","ok":true,"output":[0,1,2,3,4,5,6,7],"sorted":true}
+
+certify re-checks the verdict independently of the bit-sliced engine;
+lint reports analyzer facts.
+
+  $ snlb client --socket ./s.sock certify --algo transposition -n 6
+  {"id":1,"trace":"c6-r1","ok":true,"sorts":true,"cross_checked":true}
+
+  $ snlb client --socket ./s.sock lint --algo transposition -n 6 | grep -o '"sortedness":"sorting-proved"'
+  "sortedness":"sorting-proved"
+
+Typed rejection: an unknown algo is an error response (client exit 1),
+and the connection-level error code is stable.
+
+  $ snlb client --socket ./s.sock verify --algo nope -n 4 > bad.out
+  [1]
+  $ grep -o '"code":"bad-network"' bad.out
+  "code":"bad-network"
+
+Concurrent clients coalesce; every response matches (8 background
+clients, 4 isomorphism-classes of requests between them).
+
+  $ CPIDS=""; for i in 1 2 3 4 5 6 7 8; do
+  >   snlb client --socket ./s.sock verify --algo odd-even-merge -n 8 > client-$i.out &
+  >   CPIDS="$CPIDS $!"
+  > done; wait $CPIDS
+  $ cat client-*.out | grep -c '"sorts":true'
+  8
+
+SIGTERM drains in flight work and exits 130 (the interrupted
+convention), removing the endpoint.
+
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID
+  [130]
+  $ test -S ./s.sock && echo still-there || echo gone
+  gone
+  $ cat serve.out
+  serve: listening on ./s.sock
+  snlb: serve interrupted
+
+Every request carried a server-assigned trace id into the NDJSON
+trace, correlating spans with responses.
+
+  $ grep -c '"name":"serve.request"' serve.ndjson
+  16
+  $ grep -c '"trace":"c1-r1"' serve.ndjson
+  1
+  $ grep -o '"verb":"certify"' serve.ndjson
+  "verb":"certify"

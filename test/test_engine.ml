@@ -106,6 +106,34 @@ let prop_bitslice_agrees =
       Bitslice.count_unsorted c = List.length bad
       && Bitslice.find_unsorted c = (match bad with [] -> None | t :: _ -> Some t))
 
+let prop_eval_masks_agrees =
+  (* arbitrary non-consecutive lane-packed masks match per-input
+     Network.eval, including networks with pre permutations (output
+     routing through [take]) and the sortedness-per-lane helper *)
+  QCheck.Test.make ~name:"eval_masks = per-mask Network.eval" ~count:120
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Xoshiro.of_seed seed in
+      let nw = random_network rng in
+      let n = Network.wires nw in
+      let c = Compiled.of_network nw in
+      let m = 1 + Xoshiro.int rng ~bound:Bitslice.lanes in
+      let masks =
+        Array.init m (fun _ -> Xoshiro.int rng ~bound:(1 lsl n))
+      in
+      let out = Bitslice.eval_masks c masks in
+      Array.for_all2
+        (fun mask o ->
+          let input = Array.init n (fun w -> (mask lsr w) land 1) in
+          let direct = Network.eval nw input in
+          let direct_mask = ref 0 in
+          Array.iteri
+            (fun w v -> if v = 1 then direct_mask := !direct_mask lor (1 lsl w))
+            direct;
+          o = !direct_mask
+          && Bitslice.mask_sorted ~wires:n o = Sortedness.is_sorted direct)
+        masks out)
+
 let prop_bitslice_ranges_partition =
   (* arbitrary (non-lane-aligned) range splits cover exactly once *)
   QCheck.Test.make ~name:"bit-sliced range sweeps partition"
@@ -328,5 +356,6 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [ prop_compiled_eval_agrees; prop_compiled_shape;
             prop_eval_many_agrees; prop_bitslice_agrees;
+            prop_eval_masks_agrees;
             prop_bitslice_ranges_partition; prop_bitslice_domains_agree;
             prop_sorted_depth_agrees ] ) ]

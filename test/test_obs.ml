@@ -167,6 +167,49 @@ let test_span_disabled_and_exceptions () =
   | [ e ] -> check_string "stack unwound past the raise" "after" e.Sink.name
   | es -> Alcotest.failf "expected 1 event, got %d" (List.length es)
 
+let test_span_thread_isolation () =
+  (* concurrent threads must not see each other's open spans as
+     parents: thread B's span runs while A's is open, and both paths
+     must still be flat (regression: a Domain.DLS stack is shared by
+     every systhread in the domain, so serve sessions interleaved
+     into names like "serve.request/serve.request") *)
+  let sink, events = Sink.memory () in
+  let m = Mutex.create () and c = Condition.create () in
+  let a_open = ref false and b_done = ref false in
+  let a =
+    Thread.create
+      (fun () ->
+        Span.run ~sink ~name:"a" (fun _ ->
+            Mutex.lock m;
+            a_open := true;
+            Condition.broadcast c;
+            while not !b_done do
+              Condition.wait c m
+            done;
+            Mutex.unlock m))
+      ()
+  in
+  let b =
+    Thread.create
+      (fun () ->
+        Mutex.lock m;
+        while not !a_open do
+          Condition.wait c m
+        done;
+        Mutex.unlock m;
+        Span.run ~sink ~name:"b" (fun _ -> ());
+        Mutex.lock m;
+        b_done := true;
+        Condition.broadcast c;
+        Mutex.unlock m)
+      ()
+  in
+  Thread.join a;
+  Thread.join b;
+  let names = List.map (fun e -> e.Sink.name) (events ()) in
+  check_bool "both spans emitted, neither nested under the other" true
+    (List.sort compare names = [ "a"; "b" ])
+
 (* --- Driver trace contract --- *)
 
 let test_driver_trace_totals () =
@@ -225,7 +268,9 @@ let () =
       ( "span",
         [ Alcotest.test_case "nesting" `Quick test_span_nesting;
           Alcotest.test_case "disabled + exceptions" `Quick
-            test_span_disabled_and_exceptions ] );
+            test_span_disabled_and_exceptions;
+          Alcotest.test_case "thread isolation" `Quick
+            test_span_thread_isolation ] );
       ( "driver",
         [ Alcotest.test_case "trace totals = final stats" `Quick
             test_driver_trace_totals ] ) ]

@@ -259,6 +259,147 @@ let test_multi_domain_agreement () =
   | Driver.Unsorted _ | Driver.Inconclusive _ | Driver.Interrupted _ ->
       Alcotest.fail "n=5 must be certified at 2 domains"
 
+(* --- canonical wire-permutation form --- *)
+
+let permute_mask pi m =
+  let img = ref 0 in
+  for c = 0 to Array.length pi - 1 do
+    if (m lsr c) land 1 = 1 then img := !img lor (1 lsl pi.(c))
+  done;
+  !img
+
+let conjugate p nw =
+  let levels =
+    List.map
+      (fun lvl ->
+        { Network.pre = None;
+          gates = List.map (Gate.map_wires (Perm.apply p)) lvl.Network.gates })
+      (Network.levels nw)
+  in
+  Network.create ~wires:(Network.wires nw) levels
+
+let reachable_masks nw =
+  let n = Network.wires nw in
+  List.sort_uniq compare
+    (List.init (1 lsl n) (fun m ->
+         let out = Network.eval nw (Array.init n (fun w -> (m lsr w) land 1)) in
+         let r = ref 0 in
+         Array.iteri (fun w v -> if v = 1 then r := !r lor (1 lsl w)) out;
+         !r))
+
+let rec all_perms = function
+  | [] -> [ [] ]
+  | xs ->
+      List.concat_map
+        (fun x -> List.map (fun p -> x :: p) (all_perms (List.filter (( <> ) x) xs)))
+        xs
+
+let prop_canonical_masks_invariant =
+  QCheck.Test.make ~name:"canonical_masks invariant under channel permutation"
+    ~count:200
+    QCheck.(pair (int_range 0 1_000_000) (int_range 4 6))
+    (fun (seed, n) ->
+      let rng = Xoshiro.of_seed seed in
+      let card = 1 + Xoshiro.int rng ~bound:40 in
+      let masks = List.init card (fun _ -> Xoshiro.int rng ~bound:(1 lsl n)) in
+      let st = State.of_masks ~n masks in
+      let pi = Perm.to_array (Perm.random rng n) in
+      let img = State.map_masks st (permute_mask pi) in
+      Subsume.canonical_masks st = Subsume.canonical_masks img)
+
+let test_canonical_hash_isomorphic () =
+  (* conjugated networks (wires relabeled end to end) must collide,
+     across widths and for both random circuits and the classics *)
+  let rng = Xoshiro.of_seed 7 in
+  for _ = 1 to 30 do
+    let n = 4 + Xoshiro.int rng ~bound:3 in
+    let nlayers = 1 + Xoshiro.int rng ~bound:3 in
+    let nw =
+      Network.of_gate_levels ~wires:n
+        (List.init nlayers (fun _ ->
+             let order = Perm.to_array (Perm.random rng n) in
+             let npairs = 1 + Xoshiro.int rng ~bound:(n / 2) in
+             List.init npairs (fun i ->
+                 Gate.compare_up order.(2 * i) order.((2 * i) + 1))))
+    in
+    let p = Perm.random rng n in
+    check_bool "conjugate collides" true
+      (Subsume.canonical_hash nw = Subsume.canonical_hash (conjugate p nw));
+    check_bool "conjugate key collides" true
+      (Subsume.canonical_key nw = Subsume.canonical_key (conjugate p nw))
+  done;
+  (* every true sorter of one width has reachable set = the thresholds,
+     so all of them share a single canonical entry *)
+  check_bool "all n=8 sorters share the hash" true
+    (Subsume.canonical_hash (Bitonic.network ~n:8)
+    = Subsume.canonical_hash (Odd_even_merge.network ~n:8))
+
+let test_canonical_hash_exhaustive_n4 () =
+  (* ground truth by brute force over all 4! wire permutations: the
+     hash must collide exactly on reachable-set-isomorphic networks *)
+  let n = 4 in
+  let pairs =
+    List.concat_map
+      (fun i -> List.init (n - i - 1) (fun j -> (i, i + j + 1)))
+      (List.init n Fun.id)
+  in
+  let nets =
+    List.map (fun p -> [ [ p ] ]) pairs
+    @ List.concat_map
+        (fun p1 -> List.map (fun p2 -> [ [ p1 ]; [ p2 ] ]) pairs)
+        pairs
+  in
+  let nets =
+    List.map
+      (fun layers ->
+        Network.of_gate_levels ~wires:n
+          (List.map (List.map (fun (a, b) -> Gate.compare_up a b)) layers))
+      nets
+  in
+  let perms = List.map Array.of_list (all_perms [ 0; 1; 2; 3 ]) in
+  let data =
+    List.map (fun nw -> (reachable_masks nw, Subsume.canonical_hash nw)) nets
+  in
+  let iso ra rb =
+    List.exists
+      (fun pi -> List.sort compare (List.map (permute_mask pi) ra) = rb)
+      perms
+  in
+  List.iter
+    (fun (ra, ha) ->
+      List.iter
+        (fun (rb, hb) ->
+          check_bool "hash collides exactly on isomorphs" (iso ra rb) (ha = hb))
+        data)
+    data
+
+let test_domains2_no_regression () =
+  (* The work-size threshold (Par.map_list ?min_per_domain, wired
+     through the driver's expansion / fingerprint / subsumption calls)
+     keeps small frontiers sequential: domains=2 at n=6 used to be
+     ~10x slower than domains=1 (BENCH_search.json, 11.5k vs 123k
+     nodes/s) because every tiny level paid domain spawns. Min-of-3
+     runs each to absorb scheduler noise; the bound is deliberately
+     loose (2x + 50ms) — the point is catching a return of the
+     order-of-magnitude cliff, not micro-benchmarking. *)
+  let wall d =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      (match Driver.optimal_depth ~domains:d ~n:6 () with
+      | Driver.Sorted { depth = 5; _ } -> ()
+      | _ -> Alcotest.fail "n=6 optimum must be 5");
+      best := min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let t1 = wall 1 in
+  let t2 = wall 2 in
+  check_bool
+    (Printf.sprintf "domains=2 (%.4fs) within 2x of domains=1 (%.4fs)" t2 t1)
+    true
+    (t2 <= (2. *. t1) +. 0.05)
+
 let () =
   Alcotest.run "search"
     [ ( "state",
@@ -273,6 +414,12 @@ let () =
           Alcotest.test_case "backtracking negative" `Quick
             test_subsume_backtracking_negative;
           QCheck_alcotest.to_alcotest test_subsume_permutation_property ] );
+      ( "canonical",
+        [ QCheck_alcotest.to_alcotest prop_canonical_masks_invariant;
+          Alcotest.test_case "isomorphic networks collide" `Quick
+            test_canonical_hash_isomorphic;
+          Alcotest.test_case "n=4 exhaustive: collide iff isomorphic" `Quick
+            test_canonical_hash_exhaustive_n4 ] );
       ("layers", [ Alcotest.test_case "counts" `Quick test_layer_counts ]);
       ( "driver",
         [ Alcotest.test_case "known optima n<=6" `Quick test_known_optimal_depths;
@@ -284,4 +431,6 @@ let () =
           Alcotest.test_case "budget inconclusive" `Quick test_budget_inconclusive;
           Alcotest.test_case "wall-clock time budget" `Quick
             test_wall_clock_budget;
-          Alcotest.test_case "two domains agree" `Quick test_multi_domain_agreement ] ) ]
+          Alcotest.test_case "two domains agree" `Quick test_multi_domain_agreement;
+          Alcotest.test_case "domains=2 within 2x of domains=1 at n=6" `Quick
+            test_domains2_no_regression ] ) ]
