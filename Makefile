@@ -24,10 +24,13 @@ bench:
 # domains) into BENCH_search.json, the static analyzer's throughput
 # (networks/sec, comparators/sec) into BENCH_analysis.json, and the
 # serve scheduler's 32-client batched-vs-sequential throughput and
-# lane-fill ratio into BENCH_serve.json. All files must carry the
-# global observability counters (obs/ rows) alongside the timings.
+# lane-fill ratio into BENCH_serve.json, and the evolutionary search's
+# population-fitness kernel (nets/sec at 1 vs K domains), end-to-end
+# n=6 rediscovery run, and differential-fuzzer checking rate into
+# BENCH_evolve.json. All files must carry the global observability
+# counters (obs/ rows) alongside the timings.
 bench-json:
-	SNLB_BENCH_JSON=BENCH_engine.json SNLB_BENCH_SEARCH_JSON=BENCH_search.json SNLB_BENCH_ANALYSIS_JSON=BENCH_analysis.json SNLB_BENCH_SERVE_JSON=BENCH_serve.json dune exec bench/main.exe
+	SNLB_BENCH_JSON=BENCH_engine.json SNLB_BENCH_SEARCH_JSON=BENCH_search.json SNLB_BENCH_ANALYSIS_JSON=BENCH_analysis.json SNLB_BENCH_SERVE_JSON=BENCH_serve.json SNLB_BENCH_EVOLVE_JSON=BENCH_evolve.json dune exec bench/main.exe
 	grep -q '"obs/engine.cache.hits"' BENCH_engine.json
 	grep -q '"obs/engine.cache.evictions"' BENCH_engine.json
 	grep -q '"search/n=6/pruned/domains=1/subsumed"' BENCH_search.json
@@ -46,6 +49,14 @@ bench-json:
 	grep -q '"obs/serve.verify.sweeps"' BENCH_serve.json
 	grep -q '"obs/serve.batch.rounds"' BENCH_serve.json
 	awk -F': ' '/"serve\/verify\/speedup"/ { exit !($$2 + 0 >= 3.0) }' BENCH_serve.json
+	grep -q '"evolve/fitness/n=8/pop=512/domains=1/nets_per_s"' BENCH_evolve.json
+	grep -q '"evolve/fitness/speedup"' BENCH_evolve.json
+	grep -q '"evolve/run/n=6/pop=256/wall_ms"' BENCH_evolve.json
+	grep -q '"fuzz/nets_per_s"' BENCH_evolve.json
+	grep -q '"obs/evolve.evals"' BENCH_evolve.json
+	grep -q '"obs/evolve.generations"' BENCH_evolve.json
+	grep -q '"obs/fuzz.networks"' BENCH_evolve.json
+	awk -F': ' '/"evolve\/fitness\/n=8\/pop=512\/domains=1\/nets_per_s"/ { exit !($$2 + 0 >= 1000.0) }' BENCH_evolve.json
 
 tables:
 	dune exec bin/snlb_cli.exe -- table all --quick

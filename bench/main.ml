@@ -434,6 +434,59 @@ let serve_json_rows () =
   in
   verify_rows @ eval_rows
 
+(* evolve: the population fitness kernel is the hot loop of the
+   evolutionary search — one compile plus one lane-packed 2^n sweep
+   per genome, fanned out over domains.  Rows give nets/s over a
+   fixed population of random n=8 genomes at 1 and K domains, the
+   generational driver end to end, and the differential fuzzer's
+   whole-stack checking rate. *)
+let evolve_json_rows () =
+  let wires = 8 and depth = 6 and pop = 512 in
+  let genomes =
+    let rng = Xoshiro.of_seed 1 in
+    Array.init pop (fun _ -> Genome.random rng ~wires ~depth ())
+  in
+  let time_fitness ~domains =
+    let t0 = Clock.wall () in
+    let fits = Fitness.population ~domains genomes in
+    let wall = Clock.wall () -. t0 in
+    assert (Array.length fits = pop);
+    (wall, if wall > 0. then float_of_int pop /. wall else 0.)
+  in
+  (* on a single-core box the recommended count is 1; still measure a
+     genuine multi-domain row (speedup < 1 there is honest data) *)
+  let k = max 2 (Par.recommended_domains ()) in
+  let _, nps1 = time_fitness ~domains:1 in
+  let _, npsk = time_fitness ~domains:k in
+  let row ~domains v =
+    (Printf.sprintf "evolve/fitness/n=%d/pop=%d/domains=%d/nets_per_s" wires
+       pop domains, v)
+  in
+  let run_row =
+    let cfg =
+      { (Evolve.default_config ~wires:6 ~depth:5) with Evolve.pop = 256;
+        gens = 100; seed = 1 }
+    in
+    let t0 = Clock.wall () in
+    let r = Evolve.run cfg in
+    let wall = Clock.wall () -. t0 in
+    assert (r.Evolve.found_at <> None);
+    [ ("evolve/run/n=6/pop=256/wall_ms", wall *. 1e3);
+      ("evolve/run/n=6/pop=256/generations",
+       float_of_int r.Evolve.generations) ]
+  in
+  let fuzz_row =
+    let r = Fuzz.run ~seconds:2.0 ~seed:1 () in
+    assert (r.Fuzz.disagreements = []);
+    [ ("fuzz/nets_per_s",
+       if r.Fuzz.elapsed > 0. then
+         float_of_int r.Fuzz.checked /. r.Fuzz.elapsed
+       else 0.) ]
+  in
+  [ row ~domains:1 nps1; row ~domains:k npsk;
+    ("evolve/fitness/speedup", if nps1 > 0. then npsk /. nps1 else 0.) ]
+  @ run_row @ fuzz_row
+
 let () =
   match Sys.getenv_opt "SNLB_BENCH_JSON" with
   | Some path ->
@@ -463,6 +516,12 @@ let () =
            Metrics.reset ();
            let rows = serve_json_rows () in
            write_json serve_path (rows @ obs_rows ())
+       | None -> ());
+      (match Sys.getenv_opt "SNLB_BENCH_EVOLVE_JSON" with
+       | Some evolve_path ->
+           Metrics.reset ();
+           let rows = evolve_json_rows () in
+           write_json evolve_path (rows @ obs_rows ())
        | None -> ())
   | None ->
       let results = run_bechamel all_tests in

@@ -1,6 +1,7 @@
 (* snlb: command-line front end for the sorting-network lower-bound
    library.  Subcommands: list, sort, verify, certify, table, dot,
-   draw, save, load, lint, search, route, serve, client. *)
+   draw, save, load, lint, search, route, serve, client, evolve,
+   fuzz. *)
 
 open Cmdliner
 
@@ -709,6 +710,165 @@ let search_cmd =
       $ domains_arg $ max_depth_arg $ budget_arg $ checkpoint_arg
       $ interval_arg $ resume_arg $ trace_arg $ metrics_arg)
 
+(* evolve *)
+
+let evolve_cmd =
+  let n_arg =
+    let doc = "Number of channels." in
+    Arg.(value & opt int 6 & info [ "n"; "size" ] ~docv:"N" ~doc)
+  in
+  let depth_arg =
+    let doc =
+      "Fixed genome depth shape (default: the known optimal sorting depth \
+       for N when proved, else N)."
+    in
+    Arg.(value & opt (some int) None & info [ "depth" ] ~docv:"D" ~doc)
+  in
+  let pop_arg =
+    let doc = "Population size." in
+    Arg.(value & opt int 256 & info [ "pop" ] ~docv:"P" ~doc)
+  in
+  let gens_arg =
+    let doc = "Generation cap." in
+    Arg.(value & opt int 200 & info [ "gens" ] ~docv:"G" ~doc)
+  in
+  let domains_arg =
+    let doc = "Parallel domains for the fitness fan-out (0 = auto)." in
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"K" ~doc)
+  in
+  let run n depth pop gens seed domains ckpt interval resume trace metrics =
+    if resume && ckpt = None then
+      usage_error "evolve: --resume needs --checkpoint FILE"
+    else if n < 2 || n > 16 then usage_error "evolve: n must be in [2,16]"
+    else begin
+      let depth =
+        match depth with
+        | Some d -> d
+        | None -> (
+            match Evolve.known_optimal_depth n with Some d -> d | None -> n)
+      in
+      let domains =
+        if domains <= 0 then Par.recommended_domains () else domains
+      in
+      with_obs ~trace ~metrics @@ fun sink ->
+      with_signals @@ fun cancel ->
+      let cfg =
+        { (Evolve.default_config ~wires:n ~depth) with
+          Evolve.pop;
+          gens;
+          seed;
+          domains;
+        }
+      in
+      let checkpoint = Option.map (fun path -> (path, interval)) ckpt in
+      let r = Evolve.run ~sink ~cancel ?checkpoint ~resume cfg in
+      Printf.printf "evolving n=%d depth=%d: pop=%d gens<=%d seed=%d\n" n depth
+        pop gens seed;
+      let max_fit = Fitness.max_fitness ~wires:n in
+      let print_layers g =
+        Array.iteri
+          (fun l pairs ->
+            Printf.printf "  layer %d: %s\n" (l + 1)
+              (String.concat ""
+                 (List.map
+                    (fun (a, b) -> Printf.sprintf "(%d,%d)" a b)
+                    (Array.to_list pairs))))
+          g.Genome.levels
+      in
+      let outcome =
+        match r.Evolve.found_at with
+        | Some g ->
+            Printf.printf
+              "sorter found at generation %d (fitness %d/%d, %d comparators)\n"
+              g r.Evolve.best_fitness max_fit (Genome.size r.Evolve.best);
+            print_layers r.Evolve.best;
+            (match Evolve.known_optimal_depth n with
+            | Some opt when Network.depth (Genome.to_network r.Evolve.best) = opt
+              ->
+                Printf.printf "depth %d matches the known optimum for n=%d\n"
+                  opt n
+            | Some opt ->
+                Printf.printf "depth %d vs known optimum %d for n=%d\n"
+                  (Network.depth (Genome.to_network r.Evolve.best))
+                  opt n
+            | None -> ());
+            Printf.printf "witness verified (0-1 principle): %b\n"
+              (Zero_one.is_sorting_network (Genome.to_network r.Evolve.best));
+            0
+        | None ->
+            Printf.printf
+              "no sorter within %d generations; best fitness %d/%d (%d \
+               comparators)\n"
+              r.Evolve.generations r.Evolve.best_fitness max_fit
+              (Genome.size r.Evolve.best);
+            exit_budget
+      in
+      Printf.printf "population digest: %s\n"
+        (Evolve.population_digest r.Evolve.population);
+      if r.Evolve.interrupted then interrupted_exit "evolve" else outcome
+    end
+  in
+  let doc =
+    "Evolve sorting networks of a fixed depth shape: tournament selection \
+     with elitism, level crossover, and analyzer-guided repair mutation, \
+     with fitness (sorted 0-1 inputs) evaluated population-at-a-time on \
+     the bit-sliced engine. Deterministic under --seed; with --checkpoint \
+     the population is snapshotted at generation boundaries and --resume \
+     finishes with the byte-identical final population of an uninterrupted \
+     run."
+  in
+  Cmd.v (Cmd.info "evolve" ~doc)
+    Term.(
+      const run $ n_arg $ depth_arg $ pop_arg $ gens_arg $ seed_arg
+      $ domains_arg $ checkpoint_arg $ interval_arg $ resume_arg $ trace_arg
+      $ metrics_arg)
+
+(* fuzz *)
+
+let fuzz_cmd =
+  let seconds_arg =
+    let doc = "Wall-clock fuzzing budget in seconds." in
+    Arg.(value & opt float 10. & info [ "seconds" ] ~docv:"S" ~doc)
+  in
+  let count_arg =
+    let doc = "Stop after checking $(docv) networks (before --seconds)." in
+    Arg.(value & opt (some int) None & info [ "count" ] ~docv:"K" ~doc)
+  in
+  let run seconds count seed trace metrics =
+    with_obs ~trace ~metrics @@ fun sink ->
+    with_signals @@ fun cancel ->
+    let r = Fuzz.run ~sink ~cancel ~seconds ?count ~seed () in
+    Printf.eprintf "fuzz: %.1f s, %.0f nets/s\n%!" r.Fuzz.elapsed
+      (if r.Fuzz.elapsed > 0. then
+         float_of_int r.Fuzz.checked /. r.Fuzz.elapsed
+       else 0.);
+    Printf.printf "fuzz: checked %d networks, %d disagreements\n"
+      r.Fuzz.checked
+      (List.length r.Fuzz.disagreements);
+    List.iter
+      (fun (d : Fuzz.disagreement) ->
+        Printf.printf "DISAGREEMENT [%s] at seed=%d index=%d: %s\n"
+          d.Fuzz.kind seed d.Fuzz.index d.Fuzz.detail;
+        Printf.printf "minimized reproducer (%d comparators):\n%s"
+          (Genome.size d.Fuzz.genome)
+          (Genome.to_string d.Fuzz.genome))
+      r.Fuzz.disagreements;
+    if Cancel.cancelled cancel then interrupted_exit "fuzz"
+    else if r.Fuzz.disagreements <> [] then exit_failure
+    else 0
+  in
+  let doc =
+    "Differentially fuzz the verification stack on seeded random networks: \
+     for every sampled genome the compiled bit-sliced engine, the \
+     gate-by-gate interpreter, the exact static analyzer (sortedness and \
+     dead/redundant proofs), the naive adversary's fooling-pair \
+     certificates, and the proved optimal-depth table must all agree. Any \
+     disagreement is minimized into a reproducer and exits 1."
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ seconds_arg $ count_arg $ seed_arg $ trace_arg $ metrics_arg)
+
 (* route *)
 
 let route_cmd =
@@ -973,6 +1133,6 @@ let main =
   Cmd.group (Cmd.info "snlb" ~version:"1.0.0" ~doc)
     [ list_cmd; sort_cmd; verify_cmd; certify_cmd; table_cmd; dot_cmd;
       draw_cmd; save_cmd; load_cmd; lint_cmd; search_cmd; route_cmd;
-      serve_cmd; client_cmd ]
+      serve_cmd; client_cmd; evolve_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' ~term_err:exit_usage main)

@@ -186,6 +186,30 @@ let mask_sorted ~wires mask =
   let k = popcount mask in
   mask = ((1 lsl k) - 1) lsl (wires - k)
 
+(* Arbitrary-length mask arrays, chunked into full eval_masks passes:
+   the one lane-packing loop shared by the serve scheduler's 0-1 eval
+   batching and the evolutionary fitness kernel. *)
+let fold_masks c masks ~init ~f =
+  let total = Array.length masks in
+  let acc = ref init in
+  let off = ref 0 in
+  while !off < total do
+    let k = min lanes (total - !off) in
+    let out = eval_masks c (Array.sub masks !off k) in
+    acc := f !acc ~off:!off out;
+    off := !off + k
+  done;
+  !acc
+
+let count_sorted_masks c masks =
+  let wires = c.Compiled.wires in
+  fold_masks c masks ~init:0 ~f:(fun acc ~off:_ out ->
+      Array.fold_left
+        (fun acc mask -> if mask_sorted ~wires mask then acc + 1 else acc)
+        acc out)
+
+let count_sorted_range c ~lo ~hi = hi - lo - count_unsorted_range c ~lo ~hi
+
 let check_width fn c =
   let n = c.Compiled.wires in
   if n >= 62 then

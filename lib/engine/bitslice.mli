@@ -50,6 +50,32 @@ val mask_sorted : wires:int -> int -> bool
     is ascending by wire index (all ones packed at the high wires) —
     the per-lane sortedness test for {!eval_masks} outputs. *)
 
+val fold_masks :
+  Compiled.t ->
+  int array ->
+  init:'a ->
+  f:('a -> off:int -> int array -> 'a) ->
+  'a
+(** [fold_masks c masks ~init ~f] evaluates an {e arbitrary-length}
+    mask array by chunking it into maximally-filled {!eval_masks}
+    passes; after each pass, [f acc ~off out] receives the output masks
+    of the lanes starting at input index [off] ([out] is in input
+    order, [Array.length out <= lanes]). This is the one lane-packing
+    loop in the tree: the serve scheduler's batched 0-1 evals and the
+    evolutionary fitness kernel both sit on it rather than re-deriving
+    the chunking. Raises like {!eval_masks} on an invalid mask. *)
+
+val count_sorted_masks : Compiled.t -> int array -> int
+(** Number of masks whose outputs are sorted ({!mask_sorted} over
+    {!fold_masks}) — the population-fitness primitive on an explicit
+    input sample. *)
+
+val count_sorted_range : Compiled.t -> lo:int -> hi:int -> int
+(** [hi - lo - count_unsorted_range c ~lo ~hi]: sorted-input count over
+    a consecutive test-input range, using the fast periodic column
+    setup rather than per-mask packing. The full-sweep fitness of a
+    network is [count_sorted_range c ~lo:0 ~hi:(1 lsl wires)]. *)
+
 val find_unsorted : ?domains:int -> Compiled.t -> int option
 (** [find_unsorted c] sweeps all [2^wires] test inputs with up to
     [domains] (default 1) domains, short-circuiting every domain on

@@ -1,0 +1,23 @@
+let c_evals = Metrics.counter "evolve.evals"
+
+let max_fitness ~wires =
+  if wires < 2 || wires > 24 then
+    invalid_arg (Printf.sprintf "Fitness.max_fitness: wires %d outside [2,24]" wires);
+  1 lsl wires
+
+let compiled c =
+  let hi = max_fitness ~wires:(Compiled.wires c) in
+  Metrics.incr c_evals;
+  Bitslice.count_sorted_range c ~lo:0 ~hi
+
+let genome g = compiled (Compiled.of_network (Genome.to_network g))
+
+let population ?(domains = 1) gs =
+  (* each genome's sweep is independent; the threshold keeps a small
+     population from paying a domain spawn per handful of genomes *)
+  Array.of_list
+    (Par.map_list ~min_per_domain:16 ~domains genome (Array.to_list gs))
+
+let sample g ~masks =
+  Metrics.incr c_evals;
+  Bitslice.count_sorted_masks (Compiled.of_network (Genome.to_network g)) masks

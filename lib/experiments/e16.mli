@@ -1,0 +1,10 @@
+(** E16 — evolutionary rediscovery of depth-optimal sorting networks
+    for n = 4..8 under fixed seeds, against the proved optimal depths
+    (Bundala–Závodný).
+
+    Each row pins the genome shape to the known optimal depth and
+    reports the generation at which the population first contains a
+    sorter, its comparator count, and an independent 0-1 verification
+    of the witness. Quick mode stops at n = 6. *)
+
+val run : quick:bool -> unit

@@ -15,7 +15,8 @@ let all =
     { id = "E12"; title = "Shellsort increment families"; run = E12.run };
     { id = "E13"; title = "near-miss detectability"; run = E13.run };
     { id = "E14"; title = "exact optimal depths (search)"; run = E14.run };
-    { id = "E15"; title = "static analysis of the classics"; run = E15.run } ]
+    { id = "E15"; title = "static analysis of the classics"; run = E15.run };
+    { id = "E16"; title = "evolutionary search vs known optima"; run = E16.run } ]
 
 let find id =
   let canon = String.uppercase_ascii id in

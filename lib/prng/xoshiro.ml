@@ -44,3 +44,29 @@ let float g =
 let split g =
   let sm = Splitmix.create (next g) in
   of_splitmix sm
+
+(* The canonical xoshiro256** jump polynomial (Blackman & Vigna): xor
+   together the states reached at the set bit positions while stepping,
+   landing exactly 2^128 steps ahead. *)
+let jump_poly =
+  [| 0x180ec6d33cfd0abaL; 0xd5a61266f0c9392cL;
+     0xa9582618e03fc9aaL; 0x39abdc4529b1661cL |]
+
+let jump g =
+  let s0 = ref 0L and s1 = ref 0L and s2 = ref 0L and s3 = ref 0L in
+  Array.iter
+    (fun word ->
+      for b = 0 to 63 do
+        if Int64.logand (Int64.shift_right_logical word b) 1L = 1L then begin
+          s0 := Int64.logxor !s0 g.s0;
+          s1 := Int64.logxor !s1 g.s1;
+          s2 := Int64.logxor !s2 g.s2;
+          s3 := Int64.logxor !s3 g.s3
+        end;
+        ignore (next g)
+      done)
+    jump_poly;
+  g.s0 <- !s0;
+  g.s1 <- !s1;
+  g.s2 <- !s2;
+  g.s3 <- !s3

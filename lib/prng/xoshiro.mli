@@ -34,3 +34,11 @@ val float : t -> float
 
 val split : t -> t
 (** [split g] derives an independent generator, advancing [g]. *)
+
+val jump : t -> unit
+(** [jump g] advances [g] by exactly [2^128] steps of {!next} (the
+    standard xoshiro256** jump polynomial). Taking a {!copy} before
+    each jump carves one seed into up to [2^128] streams of [2^128]
+    non-overlapping outputs each — per-domain substreams derived from
+    a single seed with no {!Splitmix} re-seeding, so a population can
+    be split across workers while every stream stays disjoint. *)

@@ -24,7 +24,9 @@
     - ["kill-level"] — {!Driver.run} behaves as if killed at a level
       boundary (checkpoint already flushed, run reports interrupted);
     - ["kill-block"] — {!Theorem41.run} likewise, between adversary
-      blocks.
+      blocks;
+    - ["kill-gen"] — the evolutionary driver likewise, at a generation
+      boundary.
 
     When [SNLB_FAULT] is unset the whole module is a single [ref] read
     per consultation — the fault paths cost nothing in production. An

@@ -153,27 +153,22 @@ let run_eval_group _t jobs =
   in
   let compiled = Cache.compile nw in
   let jobs = Array.of_list jobs in
-  let total = Array.length jobs in
-  let off = ref 0 in
-  while !off < total do
-    let k = min Bitslice.lanes (total - !off) in
-    let masks =
-      Array.init k (fun i ->
-          match jobs.(!off + i) with
-          | Jeval { mask; _ } -> mask
+  let masks =
+    Array.map
+      (function Jeval { mask; _ } -> mask | Jverify _ -> assert false)
+      jobs
+  in
+  (* the chunking into <= 63-lane passes lives in Bitslice.fold_masks,
+     shared with the evolutionary fitness kernel *)
+  Bitslice.fold_masks compiled masks ~init:() ~f:(fun () ~off out ->
+      Metrics.incr c_eval_passes;
+      Metrics.add c_eval_lanes (Array.length out);
+      Array.iteri
+        (fun i o ->
+          match jobs.(off + i) with
+          | Jeval { cell; _ } -> Cell.fill cell o
           | Jverify _ -> assert false)
-    in
-    let out = Bitslice.eval_masks compiled masks in
-    Metrics.incr c_eval_passes;
-    Metrics.add c_eval_lanes k;
-    Array.iteri
-      (fun i o ->
-        match jobs.(!off + i) with
-        | Jeval { cell; _ } -> Cell.fill cell o
-        | Jverify _ -> assert false)
-      out;
-    off := !off + k
-  done
+        out)
 
 let run_round t jobs =
   Metrics.incr c_rounds;

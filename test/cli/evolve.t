@@ -1,0 +1,80 @@
+Evolving a depth-optimal sorting network. The depth shape defaults to
+the proved optimum for the width, so a perfect-fitness individual is a
+depth-optimal sorter; the witness is re-verified by the independent
+0-1 checker and the final population is digested for resume checks.
+
+  $ snlb evolve -n 5 --pop 256 --gens 300 --seed 1
+  evolving n=5 depth=5: pop=256 gens<=300 seed=1
+  sorter found at generation 1 (fitness 32/32, 9 comparators)
+    layer 1: (1,3)(2,4)
+    layer 2: (0,2)(3,4)
+    layer 3: (0,1)(2,3)
+    layer 4: (1,2)(3,4)
+    layer 5: (2,3)
+  depth 5 matches the known optimum for n=5
+  witness verified (0-1 principle): true
+  population digest: 6ac7f79f
+
+Checkpointed evolutions survive being killed. The kill-gen fault point
+simulates a crash at every generation boundary (after the boundary
+snapshot is flushed), so each incarnation completes exactly one more
+generation and exits 130 with its population on disk.
+
+  $ export SNLB_FAULT=kill-gen
+  $ snlb evolve -n 7 --pop 64 --gens 80 --seed 1 --checkpoint e.snap --checkpoint-interval 0
+  evolving n=7 depth=6: pop=64 gens<=80 seed=1
+  no sorter within 1 generations; best fitness 100/128 (16 comparators)
+  population digest: 609e1370
+  snlb: evolve interrupted
+  [130]
+
+  $ snlb evolve -n 7 --pop 64 --gens 80 --seed 1 --checkpoint e.snap --checkpoint-interval 0 --resume
+  snlb: resuming evolution n=7 depth=6 pop=64 seed=1 at generation 1
+  evolving n=7 depth=6: pop=64 gens<=80 seed=1
+  no sorter within 2 generations; best fitness 106/128 (17 comparators)
+  population digest: 39beb51e
+  snlb: evolve interrupted
+  [130]
+
+With the fault cleared, the resumed run finishes with exactly the
+result of a never-interrupted run — same discovery generation, same
+network, byte-identical final population digest (compare the fresh run
+below). All breeding randomness derives from (seed, generation, slot),
+so the trajectory is independent of where the crashes landed.
+
+  $ unset SNLB_FAULT
+  $ snlb evolve -n 7 --pop 64 --gens 80 --seed 1 --checkpoint e.snap --checkpoint-interval 0 --resume
+  snlb: resuming evolution n=7 depth=6 pop=64 seed=1 at generation 2
+  evolving n=7 depth=6: pop=64 gens<=80 seed=1
+  sorter found at generation 12 (fitness 128/128, 18 comparators)
+    layer 1: (0,2)(1,5)(4,6)
+    layer 2: (0,4)(1,2)(5,6)
+    layer 3: (1,5)(2,6)(3,4)
+    layer 4: (0,1)(2,4)(3,5)
+    layer 5: (1,3)(2,5)(4,6)
+    layer 6: (0,1)(2,3)(4,5)
+  depth 6 matches the known optimum for n=7
+  witness verified (0-1 principle): true
+  population digest: 72dcf797
+
+  $ snlb evolve -n 7 --pop 64 --gens 80 --seed 1
+  evolving n=7 depth=6: pop=64 gens<=80 seed=1
+  sorter found at generation 12 (fitness 128/128, 18 comparators)
+    layer 1: (0,2)(1,5)(4,6)
+    layer 2: (0,4)(1,2)(5,6)
+    layer 3: (1,5)(2,6)(3,4)
+    layer 4: (0,1)(2,4)(3,5)
+    layer 5: (1,3)(2,5)(4,6)
+    layer 6: (0,1)(2,3)(4,5)
+  depth 6 matches the known optimum for n=7
+  witness verified (0-1 principle): true
+  population digest: 72dcf797
+
+Usage errors are caught before any work starts.
+
+  $ snlb evolve -n 5 --resume
+  evolve: --resume needs --checkpoint FILE
+  [2]
+  $ snlb evolve -n 1
+  evolve: n must be in [2,16]
+  [2]

@@ -22,7 +22,7 @@ let quietly f () =
     f
 
 let test_registry_complete () =
-  Alcotest.(check int) "15 experiments" 15 (List.length Registry.all);
+  Alcotest.(check int) "16 experiments" 16 (List.length Registry.all);
   List.iter
     (fun e ->
       Alcotest.(check bool) ("find " ^ e.Registry.id) true

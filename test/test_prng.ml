@@ -92,6 +92,42 @@ let test_xoshiro_int_small_bounds () =
   done;
   check_int "bound 1 is constant" 0 (Xoshiro.int g ~bound:1)
 
+let test_xoshiro_jump_deterministic () =
+  let a = Xoshiro.of_seed 11 and b = Xoshiro.of_seed 11 in
+  Xoshiro.jump a;
+  Xoshiro.jump b;
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "jumped streams agree" (Xoshiro.next a)
+      (Xoshiro.next b)
+  done
+
+(* jump is 2^128 steps: the jumped stream must not collide with a
+   long prefix of the base stream, and double-jump must differ from
+   single-jump (three pairwise-disjoint streams from one seed) *)
+let test_xoshiro_jump_disjoint () =
+  let base = Xoshiro.of_seed 12 in
+  let one = Xoshiro.copy base in
+  Xoshiro.jump one;
+  let two = Xoshiro.copy one in
+  Xoshiro.jump two;
+  let draws g = List.init 256 (fun _ -> Xoshiro.next g) in
+  let b = draws base and o = draws one and t = draws two in
+  let module S = Set.Make (Int64) in
+  let sb = S.of_list b and so = S.of_list o and st = S.of_list t in
+  check_bool "base and jump disjoint" true (S.is_empty (S.inter sb so));
+  check_bool "jump and jump^2 disjoint" true (S.is_empty (S.inter so st));
+  check_bool "base and jump^2 disjoint" true (S.is_empty (S.inter sb st))
+
+(* the copy taken before a jump is untouched by it *)
+let test_xoshiro_jump_preserves_copy () =
+  let a = Xoshiro.of_seed 13 in
+  let before = Xoshiro.copy a in
+  let reference = Xoshiro.copy a in
+  let expect = List.init 20 (fun _ -> Xoshiro.next reference) in
+  Xoshiro.jump a;
+  let got = List.init 20 (fun _ -> Xoshiro.next before) in
+  check_bool "pre-jump copy unaffected" true (expect = got)
+
 let () =
   Alcotest.run "prng"
     [ ( "splitmix",
@@ -106,4 +142,10 @@ let () =
           Alcotest.test_case "float range" `Quick test_xoshiro_float_range;
           Alcotest.test_case "bool balance" `Quick test_xoshiro_bool_balance;
           Alcotest.test_case "copy and split" `Quick test_xoshiro_copy_split;
-          Alcotest.test_case "small bounds" `Quick test_xoshiro_int_small_bounds ] ) ]
+          Alcotest.test_case "small bounds" `Quick test_xoshiro_int_small_bounds;
+          Alcotest.test_case "jump deterministic" `Quick
+            test_xoshiro_jump_deterministic;
+          Alcotest.test_case "jump streams disjoint" `Quick
+            test_xoshiro_jump_disjoint;
+          Alcotest.test_case "jump preserves copies" `Quick
+            test_xoshiro_jump_preserves_copy ] ) ]
