@@ -19,9 +19,11 @@ bench:
 	dune exec bench/main.exe
 
 # Engine microbenchmarks only; writes name -> ns/op to BENCH_engine.json
-# so successive PRs have a perf trajectory to compare against. The same
+# so successive PRs have a perf trajectory to compare against (plus the
+# wide-vs-chunked eval-many rows, asserted >= 3x). The same
 # run times the exact-bounds search (pruned vs reference, 1 vs K
-# domains) into BENCH_search.json, the static analyzer's throughput
+# domains, and the arena-vs-legacy n=8 engine rows asserted >= 5x)
+# into BENCH_search.json, the static analyzer's throughput
 # (networks/sec, comparators/sec) into BENCH_analysis.json, and the
 # serve scheduler's 32-client batched-vs-sequential throughput and
 # lane-fill ratio into BENCH_serve.json, and the evolutionary search's
@@ -33,6 +35,9 @@ bench-json:
 	SNLB_BENCH_JSON=BENCH_engine.json SNLB_BENCH_SEARCH_JSON=BENCH_search.json SNLB_BENCH_ANALYSIS_JSON=BENCH_analysis.json SNLB_BENCH_SERVE_JSON=BENCH_serve.json SNLB_BENCH_EVOLVE_JSON=BENCH_evolve.json dune exec bench/main.exe
 	grep -q '"obs/engine.cache.hits"' BENCH_engine.json
 	grep -q '"obs/engine.cache.evictions"' BENCH_engine.json
+	grep -q '"engine/eval-many/chunked-63/wall_ms"' BENCH_engine.json
+	grep -q '"engine/eval-many/wide-64/wall_ms"' BENCH_engine.json
+	awk -F': ' '/"engine\/eval-many\/speedup"/ { exit !($$2 + 0 >= 3.0) }' BENCH_engine.json
 	grep -q '"search/n=6/pruned/domains=1/subsumed"' BENCH_search.json
 	grep -q '"obs/search.nodes"' BENCH_search.json
 	grep -q '"obs/analysis.redundant_moves"' BENCH_search.json
@@ -40,6 +45,12 @@ bench-json:
 	grep -q '"obs/checkpoint.writes"' BENCH_search.json
 	grep -q '"obs/checkpoint.bytes"' BENCH_search.json
 	grep -q '"obs/checkpoint.write_ms.mean"' BENCH_search.json
+	grep -q '"search/n=8/engine=legacy/wall_ms"' BENCH_search.json
+	grep -q '"search/n=8/engine=arena/wall_ms"' BENCH_search.json
+	grep -q '"obs/arena.states"' BENCH_search.json
+	grep -q '"obs/arena.probes"' BENCH_search.json
+	grep -q '"obs/arena.bytes"' BENCH_search.json
+	awk -F': ' '/"search\/n=8\/arena_speedup"/ { exit !($$2 + 0 >= 5.0) }' BENCH_search.json
 	grep -q '"analysis/bitonic-n=16/networks_per_s"' BENCH_analysis.json
 	grep -q '"analysis/bitonic-n=32/comparators_per_s"' BENCH_analysis.json
 	grep -q '"obs/analysis.networks"' BENCH_analysis.json

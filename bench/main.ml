@@ -268,6 +268,36 @@ let obs_rows () =
   in
   counters @ hists
 
+(* Wide (int64-transpose) vs chunked-63 batch evaluation of the same
+   mask sample — the eval-many speedup row `make bench-json` asserts
+   at >= 3x. Both sides count sorted outputs over an 8192-mask random
+   sample through the same compiled bitonic n=16, so the row isolates
+   the lane-packing strategy: per-mask bit gather/scatter against the
+   64x64 bit-matrix transpose. *)
+let eval_many_rows () =
+  let wires = 16 in
+  let c = Cache.compile (Bitonic.network ~n:wires) in
+  let rng = pre_rng () in
+  let masks = Array.init 8192 (fun _ -> Xoshiro.int rng ~bound:(1 lsl wires)) in
+  let expect = Bitslice.count_sorted_masks c masks in
+  let scratch = Bitslice.scratch () in
+  let best f =
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Clock.wall () in
+      assert (f () = expect);
+      best := min !best (Clock.wall () -. t0)
+    done;
+    !best
+  in
+  let chunked = best (fun () -> Bitslice.count_sorted_masks c masks) in
+  let wide =
+    best (fun () -> Bitslice.count_sorted_masks_wide ~scratch c masks)
+  in
+  [ ("engine/eval-many/chunked-63/wall_ms", chunked *. 1e3);
+    ("engine/eval-many/wide-64/wall_ms", wide *. 1e3);
+    ("engine/eval-many/speedup", if wide > 0. then chunked /. wide else 0.) ]
+
 (* Search-engine throughput: wall-clock rows for the exact-bounds BFS,
    written as the same flat name -> float JSON as the engine file. Each
    configuration contributes wall_ms / nodes / nodes_per_s /
@@ -318,6 +348,31 @@ let search_json_rows () =
       (fun () ->
         time_run ~checkpoint:(path, interval) ~tag ~restrict:true ~domains:1 7)
   in
+  (* arena vs legacy engine on one prebuilt n=8 pruned system — the
+     run only, so system construction (layer tables, symmetry
+     reduction) is excluded from both sides. Best of 3 to shave timing
+     noise; `make bench-json` asserts the speedup row at >= 5x. *)
+  let engine_rows =
+    let n = 8 in
+    let sys = Driver.network_system ~n () in
+    let best engine =
+      let best = ref infinity in
+      for _ = 1 to 3 do
+        let t0 = Clock.wall () in
+        (match Driver.run ~engine ~max_depth:n sys with
+        | Driver.Sorted { depth = 6; _ } -> ()
+        | _ -> failwith "n=8 optimal depth should be 6");
+        best := min !best (Clock.wall () -. t0)
+      done;
+      !best
+    in
+    let legacy = best `Legacy in
+    let arena = best `Arena in
+    [ ("search/n=8/engine=legacy/wall_ms", legacy *. 1e3);
+      ("search/n=8/engine=arena/wall_ms", arena *. 1e3);
+      ("search/n=8/arena_speedup", if arena > 0. then legacy /. arena else 0.)
+    ]
+  in
   List.concat
     [ time_run ~tag:"pruned" ~restrict:true ~domains:1 6;
       time_run ~tag:"pruned" ~restrict:true ~domains:k 6;
@@ -326,7 +381,8 @@ let search_json_rows () =
       time_run ~tag:"pruned" ~restrict:true ~domains:1 7;
       time_run ~tag:"pruned" ~restrict:true ~domains:k 7;
       checkpointed ~tag:"pruned-ckpt" ~interval:60.;
-      checkpointed ~tag:"pruned-ckpt0" ~interval:0. ]
+      checkpointed ~tag:"pruned-ckpt0" ~interval:0.;
+      engine_rows ]
 
 (* Analyzer throughput: repeated full analyses (structural lints, both
    abstract domains' walk, conformance recognizers) of mid-size bitonic
@@ -498,7 +554,7 @@ let () =
       (* the obs/ rows carry whatever the bechamel loops accumulated in
          the global registry (cache hit/miss/eviction traffic, verify
          sweep rates) *)
-      write_json path (results @ obs_rows ());
+      write_json path (results @ eval_many_rows () @ obs_rows ());
       (match Sys.getenv_opt "SNLB_BENCH_SEARCH_JSON" with
        | Some search_path ->
            Metrics.reset ();

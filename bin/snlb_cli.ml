@@ -48,6 +48,15 @@ let metrics_arg =
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+(* record the resolved fan-out and the auto-pick ceiling as counters so
+   --metrics (and the bench JSON built on it) shows the true domain
+   count next to the [Par.default_cap] it was clamped by —
+   [snlb_parallel] has no Metrics dependency, so the recording lives
+   here at the entry points *)
+let record_domains domains =
+  Metrics.add (Metrics.counter "par.domains") domains;
+  Metrics.add (Metrics.counter "par.domains.default_cap") Par.default_cap
+
 let print_metrics () =
   let t =
     Ascii_table.create
@@ -170,6 +179,7 @@ let verify_cmd =
         let domains =
           if domains <= 0 then Par.recommended_domains () else domains
         in
+        record_domains domains;
         with_obs ~trace ~metrics @@ fun sink ->
         Printf.printf "verifying %s on n=%d over all %d zero-one inputs...\n%!"
           algo n (1 lsl n);
@@ -567,6 +577,20 @@ let search_cmd =
     let doc = "Worker domains for expansion and subsumption filtering." in
     Arg.(value & opt int 1 & info [ "domains" ] ~docv:"K" ~doc)
   in
+  let engine_arg =
+    let doc =
+      "Search engine: $(b,auto) picks the packed arena whenever the moves \
+       are plain comparator layers (the free search; --shuffle always runs \
+       legacy), $(b,arena) forces it, $(b,legacy) forces the boxed \
+       list/Hashtbl path. Both engines make identical decisions."
+    in
+    Arg.(
+      value
+      & opt
+          (enum [ ("auto", `Auto); ("legacy", `Legacy); ("arena", `Arena) ])
+          `Auto
+      & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
   let max_depth_arg =
     let doc = "Depth cap for optimal search (default: n, or 6 with --shuffle)." in
     Arg.(value & opt (some int) None & info [ "max-depth" ] ~docv:"D" ~doc)
@@ -585,9 +609,10 @@ let search_cmd =
       s.Driver.nodes s.Driver.pruned s.Driver.deduped s.Driver.subsumed
       s.Driver.redundant s.Driver.peak_frontier
   in
-  let run n depth _optimal shuffle domains max_depth budget ckpt interval
-      resume trace metrics =
+  let run n depth _optimal shuffle domains engine max_depth budget ckpt
+      interval resume trace metrics =
     let budget = { Driver.max_nodes = budget; max_seconds = None } in
+    record_domains domains;
     if resume && ckpt = None then
       usage_error "search: --resume needs --checkpoint FILE"
     else begin
@@ -670,8 +695,8 @@ let search_cmd =
           | None, None -> n
         in
         match
-          Driver.optimal_depth ~domains ~budget ~sink ~cancel ?checkpoint
-            ?resume:resume_state ~max_depth ~n ()
+          Driver.optimal_depth ~domains ~engine ~budget ~sink ~cancel
+            ?checkpoint ?resume:resume_state ~max_depth ~n ()
         with
         | Driver.Sorted { depth; moves; stats } ->
             Printf.printf "optimal depth for n=%d: %d (witness verified: %b)\n" n
@@ -707,8 +732,9 @@ let search_cmd =
   Cmd.v (Cmd.info "search" ~doc)
     Term.(
       const run $ search_n_arg $ depth_arg $ optimal_arg $ shuffle_arg
-      $ domains_arg $ max_depth_arg $ budget_arg $ checkpoint_arg
-      $ interval_arg $ resume_arg $ trace_arg $ metrics_arg)
+      $ domains_arg $ engine_arg $ max_depth_arg $ budget_arg
+      $ checkpoint_arg $ interval_arg $ resume_arg $ trace_arg
+      $ metrics_arg)
 
 (* evolve *)
 
@@ -750,6 +776,7 @@ let evolve_cmd =
       let domains =
         if domains <= 0 then Par.recommended_domains () else domains
       in
+      record_domains domains;
       with_obs ~trace ~metrics @@ fun sink ->
       with_signals @@ fun cancel ->
       let cfg =
@@ -953,6 +980,7 @@ let serve_cmd =
           let domains =
             if domains <= 0 then Par.recommended_domains () else domains
           in
+          record_domains domains;
           let config =
             { (Server.default_config addr) with
               Server.domains;

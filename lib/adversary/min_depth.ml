@@ -92,6 +92,9 @@ let system ~n =
     apply =
       (fun ops st ->
         State.map_masks st (fun m -> apply_ops ~pairs ops (shuffle_mask ~n ~d m)));
+    (* a move here is shuffle-then-ops, not a comparator layer, so the
+       arena engine's butterfly apply cannot express it *)
+    pairs_of = None;
     prune = (fun ~level:_ ~remaining st -> prunable ~n ~d ~remaining st);
     (* redundancy hook off: the op-vector move set is tiny (4^(n/2)
        vectors, n <= 8 in practice) and equality dedup already

@@ -6,10 +6,34 @@ let log2_exact n =
   let rec go acc m = if m = 1 then acc else go (acc + 1) (m lsr 1) in
   go 0 n
 
+(* binary descent: 6 compare/shift steps for any 62-bit value, instead
+   of one iteration per bit — this is a leaf of the search and engine
+   hot loops (bit iteration over packed states) *)
 let floor_log2 n =
   if n < 1 then invalid_arg "Bitops.floor_log2: argument must be >= 1";
-  let rec go acc m = if m = 1 then acc else go (acc + 1) (m lsr 1) in
-  go 0 n
+  let r = ref 0 and m = ref n in
+  if !m lsr 32 <> 0 then begin
+    r := !r + 32;
+    m := !m lsr 32
+  end;
+  if !m lsr 16 <> 0 then begin
+    r := !r + 16;
+    m := !m lsr 16
+  end;
+  if !m lsr 8 <> 0 then begin
+    r := !r + 8;
+    m := !m lsr 8
+  end;
+  if !m lsr 4 <> 0 then begin
+    r := !r + 4;
+    m := !m lsr 4
+  end;
+  if !m lsr 2 <> 0 then begin
+    r := !r + 2;
+    m := !m lsr 2
+  end;
+  if !m lsr 1 <> 0 then r := !r + 1;
+  !r
 
 let ceil_log2 n =
   if n < 1 then invalid_arg "Bitops.ceil_log2: argument must be >= 1";
@@ -66,10 +90,16 @@ let reverse_bits ~width j =
   in
   go 0 0
 
+(* SWAR: pairwise, nibble-wise, byte-wise folds then one multiply to
+   sum the byte counts — constant ~12 word ops for any 62-bit value.
+   The masks are written for OCaml's 63-bit ints (nonnegative values
+   use bits 0-61, so the 01 pattern tops out at bit 60). *)
 let popcount j =
   if j < 0 then invalid_arg "Bitops.popcount: negative argument";
-  let rec go acc m = if m = 0 then acc else go (acc + (m land 1)) (m lsr 1) in
-  go 0 j
+  let j = j - ((j lsr 1) land 0x1555_5555_5555_5555) in
+  let j = (j land 0x3333_3333_3333_3333) + ((j lsr 2) land 0x3333_3333_3333_3333) in
+  let j = (j + (j lsr 4)) land 0x0F0F_0F0F_0F0F_0F0F in
+  (j * 0x0101_0101_0101_0101) lsr 56
 
 let gray j =
   if j < 0 then invalid_arg "Bitops.gray: negative argument";

@@ -5,11 +5,16 @@
     inputs its network sorts (the 0-1 principle makes [2^wires] the
     whole truth); a genome is a perfect sorter iff its fitness is
     {!max_fitness}. Each evaluation is one compile plus a bit-sliced
-    sweep — 63 lane-packed inputs per pass over the instruction stream
-    ({!Bitslice.count_sorted_range}) — and whole populations fan out
-    across OCaml 5 domains via {!Par.map_list}, so evaluating millions
-    of genomes is the engine's sustained-throughput story (the
-    [BENCH_evolve.json] rows assert nets/s).
+    sweep ({!Bitslice.count_sorted_range}); whole populations fan out
+    across OCaml 5 domains via {!Par.map_list} over (genome, input
+    subrange) work units — when a handful of wide genomes could not
+    otherwise feed every domain, each genome's [2^wires] sweep splits
+    into subranges whose exact counts are summed back per genome — so
+    evaluating millions of genomes is the engine's sustained-throughput
+    story (the [BENCH_evolve.json] rows assert nets/s). Sampled
+    fitness runs on the wide int64 bit-slice path
+    ({!Bitslice.count_sorted_masks_wide}, 64 lanes per pass) with one
+    reusable scratch block per domain.
 
     Observability: every genome evaluated bumps ["evolve.evals"]. *)
 
@@ -25,11 +30,19 @@ val genome : Genome.t -> int
 
 val population : ?domains:int -> Genome.t array -> int array
 (** [population gs] is the fitness of every genome, in order;
-    [domains] (default 1) splits the population across domains (a
-    work-size threshold keeps small populations sequential). The
-    result is independent of [domains]. *)
+    [domains] (default 1) splits the (genome, subrange) work units
+    across domains (a work-size threshold keeps small populations of
+    narrow genomes sequential). The result is independent of
+    [domains]. *)
 
 val sample : Genome.t -> masks:int array -> int
 (** Sorted count over an explicit input sample instead of the full
-    sweep ({!Bitslice.count_sorted_masks}) — restricted-input fitness
-    for wide genomes where [2^wires] is out of reach. *)
+    sweep ({!Bitslice.count_sorted_masks_wide}, using a per-domain
+    reusable scratch) — restricted-input fitness for wide genomes
+    where [2^wires] is out of reach. *)
+
+val population_sample : ?domains:int -> Genome.t array -> masks:int array -> int array
+(** [population_sample gs ~masks] is {!sample} for every genome, in
+    order, fanned out like {!population}; each domain reuses its own
+    wide-path scratch block. The result is independent of
+    [domains]. *)

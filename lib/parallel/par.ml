@@ -1,9 +1,11 @@
-let clamp_domains v = min 64 (max 1 v)
+let default_cap = 8
+let clamp_max = 64
+let clamp_domains v = min clamp_max (max 1 v)
 
 let recommended_domains () =
   let default () =
     let cores = Domain.recommended_domain_count () in
-    min 8 (max 1 (cores - 1))
+    min default_cap (max 1 (cores - 1))
   in
   match Sys.getenv_opt "SNLB_DOMAINS" with
   | None -> default ()
@@ -43,11 +45,34 @@ let map_ranges ~domains ~lo ~hi f =
     match bounds with
     | [] -> assert false
     | (a0, b0) :: rest ->
-        let handles =
-          List.map (fun (a, b) -> Domain.spawn (fun () -> f ~lo:a ~hi:b)) rest
+        (* Every spawned chunk is wrapped so Domain.join never raises;
+           the calling-domain chunk runs under Fun.protect whose finally
+           joins every handle. A raise anywhere — including in the first
+           chunk, the SIGINT [Cancel] drain path — therefore never leaks
+           a running domain or skips a join. The first failing chunk in
+           range order is re-raised with its backtrace once all chunks
+           have been joined. *)
+        let wrap g =
+          match g () with
+          | v -> Ok v
+          | exception e -> Error (e, Printexc.get_raw_backtrace ())
         in
-        let first = f ~lo:a0 ~hi:b0 in
-        first :: List.map Domain.join handles
+        let handles =
+          List.map
+            (fun (a, b) -> Domain.spawn (fun () -> wrap (fun () -> f ~lo:a ~hi:b)))
+            rest
+        in
+        let joined = ref [] in
+        let first =
+          Fun.protect
+            ~finally:(fun () -> joined := List.map Domain.join handles)
+            (fun () -> wrap (fun () -> f ~lo:a0 ~hi:b0))
+        in
+        List.map
+          (function
+            | Ok v -> v
+            | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+          (first :: !joined)
   end
 
 let map_list ?(min_per_domain = 1) ~domains f xs =

@@ -7,16 +7,33 @@
     chunk; domains never share mutable state, so no synchronisation
     beyond [join] is needed. *)
 
+val default_cap : int
+(** 8 — the ceiling of the {e heuristic} default below. *)
+
+val clamp_max : int
+(** 64 — the ceiling an explicit [SNLB_DOMAINS] is clamped to. *)
+
 val recommended_domains : unit -> int
-(** [max 1 (cpu count - 1)], capped at 8; the extra domains beyond the
-    chunk count are never spawned. The [SNLB_DOMAINS] environment
-    variable overrides the heuristic with a fixed count, clamped to
-    [\[1, 64\]] — CI and benchmarks use it to pin parallelism
-    deterministically. An out-of-range or non-integer value is never
-    silently honoured: it triggers a one-line [stderr] warning naming
-    the bad value before clamping (respectively falling back to the
-    heuristic). An empty or all-whitespace value means "unset" and is
-    ignored without a warning. *)
+(** [max 1 (cpu count - 1)], capped at {!default_cap} (8); the extra
+    domains beyond the chunk count are never spawned. The
+    [SNLB_DOMAINS] environment variable overrides the heuristic with a
+    fixed count, clamped to [\[1, {!clamp_max}\]] (64) — CI and
+    benchmarks use it to pin parallelism deterministically.
+
+    Note the deliberate asymmetry: the {e default} never exceeds 8 even
+    on a 64-core box (fan-out past 8 domains has shown no wins on the
+    library's workloads, and idle-core stealing hurts co-tenants),
+    while an {e explicit} [SNLB_DOMAINS] is trusted up to 64. Callers
+    that report parallelism (the CLI's [--metrics], the bench JSON
+    rows) should record both the chosen count and {!default_cap} so a
+    row measured on a big machine is not misread as using every core —
+    see the [par.domains] / [par.domains.default_cap] counters.
+
+    An out-of-range or non-integer value is never silently honoured:
+    it triggers a one-line [stderr] warning naming the bad value before
+    clamping (respectively falling back to the heuristic). An empty or
+    all-whitespace value means "unset" and is ignored without a
+    warning. *)
 
 val map_ranges :
   domains:int -> lo:int -> hi:int -> (lo:int -> hi:int -> 'a) -> 'a list
@@ -25,6 +42,13 @@ val map_ranges :
     own domain (the first chunk runs on the calling domain). Results
     come back in range order. [f] must not touch mutable state shared
     with the other chunks. With [domains <= 1] everything runs inline.
+
+    Exception safety: every spawned domain is joined before the call
+    returns, {e including} when a chunk raises — a raise in the
+    calling-domain chunk no longer leaks running domains (they are
+    joined under [Fun.protect]), and a raise in any chunk is re-raised
+    (first failing chunk in range order, original backtrace) only after
+    all chunks have been joined, so no work is left in flight.
     @raise Invalid_argument if [lo > hi] or [domains < 1]. *)
 
 val map_list :

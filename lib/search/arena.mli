@@ -1,0 +1,96 @@
+(** GC-free packed-state arena for the exact search.
+
+    Every state the BFS ever sees is one flat row of int64 Bigarray
+    words (64 reachable masks per word), with the scalars the
+    subsumption filters scan — cardinality, BFS level, row hash and
+    the packed filter signatures — in parallel int arrays: a
+    struct-of-arrays layout the hot loops walk without chasing boxed
+    [State.t] or fingerprint records. Dedup is open addressing over an
+    xxhash64-style row hash (linear probing, power-of-two table,
+    resized at load factor 1/2), so the frontier never allocates boxed
+    keys. Comparator layers apply to a whole row as a butterfly of
+    masked word shifts — O(row words) per comparator instead of a loop
+    over every reachable mask.
+
+    Mutation protocol: build a child into the single {e staging row}
+    with {!stage_state} or {!stage_child}, interrogate it
+    ({!staged_is_sorted}), then {!commit} it — which either dedups it
+    against every row ever committed or freezes it as the next index.
+    Committed rows are immutable and indices are stable for the arena's
+    lifetime.
+
+    An arena (and its staging row and subsumption scratch) is
+    single-domain: confine each instance to one domain. *)
+
+type t
+
+val create : ?with_sigs:bool -> n:int -> unit -> t
+(** An empty arena for [n]-wire states ([2 <= n <= 16]; rows are [2^n]
+    bits). [with_sigs] (default true) additionally computes, at commit
+    time, the packed SWAR signatures that {!subsumes} needs; pass
+    [false] for equality-dedup-only runs to skip that work. *)
+
+val n : t -> int
+
+val length : t -> int
+(** Number of committed states; valid indices are [0 .. length - 1]. *)
+
+val stage_state : t -> State.t -> unit
+(** Pack an explicit state into the staging row. *)
+
+val stage_child : t -> parent:int -> (int * int) list -> unit
+(** [stage_child t ~parent layer] writes into the staging row the image
+    of committed row [parent] under the comparator layer (ascending
+    [(i, j)] pairs, [i < j]) — the arena-native
+    [State.apply_comparators]. *)
+
+val staged_is_sorted : t -> bool
+(** Whether the staging row's reachable set contains only the [n + 1]
+    sorted 0-1 vectors — the "witness found" test, before commit. *)
+
+val commit : t -> level:int -> [ `Fresh of int | `Dup of int ]
+(** Dedup-insert the staging row: [`Dup idx] if a row with identical
+    words was already committed (the staging row is simply abandoned),
+    else [`Fresh idx] freezing it at the next index with BFS level
+    [level] (and its signatures, when enabled). *)
+
+val staged_state : t -> State.t
+(** Unpack the staging row (allocating) without committing it — for
+    [State.t]-typed prune hooks that must see a child {e before} it
+    enters the dedup memory. *)
+
+val truncate : t -> int -> unit
+(** [truncate t len] drops every row committed after the first [len]
+    (indices [>= len] become invalid; the dedup table is rebuilt).
+    How an interrupted run discards an in-flight level's commits so a
+    checkpoint cut at the previous boundary stays consistent. *)
+
+val card : t -> int -> int
+(** Reachable-set cardinality of a committed row (precomputed). *)
+
+val level : t -> int -> int
+(** BFS level recorded at commit. *)
+
+val to_state : t -> int -> State.t
+(** Unpack a committed row (allocating) — the bridge to the
+    [State.t]-typed prune/redundancy hooks and checkpoint format. *)
+
+val iter_masks : t -> int -> (int -> unit) -> unit
+(** Iterate the reachable masks of a committed row in increasing order
+    without unpacking it. *)
+
+val subsumes : t -> int -> int -> bool
+(** [subsumes t a b] is boolean-identical to
+    [Subsume.subsumes (to_state t a, _) (to_state t b, _)]: does some
+    wire permutation carry row [a]'s reachable set into a subset of row
+    [b]'s? The card / level / per-channel filters run as field-wise
+    comparisons on the packed signatures (one subtract-and-mask per
+    signature word), candidate channel images are bitmasks, and the
+    final backtracking search is allocation-free. Requires the arena to
+    have been created with signatures. *)
+
+val record_metrics : t -> unit
+(** Flush the arena's local counters into the global {!Metrics}
+    registry ([arena.probes], [arena.collisions], [arena.resizes],
+    [arena.bytes]; [arena.states] / [arena.dups] are bumped live at
+    commit) — call once per run, not per operation. *)

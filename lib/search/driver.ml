@@ -29,10 +29,13 @@ type 'm system = {
   initial : State.t;
   moves_at : level:int -> 'm list;
   apply : 'm -> State.t -> State.t;
+  pairs_of : ('m -> (int * int) list) option;
   prune : level:int -> remaining:int -> State.t -> bool;
   redundant_of : level:int -> State.t -> 'm -> bool;
   dedup : dedup;
 }
+
+type engine = [ `Auto | `Legacy | `Arena ]
 
 let no_prune ~level:_ ~remaining:_ _ = false
 let no_redundant ~level:_ _ _ = false
@@ -222,9 +225,20 @@ let validate_resume ~max_depth sys rs =
          (dedup_name sys.dedup))
   else Ok ()
 
-let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
-    ?on_level ?cancel ?checkpoint ?resume:resume_from ~max_depth sys =
+let run ?(domains = 1) ?(engine = (`Auto : engine)) ?(budget = default_budget)
+    ?(sink = Sink.null) ?on_level ?cancel ?checkpoint ?resume:resume_from
+    ~max_depth sys =
   if max_depth < 0 then invalid_arg "Driver.run: max_depth must be >= 0";
+  let use_arena =
+    match engine with
+    | `Legacy -> false
+    | `Arena ->
+        if Option.is_none sys.pairs_of then
+          invalid_arg
+            "Driver.run: the arena engine needs a system exposing pairs_of";
+        true
+    | `Auto -> Option.is_some sys.pairs_of
+  in
   (* a validated snapshot, or None for a fresh start *)
   let snap : 'm snapshot option =
     match resume_from with
@@ -322,10 +336,279 @@ let run ?(domains = 1) ?(budget = default_budget) ?(sink = Sink.null)
             Printf.eprintf
               "snlb: checkpoint write failed (%s); search continues\n%!" e)
   in
+  (* --- arena engine ---
+
+     The packed-row fast path: the whole dedup memory lives in one
+     {!Arena} (flat int64 rows + open addressing, no boxed keys), a
+     child is built by the butterfly [Arena.stage_child] instead of a
+     per-mask [apply], and subsumption runs on packed signatures. The
+     loop is sequential (an arena is single-domain) but mirrors the
+     legacy control flow decision for decision — same candidate order,
+     same counter semantics, same level boundaries — and snapshots
+     convert to the {e legacy} structures at flush time, so checkpoints
+     keep [checkpoint_kind] and resume into either engine. *)
+  let run_arena () =
+    let pairs_of = Option.get sys.pairs_of in
+    let arena = Arena.create ~with_sigs:(sys.dedup = Subsume) ~n:sys.n () in
+    (* kept representatives as arena indices, sorted by ascending
+       cardinality: a rep can only subsume candidates of >= its card
+       (subsumption maps the reachable set injectively), so the scan
+       for a candidate cuts off at the first larger card *)
+    let kept_idx = ref (Array.make 256 0) in
+    let kept_card = ref (Array.make 256 0) in
+    let kept_len = ref 0 in
+    let kept_insert idx =
+      if !kept_len = Array.length !kept_idx then begin
+        let grow a =
+          let a' = Array.make (2 * Array.length a) 0 in
+          Array.blit a 0 a' 0 (Array.length a);
+          a'
+        in
+        kept_idx := grow !kept_idx;
+        kept_card := grow !kept_card
+      end;
+      let c = Arena.card arena idx in
+      let lo = ref 0 and hi = ref !kept_len in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if (!kept_card).(mid) <= c then lo := mid + 1 else hi := mid
+      done;
+      let pos = !lo in
+      Array.blit !kept_idx pos !kept_idx (pos + 1) (!kept_len - pos);
+      Array.blit !kept_card pos !kept_card (pos + 1) (!kept_len - pos);
+      (!kept_idx).(pos) <- idx;
+      (!kept_card).(pos) <- c;
+      incr kept_len
+    in
+    let kept_subsumes cand =
+      let c = Arena.card arena cand in
+      let k = ref 0 and hit = ref false in
+      while (not !hit) && !k < !kept_len && (!kept_card).(!k) <= c do
+        if Arena.subsumes arena (!kept_idx).(!k) cand then hit := true;
+        incr k
+      done;
+      !hit
+    in
+    let commit_existing st =
+      Arena.stage_state arena st;
+      match Arena.commit arena ~level:0 with `Fresh i | `Dup i -> i
+    in
+    let frontier = ref [] in
+    (match snap with
+    | None -> frontier := [ (commit_existing sys.initial, []) ]
+    | Some s ->
+        (* rehydrate the legacy-format snapshot: every seen state
+           becomes a committed row, then kept and frontier resolve to
+           their indices by dedup *)
+        Hashtbl.iter
+          (fun key () -> ignore (commit_existing (State.of_key ~n:sys.n key)))
+          s.s_seen;
+        List.iter
+          (fun (st, _fp) -> kept_insert (commit_existing st))
+          (List.rev s.s_kept);
+        frontier := List.map (fun (st, pre) -> (commit_existing st, pre)) s.s_frontier);
+    let result = ref None in
+    let level = ref (match snap with Some s -> s.s_level | None -> 1) in
+    (* last completed boundary's row count: an interrupted level's
+       commits are truncated back to it before the final flush *)
+    let boundary_len = ref (Arena.length arena) in
+    let snapshot_payload () =
+      let s_level = !level
+      and s_nodes = Atomic.get nodes
+      and s_pruned = !pruned_total
+      and s_deduped = !deduped_total
+      and s_subsumed = !subsumed_total
+      and s_redundant = !redundant_total
+      and s_sizes = !sizes
+      and s_elapsed = Clock.wall () -. w0
+      and s_elapsed_cpu = Clock.cpu () -. cpu0 in
+      fun () ->
+        let seen = Hashtbl.create (2 * Arena.length arena) in
+        for idx = 0 to Arena.length arena - 1 do
+          Hashtbl.replace seen (State.key (Arena.to_state arena idx)) ()
+        done;
+        let s_kept =
+          List.init !kept_len (fun k ->
+              let st = Arena.to_state arena (!kept_idx).(k) in
+              (st, Subsume.fingerprint st))
+        in
+        let s_frontier =
+          List.map (fun (idx, pre) -> (Arena.to_state arena idx, pre)) !frontier
+        in
+        ( Marshal.to_string
+            { s_level;
+              s_frontier;
+              s_seen = seen;
+              s_kept;
+              s_nodes;
+              s_pruned;
+              s_deduped;
+              s_subsumed;
+              s_redundant;
+              s_sizes;
+              s_elapsed;
+              s_elapsed_cpu }
+            [],
+          s_level )
+    in
+    while !result = None && !level <= max_depth && !frontier <> [] do
+      let lvl = !level in
+      let nodes0 = Atomic.get nodes in
+      let pruned0 = !pruned_total
+      and deduped0 = !deduped_total
+      and subsumed0 = !subsumed_total
+      and redundant0 = !redundant_total in
+      Span.run ~sink ~name:"level" @@ fun sp ->
+      let moves = sys.moves_at ~level:lvl in
+      let remaining = max_depth - lvl in
+      let last = lvl = max_depth in
+      let candidates = ref [] in
+      (* equality-dup hits are tallied locally and folded in only when
+         the level completes, matching the legacy path (whose dedup
+         phase never runs for an interrupted or over-budget level) *)
+      let level_deduped = ref 0 in
+      let found = ref None in
+      (try
+         List.iter
+           (fun (pidx, pre) ->
+             if cancelled () then raise Exit;
+             let pst = lazy (Arena.to_state arena pidx) in
+             let is_red =
+               if sys.redundant_of == no_redundant then fun _ -> false
+               else sys.redundant_of ~level:lvl (Lazy.force pst)
+             in
+             let redundant = ref 0 in
+             let live =
+               List.filter
+                 (fun m ->
+                   if is_red m then begin
+                     incr redundant;
+                     false
+                   end
+                   else true)
+                 moves
+             in
+             let nlive = List.length live in
+             let before = Atomic.fetch_and_add nodes nlive in
+             let timed_out =
+               match budget.max_seconds with
+               | Some s -> Clock.wall () -. w0 > s
+               | None -> false
+             in
+             if before + nlive > budget.max_nodes || timed_out then begin
+               Atomic.set over_budget true;
+               (* the tripping state's own redundancy tally is
+                  discarded, exactly as the legacy chunk returns
+                  an empty result once the budget trips *)
+               raise Exit
+             end;
+             redundant_total := !redundant_total + !redundant;
+             List.iter
+               (fun m ->
+                 Arena.stage_child arena ~parent:pidx (pairs_of m);
+                 if Arena.staged_is_sorted arena then begin
+                   found := Some (m :: pre);
+                   raise Exit
+                 end
+                 else if last then ()
+                 else if
+                   sys.prune != no_prune
+                   && sys.prune ~level:lvl ~remaining (Arena.staged_state arena)
+                 then incr pruned_total
+                 else
+                   match Arena.commit arena ~level:lvl with
+                   | `Fresh idx -> candidates := (idx, m :: pre) :: !candidates
+                   | `Dup _ -> incr level_deduped)
+               live)
+           !frontier
+       with Exit -> ());
+      let surviving =
+        match !found with
+        | Some rev_moves ->
+            result :=
+              Some
+                (Sorted
+                   { depth = lvl;
+                     moves = List.rev rev_moves;
+                     stats = mk_stats (lvl - 1) });
+            0
+        | None ->
+            if Atomic.get over_budget then begin
+              result := Some (Inconclusive (mk_stats (lvl - 1)));
+              0
+            end
+            else if cancelled () then begin
+              result := Some (Interrupted (mk_stats (lvl - 1)));
+              0
+            end
+            else begin
+              deduped_total := !deduped_total + !level_deduped;
+              let survivors =
+                match sys.dedup with
+                | Equal -> List.rev !candidates
+                | Subsume ->
+                    let ordered =
+                      List.stable_sort
+                        (fun (a, _) (b, _) ->
+                          compare (Arena.card arena a) (Arena.card arena b))
+                        (List.rev !candidates)
+                    in
+                    List.filter
+                      (fun (idx, _) ->
+                        if kept_subsumes idx then begin
+                          incr subsumed_total;
+                          false
+                        end
+                        else begin
+                          kept_insert idx;
+                          true
+                        end)
+                      ordered
+              in
+              let width = List.length survivors in
+              sizes := width :: !sizes;
+              frontier := survivors;
+              incr level;
+              width
+            end
+      in
+      Span.add sp "level" (Sink.Int lvl);
+      Span.add sp "nodes" (Sink.Int (Atomic.get nodes - nodes0));
+      Span.add sp "pruned" (Sink.Int (!pruned_total - pruned0));
+      Span.add sp "deduped" (Sink.Int (!deduped_total - deduped0));
+      Span.add sp "subsumed" (Sink.Int (!subsumed_total - subsumed0));
+      Span.add sp "redundant" (Sink.Int (!redundant_total - redundant0));
+      Span.add sp "frontier" (Sink.Int surviving);
+      (match on_level with
+      | Some f when !result = None -> f ~level:lvl ~frontier:surviving (mk_stats lvl)
+      | Some _ | None -> ());
+      if !result = None then begin
+        boundary_len := Arena.length arena;
+        if ckpt_path <> None then begin
+          let payload = snapshot_payload () in
+          pending := Some payload;
+          if Clock.wall () -. !last_write >= ckpt_interval then
+            flush_payload payload
+        end;
+        if Fault.fire "kill-level" then interrupted := true;
+        if cancelled () then result := Some (Interrupted (mk_stats lvl))
+      end
+    done;
+    (match (!result, !pending) with
+    | Some (Interrupted _), Some payload ->
+        (* drop the in-flight level's commits so the lazily-built
+           snapshot matches the boundary it was cut at *)
+        Arena.truncate arena !boundary_len;
+        flush_payload payload
+    | _ -> ());
+    Arena.record_metrics arena;
+    match !result with Some r -> r | None -> Unsorted (mk_stats (!level - 1))
+  in
   Span.run ~sink ~name:"search" @@ fun search_sp ->
   let outcome =
     if State.is_sorted sys.initial then
       Sorted { depth = 0; moves = []; stats = mk_stats 0 }
+    else if use_arena then run_arena ()
     else begin
       (* cross-level memory: states already represented (sound — the
          earlier occurrence reaches any sorted descendant no later) *)
@@ -627,14 +910,16 @@ let network_system ?(restrict = true) ~n () =
     initial = State.initial ~n;
     moves_at;
     apply = (fun layer st -> State.apply_comparators st layer);
+    pairs_of = Some (fun layer -> layer);
     prune = no_prune;
     redundant_of;
     dedup = (if restrict then Subsume else Equal) }
 
-let optimal_depth ?domains ?budget ?sink ?on_level ?cancel ?checkpoint ?resume
-    ?restrict ?max_depth ~n () =
+let optimal_depth ?domains ?engine ?budget ?sink ?on_level ?cancel ?checkpoint
+    ?resume ?restrict ?max_depth ~n () =
   let max_depth = match max_depth with Some d -> d | None -> n in
-  run ?domains ?budget ?sink ?on_level ?cancel ?checkpoint ?resume ~max_depth
+  run ?domains ?engine ?budget ?sink ?on_level ?cancel ?checkpoint ?resume
+    ~max_depth
     (network_system ?restrict ~n ())
 
 let witness_network ~n layers =

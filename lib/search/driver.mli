@@ -110,6 +110,14 @@ type 'm system = {
   moves_at : level:int -> 'm list;
       (** moves available for the layer at 1-based [level] *)
   apply : 'm -> State.t -> State.t;
+  pairs_of : ('m -> (int * int) list) option;
+      (** when every move is a plain comparator layer, the ascending
+          [(i, j)] pairs it applies — [Some] unlocks the {!Arena}
+          engine, whose word-parallel butterfly replaces [apply];
+          [None] (moves that are not comparator layers, e.g. the
+          shuffled op vectors of [Min_depth]) pins the run to the
+          legacy engine. When [Some f], [f m] and [apply m] must agree:
+          [apply m st = State.apply_comparators st (f m)]. *)
   prune : level:int -> remaining:int -> State.t -> bool;
       (** sound necessary-condition filter: [true] only if the state
           cannot reach a sorted state within [remaining] more moves *)
@@ -129,6 +137,16 @@ type 'm system = {
 val no_prune : level:int -> remaining:int -> State.t -> bool
 val no_redundant : level:int -> State.t -> 'a -> bool
 
+type engine = [ `Auto | `Legacy | `Arena ]
+(** Which frontier representation {!run} executes on. [`Legacy] is the
+    boxed [State.t] list / [Hashtbl] path with {!Par} fan-out;
+    [`Arena] is the packed single-domain {!Arena} path (requires
+    [pairs_of]); [`Auto] (the default) picks the arena whenever the
+    system exposes [pairs_of]. Both engines explore candidates in the
+    same order with boolean-identical dedup and subsumption decisions,
+    so outcome, witness, stats and checkpoints are interchangeable —
+    a snapshot written by either engine resumes into either. *)
+
 type resume_state
 (** A validated checkpoint snapshot, ready to hand to {!run}. *)
 
@@ -144,6 +162,7 @@ val describe : resume_state -> string
 
 val run :
   ?domains:int ->
+  ?engine:engine ->
   ?budget:budget ->
   ?sink:Sink.t ->
   ?on_level:(level:int -> frontier:int -> stats -> unit) ->
@@ -155,7 +174,8 @@ val run :
   'm outcome
 (** [run ~max_depth sys] searches prefixes of up to [max_depth] moves.
     [domains] (default 1) parallelises expansion and subsumption
-    filtering. [sink] (default {!Sink.null}) receives the per-level
+    filtering on the legacy engine; the arena engine (see {!engine})
+    runs single-domain and ignores the fan-out. [sink] (default {!Sink.null}) receives the per-level
     and closing span events; [on_level ~level ~frontier stats] fires
     after each {e completed} level with the surviving frontier size
     and a cumulative stats snapshot. [cancel] is polled by every
@@ -187,7 +207,7 @@ val network_system : ?restrict:bool -> n:int -> unit -> layer system
     @raise Invalid_argument unless [2 <= n <= 10]. *)
 
 val optimal_depth :
-  ?domains:int -> ?budget:budget -> ?sink:Sink.t ->
+  ?domains:int -> ?engine:engine -> ?budget:budget -> ?sink:Sink.t ->
   ?on_level:(level:int -> frontier:int -> stats -> unit) ->
   ?cancel:Cancel.t -> ?checkpoint:string * float -> ?resume:resume_state ->
   ?restrict:bool -> ?max_depth:int ->

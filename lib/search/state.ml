@@ -71,16 +71,26 @@ let masks st = List.rev (fold_masks (fun m acc -> m :: acc) st [])
 
 let equal a b = a.n = b.n && a.words = b.words
 
+(* Short-circuits on the first violating word: this sits inside the
+   subsumption inner loop, where almost every call is a refutation and
+   the violation is overwhelmingly in an early word. *)
 let subset a b =
   a.n = b.n
   &&
-  let ok = ref true in
-  for i = 0 to Array.length a.words - 1 do
-    if a.words.(i) land lnot b.words.(i) <> 0 then ok := false
+  let len = Array.length a.words in
+  let i = ref 0 in
+  while !i < len && a.words.(!i) land lnot b.words.(!i) = 0 do
+    incr i
   done;
-  !ok
+  !i = len
 
 let key st = st.words
+
+let of_key ~n words =
+  check_n n;
+  if Array.length words <> word_count n then
+    invalid_arg "Search.State.of_key: wrong word count for this n";
+  { n; words = Array.copy words }
 
 let map_masks st f =
   let words = Array.make (Array.length st.words) 0 in

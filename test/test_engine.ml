@@ -134,6 +134,33 @@ let prop_eval_masks_agrees =
           && Bitslice.mask_sorted ~wires:n o = Sortedness.is_sorted direct)
         masks out)
 
+let prop_wide_masks_agree =
+  (* the >63-lane int64-block paths (transpose in, run, transpose out /
+     read violations off the wire rows) are bit-identical to the
+     chunked 63-lane fold, at every batch size including 0, non-block
+     multiples, and networks with pre permutations and exchanges *)
+  QCheck.Test.make ~name:"wide (64-lane) paths = 63-lane fold_masks"
+    ~count:100
+    QCheck.(pair (int_range 0 1_000_000) (int_range 0 300))
+    (fun (seed, nmasks) ->
+      let rng = Xoshiro.of_seed seed in
+      let nw = random_network rng in
+      let n = Network.wires nw in
+      let c = Compiled.of_network nw in
+      let masks = Array.init nmasks (fun _ -> Xoshiro.int rng ~bound:(1 lsl n)) in
+      let narrow =
+        Bitslice.fold_masks c masks ~init:[] ~f:(fun acc ~off:_ out ->
+            List.rev_append (Array.to_list out) acc)
+        |> List.rev
+      in
+      let scratch = Bitslice.scratch () in
+      Array.to_list (Bitslice.eval_masks_wide ~scratch c masks) = narrow
+      && Bitslice.count_sorted_masks_wide ~scratch c masks
+         = Bitslice.count_sorted_masks c masks
+      (* a fresh scratch per call changes nothing *)
+      && Bitslice.count_sorted_masks_wide c masks
+         = Bitslice.count_sorted_masks c masks)
+
 let prop_bitslice_ranges_partition =
   (* arbitrary (non-lane-aligned) range splits cover exactly once *)
   QCheck.Test.make ~name:"bit-sliced range sweeps partition"
@@ -356,6 +383,6 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [ prop_compiled_eval_agrees; prop_compiled_shape;
             prop_eval_many_agrees; prop_bitslice_agrees;
-            prop_eval_masks_agrees;
+            prop_eval_masks_agrees; prop_wide_masks_agree;
             prop_bitslice_ranges_partition; prop_bitslice_domains_agree;
             prop_sorted_depth_agrees ] ) ]

@@ -137,6 +137,32 @@ let test_fitness_population_matches () =
   check_bool "population = per-genome map" true (batch1 = single);
   check_bool "independent of domains" true (batch1 = batch4)
 
+let test_fitness_population_subranges () =
+  (* two wide genomes at domains=4 force the (genome, subrange) split:
+     each 2^13 sweep is cut up and the per-genome counts summed back,
+     which must be invisible in the results *)
+  let rng = Xoshiro.of_seed 11 in
+  let gs = Array.init 2 (fun _ -> Genome.random rng ~wires:13 ~depth:3 ()) in
+  let single = Array.map Fitness.genome gs in
+  check_bool "subrange-split population = per-genome map" true
+    (Fitness.population ~domains:4 gs = single)
+
+let test_fitness_population_sample () =
+  let rng = Xoshiro.of_seed 23 in
+  let gs = Array.init 33 (fun _ -> Genome.random rng ~wires:9 ~depth:4 ()) in
+  let masks = Array.init 500 (fun _ -> Xoshiro.int rng ~bound:(1 lsl 9)) in
+  let single = Array.map (fun g -> Fitness.sample g ~masks) gs in
+  check_bool "population_sample = per-genome sample" true
+    (Fitness.population_sample ~domains:1 gs ~masks = single);
+  check_bool "independent of domains" true
+    (Fitness.population_sample ~domains:3 gs ~masks = single);
+  (* the wide path must agree with the chunked 63-lane fold *)
+  let narrow g =
+    Bitslice.count_sorted_masks (Compiled.of_network (Genome.to_network g)) masks
+  in
+  check_bool "wide sample = 63-lane count" true
+    (single = Array.map narrow gs)
+
 (* --- shared lane-packed kernel --- *)
 
 let test_fold_masks_covers_all () =
@@ -343,6 +369,10 @@ let () =
           Alcotest.test_case "empty network baseline" `Quick test_fitness_empty;
           Alcotest.test_case "population kernel" `Quick
             test_fitness_population_matches;
+          Alcotest.test_case "population subrange split" `Quick
+            test_fitness_population_subranges;
+          Alcotest.test_case "population_sample wide path" `Quick
+            test_fitness_population_sample;
           Alcotest.test_case "fold_masks tiles the input" `Quick
             test_fold_masks_covers_all;
           Alcotest.test_case "count_sorted consistency" `Quick

@@ -52,6 +52,41 @@ let test_invalid_args () =
      | exception Invalid_argument _ -> true
      | _ -> false)
 
+exception Boom of int
+
+(* Regression: a raise in the calling-domain chunk used to skip the
+   joins for every spawned domain (leaked domains, possible hang at
+   exit). All spawned chunks must run to completion and be joined
+   before the exception propagates. *)
+let test_map_ranges_first_chunk_raises () =
+  let ran = Atomic.make 0 in
+  (match
+     Par.map_ranges ~domains:4 ~lo:0 ~hi:400 (fun ~lo ~hi:_ ->
+         if lo = 0 then raise (Boom lo) else Atomic.incr ran)
+   with
+  | _ -> Alcotest.fail "expected Boom from the first chunk"
+  | exception Boom 0 -> ());
+  check_int "every spawned chunk still ran and was joined" 3 (Atomic.get ran)
+
+let test_map_ranges_spawned_chunk_raises () =
+  let ran = Atomic.make 0 in
+  (match
+     Par.map_ranges ~domains:4 ~lo:0 ~hi:400 (fun ~lo ~hi:_ ->
+         if lo = 200 then raise (Boom lo) else Atomic.incr ran)
+   with
+  | _ -> Alcotest.fail "expected Boom from a spawned chunk"
+  | exception Boom 200 -> ());
+  check_int "the other chunks all completed" 3 (Atomic.get ran)
+
+let test_map_ranges_first_failure_wins () =
+  (* several failing chunks: the first in range order is re-raised *)
+  (match
+     Par.map_ranges ~domains:4 ~lo:0 ~hi:400 (fun ~lo ~hi:_ ->
+         if lo >= 100 then raise (Boom lo))
+   with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom b -> check_int "lowest failing chunk wins" 100 b)
+
 let test_recommended_domains_env () =
   let with_env v f =
     Unix.putenv "SNLB_DOMAINS" v;
@@ -112,6 +147,12 @@ let () =
           Alcotest.test_case "sums agree" `Quick test_map_ranges_sums;
           Alcotest.test_case "map_list order" `Quick test_map_list_order;
           Alcotest.test_case "argument validation" `Quick test_invalid_args;
+          Alcotest.test_case "raise in first chunk joins all" `Quick
+            test_map_ranges_first_chunk_raises;
+          Alcotest.test_case "raise in spawned chunk propagates" `Quick
+            test_map_ranges_spawned_chunk_raises;
+          Alcotest.test_case "first failure in range order wins" `Quick
+            test_map_ranges_first_failure_wins;
           Alcotest.test_case "SNLB_DOMAINS override" `Quick
             test_recommended_domains_env ] );
       ( "zero-one",

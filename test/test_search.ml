@@ -37,6 +37,22 @@ let test_state_of_masks () =
      | exception Invalid_argument _ -> true
      | _ -> false)
 
+let test_state_subset_short_circuit () =
+  (* n=7 states span multiple packed words; a violation found in the
+     first word must answer false through the early-exit path even
+     though every later word is a subset *)
+  let n = 7 in
+  let a = State.of_masks ~n [ 1; 100; 120 ] in
+  let b = State.of_masks ~n [ 2; 100; 120 ] in
+  check_bool "violation in word 0" false (State.subset a b);
+  check_bool "reflexive" true (State.subset a a);
+  check_bool "subset of full" true (State.subset a (State.initial ~n));
+  check_bool "full not subset" false (State.subset (State.initial ~n) a);
+  (* violation only in the last word: the scan must still find it *)
+  let c = State.of_masks ~n [ 1; 100 ] in
+  let d = State.of_masks ~n [ 1; 100; 127 ] in
+  check_bool "late extra mask" false (State.subset d c)
+
 let test_state_sorted_recognition () =
   (* exactly the n+1 sorted vectors: ones packed at the high wires *)
   let n = 5 in
@@ -373,6 +389,148 @@ let test_canonical_hash_exhaustive_n4 () =
         data)
     data
 
+(* --- Arena: the packed frontier must be decision-identical to the
+   boxed State/Subsume reference --- *)
+
+let random_layer rng n =
+  let order = Perm.to_array (Perm.random rng n) in
+  let npairs = 1 + Xoshiro.int rng ~bound:(n / 2) in
+  List.sort compare
+    (List.init npairs (fun k ->
+         let a = order.(2 * k) and b = order.((2 * k) + 1) in
+         (min a b, max a b)))
+
+(* grow a random frontier, committing every child into [arena] and
+   mirroring it in a reference list of (state, arena index) pairs *)
+let random_frontier rng arena n steps =
+  let states = ref [] in
+  Arena.stage_state arena (State.initial ~n);
+  (match Arena.commit arena ~level:0 with
+  | `Fresh idx -> states := [ (State.initial ~n, idx) ]
+  | `Dup _ -> Alcotest.fail "initial state cannot be a duplicate");
+  let ok = ref true in
+  for _ = 1 to steps do
+    let st, idx =
+      List.nth !states (Xoshiro.int rng ~bound:(List.length !states))
+    in
+    let layer = random_layer rng n in
+    let st' = State.apply_comparators st layer in
+    Arena.stage_child arena ~parent:idx layer;
+    ok := !ok && Arena.staged_is_sorted arena = State.is_sorted st';
+    match Arena.commit arena ~level:1 with
+    | `Fresh idx' ->
+        ok := !ok && State.equal (Arena.to_state arena idx') st';
+        states := (st', idx') :: !states
+    | `Dup idx' -> ok := !ok && State.equal (Arena.to_state arena idx') st'
+  done;
+  (!ok, !states)
+
+let prop_arena_dedup_agrees =
+  QCheck.Test.make
+    ~name:"arena open-addressing dedup = Hashtbl dedup (n=4..8)" ~count:40
+    QCheck.(pair (int_range 0 1_000_000) (int_range 4 8))
+    (fun (seed, n) ->
+      let rng = Xoshiro.of_seed seed in
+      let arena = Arena.create ~n () in
+      let seen = Hashtbl.create 64 in
+      let states = ref [ State.initial ~n ] in
+      Hashtbl.replace seen (State.key (State.initial ~n)) (State.initial ~n);
+      Arena.stage_state arena (State.initial ~n);
+      let ok = ref (Arena.commit arena ~level:0 = `Fresh 0) in
+      for _ = 1 to 150 do
+        let st =
+          List.nth !states (Xoshiro.int rng ~bound:(List.length !states))
+        in
+        let st' = State.apply_comparators st (random_layer rng n) in
+        let key = State.key st' in
+        let fresh_ref = not (Hashtbl.mem seen key) in
+        Arena.stage_state arena st';
+        (match Arena.commit arena ~level:1 with
+        | `Fresh idx ->
+            ok :=
+              !ok && fresh_ref && State.equal (Arena.to_state arena idx) st';
+            Hashtbl.replace seen key st';
+            states := st' :: !states
+        | `Dup idx ->
+            ok :=
+              !ok && (not fresh_ref)
+              && State.equal (Arena.to_state arena idx) st');
+        ok := !ok && Arena.length arena = Hashtbl.length seen
+      done;
+      (* identical survivor sets, and (spot-checked — canonical_masks
+         enumerates permutations) identical canonical forms *)
+      let arena_survivors =
+        List.init (Arena.length arena) (fun i -> Arena.to_state arena i)
+      in
+      let arena_keys = List.sort compare (List.map State.key arena_survivors) in
+      let ref_keys =
+        List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) seen [])
+      in
+      !ok && arena_keys = ref_keys
+      && List.for_all
+           (fun st ->
+             Subsume.canonical_masks st
+             = Subsume.canonical_masks (Hashtbl.find seen (State.key st)))
+           (List.filteri (fun i _ -> i < 3) arena_survivors))
+
+let prop_arena_subsumes_parity =
+  QCheck.Test.make
+    ~name:"Arena.subsumes = Subsume.subsumes on random frontiers (n=4..8)"
+    ~count:25
+    QCheck.(pair (int_range 0 1_000_000) (int_range 4 8))
+    (fun (seed, n) ->
+      let rng = Xoshiro.of_seed seed in
+      let arena = Arena.create ~n () in
+      let ok, states = random_frontier rng arena n 80 in
+      let arr = Array.of_list states in
+      let m = Array.length arr in
+      ok
+      && List.for_all
+           (fun _ ->
+             let sa, ia = arr.(Xoshiro.int rng ~bound:m)
+             and sb, ib = arr.(Xoshiro.int rng ~bound:m) in
+             Arena.subsumes arena ia ib = Subsume.subsumes_states sa sb)
+           (List.init 250 Fun.id))
+
+let test_arena_engine_equivalence () =
+  (* both engines must agree verbatim: outcome, depth, and every
+     decision counter, because their dedup and subsumption logic is
+     specified to be boolean-identical *)
+  List.iter
+    (fun n ->
+      let sys = Driver.network_system ~n () in
+      match
+        ( Driver.run ~engine:`Legacy ~max_depth:n sys,
+          Driver.run ~engine:`Arena ~max_depth:n sys )
+      with
+      | ( Driver.Sorted { depth = da; stats = sa; _ },
+          Driver.Sorted { depth = db; stats = sb; moves } ) ->
+          check_int "depth" da db;
+          check_bool "arena witness verifies" true
+            (Driver.verify_witness ~n moves);
+          check_int "nodes" sa.Driver.nodes sb.Driver.nodes;
+          check_int "pruned" sa.Driver.pruned sb.Driver.pruned;
+          check_int "deduped" sa.Driver.deduped sb.Driver.deduped;
+          check_int "subsumed" sa.Driver.subsumed sb.Driver.subsumed;
+          check_int "redundant" sa.Driver.redundant sb.Driver.redundant;
+          check_int "peak frontier" sa.Driver.peak_frontier
+            sb.Driver.peak_frontier;
+          check_bool "frontier sizes" true
+            (sa.Driver.frontier_sizes = sb.Driver.frontier_sizes)
+      | _ -> Alcotest.fail "both engines must certify the optimum")
+    [ 4; 5; 6 ];
+  (* the equality-dedup (unrestricted) system runs the arena too *)
+  match
+    ( Driver.optimal_depth ~engine:`Legacy ~restrict:false ~n:4 (),
+      Driver.optimal_depth ~engine:`Auto ~restrict:false ~n:4 () )
+  with
+  | ( Driver.Sorted { depth = da; stats = sa; _ },
+      Driver.Sorted { depth = db; stats = sb; _ } ) ->
+      check_int "unrestricted depth" da db;
+      check_int "unrestricted nodes" sa.Driver.nodes sb.Driver.nodes;
+      check_int "unrestricted deduped" sa.Driver.deduped sb.Driver.deduped
+  | _ -> Alcotest.fail "n=4 unrestricted must certify the optimum"
+
 let test_domains2_no_regression () =
   (* The work-size threshold (Par.map_list ?min_per_domain, wired
      through the driver's expansion / fingerprint / subsumption calls)
@@ -405,7 +563,9 @@ let () =
     [ ( "state",
         [ Alcotest.test_case "initial and comparators" `Quick test_state_initial;
           Alcotest.test_case "of_masks/map/subset" `Quick test_state_of_masks;
-          Alcotest.test_case "sortedness" `Quick test_state_sorted_recognition ] );
+          Alcotest.test_case "sortedness" `Quick test_state_sorted_recognition;
+          Alcotest.test_case "subset short-circuits" `Quick
+            test_state_subset_short_circuit ] );
       ( "subsume",
         [ Alcotest.test_case "permuted positive" `Quick test_subsume_permuted_positive;
           Alcotest.test_case "cardinality filter" `Quick test_subsume_card_filter;
@@ -421,6 +581,11 @@ let () =
           Alcotest.test_case "n=4 exhaustive: collide iff isomorphic" `Quick
             test_canonical_hash_exhaustive_n4 ] );
       ("layers", [ Alcotest.test_case "counts" `Quick test_layer_counts ]);
+      ( "arena",
+        [ QCheck_alcotest.to_alcotest prop_arena_dedup_agrees;
+          QCheck_alcotest.to_alcotest prop_arena_subsumes_parity;
+          Alcotest.test_case "legacy/arena engines agree" `Quick
+            test_arena_engine_equivalence ] );
       ( "driver",
         [ Alcotest.test_case "known optima n<=6" `Quick test_known_optimal_depths;
           Alcotest.test_case "reference agreement + 10x pruning" `Quick
