@@ -51,6 +51,16 @@ bench-json:
 	grep -q '"obs/arena.probes"' BENCH_search.json
 	grep -q '"obs/arena.bytes"' BENCH_search.json
 	awk -F': ' '/"search\/n=8\/arena_speedup"/ { exit !($$2 + 0 >= 5.0) }' BENCH_search.json
+	grep -q '"search/n=8/shard/single/wall_ms"' BENCH_search.json
+	grep -q '"search/n=8/shard/shards=4/wall_ms"' BENCH_search.json
+	grep -q '"obs/shard.spawned"' BENCH_search.json
+	grep -q '"obs/shard.completed"' BENCH_search.json
+	@if [ "$$(nproc)" -ge 2 ]; then \
+	  awk -F': ' '/"search\/n=8\/shard_speedup"/ { exit !($$2 + 0 >= 1.5) }' BENCH_search.json || { echo "shard speedup below 1.5x on a multi-core host" >&2; exit 1; }; \
+	else \
+	  echo "bench-json: single-core host (nproc=1): no parallel speedup is physically possible; relaxing the 4-shard speedup floor from 1.5x to a 0.5x overhead sanity bound"; \
+	  awk -F': ' '/"search\/n=8\/shard_speedup"/ { exit !($$2 + 0 >= 0.5) }' BENCH_search.json || { echo "sharded run more than 2x slower than single-process" >&2; exit 1; }; \
+	fi
 	grep -q '"analysis/bitonic-n=16/networks_per_s"' BENCH_analysis.json
 	grep -q '"analysis/bitonic-n=32/comparators_per_s"' BENCH_analysis.json
 	grep -q '"obs/analysis.networks"' BENCH_analysis.json

@@ -142,6 +142,33 @@ let resume_arg =
   in
   Arg.(value & flag & info [ "resume" ] ~doc)
 
+(* --shard-dir, shared by the subcommands that fork worker processes
+   (search --shards, evolve --islands) *)
+
+let shard_dir_arg =
+  let doc =
+    "Scratch directory for the shard supervisor's work-unit, result and \
+     heartbeat files (default: a fresh directory under the system temp \
+     dir, removed again on success; kept for postmortem on failure)."
+  in
+  Arg.(value & opt (some string) None & info [ "shard-dir" ] ~docv:"DIR" ~doc)
+
+let default_shard_dir what =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "snlb-%s-%d" what (Unix.getpid ()))
+
+(* Best-effort: only called on the default temp-dir scratch space,
+   never on a user-supplied --shard-dir. *)
+let cleanup_shard_dir dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        entries;
+      (try Sys.rmdir dir with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
 (* sort *)
 
 let sort_cmd =
@@ -599,6 +626,15 @@ let search_cmd =
     let doc = "Search budget in nodes (move applications)." in
     Arg.(value & opt int 200_000_000 & info [ "budget" ] ~docv:"NODES" ~doc)
   in
+  let shards_arg =
+    let doc =
+      "Fan each level's frontier expansion out over $(docv) forked worker \
+       processes under the fault-tolerant shard supervisor (0 = stay \
+       in-process). The merged outcome, witness and statistics are \
+       identical to the single-process search."
+    in
+    Arg.(value & opt int 0 & info [ "shards" ] ~docv:"K" ~doc)
+  in
   let pp_layer layer =
     String.concat "" (List.map (fun (i, j) -> Printf.sprintf "(%d,%d)" i j) layer)
   in
@@ -609,12 +645,17 @@ let search_cmd =
       s.Driver.nodes s.Driver.pruned s.Driver.deduped s.Driver.subsumed
       s.Driver.redundant s.Driver.peak_frontier
   in
-  let run n depth _optimal shuffle domains engine max_depth budget ckpt
-      interval resume trace metrics =
+  let run n depth _optimal shuffle domains engine max_depth budget shards
+      shard_dir ckpt interval resume trace metrics =
     let budget = { Driver.max_nodes = budget; max_seconds = None } in
     record_domains domains;
     if resume && ckpt = None then
       usage_error "search: --resume needs --checkpoint FILE"
+    else if shards < 0 then usage_error "search: --shards must be >= 0"
+    else if shards > 0 && shuffle then
+      usage_error "search: --shards does not support --shuffle"
+    else if shards > 0 && (ckpt <> None || resume) then
+      usage_error "search: --shards does not support --checkpoint/--resume"
     else begin
       let checkpoint = Option.map (fun path -> (path, interval)) ckpt in
       let resume_state =
@@ -694,35 +735,56 @@ let search_cmd =
           | None, Some d -> d
           | None, None -> n
         in
-        match
-          Driver.optimal_depth ~domains ~engine ~budget ~sink ~cancel
-            ?checkpoint ?resume:resume_state ~max_depth ~n ()
-        with
-        | Driver.Sorted { depth; moves; stats } ->
-            Printf.printf "optimal depth for n=%d: %d (witness verified: %b)\n" n
-              depth
-              (Driver.verify_witness ~n moves);
-            List.iteri
-              (fun i layer -> Printf.printf "  layer %d: %s\n" (i + 1) (pp_layer layer))
-              moves;
-            print_stats stats;
-            0
-        | Driver.Unsorted stats ->
-            Printf.printf "no sorting network of depth <= %d for n=%d (exhaustive)\n"
-              max_depth n;
-            print_stats stats;
-            0
-        | Driver.Inconclusive stats ->
-            Printf.printf
-              "inconclusive within %d nodes (depths <= %d refuted); raise --budget\n"
-              budget.Driver.max_nodes stats.Driver.completed_levels;
-            print_stats stats;
-            exit_budget
-        | Driver.Interrupted stats ->
-            Printf.printf "depths <= %d refuted before interruption\n"
-              stats.Driver.completed_levels;
-            print_stats stats;
-            interrupted_exit "search"
+        let report = function
+          | Driver.Sorted { depth; moves; stats } ->
+              Printf.printf "optimal depth for n=%d: %d (witness verified: %b)\n"
+                n depth
+                (Driver.verify_witness ~n moves);
+              List.iteri
+                (fun i layer ->
+                  Printf.printf "  layer %d: %s\n" (i + 1) (pp_layer layer))
+                moves;
+              print_stats stats;
+              0
+          | Driver.Unsorted stats ->
+              Printf.printf
+                "no sorting network of depth <= %d for n=%d (exhaustive)\n"
+                max_depth n;
+              print_stats stats;
+              0
+          | Driver.Inconclusive stats ->
+              Printf.printf
+                "inconclusive within %d nodes (depths <= %d refuted); raise --budget\n"
+                budget.Driver.max_nodes stats.Driver.completed_levels;
+              print_stats stats;
+              exit_budget
+          | Driver.Interrupted stats ->
+              Printf.printf "depths <= %d refuted before interruption\n"
+                stats.Driver.completed_levels;
+              print_stats stats;
+              interrupted_exit "search"
+        in
+        if shards > 0 then begin
+          let dir =
+            match shard_dir with
+            | Some d -> d
+            | None -> default_shard_dir "shard-search"
+          in
+          match
+            Shard_search.run ~sink ~cancel ~budget ~shards ~dir ~max_depth
+              (Driver.network_system ~n ())
+          with
+          | Error e ->
+              Printf.eprintf "snlb: search: %s\n%!" e;
+              1
+          | Ok outcome ->
+              if shard_dir = None then cleanup_shard_dir dir;
+              report outcome
+        end
+        else
+          report
+            (Driver.optimal_depth ~domains ~engine ~budget ~sink ~cancel
+               ?checkpoint ?resume:resume_state ~max_depth ~n ())
       end
     end
   in
@@ -732,8 +794,8 @@ let search_cmd =
   Cmd.v (Cmd.info "search" ~doc)
     Term.(
       const run $ search_n_arg $ depth_arg $ optimal_arg $ shuffle_arg
-      $ domains_arg $ engine_arg $ max_depth_arg $ budget_arg
-      $ checkpoint_arg $ interval_arg $ resume_arg $ trace_arg
+      $ domains_arg $ engine_arg $ max_depth_arg $ budget_arg $ shards_arg
+      $ shard_dir_arg $ checkpoint_arg $ interval_arg $ resume_arg $ trace_arg
       $ metrics_arg)
 
 (* evolve *)
@@ -762,10 +824,41 @@ let evolve_cmd =
     let doc = "Parallel domains for the fitness fan-out (0 = auto)." in
     Arg.(value & opt int 1 & info [ "domains" ] ~docv:"K" ~doc)
   in
-  let run n depth pop gens seed domains ckpt interval resume trace metrics =
+  let islands_arg =
+    let doc =
+      "Evolve $(docv) independent populations (island model), each in a \
+       forked worker process under the fault-tolerant shard supervisor, \
+       synchronising every --epoch generations (0 = a single in-process \
+       population)."
+    in
+    Arg.(value & opt int 0 & info [ "islands" ] ~docv:"K" ~doc)
+  in
+  let epoch_arg =
+    let doc =
+      "Generations per island between synchronisation barriers (migration \
+       and champion comparison happen at the barrier)."
+    in
+    Arg.(value & opt int 10 & info [ "epoch" ] ~docv:"G" ~doc)
+  in
+  let migrants_arg =
+    let doc =
+      "Elite genomes each island sends to its ring neighbour at every \
+       barrier (must be at most half the population)."
+    in
+    Arg.(value & opt int 2 & info [ "migrants" ] ~docv:"M" ~doc)
+  in
+  let run n depth pop gens seed domains islands epoch migrants shard_dir ckpt
+      interval resume trace metrics =
     if resume && ckpt = None then
       usage_error "evolve: --resume needs --checkpoint FILE"
     else if n < 2 || n > 16 then usage_error "evolve: n must be in [2,16]"
+    else if islands < 0 then usage_error "evolve: --islands must be >= 0"
+    else if islands > 0 && (ckpt <> None || resume) then
+      usage_error "evolve: --islands does not support --checkpoint/--resume"
+    else if islands > 0 && epoch < 1 then
+      usage_error "evolve: --epoch must be >= 1"
+    else if islands > 0 && (migrants < 0 || migrants > pop / 2) then
+      usage_error "evolve: --migrants must be in [0, pop/2]"
     else begin
       let depth =
         match depth with
@@ -787,10 +880,6 @@ let evolve_cmd =
           domains;
         }
       in
-      let checkpoint = Option.map (fun path -> (path, interval)) ckpt in
-      let r = Evolve.run ~sink ~cancel ?checkpoint ~resume cfg in
-      Printf.printf "evolving n=%d depth=%d: pop=%d gens<=%d seed=%d\n" n depth
-        pop gens seed;
       let max_fit = Fitness.max_fitness ~wires:n in
       let print_layers g =
         Array.iteri
@@ -802,37 +891,90 @@ let evolve_cmd =
                     (Array.to_list pairs))))
           g.Genome.levels
       in
-      let outcome =
-        match r.Evolve.found_at with
-        | Some g ->
-            Printf.printf
-              "sorter found at generation %d (fitness %d/%d, %d comparators)\n"
-              g r.Evolve.best_fitness max_fit (Genome.size r.Evolve.best);
-            print_layers r.Evolve.best;
-            (match Evolve.known_optimal_depth n with
-            | Some opt when Network.depth (Genome.to_network r.Evolve.best) = opt
-              ->
-                Printf.printf "depth %d matches the known optimum for n=%d\n"
-                  opt n
-            | Some opt ->
-                Printf.printf "depth %d vs known optimum %d for n=%d\n"
-                  (Network.depth (Genome.to_network r.Evolve.best))
-                  opt n
-            | None -> ());
-            Printf.printf "witness verified (0-1 principle): %b\n"
-              (Zero_one.is_sorting_network (Genome.to_network r.Evolve.best));
-            0
-        | None ->
-            Printf.printf
-              "no sorter within %d generations; best fitness %d/%d (%d \
-               comparators)\n"
-              r.Evolve.generations r.Evolve.best_fitness max_fit
-              (Genome.size r.Evolve.best);
-            exit_budget
+      let print_witness best =
+        print_layers best;
+        (match Evolve.known_optimal_depth n with
+        | Some opt when Network.depth (Genome.to_network best) = opt ->
+            Printf.printf "depth %d matches the known optimum for n=%d\n" opt n
+        | Some opt ->
+            Printf.printf "depth %d vs known optimum %d for n=%d\n"
+              (Network.depth (Genome.to_network best))
+              opt n
+        | None -> ());
+        Printf.printf "witness verified (0-1 principle): %b\n"
+          (Zero_one.is_sorting_network (Genome.to_network best))
       in
-      Printf.printf "population digest: %s\n"
-        (Evolve.population_digest r.Evolve.population);
-      if r.Evolve.interrupted then interrupted_exit "evolve" else outcome
+      if islands > 0 then begin
+        let dir =
+          match shard_dir with
+          | Some d -> d
+          | None -> default_shard_dir "islands"
+        in
+        match
+          Shard_islands.run ~sink ~cancel ~mode:`Processes ~dir ~islands
+            ~epoch ~migrants cfg
+        with
+        | Error e ->
+            Printf.eprintf "snlb: evolve: %s\n%!" e;
+            1
+        | Ok r ->
+            if shard_dir = None then cleanup_shard_dir dir;
+            Printf.printf
+              "evolving n=%d depth=%d: pop=%d gens<=%d seed=%d islands=%d \
+               epoch=%d migrants=%d\n"
+              n depth pop gens seed islands epoch migrants;
+            let outcome =
+              match r.Shard_islands.found with
+              | Some (g, island) ->
+                  Printf.printf
+                    "sorter found at generation %d on island %d (fitness \
+                     %d/%d, %d comparators)\n"
+                    g island r.Shard_islands.best_fitness max_fit
+                    (Genome.size r.Shard_islands.best);
+                  print_witness r.Shard_islands.best;
+                  0
+              | None ->
+                  Printf.printf
+                    "no sorter within %d generations on %d islands; best \
+                     fitness %d/%d (%d comparators)\n"
+                    r.Shard_islands.generations islands
+                    r.Shard_islands.best_fitness max_fit
+                    (Genome.size r.Shard_islands.best);
+                  exit_budget
+            in
+            Array.iteri
+              (fun i pop ->
+                Printf.printf "island %d digest: %s\n" i
+                  (Evolve.population_digest pop))
+              r.Shard_islands.populations;
+            if r.Shard_islands.interrupted then interrupted_exit "evolve"
+            else outcome
+      end
+      else begin
+        let checkpoint = Option.map (fun path -> (path, interval)) ckpt in
+        let r = Evolve.run ~sink ~cancel ?checkpoint ~resume cfg in
+        Printf.printf "evolving n=%d depth=%d: pop=%d gens<=%d seed=%d\n" n
+          depth pop gens seed;
+        let outcome =
+          match r.Evolve.found_at with
+          | Some g ->
+              Printf.printf
+                "sorter found at generation %d (fitness %d/%d, %d comparators)\n"
+                g r.Evolve.best_fitness max_fit (Genome.size r.Evolve.best);
+              print_witness r.Evolve.best;
+              0
+          | None ->
+              Printf.printf
+                "no sorter within %d generations; best fitness %d/%d (%d \
+                 comparators)\n"
+                r.Evolve.generations r.Evolve.best_fitness max_fit
+                (Genome.size r.Evolve.best);
+              exit_budget
+        in
+        Printf.printf "population digest: %s\n"
+          (Evolve.population_digest r.Evolve.population);
+        if r.Evolve.interrupted then interrupted_exit "evolve" else outcome
+      end
     end
   in
   let doc =
@@ -847,8 +989,8 @@ let evolve_cmd =
   Cmd.v (Cmd.info "evolve" ~doc)
     Term.(
       const run $ n_arg $ depth_arg $ pop_arg $ gens_arg $ seed_arg
-      $ domains_arg $ checkpoint_arg $ interval_arg $ resume_arg $ trace_arg
-      $ metrics_arg)
+      $ domains_arg $ islands_arg $ epoch_arg $ migrants_arg $ shard_dir_arg
+      $ checkpoint_arg $ interval_arg $ resume_arg $ trace_arg $ metrics_arg)
 
 (* fuzz *)
 
@@ -968,13 +1110,31 @@ let serve_cmd =
     in
     Arg.(value & opt int 16 & info [ "max-wires" ] ~docv:"N" ~doc)
   in
+  let idle_timeout_arg =
+    let doc =
+      "Close a session that sits idle between requests for more than \
+       $(docv) seconds, after one typed idle-timeout error (0 disables \
+       the reaper)."
+    in
+    Arg.(value & opt float 300. & info [ "idle-timeout" ] ~docv:"SECS" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Answer deadline-exceeded and close when one request takes more \
+       than $(docv) seconds from its first frame byte to its response \
+       (0 disables)."
+    in
+    Arg.(
+      value & opt float 30. & info [ "request-deadline" ] ~docv:"SECS" ~doc)
+  in
   let run socket port domains window_ms cache_capacity max_request max_wires
-      trace metrics =
+      idle_timeout request_deadline trace metrics =
     match serve_addr socket port with
     | Error e -> usage_error ("serve: " ^ e)
     | Ok addr ->
         if window_ms < 0. || cache_capacity < 0 || max_request < 1
-           || max_wires < 2 then
+           || max_wires < 2 || idle_timeout < 0. || request_deadline < 0.
+        then
           usage_error "serve: nonsensical limits"
         else begin
           let domains =
@@ -988,6 +1148,8 @@ let serve_cmd =
               cache_capacity;
               max_request;
               max_wires;
+              idle_timeout;
+              request_deadline;
             }
           in
           with_obs ~trace ~metrics @@ fun sink ->
@@ -1019,7 +1181,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket_arg $ port_arg $ domains_arg $ window_arg $ cache_arg
-      $ max_request_arg $ max_wires_arg $ trace_arg $ metrics_arg)
+      $ max_request_arg $ max_wires_arg $ idle_timeout_arg $ deadline_arg
+      $ trace_arg $ metrics_arg)
 
 let client_cmd =
   let verb_arg =

@@ -175,6 +175,115 @@ let tournament_pick rng cfg fits sizes =
   done;
   !best
 
+let initial_population cfg =
+  validate cfg;
+  (* one splittable stream per slot *)
+  let base = Splitmix.create (Int64.of_int cfg.seed) in
+  Array.init cfg.pop (fun _ ->
+      let rng = Xoshiro.of_splitmix (Splitmix.split base) in
+      Genome.random rng ~wires:cfg.wires ~depth:cfg.depth ~density:cfg.density
+        ())
+
+(* One generation: evaluate, pick the generation's champion, and
+   (unless it already sorts) breed the successor population. Shared by
+   [run] and [run_segment], so the single-process driver and the
+   island-model workers make byte-identical decisions — every draw
+   comes from [rng_at] keyed by the {e absolute} generation index. *)
+let generation ~sink cfg ~max_fit ~gen pop =
+  Span.run ~sink ~name:"evolve/gen" (fun sp ->
+      let fits = Fitness.population ~domains:cfg.domains pop in
+      let sizes = Array.map Genome.size pop in
+      let best_slot = ref 0 in
+      for i = 1 to cfg.pop - 1 do
+        if
+          better (fits.(i), sizes.(i), i)
+            (fits.(!best_slot), sizes.(!best_slot), !best_slot)
+        then best_slot := i
+      done;
+      let bf = fits.(!best_slot) in
+      Metrics.incr c_generations;
+      Span.add sp "generation" (Sink.Int gen);
+      Span.add sp "best_fitness" (Sink.Int bf);
+      Span.add sp "best_size" (Sink.Int sizes.(!best_slot));
+      let next =
+        if bf = max_fit then None
+        else
+          (* breed the next generation: elite copies, then tournament
+             children, each slot on its own stream *)
+          let order = Array.init cfg.pop (fun i -> i) in
+          Array.sort
+            (fun i j ->
+              if better (fits.(i), sizes.(i), i) (fits.(j), sizes.(j), j)
+              then -1
+              else 1)
+            order;
+          Some
+            (Array.init cfg.pop (fun slot ->
+                 if slot < cfg.elite then pop.(order.(slot))
+                 else begin
+                   let rng = rng_at ~seed:cfg.seed ~gen ~slot in
+                   let p1 = tournament_pick rng cfg fits sizes in
+                   let child =
+                     if Xoshiro.float rng < cfg.crossover_prob then begin
+                       let p2 = tournament_pick rng cfg fits sizes in
+                       Genome.crossover rng pop.(p1) pop.(p2)
+                     end
+                     else pop.(p1)
+                   in
+                   if Xoshiro.float rng < cfg.repair_prob then
+                     Genome.repair_grow rng child
+                   else Genome.mutate rng child
+                 end))
+      in
+      (bf, sizes.(!best_slot), pop.(!best_slot), next))
+
+type segment = {
+  seg_population : Genome.t array;
+  seg_found_at : int option;
+  seg_best_fitness : int;
+  seg_best_size : int;
+  seg_best : Genome.t;
+  seg_generations : int;
+}
+
+let run_segment ?(sink = Sink.null) cfg ~start_gen ~gens population =
+  validate cfg;
+  if gens < 1 then invalid_arg "Evolve.run_segment: gens must be >= 1";
+  if start_gen < 0 then invalid_arg "Evolve.run_segment: start_gen must be >= 0";
+  if Array.length population <> cfg.pop then
+    invalid_arg "Evolve.run_segment: population size differs from cfg.pop";
+  let max_fit = Fitness.max_fitness ~wires:cfg.wires in
+  let pop = ref population in
+  let best = ref None in
+  let found_at = ref None in
+  let evaluated = ref 0 in
+  let g = ref start_gen in
+  while !g < start_gen + gens && !found_at = None do
+    let bf, bsize, bgenome, next = generation ~sink cfg ~max_fit ~gen:!g !pop in
+    (match !best with
+    | Some (f, s, _) when not (better (bf, bsize, 0) (f, s, 0)) -> ()
+    | _ -> best := Some (bf, bsize, bgenome));
+    incr evaluated;
+    (match next with
+    | None -> found_at := Some !g
+    | Some next -> pop := next);
+    incr g
+  done;
+  let best_fitness, best_size, best =
+    match !best with Some b -> b | None -> assert false (* gens >= 1 *)
+  in
+  {
+    seg_population = !pop;
+    seg_found_at = !found_at;
+    seg_best_fitness = best_fitness;
+    seg_best_size = best_size;
+    seg_best = best;
+    seg_generations = !evaluated;
+  }
+
+let population_payload = snapshot_payload
+let parse_population = parse_payload
+
 let run ?(sink = Sink.null) ?cancel ?checkpoint ?(resume = false) cfg =
   validate cfg;
   let max_fit = Fitness.max_fitness ~wires:cfg.wires in
@@ -201,14 +310,7 @@ let run ?(sink = Sink.null) ?cancel ?checkpoint ?(resume = false) cfg =
   let start_gen, population =
     match start with
     | Some (gen, pop) -> (gen, pop)
-    | None ->
-        (* initial population: one splittable stream per slot *)
-        let base = Splitmix.create (Int64.of_int cfg.seed) in
-        ( 0,
-          Array.init cfg.pop (fun _ ->
-              let rng = Xoshiro.of_splitmix (Splitmix.split base) in
-              Genome.random rng ~wires:cfg.wires ~depth:cfg.depth
-                ~density:cfg.density ()) )
+    | None -> (0, initial_population cfg)
   in
   (* checkpoint cadence: remember the newest boundary, write when
      [interval] seconds have passed since the last write (or the start
@@ -254,63 +356,20 @@ let run ?(sink = Sink.null) ?cancel ?checkpoint ?(resume = false) cfg =
      while !gen < cfg.gens && !found_at = None && not !interrupted do
        let g = !gen in
        let pop = !population in
-       Span.run ~sink ~name:"evolve/gen" (fun sp ->
-           let fits = Fitness.population ~domains:cfg.domains pop in
-           let sizes = Array.map Genome.size pop in
-           let best_slot = ref 0 in
-           for i = 1 to cfg.pop - 1 do
-             if
-               better (fits.(i), sizes.(i), i)
-                 (fits.(!best_slot), sizes.(!best_slot), !best_slot)
-             then best_slot := i
-           done;
-           let bf = fits.(!best_slot) in
-           (match !best with
-           | Some (f, s, _) when not (better (bf, sizes.(!best_slot), 0) (f, s, 0))
-             ->
-               ()
-           | _ -> best := Some (bf, sizes.(!best_slot), pop.(!best_slot)));
-           Metrics.incr c_generations;
-           generations := g + 1;
-           Span.add sp "generation" (Sink.Int g);
-           Span.add sp "best_fitness" (Sink.Int bf);
-           Span.add sp "best_size" (Sink.Int sizes.(!best_slot));
-           if bf = max_fit then found_at := Some g
-           else begin
-             (* breed the next generation: elite copies, then
-                tournament children, each slot on its own stream *)
-             let order = Array.init cfg.pop (fun i -> i) in
-             Array.sort
-               (fun i j ->
-                 if better (fits.(i), sizes.(i), i) (fits.(j), sizes.(j), j)
-                 then -1
-                 else 1)
-               order;
-             let next =
-               Array.init cfg.pop (fun slot ->
-                   if slot < cfg.elite then pop.(order.(slot))
-                   else begin
-                     let rng = rng_at ~seed:cfg.seed ~gen:g ~slot in
-                     let p1 = tournament_pick rng cfg fits sizes in
-                     let child =
-                       if Xoshiro.float rng < cfg.crossover_prob then begin
-                         let p2 = tournament_pick rng cfg fits sizes in
-                         Genome.crossover rng pop.(p1) pop.(p2)
-                       end
-                       else pop.(p1)
-                     in
-                     if Xoshiro.float rng < cfg.repair_prob then
-                       Genome.repair_grow rng child
-                     else Genome.mutate rng child
-                   end)
-             in
-             population := next;
-             (* generation boundary: the next generation's start state
-                is consistent — snapshot it on the cadence *)
-             note_boundary ~next_gen:(g + 1) next;
-             flush_if_due ();
-             if cancelled () || Fault.fire "kill-gen" then interrupted := true
-           end);
+       let bf, bsize, bgenome, next = generation ~sink cfg ~max_fit ~gen:g pop in
+       (match !best with
+       | Some (f, s, _) when not (better (bf, bsize, 0) (f, s, 0)) -> ()
+       | _ -> best := Some (bf, bsize, bgenome));
+       generations := g + 1;
+       (match next with
+       | None -> found_at := Some g
+       | Some next ->
+           population := next;
+           (* generation boundary: the next generation's start state
+              is consistent — snapshot it on the cadence *)
+           note_boundary ~next_gen:(g + 1) next;
+           flush_if_due ();
+           if cancelled () || Fault.fire "kill-gen" then interrupted := true);
        incr gen
      done
    with e ->

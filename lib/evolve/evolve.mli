@@ -76,6 +76,58 @@ val population_digest : Genome.t array -> string
 (** CRC-32 (hex) over the canonical serialization of every genome in
     slot order — equal digests mean byte-identical populations. *)
 
+(** {1 Segments — the island-model building block}
+
+    {!Shard_islands} runs each island's epoch as one {!run_segment}
+    call inside a forked worker. Because every draw is keyed by the
+    {e absolute} generation index, running [gens] generations as one
+    segment or as chained epochs (threading the population through)
+    produces byte-identical populations — and a retried worker
+    (at-least-once delivery) recomputes exactly the same segment. *)
+
+val better : int * int * int -> int * int * int -> bool
+(** [better (f1, s1, i1) (f2, s2, i2)] — the driver's deterministic
+    total order on (fitness, genome size, slot): fitter first, then
+    fewer comparators, then the lower slot/island index. Exposed so
+    the island merge ranks champions with the same rule. *)
+
+val initial_population : config -> Genome.t array
+(** The deterministic generation-0 population {!run} starts from when
+    not resuming (one splittable stream per slot off the seed).
+    @raise Invalid_argument on a nonsensical config. *)
+
+type segment = {
+  seg_population : Genome.t array;
+      (** after the segment: bred from the last evaluated generation,
+          or the evaluated population itself if it contains a perfect
+          sorter *)
+  seg_found_at : int option;  (** absolute generation of a perfect sorter *)
+  seg_best_fitness : int;
+  seg_best_size : int;
+  seg_best : Genome.t;  (** champion over the segment's generations *)
+  seg_generations : int;  (** generations evaluated ([<= gens] on a find) *)
+}
+
+val run_segment :
+  ?sink:Sink.t -> config -> start_gen:int -> gens:int -> Genome.t array -> segment
+(** [run_segment cfg ~start_gen ~gens pop] evaluates and breeds
+    generations [start_gen .. start_gen + gens - 1] from [pop] —
+    {!run}'s inner loop with no checkpointing, cancellation or fault
+    hooks (the caller owns those), stopping early at a perfect sorter
+    exactly as {!run} does.
+    @raise Invalid_argument on a nonsensical config, [gens < 1],
+    [start_gen < 0], or a population sized other than [cfg.pop]. *)
+
+val population_payload : Genome.t array -> string
+(** The canonical text serialization of a population in slot order —
+    the checkpoint payload format, reused verbatim as the island
+    migration / work-unit format. *)
+
+val parse_population :
+  config -> string -> (Genome.t array, string) Stdlib.result
+(** Inverse of {!population_payload}, validating genome count and
+    shape against [config]. *)
+
 val known_optimal_depth : int -> int option
 (** The proved minimal sorting-network depth for [2 <= n <= 16]
     (Knuth 5.3.4 for small [n]; Bundala–Závodný, LATA 2014, for

@@ -9,6 +9,7 @@ let version = 1
 
 let c_writes = Metrics.counter "checkpoint.writes"
 let c_bytes = Metrics.counter "checkpoint.bytes"
+let c_retries = Metrics.counter "checkpoint.retries"
 let h_write_ms = Metrics.histogram "checkpoint.write_ms"
 let h_restore_ms = Metrics.histogram "checkpoint.restore_ms"
 
@@ -40,16 +41,27 @@ let encode t =
   Buffer.add_string head body;
   Buffer.contents head
 
-let write ~path t =
+let write ?(attempts = 3) ?(backoff_ms = 10.) ~path t =
   let t0 = Clock.wall () in
   let contents = encode t in
-  match Atomic_file.write ~backup:true ~path contents with
-  | Ok () ->
-      Metrics.incr c_writes;
-      Metrics.add c_bytes (String.length contents);
-      Metrics.observe h_write_ms ((Clock.wall () -. t0) *. 1e3);
-      Ok ()
-  | Error _ as e -> e
+  let rec go attempt =
+    match Atomic_file.write ~backup:true ~path contents with
+    | Ok () ->
+        Metrics.incr c_writes;
+        Metrics.add c_bytes (String.length contents);
+        Metrics.observe h_write_ms ((Clock.wall () -. t0) *. 1e3);
+        Ok ()
+    | Error _ as e ->
+        if attempt >= attempts then e
+        else begin
+          Metrics.incr c_retries;
+          Unix.sleepf
+            (Float.min 1.0
+               (backoff_ms *. (2. ** float_of_int (attempt - 1)) /. 1000.));
+          go (attempt + 1)
+        end
+  in
+  go 1
 
 (* --- reading --- *)
 

@@ -38,9 +38,18 @@ type t = {
   payload : string;  (** opaque serialized progress *)
 }
 
-val write : path:string -> t -> (unit, string) result
+val write :
+  ?attempts:int -> ?backoff_ms:float -> path:string -> t -> (unit, string) result
 (** Envelope, checksum and atomically publish, keeping any previous
-    [path] as [path ^ ".bak"]. Never raises. *)
+    [path] as [path ^ ".bak"]. Never raises.
+
+    Transient write failures (a full disk clearing up, an NFS blip, an
+    injected ["ckpt-write-fail"]) are retried up to [attempts] times
+    total (default 3) with exponential backoff starting at
+    [backoff_ms] (default 10, doubling, capped at 1 s per sleep); each
+    retry bumps the ["checkpoint.retries"] counter. After the budget
+    the last error is returned unchanged — a permanently unwritable
+    checkpoint still hard-fails the run. *)
 
 val read : path:string -> (t, string) result
 (** Read and validate one file: magic, version, structural lengths,

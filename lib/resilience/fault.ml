@@ -1,5 +1,6 @@
 let points =
-  [ "ckpt-write-fail"; "ckpt-truncate"; "kill-level"; "kill-block"; "kill-gen" ]
+  [ "ckpt-write-fail"; "ckpt-truncate"; "kill-level"; "kill-block"; "kill-gen";
+    "kill-worker"; "stall-worker"; "corrupt-result" ]
 
 type spec = { point : string; prob : float; rng : Splitmix.t }
 

@@ -137,6 +137,20 @@ type 'm system = {
 val no_prune : level:int -> remaining:int -> State.t -> bool
 val no_redundant : level:int -> State.t -> 'a -> bool
 
+val subsume_filter :
+  domains:int ->
+  kept:(State.t * Subsume.fingerprint) list ref ->
+  (State.t * 'a * Subsume.fingerprint) list ->
+  (State.t * 'a) list * int
+(** The driver's greedy subsumption filter, exposed so the sharded
+    coordinator ({!Shard_search}) merges with {e the same} decision
+    procedure the in-process engines use. [candidates] must already be
+    equality-deduped and sorted by ascending fingerprint cardinality;
+    survivors are appended to [kept] and returned with the number
+    dropped. For every [domains] the kept set equals the plain
+    sequential greedy filter's (fan-out only parallelises the test
+    against representatives frozen before each batch). *)
+
 type engine = [ `Auto | `Legacy | `Arena ]
 (** Which frontier representation {!run} executes on. [`Legacy] is the
     boxed [State.t] list / [Hashtbl] path with {!Par} fan-out;

@@ -11,10 +11,16 @@
    about the length, and the connection is torn down rather than
    resynchronised by guesswork. *)
 
+type timeout_kind =
+  | Idle  (* no frame started when the receive timeout fired *)
+  | Stalled  (* a frame was underway: mid-frame stall or deadline *)
+
 type error =
   | Eof  (* clean end of stream at a frame boundary *)
   | Oversized of int  (* declared length beyond the configured cap *)
   | Malformed of string  (* anything that breaks the framing grammar *)
+  | Timed_out of timeout_kind
+      (* the fd's SO_RCVTIMEO fired, or the frame ran past [deadline] *)
 
 let max_header_digits = 12
 
@@ -27,7 +33,10 @@ type reader = {
 
 let reader fd = { fd; buf = Bytes.create 65536; pos = 0; len = 0 }
 
-(* -1 on EOF; raises Unix_error only for real I/O failures *)
+exception Rcv_timeout
+
+(* raises Unix_error only for real I/O failures; EAGAIN/EWOULDBLOCK
+   (the fd's SO_RCVTIMEO expiring) becomes Rcv_timeout *)
 let refill r =
   if r.pos < r.len then ()
   else begin
@@ -37,6 +46,8 @@ let refill r =
       match Unix.read r.fd r.buf 0 (Bytes.length r.buf) with
       | k -> r.len <- k
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          raise Rcv_timeout
     in
     go ()
   end
@@ -50,44 +61,65 @@ let read_byte r =
     Some c
   end
 
-let read ~max r =
+let read ?deadline ~max r =
+  (* the deadline clock starts at the frame's first byte, so time a
+     session sits idle between requests never counts against it *)
+  let started = ref None in
+  let note_started () =
+    if !started = None then started := Some (Unix.gettimeofday ())
+  in
+  let check_deadline () =
+    match (!started, deadline) with
+    | Some t0, Some d when Unix.gettimeofday () -. t0 > d -> raise Rcv_timeout
+    | _ -> ()
+  in
   (* header: 1..max_header_digits decimal digits then '\n' *)
   let rec header acc digits =
     match read_byte r with
     | None -> if digits = 0 then Error Eof else Error (Malformed "eof in frame header")
-    | Some '\n' ->
-        if digits = 0 then Error (Malformed "empty frame header") else Ok acc
-    | Some ('0' .. '9' as c) ->
-        if digits >= max_header_digits then
-          Error (Malformed "frame header too long")
-        else header ((acc * 10) + (Char.code c - Char.code '0')) (digits + 1)
-    | Some c ->
-        Error (Malformed (Printf.sprintf "bad byte %C in frame header" c))
+    | Some c -> (
+        note_started ();
+        check_deadline ();
+        match c with
+        | '\n' ->
+            if digits = 0 then Error (Malformed "empty frame header")
+            else Ok acc
+        | '0' .. '9' ->
+            if digits >= max_header_digits then
+              Error (Malformed "frame header too long")
+            else header ((acc * 10) + (Char.code c - Char.code '0')) (digits + 1)
+        | c -> Error (Malformed (Printf.sprintf "bad byte %C in frame header" c)))
   in
-  match header 0 0 with
-  | Error _ as e -> e
-  | Ok len when len > max -> Error (Oversized len)
-  | Ok len -> (
-      let payload = Bytes.create len in
-      let rec fill off =
-        if off = len then true
-        else begin
-          refill r;
-          if r.len = 0 then false
+  match
+    match header 0 0 with
+    | Error _ as e -> e
+    | Ok len when len > max -> Error (Oversized len)
+    | Ok len -> (
+        let payload = Bytes.create len in
+        let rec fill off =
+          if off = len then true
           else begin
-            let k = min (r.len - r.pos) (len - off) in
-            Bytes.blit r.buf r.pos payload off k;
-            r.pos <- r.pos + k;
-            fill (off + k)
+            refill r;
+            check_deadline ();
+            if r.len = 0 then false
+            else begin
+              let k = min (r.len - r.pos) (len - off) in
+              Bytes.blit r.buf r.pos payload off k;
+              r.pos <- r.pos + k;
+              fill (off + k)
+            end
           end
-        end
-      in
-      if not (fill 0) then Error (Malformed "eof in frame payload")
-      else
-        match read_byte r with
-        | Some '\n' -> Ok (Bytes.unsafe_to_string payload)
-        | Some _ -> Error (Malformed "missing frame terminator")
-        | None -> Error (Malformed "eof before frame terminator"))
+        in
+        if not (fill 0) then Error (Malformed "eof in frame payload")
+        else
+          match read_byte r with
+          | Some '\n' -> Ok (Bytes.unsafe_to_string payload)
+          | Some _ -> Error (Malformed "missing frame terminator")
+          | None -> Error (Malformed "eof before frame terminator"))
+  with
+  | result -> result
+  | exception Rcv_timeout ->
+      Error (Timed_out (if !started = None then Idle else Stalled))
 
 let write fd payload =
   let s = Printf.sprintf "%d\n%s\n" (String.length payload) payload in
@@ -104,3 +136,5 @@ let error_text = function
   | Eof -> "eof"
   | Oversized n -> Printf.sprintf "oversized frame (%d bytes)" n
   | Malformed msg -> msg
+  | Timed_out Idle -> "receive timeout with no frame underway"
+  | Timed_out Stalled -> "receive timeout mid-frame"

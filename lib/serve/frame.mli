@@ -11,22 +11,36 @@
     [Unix.write] loop — callers serialise concurrent writers (the
     session loop owns its connection's write side). *)
 
+type timeout_kind =
+  | Idle  (** the timeout fired between frames: an idle session *)
+  | Stalled
+      (** a frame was underway: the peer stalled mid-frame, or the
+          frame ran past the [deadline] *)
+
 type error =
   | Eof  (** clean end of stream between frames *)
   | Oversized of int
       (** declared payload length exceeds the configured cap; the
           payload has {e not} been consumed — close the connection *)
   | Malformed of string  (** framing grammar violation *)
+  | Timed_out of timeout_kind
+      (** the fd's [SO_RCVTIMEO] expired ([EAGAIN]/[EWOULDBLOCK] on a
+          blocking read), or [deadline] elapsed; the stream position
+          can no longer be trusted — close the connection *)
 
 type reader
 
 val reader : Unix.file_descr -> reader
 (** A buffered frame reader owning its buffer (one per connection). *)
 
-val read : max:int -> reader -> (string, error) result
+val read : ?deadline:float -> max:int -> reader -> (string, error) result
 (** Next payload, or why not. [Eof] only at a clean frame boundary —
-    truncation mid-frame is [Malformed].
-    @raise Unix.Unix_error on real I/O failure (not EOF). *)
+    truncation mid-frame is [Malformed]. [deadline] caps the seconds a
+    single frame may take from its {e first byte} (idle time between
+    frames never counts); it is only checked when a read returns, so
+    pair it with [SO_RCVTIMEO] on the fd to bound blocking reads.
+    @raise Unix.Unix_error on real I/O failure (not EOF, and not
+    [EAGAIN]/[EWOULDBLOCK], which become [Timed_out]). *)
 
 val write : Unix.file_descr -> string -> unit
 (** Write one complete frame, retrying short writes.

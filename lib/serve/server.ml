@@ -23,6 +23,8 @@ type config = {
   max_request : int;
   max_wires : int;
   exact_max_wires : int;
+  idle_timeout : float;  (* idle-session reaper; 0 disables *)
+  request_deadline : float;  (* per-request cap; 0 disables *)
 }
 
 let default_config addr =
@@ -34,6 +36,8 @@ let default_config addr =
     max_request = 1 lsl 20;
     max_wires = 16;
     exact_max_wires = 12;
+    idle_timeout = 300.;
+    request_deadline = 30.;
   }
 
 let c_connections = Metrics.counter "serve.connections"
@@ -94,6 +98,8 @@ let run ?(sink = Sink.null) ?(ready = fun () -> ()) ~cancel config =
           max_request = config.max_request;
           max_wires = config.max_wires;
           exact_max_wires = config.exact_max_wires;
+          idle_timeout = config.idle_timeout;
+          request_deadline = config.request_deadline;
           sink;
         }
       in

@@ -29,11 +29,18 @@ type config = {
   max_request : int;  (** frame payload cap, bytes *)
   max_wires : int;  (** width cap — sweeps are [2^wires] *)
   exact_max_wires : int;  (** lint: exact-domain cutoff *)
+  idle_timeout : float;
+      (** seconds a session may sit idle before the reaper closes it
+          with a typed [idle-timeout] error; [0.] disables *)
+  request_deadline : float;
+      (** seconds one request may take end to end before the session
+          answers [deadline-exceeded] and closes; [0.] disables *)
 }
 
 val default_config : addr -> config
 (** 1 domain, 2 ms window, 256-job rounds, 512 cache entries, 1 MiB
-    frames, 16 wires, exact lint up to 12. *)
+    frames, 16 wires, exact lint up to 12, 300 s idle timeout, 30 s
+    request deadline. *)
 
 val connect : addr -> Unix.file_descr
 (** Client-side dial (the CLI client and tests).

@@ -22,11 +22,15 @@ type config = {
   max_request : int;  (* frame payload cap, bytes *)
   max_wires : int;  (* width cap (sweeps are 2^wires) *)
   exact_max_wires : int;  (* lint: exact domain cutoff *)
+  idle_timeout : float;  (* seconds between requests; 0 disables *)
+  request_deadline : float;  (* seconds per request; 0 disables *)
   sink : Sink.t;
 }
 
 let c_requests = Metrics.counter "serve.requests"
 let c_errors = Metrics.counter "serve.errors"
+let c_idle_closed = Metrics.counter "serve.idle_closed"
+let c_deadline_expired = Metrics.counter "serve.deadline_expired"
 
 let severity_json d = Json.Str (Diag.severity_name d.Diag.severity)
 
@@ -152,6 +156,21 @@ let dispatch config req nw =
 let respond fd response = Frame.write fd (Json.to_string response)
 
 let handle config ~conn fd =
+  (* the reaper: a blocking read wakes with EAGAIN after the larger
+     enabled timeout; Frame.read's own deadline (started at a frame's
+     first byte) then narrows mid-frame stalls to request_deadline *)
+  let rcv_timeout =
+    match (config.idle_timeout > 0., config.request_deadline > 0.) with
+    | true, _ -> config.idle_timeout
+    | false, true -> config.request_deadline
+    | false, false -> 0.
+  in
+  if rcv_timeout > 0. then (
+    try Unix.setsockopt_float fd Unix.SO_RCVTIMEO rcv_timeout
+    with Unix.Unix_error _ | Invalid_argument _ -> ());
+  let deadline =
+    if config.request_deadline > 0. then Some config.request_deadline else None
+  in
   let reader = Frame.reader fd in
   let seq = ref 0 in
   let next_trace () =
@@ -159,8 +178,23 @@ let handle config ~conn fd =
     Printf.sprintf "c%d-r%d" conn !seq
   in
   let rec loop () =
-    match Frame.read ~max:config.max_request reader with
+    match Frame.read ?deadline ~max:config.max_request reader with
     | Error Frame.Eof -> ()
+    | Error (Frame.Timed_out Frame.Idle) ->
+        (* nothing in flight: reap the session with a typed goodbye *)
+        Metrics.incr c_idle_closed;
+        respond fd
+          (Wire.error_response ~id:Json.Null ~trace:(next_trace ())
+             ~code:Wire.e_idle_timeout
+             (Printf.sprintf "session idle for more than %gs; closing"
+                rcv_timeout))
+    | Error (Frame.Timed_out Frame.Stalled) ->
+        (* the peer started a frame and stalled: the request missed
+           its deadline and the stream position is untrusted *)
+        Metrics.incr c_deadline_expired;
+        respond fd
+          (Wire.error_response ~id:Json.Null ~trace:(next_trace ())
+             ~code:Wire.e_deadline "request not received in time; closing")
     | Error (Frame.Oversized n) ->
         (* the payload was not consumed: answer and close *)
         Metrics.incr c_errors;
@@ -177,6 +211,7 @@ let handle config ~conn fd =
     | Ok payload ->
         let trace = next_trace () in
         Metrics.incr c_requests;
+        let t_req = Unix.gettimeofday () in
         let response =
           Span.run ~sink:config.sink ~name:"serve.request" @@ fun sp ->
           Span.add sp "trace" (Sink.Str trace);
@@ -205,8 +240,24 @@ let handle config ~conn fd =
                       Wire.error_response ~id:req.Wire.id ~trace
                         ~code:Wire.e_shutting_down "daemon is draining"))
         in
-        respond fd response;
-        loop ()
+        if
+          config.request_deadline > 0.
+          && Unix.gettimeofday () -. t_req > config.request_deadline
+        then begin
+          (* processing overran: the client is told which request
+             died and why, then the connection closes — holding the
+             session (and its batcher slot) is not an option *)
+          Metrics.incr c_deadline_expired;
+          Metrics.incr c_errors;
+          respond fd
+            (Wire.error_response ~id:Json.Null ~trace ~code:Wire.e_deadline
+               (Printf.sprintf "request exceeded the %gs deadline; closing"
+                  config.request_deadline))
+        end
+        else begin
+          respond fd response;
+          loop ()
+        end
   in
   (* a vanished peer (EPIPE on write, ECONNRESET on read) or a
      drain-time shutdown of our read side ends the session cleanly *)

@@ -39,6 +39,8 @@ let e_bad_request = "bad-request"
 let e_bad_network = "bad-network"
 let e_unsupported = "unsupported"
 let e_shutting_down = "shutting-down"
+let e_idle_timeout = "idle-timeout"
+let e_deadline = "deadline-exceeded"
 
 let request_of_json j =
   let ( let* ) = Result.bind in

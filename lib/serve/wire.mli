@@ -32,6 +32,15 @@ val e_bad_network : string
 val e_unsupported : string
 val e_shutting_down : string
 
+val e_idle_timeout : string
+(** the session sat idle past the server's idle timeout; the server
+    answers once with this code and closes the connection *)
+
+val e_deadline : string
+(** the request ran past the server's per-request deadline (stalled
+    mid-frame, or processing overran); sent once, then the connection
+    is closed *)
+
 val parse_request : string -> (request, string * string) result
 (** Parse one frame payload. [Error (code, message)] uses
     {!e_bad_json} for JSON-level failures and {!e_bad_request} /

@@ -1,0 +1,393 @@
+type config = {
+  workers : int;
+  dir : string;
+  max_attempts : int;
+  backoff_base : float;
+  backoff_cap : float;
+  heartbeat_interval : float;
+  heartbeat_timeout : float;
+  grace : float;
+  poll_interval : float;
+}
+
+let default_config ~dir =
+  {
+    workers = 4;
+    dir;
+    max_attempts = 3;
+    backoff_base = 0.05;
+    backoff_cap = 2.0;
+    heartbeat_interval = 0.5;
+    heartbeat_timeout = 10.0;
+    grace = 0.5;
+    poll_interval = 0.002;
+  }
+
+type outcome =
+  | Completed of (string * string) list
+  | Quarantined of string list
+  | Cancelled
+
+let c_spawned = Metrics.counter "shard.spawned"
+let c_completed = Metrics.counter "shard.completed"
+let c_retries = Metrics.counter "shard.retries"
+let c_crashed = Metrics.counter "shard.crashed"
+let c_stalled = Metrics.counter "shard.stalled"
+let c_quarantined = Metrics.counter "shard.quarantined"
+let c_pool_shrunk = Metrics.counter "shard.pool_shrunk"
+
+let id_ok id =
+  String.length id > 0
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '.' || c = '_' || c = '-')
+       id
+
+let unit_path dir id = Filename.concat dir ("unit-" ^ id ^ ".ck")
+let result_path dir id = Filename.concat dir ("result-" ^ id ^ ".ck")
+let hb_path dir id = Filename.concat dir ("hb-" ^ id)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let touch path =
+  try
+    let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    Unix.close fd
+  with Unix.Unix_error _ -> ()
+
+(* Flip one payload byte of a just-published result envelope in place,
+   so the supervisor's CRC re-derivation must reject it (the
+   "corrupt-result" sabotage — a stand-in for a torn sector or bit
+   rot between publish and read). *)
+let corrupt_file path =
+  try
+    let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let len = (Unix.fstat fd).Unix.st_size in
+        if len > 0 then begin
+          let pos = len - 1 in
+          let buf = Bytes.create 1 in
+          ignore (Unix.lseek fd pos Unix.SEEK_SET);
+          if Unix.read fd buf 0 1 = 1 then begin
+            Bytes.set buf 0 (Char.chr (Char.code (Bytes.get buf 0) lxor 0xff));
+            ignore (Unix.lseek fd pos Unix.SEEK_SET);
+            ignore (Unix.write fd buf 0 1)
+          end
+        end)
+  with Unix.Unix_error _ -> ()
+
+type sabotage = Clean | Kill | Stall | Corrupt
+
+(* Runs in the forked child; never returns. Exit codes: 0 success,
+   66 bad unit envelope, 70 worker exception, 97 injected kill. *)
+let child config ~kind ~worker ~id ~sabotage =
+  Sys.set_signal Sys.sigint Sys.Signal_default;
+  Sys.set_signal Sys.sigterm Sys.Signal_default;
+  match sabotage with
+  | Kill -> Unix._exit 97
+  | Stall ->
+      (* Hang without ever heartbeating: the supervisor's staleness
+         timeout must SIGKILL us. *)
+      Unix.sleepf 3600.;
+      Unix._exit 98
+  | Clean | Corrupt -> (
+      let hb = hb_path config.dir id in
+      touch hb;
+      Sys.set_signal Sys.sigalrm (Sys.Signal_handle (fun _ -> touch hb));
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           {
+             Unix.it_interval = config.heartbeat_interval;
+             it_value = config.heartbeat_interval;
+           });
+      match Checkpoint.read ~path:(unit_path config.dir id) with
+      | Error _ -> Unix._exit 66
+      | Ok u when u.Checkpoint.kind <> kind ^ "-unit" -> Unix._exit 66
+      | Ok u -> (
+          match worker ~id ~payload:u.Checkpoint.payload with
+          | result -> (
+              let rp = result_path config.dir id in
+              match
+                Checkpoint.write ~path:rp
+                  {
+                    Checkpoint.kind = kind ^ "-result";
+                    meta = [ ("unit", id) ];
+                    payload = result;
+                  }
+              with
+              | Ok () ->
+                  if sabotage = Corrupt then corrupt_file rp;
+                  Unix._exit 0
+              | Error _ -> Unix._exit 70)
+          | exception _ -> Unix._exit 70))
+
+type unit_state =
+  | Ready of float  (* not before this wall-clock time *)
+  | Running of running
+  | Done of string
+  | Poisoned
+
+and running = { pid : int; started : float; sabotage : sabotage }
+
+let emit sink ~id ~attempt ~status ~dur =
+  Sink.emit sink ~ev:"shard" ~name:"shard.unit"
+    [
+      ("unit", Sink.Str id);
+      ("attempt", Sink.Int attempt);
+      ("status", Sink.Str status);
+      ("dur_ms", Sink.Float (dur *. 1e3));
+    ]
+
+let run ?(sink = Sink.null) ?cancel config ~kind ~units ~worker =
+  if config.workers < 1 then invalid_arg "Shard.run: workers < 1";
+  if config.max_attempts < 1 then invalid_arg "Shard.run: max_attempts < 1";
+  let ids = List.map fst units in
+  List.iter
+    (fun id ->
+      if not (id_ok id) then
+        invalid_arg (Printf.sprintf "Shard.run: bad unit id %S" id))
+    ids;
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      if Hashtbl.mem tbl id then
+        invalid_arg (Printf.sprintf "Shard.run: duplicate unit id %S" id);
+      Hashtbl.add tbl id ())
+    ids;
+  mkdir_p config.dir;
+  let units = Array.of_list units in
+  let n = Array.length units in
+  (* Every unit crosses process boundaries as a CRC-checked envelope —
+     both hops, so a torn unit file is caught by the worker and a torn
+     result by the supervisor. *)
+  Array.iter
+    (fun (id, payload) ->
+      (* A stale result from a previous run in the same dir must not
+         be mistaken for this run's output. *)
+      (try Sys.remove (result_path config.dir id) with Sys_error _ -> ());
+      (try Sys.remove (Atomic_file.backup_path (result_path config.dir id))
+       with Sys_error _ -> ());
+      match
+        Checkpoint.write
+          ~path:(unit_path config.dir id)
+          { Checkpoint.kind = kind ^ "-unit"; meta = [ ("unit", id) ]; payload }
+      with
+      | Ok () -> ()
+      | Error m -> failwith (Printf.sprintf "Shard.run: cannot write unit %s: %s" id m))
+    units;
+  let state = Array.make n (Ready 0.0) in
+  let attempts = Array.make n 0 in
+  let pool = ref (min config.workers (max 1 n)) in
+  let live = ref 0 in
+  let consecutive_failures = ref 0 in
+  let quarantined = ref [] in
+  let fail i ~status ~dur =
+    let attempt = attempts.(i) in
+    let id = fst units.(i) in
+    emit sink ~id ~attempt ~status ~dur;
+    incr consecutive_failures;
+    if !consecutive_failures >= 2 * !pool && !pool > 1 then begin
+      decr pool;
+      Metrics.incr c_pool_shrunk;
+      consecutive_failures := 0
+    end;
+    if attempt >= config.max_attempts then begin
+      Metrics.incr c_quarantined;
+      quarantined := id :: !quarantined;
+      state.(i) <- Poisoned
+    end
+    else begin
+      Metrics.incr c_retries;
+      let delay =
+        Float.min config.backoff_cap
+          (config.backoff_base *. (2. ** float_of_int (attempt - 1)))
+      in
+      state.(i) <- Ready (Unix.gettimeofday () +. delay)
+    end
+  in
+  let read_result i =
+    let id = fst units.(i) in
+    match Checkpoint.read ~path:(result_path config.dir id) with
+    | Ok r
+      when r.Checkpoint.kind = kind ^ "-result"
+           && List.assoc_opt "unit" r.Checkpoint.meta = Some id ->
+        Some r.Checkpoint.payload
+    | Ok _ | Error _ -> None
+  in
+  let reap_exit i r code ~dur =
+    match code with
+    | Unix.WEXITED 0 -> (
+        match read_result i with
+        | Some payload ->
+            Metrics.incr c_completed;
+            consecutive_failures := 0;
+            emit sink ~id:(fst units.(i)) ~attempt:attempts.(i) ~status:"done"
+              ~dur;
+            state.(i) <- Done payload
+        | None ->
+            (* exit 0 but no valid result: torn or sabotaged file *)
+            Metrics.incr c_crashed;
+            fail i ~status:"corrupt-result" ~dur)
+    | Unix.WEXITED _ | Unix.WSTOPPED _ ->
+        Metrics.incr c_crashed;
+        fail i ~status:"crashed" ~dur
+    | Unix.WSIGNALED _ ->
+        Metrics.incr c_crashed;
+        fail i ~status:(if r.sabotage = Stall then "stalled" else "killed") ~dur
+  in
+  let spawn i now =
+    let id = fst units.(i) in
+    attempts.(i) <- attempts.(i) + 1;
+    (* Sabotage is decided in the supervisor, from its own Fault
+       stream, and only on a unit's first attempt — so prob 1.0 kills
+       every unit exactly once and the run must still converge. *)
+    let sabotage =
+      if attempts.(i) > 1 then Clean
+      else if Fault.fire "kill-worker" then Kill
+      else if Fault.fire "stall-worker" then Stall
+      else if Fault.fire "corrupt-result" then Corrupt
+      else Clean
+    in
+    touch (hb_path config.dir id);
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 -> child config ~kind ~worker ~id ~sabotage
+    | pid ->
+        Metrics.incr c_spawned;
+        incr live;
+        state.(i) <- Running { pid; started = now; sabotage }
+  in
+  let kill_running signal =
+    Array.iter
+      (function
+        | Running r -> ( try Unix.kill r.pid signal with Unix.Unix_error _ -> ())
+        | _ -> ())
+      state
+  in
+  let reap_blocking () =
+    Array.iteri
+      (fun i s ->
+        match s with
+        | Running r ->
+            (try ignore (Unix.waitpid [] r.pid) with Unix.Unix_error _ -> ());
+            decr live;
+            state.(i) <- Poisoned
+        | _ -> ())
+      state
+  in
+  let drain () =
+    kill_running Sys.sigterm;
+    let deadline = Unix.gettimeofday () +. config.grace in
+    let rec wait_grace () =
+      let still =
+        Array.exists (function Running _ -> true | _ -> false) state
+      in
+      if still && Unix.gettimeofday () < deadline then begin
+        Array.iteri
+          (fun i s ->
+            match s with
+            | Running r -> (
+                match Unix.waitpid [ Unix.WNOHANG ] r.pid with
+                | 0, _ -> ()
+                | _ -> decr live; state.(i) <- Poisoned
+                | exception Unix.Unix_error _ -> decr live; state.(i) <- Poisoned)
+            | _ -> ())
+          state;
+        Unix.sleepf config.poll_interval;
+        wait_grace ()
+      end
+    in
+    wait_grace ();
+    kill_running Sys.sigkill;
+    reap_blocking ()
+  in
+  let cancelled () =
+    match cancel with Some c -> Cancel.cancelled c | None -> false
+  in
+  let finished () =
+    let all_done = ref true in
+    Array.iter
+      (function Done _ | Poisoned -> () | _ -> all_done := false)
+      state;
+    !all_done
+  in
+  let rec loop () =
+    if cancelled () then begin
+      drain ();
+      Cancelled
+    end
+    else begin
+      let now = Unix.gettimeofday () in
+      (* reap exits *)
+      Array.iteri
+        (fun i s ->
+          match s with
+          | Running r -> (
+              match Unix.waitpid [ Unix.WNOHANG ] r.pid with
+              | 0, _ -> ()
+              | _, code ->
+                  decr live;
+                  reap_exit i r code ~dur:(now -. r.started)
+              | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+                  decr live;
+                  Metrics.incr c_crashed;
+                  fail i ~status:"lost" ~dur:(now -. r.started))
+          | _ -> ())
+        state;
+      (* heartbeat staleness *)
+      Array.iteri
+        (fun i s ->
+          match s with
+          | Running r ->
+              let hb = hb_path config.dir (fst units.(i)) in
+              let last =
+                match Unix.stat hb with
+                | st -> Float.max r.started st.Unix.st_mtime
+                | exception Unix.Unix_error _ -> r.started
+              in
+              if now -. last > config.heartbeat_timeout then begin
+                (try Unix.kill r.pid Sys.sigkill with Unix.Unix_error _ -> ());
+                (try ignore (Unix.waitpid [] r.pid)
+                 with Unix.Unix_error _ -> ());
+                decr live;
+                Metrics.incr c_stalled;
+                fail i ~status:"stalled" ~dur:(now -. r.started)
+              end
+          | _ -> ())
+        state;
+      (* fill free slots with ready units, in submission order *)
+      let i = ref 0 in
+      while !live < !pool && !i < n do
+        (match state.(!i) with
+        | Ready at when at <= now -> spawn !i now
+        | _ -> ());
+        incr i
+      done;
+      if finished () then
+        if !quarantined <> [] then Quarantined (List.rev !quarantined)
+        else
+          Completed
+            (Array.to_list
+               (Array.mapi
+                  (fun i (id, _) ->
+                    match state.(i) with
+                    | Done payload -> (id, payload)
+                    | _ -> assert false)
+                  units))
+      else begin
+        Unix.sleepf config.poll_interval;
+        loop ()
+      end
+    end
+  in
+  loop ()

@@ -176,6 +176,26 @@ let test_checkpoint_backup_fallback () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "missing checkpoint loaded"
 
+let test_checkpoint_write_retry () =
+  (* seed 1 at prob 0.6 makes the first ckpt-write-fail draw fire and
+     the second skip: the write fails once, the bounded retry lands *)
+  with_temp (fun path ->
+      with_fault "ckpt-write-fail:0.6:1" @@ fun () ->
+      (match Checkpoint.write ~attempts:3 ~backoff_ms:1. ~path sample_ckpt with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("retry did not recover: " ^ e));
+      match Checkpoint.read ~path with
+      | Ok ck ->
+          check_string "retried payload intact" sample_ckpt.Checkpoint.payload
+            ck.Checkpoint.payload
+      | Error e -> Alcotest.fail e);
+  (* a persistent failure exhausts the budget and hard-fails *)
+  with_temp (fun path ->
+      with_fault "ckpt-write-fail" @@ fun () ->
+      match Checkpoint.write ~attempts:3 ~backoff_ms:1. ~path sample_ckpt with
+      | Error _ -> check_bool "nothing published" false (Sys.file_exists path)
+      | Ok () -> Alcotest.fail "write claimed success under a permanent fault")
+
 (* --- Fault --- *)
 
 let test_fault_parse_errors () =
@@ -188,6 +208,50 @@ let test_fault_parse_errors () =
       | Error _ -> ())
     [ ""; "no-such-point"; "kill-level:2.0"; "kill-level:x";
       "kill-level:0.5:x"; "kill-level:0.5:1:extra" ]
+
+let test_fault_probability_boundaries () =
+  (* out-of-range probabilities must be rejected loudly, never
+     clamped or silently accepted — in every spec shape *)
+  let rejected spec =
+    match Fault.set (Some spec) with
+    | Ok () ->
+        ignore (Fault.set None);
+        Alcotest.failf "accepted out-of-range probability %S" spec
+    | Error e ->
+        check_bool (spec ^ ": error names the range") true
+          (let range = "probability outside [0, 1]" in
+           let n = String.length range in
+           let rec has i =
+             i + n <= String.length e && (String.sub e i n = range || has (i + 1))
+           in
+           has 0)
+  in
+  List.iter rejected
+    [ "kill-worker:1.5"; "kill-worker:-0.001"; "kill-worker:1.0000001";
+      "kill-worker:nan"; "kill-worker:inf"; "kill-worker:-inf";
+      "kill-worker:1.5:42"; "stall-worker:2"; "corrupt-result:-1:7" ];
+  (* the closed boundaries themselves are legal *)
+  List.iter
+    (fun spec ->
+      match Fault.set (Some spec) with
+      | Ok () -> ignore (Fault.set None)
+      | Error e -> Alcotest.failf "rejected boundary spec %S: %s" spec e)
+    [ "kill-worker:0"; "kill-worker:0.0"; "kill-worker:1"; "kill-worker:1.0";
+      "kill-worker:0.0:42"; "kill-worker:1.0:42" ];
+  (* and behave as the degenerate schedules they name *)
+  with_fault "kill-worker:1.0" (fun () ->
+      check_bool "prob 1.0 always fires" true
+        (List.for_all Fun.id (List.init 32 (fun _ -> Fault.fire "kill-worker"))));
+  with_fault "kill-worker:0.0" (fun () ->
+      check_bool "prob 0.0 never fires" false
+        (List.mem true (List.init 32 (fun _ -> Fault.fire "kill-worker"))))
+
+let test_fault_worker_points_exist () =
+  (* the shard supervisor's sabotage points are registered (and so
+     usable from SNLB_FAULT) *)
+  List.iter
+    (fun p -> check_bool p true (List.mem p Fault.points))
+    [ "kill-worker"; "stall-worker"; "corrupt-result" ]
 
 let test_fault_off_by_default () =
   ignore (Fault.set None);
@@ -436,9 +500,15 @@ let () =
           Alcotest.test_case "every truncation rejected" `Quick
             test_checkpoint_rejects_any_truncation;
           Alcotest.test_case "backup fallback" `Quick
-            test_checkpoint_backup_fallback ] );
+            test_checkpoint_backup_fallback;
+          Alcotest.test_case "bounded write retry" `Quick
+            test_checkpoint_write_retry ] );
       ( "fault",
         [ Alcotest.test_case "parse errors" `Quick test_fault_parse_errors;
+          Alcotest.test_case "probability boundaries" `Quick
+            test_fault_probability_boundaries;
+          Alcotest.test_case "worker points registered" `Quick
+            test_fault_worker_points_exist;
           Alcotest.test_case "off by default" `Quick test_fault_off_by_default;
           Alcotest.test_case "point selectivity" `Quick
             test_fault_point_selectivity;

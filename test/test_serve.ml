@@ -252,7 +252,8 @@ let send_recv fd reader payload =
 
 let jmember name j = Option.get (Json.member name j)
 
-let with_session ?(max_request = 4096) f =
+let with_session ?(max_request = 4096) ?(idle_timeout = 0.)
+    ?(request_deadline = 0.) ?(window = 0.001) f =
   (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
    with Invalid_argument _ -> ());
   let server_fd, client_fd =
@@ -260,7 +261,7 @@ let with_session ?(max_request = 4096) f =
   in
   let batcher =
     Batcher.create
-      { Batcher.window = 0.001;
+      { Batcher.window;
         max_batch = 256;
         domains = 1;
         cache = Some (Scache.create ());
@@ -268,7 +269,7 @@ let with_session ?(max_request = 4096) f =
   in
   let config =
     { Session.batcher; max_request; max_wires = 16; exact_max_wires = 12;
-      sink = Sink.null }
+      idle_timeout; request_deadline; sink = Sink.null }
   in
   let th =
     (* close our end when the session loop exits, as Server.spawn
@@ -363,6 +364,68 @@ let test_session_framing_errors () =
       check_bool "connection closed after oversized" true
         (Frame.read ~max:(1 lsl 20) reader = Error Frame.Eof))
 
+(* --- idle reaper and per-request deadline --- *)
+
+let error_code r = Json.member "code" (jmember "error" r)
+
+let test_session_idle_reaper () =
+  (* a silent client is reaped: one typed idle-timeout error, then
+     the connection closes *)
+  with_session ~idle_timeout:0.2 (fun fd reader ->
+      ignore fd;
+      let t0 = Unix.gettimeofday () in
+      (match Frame.read ~max:(1 lsl 20) reader with
+      | Ok payload ->
+          let r = Result.get_ok (Json.of_string payload) in
+          check_bool "idle -> not ok" true (jmember "ok" r = Json.Bool false);
+          check_bool "idle code" true
+            (error_code r = Some (Json.Str Wire.e_idle_timeout))
+      | Error e -> Alcotest.failf "expected response, got %s" (Frame.error_text e));
+      check_bool "reaped promptly" true (Unix.gettimeofday () -. t0 < 5.);
+      check_bool "connection closed after idle reap" true
+        (Frame.read ~max:(1 lsl 20) reader = Error Frame.Eof));
+  (* a session that keeps talking is not reaped *)
+  with_session ~idle_timeout:1.0 ~request_deadline:1.0 (fun fd reader ->
+      let r =
+        send_recv fd reader {|{"id":1,"verb":"verify","algo":"bitonic","n":4}|}
+      in
+      check_bool "live session answers" true (jmember "ok" r = Json.Bool true);
+      let r =
+        send_recv fd reader {|{"id":2,"verb":"verify","algo":"bitonic","n":4}|}
+      in
+      check_bool "still alive within timeouts" true
+        (jmember "ok" r = Json.Bool true))
+
+let test_session_deadline () =
+  (* a frame that stalls mid-payload misses the deadline: typed
+     deadline-exceeded, then close *)
+  with_session ~idle_timeout:0.15 ~request_deadline:0.2 (fun fd reader ->
+      let _ = Unix.write_substring fd "100\nabc" 0 7 in
+      (match Frame.read ~max:(1 lsl 20) reader with
+      | Ok payload ->
+          let r = Result.get_ok (Json.of_string payload) in
+          check_bool "stall -> not ok" true (jmember "ok" r = Json.Bool false);
+          check_bool "stall code" true
+            (error_code r = Some (Json.Str Wire.e_deadline))
+      | Error e -> Alcotest.failf "expected response, got %s" (Frame.error_text e));
+      check_bool "connection closed after stalled frame" true
+        (Frame.read ~max:(1 lsl 20) reader = Error Frame.Eof));
+  (* processing overrun: a batcher window longer than the deadline
+     turns a well-formed request into deadline-exceeded *)
+  with_session ~request_deadline:0.1 ~window:0.4 (fun fd reader ->
+      Frame.write fd {|{"id":1,"verb":"verify","algo":"bitonic","n":4}|};
+      (match Frame.read ~max:(1 lsl 20) reader with
+      | Ok payload ->
+          let r = Result.get_ok (Json.of_string payload) in
+          check_bool "overrun -> not ok" true (jmember "ok" r = Json.Bool false);
+          check_bool "overrun code" true
+            (error_code r = Some (Json.Str Wire.e_deadline));
+          check_bool "overrun trace id" true
+            (jmember "trace" r = Json.Str "c1-r1")
+      | Error e -> Alcotest.failf "expected response, got %s" (Frame.error_text e));
+      check_bool "connection closed after overrun" true
+        (Frame.read ~max:(1 lsl 20) reader = Error Frame.Eof))
+
 (* --- full server: concurrent clients, drain --- *)
 
 let test_server_concurrent_clients () =
@@ -446,6 +509,8 @@ let () =
             test_verify_coalescing_and_cache ] );
       ( "session",
         [ Alcotest.test_case "verbs over a socketpair" `Quick test_session_verbs;
+          Alcotest.test_case "idle reaper" `Quick test_session_idle_reaper;
+          Alcotest.test_case "request deadline" `Quick test_session_deadline;
           Alcotest.test_case "framing errors are typed" `Quick
             test_session_framing_errors ] );
       ( "server",
