@@ -1,6 +1,6 @@
 (* snlb: command-line front end for the sorting-network lower-bound
-   library.  Subcommands: list, sort, verify, certify, table, dot,
-   draw, save, load, lint, search, route, serve, client, evolve,
+   library.  Subcommands: list, sort, verify, certify, check, table,
+   dot, draw, save, load, lint, search, route, serve, client, evolve,
    fuzz. *)
 
 open Cmdliner
@@ -33,6 +33,18 @@ let build_sorter algo n =
 
 let pp_array a =
   "[" ^ String.concat " " (Array.to_list (Array.map string_of_int a)) ^ "]"
+
+(* certificate emission: the emitters in Analysis_cert / Cert_emit /
+   Certificate self-check every certificate with [Cert.check] before
+   returning it, so a written file is already known to pass
+   [snlb check]. *)
+let write_certs path certs =
+  let text = String.concat "\n" (List.map Cert.to_string certs) in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc text);
+  Printf.printf "%d certificate%s written to %s\n" (List.length certs)
+    (if List.length certs = 1 then "" else "s")
+    path
 
 (* observability: --trace streams span events as NDJSON while the run
    is in flight, --metrics prints the global counter/histogram summary
@@ -256,7 +268,15 @@ let certify_cmd =
     in
     Arg.(value & opt (some string) None & info [ "file" ] ~docv:"NET" ~doc)
   in
-  let run kind file n blocks seed ckpt resume trace metrics =
+  let emit_cert_arg =
+    let doc =
+      "After validating the fooling pair, also package it as a portable \
+       lower-bound certificate (register-model stage transcript) and \
+       write it to $(docv) for $(b,snlb check)."
+    in
+    Arg.(value & opt (some string) None & info [ "emit-cert" ] ~docv:"FILE" ~doc)
+  in
+  let run kind file n blocks seed emit ckpt resume trace metrics =
     if resume && ckpt = None then
       usage_error "certify: --resume needs --checkpoint FILE"
     else if file = None && not (Bitops.is_power_of_two n) then
@@ -278,7 +298,7 @@ let certify_cmd =
                          "%s: not an iterated reverse delta network (%s); \
                           Theorem 4.1 does not apply"
                          path e)
-                | Ok it -> Ok (Some it)))
+                | Ok it -> Ok (Some (nw, it))))
       in
       match from_file with
       | Error e ->
@@ -287,9 +307,14 @@ let certify_cmd =
       | Ok maybe_it ->
       with_obs ~trace ~metrics @@ fun sink ->
       with_signals @@ fun cancel ->
-      let it =
+      (* [emit_net] is the register-model form of the same circuit —
+         the stage-transcript shape the portable certificate encodes.
+         A loaded file is used as-is (emission rejects it if its gates
+         are off the register pairs); a generated program converts
+         exactly. *)
+      let it, emit_net =
         match maybe_it with
-        | Some it -> it
+        | Some (nw, it) -> (it, nw)
         | None ->
             let d = Bitops.log2_exact n in
             let rng = Xoshiro.of_seed seed in
@@ -304,7 +329,7 @@ let certify_cmd =
                   prerr_endline ("unknown kind " ^ other ^ ", using random");
                   Shuffle_net.random_program rng ~n ~stages:(blocks * d)
             in
-            Shuffle_net.to_iterated prog
+            (Shuffle_net.to_iterated prog, Register_model.to_network prog)
       in
       let n = Iterated.n it in
       let d = Bitops.log2_exact n in
@@ -335,10 +360,20 @@ let certify_cmd =
               cert.Certificate.value0 cert.Certificate.value1
               cert.Certificate.wire0 cert.Certificate.wire1;
             match Certificate.validate nw cert with
-            | Ok () ->
+            | Ok () -> (
                 Printf.printf
                   "certificate VALID: the network is not a sorting network.\n";
-                0
+                match emit with
+                | None -> 0
+                | Some path -> (
+                    match Certificate.to_cert emit_net cert with
+                    | Ok c ->
+                        write_certs path [ c ];
+                        0
+                    | Error e ->
+                        Printf.eprintf "certify: cannot emit certificate: %s\n"
+                          e;
+                        exit_failure))
             | Error e ->
                 Printf.printf "certificate INVALID: %s\n" e;
                 exit_failure)
@@ -352,8 +387,8 @@ let certify_cmd =
   in
   Cmd.v (Cmd.info "certify" ~doc)
     Term.(
-      const run $ kind_arg $ file_arg $ n_arg $ blocks_arg $ seed_arg $ checkpoint_arg
-      $ resume_arg $ trace_arg $ metrics_arg)
+      const run $ kind_arg $ file_arg $ n_arg $ blocks_arg $ seed_arg
+      $ emit_cert_arg $ checkpoint_arg $ resume_arg $ trace_arg $ metrics_arg)
 
 (* table *)
 
@@ -523,10 +558,21 @@ let lint_cmd =
     let doc = "Exit 1 on warnings too, not just errors." in
     Arg.(value & flag & info [ "strict" ] ~doc)
   in
+  let emit_cert_arg =
+    let doc =
+      "Write proof-carrying certificates for the analyzer's verdicts \
+       to $(docv): a sortedness certificate (reach, bounds, or a \
+       refutation witness) plus, when dead/redundant comparators were \
+       found in the exact domain, their reachable-set facts. Exits 1 \
+       if no certificate backs the verdict (bounds domain \
+       undecided)."
+    in
+    Arg.(value & opt (some string) None & info [ "emit-cert" ] ~docv:"FILE" ~doc)
+  in
   let opt_str name = function None -> name ^ ": no" | Some v ->
     Printf.sprintf "%s: yes (%d)" name v
   in
-  let run file algo n fmt exact_max strict metrics =
+  let run file algo n fmt exact_max strict emit metrics =
     let nw =
       match file with
       | Some path -> (
@@ -559,9 +605,29 @@ let lint_cmd =
               (opt_str "iterated reverse delta" f.reverse_delta_blocks)
               (opt_str "delta" f.delta_blocks));
         if metrics then print_metrics ();
+        let emit_status =
+          match emit with
+          | None -> 0
+          | Some path -> (
+              match Analysis_cert.sortedness ~exact_max_wires:exact_max nw with
+              | Error e ->
+                  Printf.eprintf "lint: cannot emit certificate: %s\n" e;
+                  1
+              | Ok sc -> (
+                  match
+                    Analysis_cert.dead_gates ~exact_max_wires:exact_max nw
+                  with
+                  | Error e ->
+                      Printf.eprintf "lint: cannot emit certificate: %s\n" e;
+                      1
+                  | Ok dc ->
+                      write_certs path
+                        (sc :: Option.to_list dc);
+                      0))
+        in
         let errs = Diag.count r.diags Diag.Error
         and warns = Diag.count r.diags Diag.Warning in
-        if errs > 0 || (strict && warns > 0) then 1 else 0
+        if errs > 0 || (strict && warns > 0) || emit_status > 0 then 1 else 0
   in
   let doc =
     "Statically analyse a comparator network: abstract-interpretation \
@@ -573,7 +639,56 @@ let lint_cmd =
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
       const run $ file_arg $ algo_arg $ n_arg $ format_arg $ exact_max_arg
-      $ strict_arg $ metrics_arg)
+      $ strict_arg $ emit_cert_arg $ metrics_arg)
+
+(* check *)
+
+let check_cmd =
+  let file_arg =
+    let doc =
+      "Certificate file in the snlb-cert text format (one or more \
+       certificates, as written by --emit-cert)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    match In_channel.with_open_text file In_channel.input_all with
+    | exception Sys_error e -> usage_error ("check: " ^ e)
+    | text -> (
+        match Cert.parse text with
+        | Error e ->
+            Printf.printf "REJECTED %s %s: %s\n" e.Cert.code e.Cert.where
+              e.Cert.reason;
+            exit_failure
+        | Ok certs ->
+            let bad = ref 0 in
+            List.iteri
+              (fun i c ->
+                match Cert.check c with
+                | Ok () ->
+                    Printf.printf "cert %d (%s): OK\n" (i + 1)
+                      (Cert.kind_name c)
+                | Error e ->
+                    incr bad;
+                    Printf.printf "cert %d (%s): REJECTED %s %s: %s\n" (i + 1)
+                      (Cert.kind_name c) e.Cert.code e.Cert.where e.Cert.reason)
+              certs;
+            if !bad = 0 then begin
+              Printf.printf "all %d certificate%s OK\n" (List.length certs)
+                (if List.length certs = 1 then "" else "s");
+              0
+            end
+            else exit_failure)
+  in
+  let doc =
+    "Validate proof-carrying certificates with the independent checker. \
+     The checker re-derives every claim from the certificate text alone \
+     — it shares no code with the engine, searcher, or analyzer that \
+     produced the verdict. Exits 0 only if every certificate in the \
+     file checks; a rejected certificate prints a typed CRT*** \
+     diagnostic."
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ file_arg)
 
 (* search *)
 
@@ -635,6 +750,21 @@ let search_cmd =
     in
     Arg.(value & opt int 0 & info [ "shards" ] ~docv:"K" ~doc)
   in
+  let emit_cert_arg =
+    let doc =
+      "Write an exhaustion certificate for the search's negative claim \
+       to $(docv): the per-level surviving frontiers plus, for every \
+       expanded child, a subsumption witness (cited pool entry and wire \
+       permutation) the independent checker replays. Forces the \
+       unrestricted reference search (every layer, equality-only \
+       dedup), whose frontier log both engines reproduce byte-for-byte. \
+       On an $(b,--optimal) run that finds a depth-$(i,d) sorter, emits \
+       exhaustion at depth $(i,d-1) plus a sortedness certificate for \
+       the witness network — together a proof of optimality. Not \
+       available with --shuffle, --shards, or --resume."
+    in
+    Arg.(value & opt (some string) None & info [ "emit-cert" ] ~docv:"FILE" ~doc)
+  in
   let pp_layer layer =
     String.concat "" (List.map (fun (i, j) -> Printf.sprintf "(%d,%d)" i j) layer)
   in
@@ -646,7 +776,7 @@ let search_cmd =
       s.Driver.redundant s.Driver.peak_frontier
   in
   let run n depth _optimal shuffle domains engine max_depth budget shards
-      shard_dir ckpt interval resume trace metrics =
+      shard_dir emit ckpt interval resume trace metrics =
     let budget = { Driver.max_nodes = budget; max_seconds = None } in
     record_domains domains;
     if resume && ckpt = None then
@@ -656,6 +786,14 @@ let search_cmd =
       usage_error "search: --shards does not support --shuffle"
     else if shards > 0 && (ckpt <> None || resume) then
       usage_error "search: --shards does not support --checkpoint/--resume"
+    else if emit <> None && shuffle then
+      usage_error "search: --emit-cert does not support --shuffle"
+    else if emit <> None && shards > 0 then
+      usage_error "search: --emit-cert does not support --shards"
+    else if emit <> None && resume then
+      usage_error
+        "search: --emit-cert needs the full frontier log; not available \
+         with --resume"
     else begin
       let checkpoint = Option.map (fun path -> (path, interval)) ckpt in
       let resume_state =
@@ -782,9 +920,58 @@ let search_cmd =
               report outcome
         end
         else
-          report
-            (Driver.optimal_depth ~domains ~engine ~budget ~sink ~cancel
-               ?checkpoint ?resume:resume_state ~max_depth ~n ())
+          match emit with
+          | None ->
+              report
+                (Driver.optimal_depth ~domains ~engine ~budget ~sink ~cancel
+                   ?checkpoint ?resume:resume_state ~max_depth ~n ())
+          | Some path ->
+              (* The exhaustion certificate replays every child of every
+                 frontier state, so the log must come from the
+                 unrestricted reference search: every layer, equality-
+                 only dedup. The restricted search's symmetry-reduced
+                 second layers leave children no pool entry covers. *)
+              let frontiers = ref [] in
+              let frontier_log ~level:_ states =
+                frontiers := states :: !frontiers
+              in
+              let outcome =
+                Driver.optimal_depth ~domains ~engine ~budget ~sink ~cancel
+                  ~frontier_log ?checkpoint ~restrict:false ~max_depth ~n ()
+              in
+              let frontiers = List.rev !frontiers in
+              let code = report outcome in
+              let emitted =
+                match outcome with
+                | Driver.Unsorted _ ->
+                    Result.map
+                      (fun c -> [ c ])
+                      (Cert_emit.exhaustion ~n ~max_depth ~frontiers)
+                | Driver.Sorted { depth; moves; _ } ->
+                    let sorted =
+                      Analysis_cert.sortedness (Driver.witness_network ~n moves)
+                    in
+                    let exhausted =
+                      if depth <= 1 then Ok []
+                      else
+                        Result.map
+                          (fun c -> [ c ])
+                          (Cert_emit.exhaustion ~n ~max_depth:(depth - 1)
+                             ~frontiers)
+                    in
+                    (match (exhausted, sorted) with
+                    | Ok ex, Ok sc -> Ok (ex @ [ sc ])
+                    | Error e, _ | _, Error e -> Error e)
+                | Driver.Inconclusive _ | Driver.Interrupted _ ->
+                    Error "search ended without a verdict"
+              in
+              (match emitted with
+              | Ok certs ->
+                  write_certs path certs;
+                  code
+              | Error e ->
+                  Printf.eprintf "search: cannot emit certificate: %s\n" e;
+                  if code = 0 then exit_failure else code)
       end
     end
   in
@@ -795,8 +982,8 @@ let search_cmd =
     Term.(
       const run $ search_n_arg $ depth_arg $ optimal_arg $ shuffle_arg
       $ domains_arg $ engine_arg $ max_depth_arg $ budget_arg $ shards_arg
-      $ shard_dir_arg $ checkpoint_arg $ interval_arg $ resume_arg $ trace_arg
-      $ metrics_arg)
+      $ shard_dir_arg $ emit_cert_arg $ checkpoint_arg $ interval_arg
+      $ resume_arg $ trace_arg $ metrics_arg)
 
 (* evolve *)
 
@@ -1322,8 +1509,8 @@ let main =
      verification, and the Plaxton-Suel lower-bound adversary."
   in
   Cmd.group (Cmd.info "snlb" ~version:"1.0.0" ~doc)
-    [ list_cmd; sort_cmd; verify_cmd; certify_cmd; table_cmd; dot_cmd;
-      draw_cmd; save_cmd; load_cmd; lint_cmd; search_cmd; route_cmd;
+    [ list_cmd; sort_cmd; verify_cmd; certify_cmd; check_cmd; table_cmd;
+      dot_cmd; draw_cmd; save_cmd; load_cmd; lint_cmd; search_cmd; route_cmd;
       serve_cmd; client_cmd; evolve_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval' ~term_err:exit_usage main)

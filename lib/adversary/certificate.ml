@@ -83,6 +83,77 @@ let validate nw cert =
     (not (Sortedness.is_sorted out && Sortedness.is_sorted out'))
     "both outputs sorted (impossible)"
 
+(* Rewrite the network as register-model stages — wire permutation plus
+   ops on register pairs [(2k, 2k+1)] — and pack this fooling pair into
+   a portable {!Cert.Lower_bound} the independent checker can replay.
+   Only networks whose every gate sits on a register pair convert
+   (shuffle-based topologies do by construction). *)
+let to_cert nw cert =
+  let n = Network.wires nw in
+  if n < 2 || n mod 2 <> 0 then
+    Error "register-model certificates need an even wire count"
+  else begin
+    let exception Bad of string in
+    try
+      let stages =
+        List.mapi
+          (fun li (level : Network.level) ->
+            let perm =
+              match level.Network.pre with
+              | None -> Array.init n Fun.id
+              | Some p -> Perm.to_array p
+            in
+            let ops = Bytes.make (n / 2) '0' in
+            List.iter
+              (fun g ->
+                let pair, op =
+                  match g with
+                  | Gate.Compare { lo; hi } when hi = lo + 1 && lo mod 2 = 0 ->
+                      (lo / 2, '+')
+                  | Gate.Compare { lo; hi } when lo = hi + 1 && hi mod 2 = 0 ->
+                      (hi / 2, '-')
+                  | Gate.Exchange { a; b }
+                    when abs (a - b) = 1 && min a b mod 2 = 0 ->
+                      (min a b / 2, '1')
+                  | _ ->
+                      raise
+                        (Bad
+                           (Printf.sprintf
+                              "level %d has a gate off the register pairs"
+                              (li + 1)))
+                in
+                if Bytes.get ops pair <> '0' then
+                  raise
+                    (Bad
+                       (Printf.sprintf "level %d reuses register pair %d"
+                          (li + 1) pair));
+                Bytes.set ops pair op)
+              level.Network.gates;
+            Cert.{ perm; ops = Bytes.to_string ops })
+          (Network.levels nw)
+      in
+      let c =
+        Cert.Lower_bound
+          { n;
+            stages;
+            input = cert.input;
+            twin = cert.twin;
+            wire0 = cert.wire0;
+            wire1 = cert.wire1;
+            value0 = cert.value0;
+            value1 = cert.value1;
+            m_set = cert.m_set }
+      in
+      match Cert.check c with
+      | Ok () -> Ok c
+      | Error e ->
+          Error
+            (Printf.sprintf
+               "emitted certificate fails its own check: %s %s: %s" e.Cert.code
+               e.Cert.where e.Cert.reason)
+    with Bad why -> Error why
+  end
+
 let validate_noncolliding nw cert =
   let _, trace = Trace.run nw cert.input in
   let values = List.map (fun w -> cert.input.(w)) cert.m_set in

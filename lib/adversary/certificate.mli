@@ -39,6 +39,14 @@ val validate : Network.t -> t -> (unit, string) result
     - consequently the two outputs cannot both be sorted.
     Returns a description of the first failing check. *)
 
+val to_cert : Network.t -> t -> (Cert.t, string) result
+(** Package the fooling pair as a portable {!Cert.Lower_bound}: the
+    network rewritten as register-model stages [(Pi_i, ops_i)] plus
+    this certificate's input/twin/witness data, self-checked with
+    {!Cert.check} before returning. [Error] when a gate does not sit
+    on a register pair [(2k, 2k+1)] (only shuffle-style topologies
+    convert) or the transcript fails the independent replay. *)
+
 val validate_noncolliding : Network.t -> t -> (unit, string) result
 (** The stronger audit: *no two* values carried by [m_set] wires are
     ever compared on [input] — i.e. [D] is noncolliding under the

@@ -131,6 +131,14 @@ let analyze_gen ?(exact_max_wires = 12) ?(cross_check = false)
   in
   let diags = ref (List.rev (Lint.structural nw)) in
   let add d = diags := d :: !diags in
+  if not exact then
+    add
+      (Diag.make ~code:"SNL206" ~severity:Diag.Info
+         (Printf.sprintf
+            "exact 0-1 domain unavailable at %d wires (cap %d): sortedness \
+             and gate verdicts use the approximate bounds domain"
+            n
+            (min exact_max_wires Reach.max_wires)));
   let red_set = List.map (fun r -> (r.level, r.gate)) redundant in
   List.iter
     (fun r ->

@@ -75,6 +75,7 @@ let codes =
     ("SNL203", "sortedness refuted (exact 0-1 domain, witness input)");
     ("SNL204", "sortedness proved (exact 0-1 domain)");
     ("SNL205", "sortedness proved (order-bounds domain)");
+    ("SNL206", "exact 0-1 domain unavailable at this width; using bounds");
     ("SNL301", "shuffle-based: every stage pairs shuffle-adjacent registers");
     ("SNL302", "iterated reverse delta skeleton (paper Section 2)");
     ("SNL303", "delta skeleton (paper Section 2)");

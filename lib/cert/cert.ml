@@ -1,0 +1,1246 @@
+type stage = { perm : int array; ops : string }
+type cover = { cite : int; pi : int array }
+
+type domain =
+  | Reach_sets of int list array
+  | Bounds_leq of (int * int) list array
+
+type claim =
+  | Dead of { level : int; gate : int }
+  | Redundant of { level : int; gate : int }
+
+type t =
+  | Sortedness of { network : Network.t; domain : domain }
+  | Refutation of { network : Network.t; witness : int }
+  | Dead_gates of {
+      network : Network.t;
+      sets : int list array;
+      claims : claim list;
+    }
+  | Lower_bound of {
+      n : int;
+      stages : stage list;
+      input : int array;
+      twin : int array;
+      wire0 : int;
+      wire1 : int;
+      value0 : int;
+      value1 : int;
+      m_set : int list;
+    }
+  | Exhaustion of {
+      n : int;
+      max_depth : int;
+      frontiers : int list list array;
+      covers : cover list array;
+    }
+
+type error = { code : string; where : string; reason : string }
+
+(* stable error codes (append-only, mirrored in README) *)
+let codes =
+  [
+    ("CRT001", "certificate text cannot be parsed");
+    ("CRT002", "embedded network invalid");
+    ("CRT101", "certificate structure invalid (missing/duplicate directive)");
+    ("CRT102", "value out of range (mask, wire, level, permutation)");
+    ("CRT201", "annotated set does not contain a level's image");
+    ("CRT202", "final annotation does not prove sortedness");
+    ("CRT203", "order fact not derivable by the bounds inference rules");
+    ("CRT211", "refutation witness evaluates to a sorted output");
+    ("CRT221", "dead/redundant claim not justified by the annotated set");
+    ("CRT231", "lower-bound transcript structurally illegal");
+    ("CRT232", "lower-bound witness values were compared");
+    ("CRT233", "twin outputs differ beyond the witness swap");
+    ("CRT234", "fooling-pair outputs are both sorted");
+    ("CRT235", "lower-bound M-set values were compared");
+    ("CRT241", "exhaustion cover cites an unavailable frontier entry");
+    ("CRT242", "exhaustion cover permutation does not embed the cited state");
+    ("CRT243", "a sorted state contradicts the claimed exhaustion");
+    ("CRT244", "exhaustion cover count does not match the expansion");
+  ]
+
+let err code where fmt =
+  Printf.ksprintf (fun reason -> Error { code; where; reason }) fmt
+
+let kind_name = function
+  | Sortedness _ -> "sortedness"
+  | Refutation _ -> "refutation"
+  | Dead_gates _ -> "dead"
+  | Lower_bound _ -> "lower-bound"
+  | Exhaustion _ -> "exhaustion"
+
+(* --- mask primitives (the checker's own, not the engine's) --- *)
+
+let is_sorted_mask ~n m =
+  let k = Bitops.popcount m in
+  m = ((1 lsl k) - 1) lsl (n - k)
+
+let bit m w = (m lsr w) land 1
+
+let permute_mask pi m =
+  let img = ref 0 in
+  let w = ref m in
+  while !w <> 0 do
+    let c = Bitops.floor_log2 (!w land - !w) in
+    img := !img lor (1 lsl pi.(c));
+    w := !w land (!w - 1)
+  done;
+  !img
+
+let apply_perm_mask ~n p m =
+  let img = ref 0 in
+  for w = 0 to n - 1 do
+    if bit m w = 1 then img := !img lor (1 lsl Perm.apply p w)
+  done;
+  !img
+
+let apply_gate_mask m g =
+  match g with
+  | Gate.Compare { lo; hi } ->
+      if bit m lo = 1 && bit m hi = 0 then m lxor ((1 lsl lo) lor (1 lsl hi))
+      else m
+  | Gate.Exchange { a; b } ->
+      if bit m a <> bit m b then m lxor ((1 lsl a) lor (1 lsl b)) else m
+
+let apply_level_mask ~n (lvl : Network.level) m =
+  let m =
+    match lvl.Network.pre with
+    | None -> m
+    | Some p -> apply_perm_mask ~n p m
+  in
+  List.fold_left apply_gate_mask m lvl.Network.gates
+
+let eval_mask nw m =
+  let n = Network.wires nw in
+  List.fold_left (fun m lvl -> apply_level_mask ~n lvl m) m (Network.levels nw)
+
+(* ascending comparator layer on a mask: pair (i, j) with i < j puts
+   the minimum bit on wire i *)
+let apply_matching_mask pairs m =
+  List.fold_left
+    (fun m (i, j) ->
+      if bit m i = 1 && bit m j = 0 then m lxor ((1 lsl i) lor (1 lsl j))
+      else m)
+    m pairs
+
+let all_matchings ~n =
+  if n < 2 || n > 12 then invalid_arg "Cert.all_matchings: n must be in [2, 12]";
+  let rec gen = function
+    | [] -> [ [] ]
+    | c :: rest ->
+        let skip = gen rest in
+        let paired =
+          List.concat_map
+            (fun d ->
+              List.map
+                (fun m -> (c, d) :: m)
+                (gen (List.filter (fun x -> x <> d) rest)))
+            rest
+        in
+        skip @ paired
+  in
+  List.sort compare (List.filter (fun m -> m <> []) (gen (List.init n Fun.id)))
+
+let is_permutation a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun v ->
+      if v < 0 || v >= n || seen.(v) then false
+      else begin
+        seen.(v) <- true;
+        true
+      end)
+    a
+
+(* --- printing --- *)
+
+let add_ints b l =
+  List.iter (fun v -> Buffer.add_string b (" " ^ string_of_int v)) l
+
+let add_network b nw =
+  Buffer.add_string b "network\n";
+  Buffer.add_string b (Network_io.to_string nw);
+  Buffer.add_string b "end-network\n"
+
+let add_sets b sets =
+  Array.iteri
+    (fun l ms ->
+      Buffer.add_string b (Printf.sprintf "set %d" (l + 1));
+      add_ints b ms;
+      Buffer.add_char b '\n')
+    sets
+
+let to_string c =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "snlb-cert 1\n";
+  Buffer.add_string b ("kind " ^ kind_name c ^ "\n");
+  (match c with
+  | Sortedness { network; domain } -> (
+      add_network b network;
+      match domain with
+      | Reach_sets sets ->
+          Buffer.add_string b "domain reach\n";
+          add_sets b sets
+      | Bounds_leq lvls ->
+          Buffer.add_string b "domain bounds\n";
+          Array.iteri
+            (fun l pairs ->
+              Buffer.add_string b (Printf.sprintf "leq %d" (l + 1));
+              List.iter
+                (fun (i, j) ->
+                  Buffer.add_string b (Printf.sprintf " %d %d" i j))
+                pairs;
+              Buffer.add_char b '\n')
+            lvls)
+  | Refutation { network; witness } ->
+      add_network b network;
+      Buffer.add_string b (Printf.sprintf "witness %d\n" witness)
+  | Dead_gates { network; sets; claims } ->
+      add_network b network;
+      add_sets b sets;
+      List.iter
+        (function
+          | Dead { level; gate } ->
+              Buffer.add_string b (Printf.sprintf "dead %d %d\n" level gate)
+          | Redundant { level; gate } ->
+              Buffer.add_string b
+                (Printf.sprintf "redundant %d %d\n" level gate))
+        claims
+  | Lower_bound { n; stages; input; twin; wire0; wire1; value0; value1; m_set }
+    ->
+      Buffer.add_string b (Printf.sprintf "n %d\n" n);
+      List.iter
+        (fun st ->
+          Buffer.add_string b "stage";
+          add_ints b (Array.to_list st.perm);
+          Buffer.add_string b (" " ^ st.ops ^ "\n"))
+        stages;
+      Buffer.add_string b "input";
+      add_ints b (Array.to_list input);
+      Buffer.add_char b '\n';
+      Buffer.add_string b "twin";
+      add_ints b (Array.to_list twin);
+      Buffer.add_char b '\n';
+      Buffer.add_string b (Printf.sprintf "wires %d %d\n" wire0 wire1);
+      Buffer.add_string b
+        (Printf.sprintf "values %d %d\n" value0 value1);
+      Buffer.add_string b "mset";
+      add_ints b m_set;
+      Buffer.add_char b '\n'
+  | Exhaustion { n; max_depth; frontiers; covers } ->
+      Buffer.add_string b (Printf.sprintf "n %d\n" n);
+      Buffer.add_string b (Printf.sprintf "max-depth %d\n" max_depth);
+      Array.iteri
+        (fun l states ->
+          Buffer.add_string b (Printf.sprintf "level %d\n" (l + 1));
+          List.iter
+            (fun ms ->
+              Buffer.add_string b "state";
+              add_ints b ms;
+              Buffer.add_char b '\n')
+            states;
+          List.iter
+            (fun cv ->
+              Buffer.add_string b (Printf.sprintf "cover %d" cv.cite);
+              add_ints b (Array.to_list cv.pi);
+              Buffer.add_char b '\n')
+            covers.(l))
+        frontiers);
+  Buffer.add_string b "end-cert\n";
+  Buffer.contents b
+
+(* --- parsing --- *)
+
+exception Fail of error
+
+let fail code lineno fmt =
+  Printf.ksprintf
+    (fun reason ->
+      raise (Fail { code; where = Printf.sprintf "line %d" lineno; reason }))
+    fmt
+
+let parse text =
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  let nlines = Array.length lines in
+  let int_of lineno s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail "CRT001" lineno "expected integer, got %S" s
+  in
+  let tokens_of line =
+    String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+  in
+  let i = ref 0 in
+  let skippable line = line = "" || line.[0] = '#' in
+  let skip_blanks () =
+    while !i < nlines && skippable (String.trim lines.(!i)) do
+      incr i
+    done
+  in
+  (* collect one certificate's directives: (lineno, tokens) in order,
+     with at most one verbatim network block *)
+  let read_body () =
+    let dirs = ref [] in
+    let net : (int * string) option ref = ref None in
+    let closed = ref false in
+    while not !closed do
+      if !i >= nlines then
+        fail "CRT001" nlines "unterminated certificate (missing end-cert)";
+      let lineno = !i + 1 in
+      let line = String.trim lines.(!i) in
+      incr i;
+      if skippable line then ()
+      else if line = "end-cert" then closed := true
+      else if line = "network" then begin
+        if !net <> None then fail "CRT101" lineno "duplicate network block";
+        let b = Buffer.create 256 in
+        let net_done = ref false in
+        while not !net_done do
+          if !i >= nlines then
+            fail "CRT001" lineno "unterminated network block";
+          let raw = lines.(!i) in
+          incr i;
+          if String.trim raw = "end-network" then net_done := true
+          else begin
+            Buffer.add_string b raw;
+            Buffer.add_char b '\n'
+          end
+        done;
+        net := Some (lineno, Buffer.contents b)
+      end
+      else dirs := (lineno, tokens_of line) :: !dirs
+    done;
+    (List.rev !dirs, !net)
+  in
+  let parse_network kind_line net =
+    match net with
+    | None -> fail "CRT101" kind_line "missing network block"
+    | Some (lineno, text) -> (
+        match Network_io.of_string text with
+        | Ok nw -> nw
+        | Error e -> fail "CRT002" lineno "embedded network invalid: %s" e)
+  in
+  (* sequential "set L ..." / "leq L ..." / "level L" numbering *)
+  let expect_seq lineno what expected l =
+    if l <> expected then
+      fail "CRT101" lineno "%s %d out of order (expected %s %d)" what l what
+        expected
+  in
+  let assemble kind_line kind (dirs, net) =
+    let unknown lineno tok =
+      fail "CRT001" lineno "unrecognised directive %S in a %s certificate" tok
+        kind
+    in
+    match kind with
+    | "sortedness" ->
+        let network = parse_network kind_line net in
+        let dom = ref None in
+        let sets = ref [] and leqs = ref [] in
+        List.iter
+          (fun (lineno, toks) ->
+            match toks with
+            | [ "domain"; ("reach" | "bounds") ] when !dom <> None ->
+                fail "CRT101" lineno "duplicate domain directive"
+            | [ "domain"; ("reach" | "bounds" as d) ] -> dom := Some d
+            | [ "domain"; d ] -> fail "CRT001" lineno "unknown domain %S" d
+            | "set" :: l :: ms ->
+                expect_seq lineno "set" (List.length !sets + 1) (int_of lineno l);
+                sets := List.map (int_of lineno) ms :: !sets
+            | "leq" :: l :: ps ->
+                expect_seq lineno "leq" (List.length !leqs + 1) (int_of lineno l);
+                let rec pairs = function
+                  | [] -> []
+                  | [ _ ] ->
+                      fail "CRT001" lineno "leq needs an even number of wires"
+                  | a :: b :: rest ->
+                      (int_of lineno a, int_of lineno b) :: pairs rest
+                in
+                leqs := pairs ps :: !leqs
+            | tok :: _ -> unknown lineno tok
+            | [] -> ())
+          dirs;
+        let domain =
+          match !dom with
+          | Some "reach" ->
+              if !leqs <> [] then
+                fail "CRT101" kind_line "leq lines in a reach-domain certificate";
+              Reach_sets (Array.of_list (List.rev !sets))
+          | Some "bounds" ->
+              if !sets <> [] then
+                fail "CRT101" kind_line "set lines in a bounds-domain certificate";
+              Bounds_leq (Array.of_list (List.rev !leqs))
+          | _ -> fail "CRT101" kind_line "missing domain directive"
+        in
+        Sortedness { network; domain }
+    | "refutation" ->
+        let network = parse_network kind_line net in
+        let witness = ref None in
+        List.iter
+          (fun (lineno, toks) ->
+            match toks with
+            | [ "witness"; _ ] when !witness <> None ->
+                fail "CRT101" lineno "duplicate witness directive"
+            | [ "witness"; m ] -> witness := Some (int_of lineno m)
+            | tok :: _ -> unknown lineno tok
+            | [] -> ())
+          dirs;
+        (match !witness with
+        | Some witness -> Refutation { network; witness }
+        | None -> fail "CRT101" kind_line "missing witness directive")
+    | "dead" ->
+        let network = parse_network kind_line net in
+        let sets = ref [] and claims = ref [] in
+        List.iter
+          (fun (lineno, toks) ->
+            match toks with
+            | "set" :: l :: ms ->
+                expect_seq lineno "set" (List.length !sets + 1) (int_of lineno l);
+                sets := List.map (int_of lineno) ms :: !sets
+            | [ ("dead" | "redundant" as kw); l; g ] ->
+                let level = int_of lineno l and gate = int_of lineno g in
+                claims :=
+                  (if kw = "dead" then Dead { level; gate }
+                   else Redundant { level; gate })
+                  :: !claims
+            | tok :: _ -> unknown lineno tok
+            | [] -> ())
+          dirs;
+        if !claims = [] then
+          fail "CRT101" kind_line "a dead certificate needs at least one claim";
+        Dead_gates
+          { network;
+            sets = Array.of_list (List.rev !sets);
+            claims = List.rev !claims }
+    | "lower-bound" ->
+        if net <> None then
+          fail "CRT101" kind_line
+            "lower-bound certificates carry stages, not a network block";
+        let n = ref None in
+        let need_n lineno =
+          match !n with
+          | Some n -> n
+          | None -> fail "CRT101" lineno "n must be declared first"
+        in
+        let stages = ref [] in
+        let input = ref None and twin = ref None in
+        let wires = ref None and values = ref None and mset = ref None in
+        let ints lineno what expected toks =
+          let l = List.map (int_of lineno) toks in
+          if List.length l <> expected then
+            fail "CRT001" lineno "%s needs %d integers, got %d" what expected
+              (List.length l);
+          l
+        in
+        let once lineno what r v =
+          if !r <> None then fail "CRT101" lineno "duplicate %s directive" what;
+          r := Some v
+        in
+        List.iter
+          (fun (lineno, toks) ->
+            match toks with
+            | [ "n"; v ] -> once lineno "n" n (int_of lineno v)
+            | "stage" :: rest ->
+                let nn = need_n lineno in
+                if List.length rest <> nn + 1 then
+                  fail "CRT001" lineno
+                    "stage needs %d permutation images and an op string" nn;
+                let rec split k acc = function
+                  | rest when k = 0 -> (List.rev acc, rest)
+                  | x :: rest -> split (k - 1) (x :: acc) rest
+                  | [] -> assert false
+                in
+                let imgs, ops = split nn [] rest in
+                let ops =
+                  match ops with [ o ] -> o | _ -> assert false
+                in
+                String.iter
+                  (fun ch ->
+                    match ch with
+                    | '+' | '-' | '0' | '1' -> ()
+                    | _ -> fail "CRT001" lineno "bad op character %C" ch)
+                  ops;
+                stages :=
+                  { perm = Array.of_list (List.map (int_of lineno) imgs); ops }
+                  :: !stages
+            | "input" :: rest ->
+                once lineno "input" input
+                  (Array.of_list (ints lineno "input" (need_n lineno) rest))
+            | "twin" :: rest ->
+                once lineno "twin" twin
+                  (Array.of_list (ints lineno "twin" (need_n lineno) rest))
+            | "wires" :: rest ->
+                once lineno "wires" wires (ints lineno "wires" 2 rest)
+            | "values" :: rest ->
+                once lineno "values" values (ints lineno "values" 2 rest)
+            | "mset" :: rest -> once lineno "mset" mset (List.map (int_of lineno) rest)
+            | tok :: _ -> unknown lineno tok
+            | [] -> ())
+          dirs;
+        let req what = function
+          | Some v -> v
+          | None -> fail "CRT101" kind_line "missing %s directive" what
+        in
+        let w0, w1 =
+          match req "wires" !wires with [ a; b ] -> (a, b) | _ -> assert false
+        in
+        let v0, v1 =
+          match req "values" !values with [ a; b ] -> (a, b) | _ -> assert false
+        in
+        Lower_bound
+          { n = req "n" !n;
+            stages = List.rev !stages;
+            input = req "input" !input;
+            twin = req "twin" !twin;
+            wire0 = w0;
+            wire1 = w1;
+            value0 = v0;
+            value1 = v1;
+            m_set = req "mset" !mset }
+    | "exhaustion" ->
+        if net <> None then
+          fail "CRT101" kind_line
+            "exhaustion certificates carry frontiers, not a network block";
+        let n = ref None and depth = ref None in
+        let need lineno what = function
+          | Some v -> v
+          | None -> fail "CRT101" lineno "%s must be declared first" what
+        in
+        (* blocks built in reverse; the current block is the head *)
+        let fronts : int list list list ref = ref [] in
+        let covs : cover list list ref = ref [] in
+        List.iter
+          (fun (lineno, toks) ->
+            match toks with
+            | [ "n"; v ] ->
+                if !n <> None then fail "CRT101" lineno "duplicate n directive";
+                n := Some (int_of lineno v)
+            | [ "max-depth"; v ] ->
+                if !depth <> None then
+                  fail "CRT101" lineno "duplicate max-depth directive";
+                depth := Some (int_of lineno v)
+            | [ "level"; l ] ->
+                ignore (need lineno "max-depth" !depth);
+                expect_seq lineno "level" (List.length !fronts + 1)
+                  (int_of lineno l);
+                fronts := [] :: !fronts;
+                covs := [] :: !covs
+            | "state" :: ms -> (
+                match !fronts with
+                | [] -> fail "CRT101" lineno "state outside a level block"
+                | blk :: rest ->
+                    fronts := (List.map (int_of lineno) ms :: blk) :: rest)
+            | "cover" :: cite :: pi -> (
+                match !covs with
+                | [] -> fail "CRT101" lineno "cover outside a level block"
+                | blk :: rest ->
+                    let nn = need lineno "n" !n in
+                    if List.length pi <> nn then
+                      fail "CRT001" lineno
+                        "cover needs a %d-wire permutation, got %d entries" nn
+                        (List.length pi);
+                    let cv =
+                      { cite = int_of lineno cite;
+                        pi = Array.of_list (List.map (int_of lineno) pi) }
+                    in
+                    covs := (cv :: blk) :: rest)
+            | tok :: _ -> unknown lineno tok
+            | [] -> ())
+          dirs;
+        let req what = function
+          | Some v -> v
+          | None -> fail "CRT101" kind_line "missing %s directive" what
+        in
+        let max_depth = req "max-depth" !depth in
+        let blocks = List.length !fronts in
+        if max_depth >= 1 && blocks <> max_depth - 1 then
+          fail "CRT101" kind_line "max-depth %d needs %d level blocks, got %d"
+            max_depth (max_depth - 1) blocks;
+        Exhaustion
+          { n = req "n" !n;
+            max_depth;
+            frontiers =
+              Array.of_list (List.rev_map List.rev !fronts);
+            covers = Array.of_list (List.rev_map List.rev !covs) }
+    | k -> fail "CRT001" kind_line "unknown certificate kind %S" k
+  in
+  try
+    let certs = ref [] in
+    skip_blanks ();
+    while !i < nlines do
+      let lineno = !i + 1 in
+      (match tokens_of (String.trim lines.(!i)) with
+      | [ "snlb-cert"; "1" ] -> incr i
+      | [ "snlb-cert"; v ] ->
+          fail "CRT001" lineno "unsupported certificate format version %S" v
+      | _ -> fail "CRT001" lineno "expected snlb-cert 1 header");
+      skip_blanks ();
+      let kind_line = !i + 1 in
+      let kind =
+        if !i >= nlines then fail "CRT001" kind_line "missing kind directive"
+        else
+          match tokens_of (String.trim lines.(!i)) with
+          | [ "kind"; k ] ->
+              incr i;
+              k
+          | _ -> fail "CRT001" kind_line "expected kind directive"
+      in
+      certs := assemble kind_line kind (read_body ()) :: !certs;
+      skip_blanks ()
+    done;
+    if !certs = [] then
+      Error
+        { code = "CRT001"; where = "line 1"; reason = "empty certificate file" }
+    else Ok (List.rev !certs)
+  with Fail e -> Error e
+
+(* --- checking --- *)
+
+let ( let* ) = Result.bind
+
+let check_masks ~n where masks =
+  let total = 1 lsl n in
+  let rec go = function
+    | [] -> Ok ()
+    | m :: rest ->
+        if m < 0 || m >= total then
+          err "CRT102" where "mask %d outside [0, %d)" m total
+        else go rest
+  in
+  go masks
+
+let rec first_error f = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f x in
+      first_error f rest
+
+(* sortedness, reach domain: each annotated set must contain the image
+   of the previous one through its level; the final set must hold only
+   sorted vectors. Any chain with those two properties over-approximates
+   the true reachable sets starting from all 2^n inputs, so the verdict
+   is sound even if the annotations are loose. *)
+let check_reach_chain network sets ~on_level =
+  let n = Network.wires network in
+  let* () =
+    if n > 16 then
+      err "CRT102" "network" "reach certificates support at most 16 wires"
+    else Ok ()
+  in
+  let levels = Network.levels network in
+  let* () =
+    if Array.length sets <> List.length levels then
+      err "CRT101" "set"
+        "network has %d levels but the certificate annotates %d"
+        (List.length levels) (Array.length sets)
+    else Ok ()
+  in
+  let total = 1 lsl n in
+  let cur = ref (List.init total Fun.id) in
+  let li = ref 0 in
+  let* () =
+    first_error
+      (fun (lvl : Network.level) ->
+        let l = !li + 1 in
+        let where = Printf.sprintf "set %d" l in
+        let claimed = sets.(!li) in
+        incr li;
+        let* () = check_masks ~n where claimed in
+        let tbl = Bytes.make total '\000' in
+        List.iter (fun m -> Bytes.set tbl m '\001') claimed;
+        let* () = on_level ~level:l ~entry:!cur ~lvl in
+        let* () =
+          first_error
+            (fun m ->
+              let m' = apply_level_mask ~n lvl m in
+              if Bytes.get tbl m' = '\000' then
+                err "CRT201" where
+                  "level %d maps mask %d to %d, outside the annotation" l m m'
+              else Ok ())
+            !cur
+        in
+        cur := claimed;
+        Ok ())
+      levels
+  in
+  Ok !cur
+
+let check_sortedness_reach network sets =
+  let n = Network.wires network in
+  let* final =
+    check_reach_chain network sets ~on_level:(fun ~level:_ ~entry:_ ~lvl:_ ->
+        Ok ())
+  in
+  first_error
+    (fun m ->
+      if is_sorted_mask ~n m then Ok ()
+      else
+        err "CRT202" "final set" "unsorted mask %d survives the last level" m)
+    final
+
+(* sortedness, bounds domain: re-derive each level's claimed order
+   facts with the pure min/max rules, starting from only the previous
+   level's claims (weakening is sound — fewer facts derive fewer). *)
+let check_sortedness_bounds network lvls =
+  let n = Network.wires network in
+  let levels = Network.levels network in
+  let* () =
+    if Array.length lvls <> List.length levels then
+      err "CRT101" "leq"
+        "network has %d levels but the certificate annotates %d"
+        (List.length levels) (Array.length lvls)
+    else Ok ()
+  in
+  let r = Array.make_matrix n n false in
+  let reset claimed =
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        r.(i).(j) <- i = j
+      done
+    done;
+    List.iter (fun (i, j) -> r.(i).(j) <- true) claimed
+  in
+  reset [];
+  let transfer_compare a b =
+    (* a <- min, b <- max; snapshot first, entries overlap *)
+    let row_a = Array.copy r.(a) and row_b = Array.copy r.(b) in
+    let col_a = Array.init n (fun c -> r.(c).(a))
+    and col_b = Array.init n (fun c -> r.(c).(b)) in
+    for c = 0 to n - 1 do
+      if c <> a && c <> b then begin
+        r.(c).(a) <- col_a.(c) && col_b.(c);
+        r.(a).(c) <- row_a.(c) || row_b.(c);
+        r.(c).(b) <- col_a.(c) || col_b.(c);
+        r.(b).(c) <- row_a.(c) && row_b.(c)
+      end
+    done;
+    r.(a).(b) <- true;
+    r.(b).(a) <- row_a.(b) && col_a.(b)
+  in
+  let swap_wires a b =
+    let t = r.(a) in
+    r.(a) <- r.(b);
+    r.(b) <- t;
+    for c = 0 to n - 1 do
+      let x = r.(c).(a) in
+      r.(c).(a) <- r.(c).(b);
+      r.(c).(b) <- x
+    done
+  in
+  let transfer_perm p =
+    let img = Perm.to_array p in
+    let r' = Array.make_matrix n n false in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if r.(i).(j) then r'.(img.(i)).(img.(j)) <- true
+      done
+    done;
+    for i = 0 to n - 1 do
+      Array.blit r'.(i) 0 r.(i) 0 n
+    done
+  in
+  let li = ref 0 in
+  let* () =
+    first_error
+      (fun (lvl : Network.level) ->
+        let l = !li + 1 in
+        let where = Printf.sprintf "leq %d" l in
+        let claimed = lvls.(!li) in
+        incr li;
+        (match lvl.Network.pre with
+        | None -> ()
+        | Some p -> transfer_perm p);
+        List.iter
+          (function
+            | Gate.Compare { lo; hi } -> transfer_compare lo hi
+            | Gate.Exchange { a; b } -> swap_wires a b)
+          lvl.Network.gates;
+        let* () =
+          first_error
+            (fun (i, j) ->
+              if i < 0 || i >= n || j < 0 || j >= n then
+                err "CRT102" where "wire pair (%d, %d) outside [0, %d)" i j n
+              else if not r.(i).(j) then
+                err "CRT203" where
+                  "claimed fact %d <= %d is not derivable at level %d" i j l
+              else Ok ())
+            claimed
+        in
+        reset claimed;
+        Ok ())
+      levels
+  in
+  let missing = ref None in
+  for w = n - 2 downto 0 do
+    if not r.(w).(w + 1) then missing := Some w
+  done;
+  match !missing with
+  | None -> Ok ()
+  | Some w ->
+      err "CRT202" "final leq" "fact %d <= %d is not claimed at the last level"
+        w (w + 1)
+
+let check_refutation network witness =
+  let n = Network.wires network in
+  let* () =
+    if n > 20 then
+      err "CRT102" "network" "refutation certificates support at most 20 wires"
+    else Ok ()
+  in
+  let* () =
+    if witness < 0 || witness >= 1 lsl n then
+      err "CRT102" "witness" "witness %d outside [0, %d)" witness (1 lsl n)
+    else Ok ()
+  in
+  let out = eval_mask network witness in
+  if is_sorted_mask ~n out then
+    err "CRT211" "witness" "input %d evaluates to sorted output %d" witness out
+  else Ok ()
+
+let check_dead network sets claims =
+  let n = Network.wires network in
+  let* () =
+    if n > 16 then
+      err "CRT102" "network" "dead certificates support at most 16 wires"
+    else Ok ()
+  in
+  let levels = Network.levels network in
+  let nlevels = List.length levels in
+  let* () =
+    if Array.length sets <> nlevels then
+      err "CRT101" "set"
+        "network has %d levels but the certificate annotates %d" nlevels
+        (Array.length sets)
+    else Ok ()
+  in
+  let* () =
+    first_error
+      (fun cl ->
+        let level = match cl with Dead { level; _ } | Redundant { level; _ } -> level in
+        if level < 1 || level > nlevels then
+          err "CRT102" "claim" "claim level %d outside [1, %d]" level nlevels
+        else Ok ())
+      claims
+  in
+  let total = 1 lsl n in
+  let cur = ref (List.init total Fun.id) in
+  let li = ref 0 in
+  first_error
+    (fun (lvl : Network.level) ->
+      let l = !li + 1 in
+      let where = Printf.sprintf "set %d" l in
+      let claimed = sets.(!li) in
+      incr li;
+      let* () = check_masks ~n where claimed in
+      (* gates are classified against the level-entry state, after the
+         permutation and before any gate fires *)
+      let entry =
+        match lvl.Network.pre with
+        | None -> !cur
+        | Some p -> List.map (apply_perm_mask ~n p) !cur
+      in
+      let gates = Array.of_list lvl.Network.gates in
+      let* () =
+        first_error
+          (fun cl ->
+            let level, gate, red =
+              match cl with
+              | Dead { level; gate } -> (level, gate, false)
+              | Redundant { level; gate } -> (level, gate, true)
+            in
+            if level <> l then Ok ()
+            else if gate < 0 || gate >= Array.length gates then
+              err "CRT102" "claim" "level %d has no gate %d" l gate
+            else
+              let g = gates.(gate) in
+              let a, b = Gate.wires g in
+              let agree = List.for_all (fun m -> bit m a = bit m b) entry in
+              if red then
+                if agree then Ok ()
+                else
+                  err "CRT221" "claim"
+                    "redundant claim at level %d gate %d: wires %d and %d \
+                     differ on a reachable vector"
+                    l gate a b
+              else
+                let dead =
+                  match g with
+                  | Gate.Compare { lo; hi } ->
+                      List.for_all
+                        (fun m -> not (bit m lo = 1 && bit m hi = 0))
+                        entry
+                  | Gate.Exchange _ -> agree
+                in
+                if dead then Ok ()
+                else
+                  err "CRT221" "claim"
+                    "dead claim at level %d gate %d: the gate exchanges a \
+                     reachable vector"
+                    l gate)
+          claims
+      in
+      let tbl = Bytes.make total '\000' in
+      List.iter (fun m -> Bytes.set tbl m '\001') claimed;
+      let* () =
+        first_error
+          (fun m ->
+            let m' = List.fold_left apply_gate_mask m lvl.Network.gates in
+            if Bytes.get tbl m' = '\000' then
+              err "CRT201" where
+                "level %d maps mask %d to %d, outside the annotation" l m m'
+            else Ok ())
+          entry
+      in
+      cur := claimed;
+      Ok ())
+    levels
+
+let check_lower_bound ~n ~stages ~input ~twin ~wire0 ~wire1 ~value0 ~value1 ~m_set =
+  let n = n in
+  let* () =
+    if n < 2 || n mod 2 <> 0 then
+      err "CRT102" "n" "register model needs an even n >= 2, got %d" n
+    else Ok ()
+  in
+  let* () =
+    let si = ref 0 in
+    first_error
+      (fun st ->
+        incr si;
+        let where = Printf.sprintf "stage %d" !si in
+        if Array.length st.perm <> n then
+          err "CRT102" where "permutation has %d entries, expected %d"
+            (Array.length st.perm) n
+        else if not (is_permutation st.perm) then
+          err "CRT102" where "stage images are not a permutation"
+        else if String.length st.ops <> n / 2 then
+          err "CRT102" where "op string has %d entries, expected %d"
+            (String.length st.ops) (n / 2)
+        else Ok ())
+      stages
+  in
+  let* () =
+    if Array.length input <> n || not (is_permutation input) then
+      err "CRT231" "input" "input is not a permutation of 0..%d" (n - 1)
+    else Ok ()
+  in
+  let* () =
+    if
+      wire0 < 0 || wire0 >= n || wire1 < 0 || wire1 >= n
+      || wire0 = wire1
+    then err "CRT102" "wires" "witness wires (%d, %d) illegal" wire0 wire1
+    else Ok ()
+  in
+  let* () =
+    if value1 <> value0 + 1 then
+      err "CRT231" "values" "witness values %d, %d are not adjacent" value0
+        value1
+    else Ok ()
+  in
+  let* () =
+    if
+      input.(wire0) <> value0 || input.(wire1) <> value1
+    then err "CRT231" "values" "witness wires do not carry the witness values"
+    else Ok ()
+  in
+  let* () =
+    let expected = Array.copy input in
+    expected.(wire0) <- value1;
+    expected.(wire1) <- value0;
+    if twin <> expected then
+      err "CRT231" "twin" "twin is not input with the stated swap"
+    else Ok ()
+  in
+  let* () =
+    let seen = Array.make n false in
+    let rec go = function
+      | [] -> Ok ()
+      | w :: rest ->
+          if w < 0 || w >= n then
+            err "CRT102" "mset" "wire %d outside [0, %d)" w n
+          else if seen.(w) then err "CRT231" "mset" "wire %d repeated" w
+          else begin
+            seen.(w) <- true;
+            go rest
+          end
+    in
+    let* () = go m_set in
+    if List.length m_set < 2 then
+      err "CRT231" "mset" "the M-set needs at least two wires"
+    else if not (List.mem wire0 m_set && List.mem wire1 m_set)
+    then err "CRT231" "mset" "the witness wires are not in the M-set"
+    else Ok ()
+  in
+  (* replay: the reference register-model interpreter, tracing every
+     value comparison ('+'/'-' ops compare; '1'/'0' and permutations
+     never do). Values stay a permutation of 0..n-1, so the trace is an
+     n x n table over values. *)
+  let compared = Bytes.make (n * n) '\000' in
+  let run ~trace input =
+    let v = ref (Array.copy input) in
+    List.iter
+      (fun st ->
+        let cur = !v in
+        let nxt = Array.make n 0 in
+        Array.iteri (fun j x -> nxt.(st.perm.(j)) <- x) cur;
+        String.iteri
+          (fun k op ->
+            let a = 2 * k and b = (2 * k) + 1 in
+            let x = nxt.(a) and y = nxt.(b) in
+            let swap () =
+              nxt.(a) <- y;
+              nxt.(b) <- x
+            in
+            match op with
+            | '+' ->
+                if trace then begin
+                  Bytes.set compared ((x * n) + y) '\001';
+                  Bytes.set compared ((y * n) + x) '\001'
+                end;
+                if x > y then swap ()
+            | '-' ->
+                if trace then begin
+                  Bytes.set compared ((x * n) + y) '\001';
+                  Bytes.set compared ((y * n) + x) '\001'
+                end;
+                if x < y then swap ()
+            | '1' -> swap ()
+            | _ -> ())
+          st.ops;
+        v := nxt)
+      stages;
+    !v
+  in
+  let out0 = run ~trace:true input in
+  let out1 = run ~trace:false twin in
+  let was_compared x y = Bytes.get compared ((x * n) + y) <> '\000' in
+  let* () =
+    if was_compared value0 value1 then
+      err "CRT232" "trace" "witness values %d and %d were compared" value0
+        value1
+    else Ok ()
+  in
+  let swap v =
+    if v = value0 then value1
+    else if v = value1 then value0
+    else v
+  in
+  let* () =
+    if Array.for_all2 (fun a b -> b = swap a) out0 out1 then Ok ()
+    else err "CRT233" "outputs" "outputs differ beyond the witness swap"
+  in
+  let sorted a =
+    let ok = ref true in
+    for i = 0 to Array.length a - 2 do
+      if a.(i) > a.(i + 1) then ok := false
+    done;
+    !ok
+  in
+  let* () =
+    if sorted out0 && sorted out1 then
+      err "CRT234" "outputs" "both fooling-pair outputs are sorted"
+    else Ok ()
+  in
+  let values = List.map (fun w -> input.(w)) m_set in
+  let rec audit = function
+    | [] -> Ok ()
+    | v :: rest -> (
+        match List.find_opt (fun u -> was_compared v u) rest with
+        | Some u -> err "CRT235" "mset" "M-set values %d and %d were compared" v u
+        | None -> audit rest)
+  in
+  audit values
+
+(* exhaustion: re-expand every frontier state by every matching with
+   the checker's own enumeration and set arithmetic. Soundness is by
+   induction on the remaining depth budget r: V(Q, 0) — every pool
+   entry holds an unsorted vector; V(Q, r) — every child C of a level-K
+   entry is covered by pi(pool(J)) contained in C with pool(J) appended
+   at a level <= K + 1 (enforced by the index bound), so a sorting
+   suffix for C would sort pool(J) one layer earlier than V(pool(J),
+   r - 1) allows (subsumption lemma + untangling). Children of the last
+   frontier must simply be unsorted. Taking r = max_depth at the
+   implicit initial entry: no max_depth-layer network sorts. *)
+let check_exhaustion ~n ~max_depth ~frontiers ~covers =
+  let n = n in
+  let* () =
+    if n < 2 || n > 12 then
+      err "CRT102" "n" "exhaustion certificates support n in [2, 12]"
+    else Ok ()
+  in
+  let* () =
+    if max_depth < 1 || max_depth > 32 then
+      err "CRT102" "max-depth" "max-depth %d outside [1, 32]" max_depth
+    else Ok ()
+  in
+  let* () =
+    if
+      Array.length frontiers <> max_depth - 1
+      || Array.length covers <> max_depth - 1
+    then
+      err "CRT101" "level" "max-depth %d needs %d level blocks" max_depth
+        (max_depth - 1)
+    else Ok ()
+  in
+  let total = 1 lsl n in
+  let matchings = all_matchings ~n in
+  let pool = ref (Array.make 64 [||]) and pool_len = ref 0 in
+  let add_pool arr =
+    if !pool_len = Array.length !pool then begin
+      let np = Array.make (2 * Array.length !pool) [||] in
+      Array.blit !pool 0 np 0 !pool_len;
+      pool := np
+    end;
+    (!pool).(!pool_len) <- arr;
+    incr pool_len
+  in
+  (* every pool entry must contain an unsorted vector: the r = 0 base
+     case of the induction *)
+  let state_of where masks =
+    let* () = check_masks ~n where masks in
+    let* () =
+      if masks = [] then err "CRT102" where "empty frontier state"
+      else Ok ()
+    in
+    if List.for_all (fun m -> is_sorted_mask ~n m) masks then
+      err "CRT243" where "frontier state holds only sorted vectors"
+    else Ok (Array.of_list masks)
+  in
+  let initial = Array.init total Fun.id in
+  let* () =
+    if n >= 2 then Ok ()
+    else err "CRT102" "n" "n must be at least 2"
+  in
+  add_pool initial;
+  let prev = ref [ initial ] in
+  let rec levels l =
+    if l > max_depth - 1 then Ok ()
+    else begin
+      let where = Printf.sprintf "level %d" l in
+      let* states =
+        let rec go acc i = function
+          | [] -> Ok (List.rev acc)
+          | ms :: rest ->
+              let* st = state_of (Printf.sprintf "%s state %d" where i) ms in
+              go (st :: acc) (i + 1) rest
+        in
+        go [] 0 frontiers.(l - 1)
+      in
+      List.iter add_pool states;
+      let cov = ref covers.(l - 1) in
+      let child_tbl = Bytes.make total '\000' in
+      let rec parents pi = function
+        | [] ->
+            if !cov <> [] then
+              err "CRT244" where "%d cover lines left over" (List.length !cov)
+            else Ok ()
+        | p :: rest ->
+            let rec moves mi = function
+              | [] -> parents (pi + 1) rest
+              | m :: ms ->
+                  let cwhere =
+                    Printf.sprintf "%s parent %d matching %d" where pi mi
+                  in
+                  Bytes.fill child_tbl 0 total '\000';
+                  let all_sorted = ref true in
+                  Array.iter
+                    (fun v ->
+                      let c = apply_matching_mask m v in
+                      Bytes.set child_tbl c '\001';
+                      if not (is_sorted_mask ~n c) then all_sorted := false)
+                    p;
+                  if !all_sorted then
+                    err "CRT243" cwhere
+                      "a depth-%d sorted child contradicts the exhaustion" l
+                  else begin
+                    match !cov with
+                    | [] -> err "CRT244" cwhere "cover lines exhausted"
+                    | { cite; pi = perm } :: covrest ->
+                        cov := covrest;
+                        if cite < 0 || cite >= !pool_len then
+                          err "CRT241" cwhere
+                            "cover cites pool entry %d (only %d available)"
+                            cite !pool_len
+                        else if
+                          Array.length perm <> n || not (is_permutation perm)
+                        then
+                          err "CRT102" cwhere "cover permutation is illegal"
+                        else
+                          let q = (!pool).(cite) in
+                          let embeds =
+                            Array.for_all
+                              (fun v ->
+                                Bytes.get child_tbl (permute_mask perm v)
+                                <> '\000')
+                              q
+                          in
+                          if embeds then moves (mi + 1) ms
+                          else
+                            err "CRT242" cwhere
+                              "pool entry %d does not embed into the child \
+                               under the stated permutation"
+                              cite
+                  end
+            in
+            moves 0 matchings
+      in
+      let* () = parents 0 !prev in
+      prev := states;
+      levels (l + 1)
+    end
+  in
+  let* () = levels 1 in
+  (* the last frontier: every child of every matching must be unsorted *)
+  let child_tbl = Bytes.make total '\000' in
+  ignore child_tbl;
+  let rec final pi = function
+    | [] -> Ok ()
+    | p :: rest ->
+        let rec moves mi = function
+          | [] -> final (pi + 1) rest
+          | m :: ms ->
+              let all_sorted =
+                Array.for_all
+                  (fun v -> is_sorted_mask ~n (apply_matching_mask m v))
+                  p
+              in
+              if all_sorted then
+                err "CRT243"
+                  (Printf.sprintf "level %d parent %d matching %d" max_depth
+                     pi mi)
+                  "a depth-%d sorting network exists, contradicting the claim"
+                  max_depth
+              else moves (mi + 1) ms
+        in
+        moves 0 matchings
+  in
+  final 0 !prev
+
+let check = function
+  | Sortedness { network; domain } -> (
+      match domain with
+      | Reach_sets sets -> check_sortedness_reach network sets
+      | Bounds_leq lvls -> check_sortedness_bounds network lvls)
+  | Refutation { network; witness } -> check_refutation network witness
+  | Dead_gates { network; sets; claims } -> check_dead network sets claims
+  | Lower_bound { n; stages; input; twin; wire0; wire1; value0; value1; m_set }
+    ->
+      check_lower_bound ~n ~stages ~input ~twin ~wire0 ~wire1 ~value0 ~value1
+        ~m_set
+  | Exhaustion { n; max_depth; frontiers; covers } ->
+      check_exhaustion ~n ~max_depth ~frontiers ~covers
+
+let check_all certs =
+  let rec go i = function
+    | [] -> Ok ()
+    | c :: rest -> (
+        match check c with
+        | Ok () -> go (i + 1) rest
+        | Error e ->
+            Error
+              { e with
+                where =
+                  Printf.sprintf "cert %d (%s): %s" i (kind_name c) e.where })
+  in
+  go 1 certs

@@ -128,6 +128,55 @@ let check_adversary nw c =
               cert.Certificate.wire0 cert.Certificate.wire1
           else Ok ())
 
+(* Fifth oracle: the certifying emitters against the independent
+   checker. The analyzer's sortedness and dead-gate certificates must
+   (a) agree in kind with the engine's verdict, (b) survive a
+   print/parse round-trip of the portable text format byte for byte,
+   and (c) be accepted by the checker — which shares no code with the
+   emitters, so any disagreement here is a real bug on one side. *)
+let check_certificates nw c =
+  let sorts = Bitslice.is_sorting_network c in
+  let* cert =
+    match Analysis_cert.sortedness nw with
+    | Ok cert -> Ok cert
+    | Error e -> fail "cert-emit" "no sortedness certificate: %s" e
+  in
+  let* () =
+    match (cert, sorts) with
+    | Cert.Sortedness _, true | Cert.Refutation _, false -> Ok ()
+    | Cert.Sortedness _, false ->
+        fail "cert-vs-engine"
+          "sortedness certificate for an engine-refuted network"
+    | Cert.Refutation _, true ->
+        fail "cert-vs-engine"
+          "refutation certificate for an engine-verified sorter"
+    | _, _ ->
+        fail "cert-emit" "unexpected certificate kind %s" (Cert.kind_name cert)
+  in
+  let* dead =
+    match Analysis_cert.dead_gates nw with
+    | Ok d -> Ok (Option.to_list d)
+    | Error e -> fail "cert-emit" "no dead-gate certificate: %s" e
+  in
+  let certs = cert :: dead in
+  let text = String.concat "\n" (List.map Cert.to_string certs) in
+  match Cert.parse text with
+  | Error e ->
+      fail "cert-roundtrip" "emitted text rejected: %s %s: %s" e.Cert.code
+        e.Cert.where e.Cert.reason
+  | Ok certs' -> (
+      let* () =
+        if text <> String.concat "\n" (List.map Cert.to_string certs') then
+          fail "cert-roundtrip" "print/parse/print is not the identity"
+        else Ok ()
+      in
+      match Cert.check_all certs' with
+      | Ok () -> Ok ()
+      | Error e ->
+          fail "cert-vs-checker"
+            "checker rejects an emitted certificate: %s %s: %s" e.Cert.code
+            e.Cert.where e.Cert.reason)
+
 let check_known_optima nw c =
   match Evolve.known_optimal_depth (Network.wires nw) with
   | None -> Ok ()
@@ -145,6 +194,7 @@ let check_genome g =
   let* () = check_engine_vs_interpreter nw c in
   let* () = check_analyzer nw c in
   let* () = check_adversary nw c in
+  let* () = check_certificates nw c in
   check_known_optima nw c
 
 let sample_genome rng =

@@ -1,6 +1,6 @@
 (** Continuous differential fuzzing of the verification stack.
 
-    Every sampled random genome is pushed through four independent
+    Every sampled random genome is pushed through five independent
     oracles and any disagreement is a bug in this repository, not in
     the network:
 
@@ -18,6 +18,11 @@
     - {b adversary vs engine}: a fooling-pair certificate extracted
       from the {!Naive} adversary's final pattern must validate and
       must contradict no engine "sorts" verdict;
+    - {b certifier vs checker}: the analyzer's proof-carrying
+      sortedness and dead-gate certificates ({!Analysis_cert}) must
+      agree in kind with the engine's verdict, round-trip through the
+      portable text format byte for byte, and be accepted by the
+      independent {!Cert} checker;
     - {b known optima}: a network the engine certifies as sorting
       cannot be shallower than the proved minimal depth for its width
       (Bundala–Závodný, via {!Evolve.known_optimal_depth}).

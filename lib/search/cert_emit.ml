@@ -1,0 +1,111 @@
+(* Derive an exhaustion certificate from a search's frontier log. The
+   driver only hands over the surviving states per level; every cover —
+   the subsumption witness that justifies dropping each expanded child —
+   is recomputed here, then the finished certificate is re-validated by
+   the independent checker before it leaves this function. *)
+
+let exhaustion ~n ~max_depth ~frontiers =
+  if n < 2 || n > 12 then Error "cert emission supports n in [2, 12]"
+  else if max_depth < 1 then Error "max_depth must be >= 1"
+  else if List.length frontiers < max_depth - 1 then
+    Error
+      (Printf.sprintf "need %d logged frontiers for max-depth %d, got %d"
+         (max_depth - 1) max_depth (List.length frontiers))
+  else begin
+    let frontiers =
+      List.filteri (fun i _ -> i < max_depth - 1) frontiers
+    in
+    let matchings = Cert.all_matchings ~n in
+    (* the certificate pool: initial state implicit at index 0, then
+       every frontier state in file order *)
+    let dummy =
+      let st = State.initial ~n in
+      (st, Subsume.fingerprint st)
+    in
+    let pool : (State.t * Subsume.fingerprint) array ref =
+      ref (Array.make 64 dummy)
+    in
+    let pool_len = ref 0 in
+    let by_key : (int array, int) Hashtbl.t = Hashtbl.create 1024 in
+    let add_pool st =
+      if !pool_len = Array.length !pool then begin
+        let np = Array.make (2 * Array.length !pool) (!pool).(0) in
+        Array.blit !pool 0 np 0 !pool_len;
+        pool := np
+      end;
+      (!pool).(!pool_len) <- (st, Subsume.fingerprint st);
+      let k = State.key st in
+      if not (Hashtbl.mem by_key k) then Hashtbl.add by_key k !pool_len;
+      incr pool_len
+    in
+    let identity = Array.init n Fun.id in
+    let cover_of child =
+      (* equality fast path: an identical pool entry covers the child
+         with the identity permutation *)
+      match Hashtbl.find_opt by_key (State.key child) with
+      | Some cite -> Some Cert.{ cite; pi = identity }
+      | None ->
+          let fc = Subsume.fingerprint child in
+          let rec scan i =
+            if i >= !pool_len then None
+            else
+              let q, fq = (!pool).(i) in
+              match Subsume.subsumes_perm (q, fq) (child, fc) with
+              | Some pi -> Some Cert.{ cite = i; pi }
+              | None -> scan (i + 1)
+          in
+          scan 0
+    in
+    let exception Uncovered of string in
+    try
+      add_pool (State.initial ~n);
+      let prev = ref [ State.initial ~n ] in
+      let covers =
+        List.mapi
+          (fun li states ->
+            let l = li + 1 in
+            List.iter add_pool states;
+            let block = ref [] in
+            List.iteri
+              (fun pi_idx p ->
+                List.iteri
+                  (fun mi m ->
+                    let child = State.apply_comparators p m in
+                    if State.is_sorted child then
+                      raise
+                        (Uncovered
+                           (Printf.sprintf
+                              "level %d parent %d matching %d: child is \
+                               sorted — not an exhaustion"
+                              l pi_idx mi));
+                    match cover_of child with
+                    | Some cv -> block := cv :: !block
+                    | None ->
+                        raise
+                          (Uncovered
+                             (Printf.sprintf
+                                "level %d parent %d matching %d: no pool \
+                                 entry subsumes the child"
+                                l pi_idx mi)))
+                  matchings)
+              !prev;
+            prev := states;
+            List.rev !block)
+          frontiers
+      in
+      let cert =
+        Cert.Exhaustion
+          { n;
+            max_depth;
+            frontiers =
+              Array.of_list (List.map (List.map State.masks) frontiers);
+            covers = Array.of_list covers }
+      in
+      match Cert.check cert with
+      | Ok () -> Ok cert
+      | Error e ->
+          Error
+            (Printf.sprintf "emitted certificate fails its own check: %s %s: %s"
+               e.Cert.code e.Cert.where e.Cert.reason)
+    with Uncovered why -> Error why
+  end

@@ -226,8 +226,8 @@ let validate_resume ~max_depth sys rs =
   else Ok ()
 
 let run ?(domains = 1) ?(engine = (`Auto : engine)) ?(budget = default_budget)
-    ?(sink = Sink.null) ?on_level ?cancel ?checkpoint ?resume:resume_from
-    ~max_depth sys =
+    ?(sink = Sink.null) ?on_level ?frontier_log ?cancel ?checkpoint
+    ?resume:resume_from ~max_depth sys =
   if max_depth < 0 then invalid_arg "Driver.run: max_depth must be >= 0";
   let use_arena =
     match engine with
@@ -566,6 +566,12 @@ let run ?(domains = 1) ?(engine = (`Auto : engine)) ?(budget = default_budget)
                       ordered
               in
               let width = List.length survivors in
+              (match frontier_log with
+              | Some f ->
+                  f ~level:lvl
+                    (List.map (fun (idx, _) -> Arena.to_state arena idx)
+                       survivors)
+              | None -> ());
               sizes := width :: !sizes;
               frontier := survivors;
               incr level;
@@ -799,6 +805,9 @@ let run ?(domains = 1) ?(engine = (`Auto : engine)) ?(budget = default_budget)
                       kept_states
                 in
                 let width = List.length survivors in
+                (match frontier_log with
+                | Some f -> f ~level:lvl (List.map fst survivors)
+                | None -> ());
                 sizes := width :: !sizes;
                 frontier := survivors;
                 incr level;
@@ -915,11 +924,11 @@ let network_system ?(restrict = true) ~n () =
     redundant_of;
     dedup = (if restrict then Subsume else Equal) }
 
-let optimal_depth ?domains ?engine ?budget ?sink ?on_level ?cancel ?checkpoint
-    ?resume ?restrict ?max_depth ~n () =
+let optimal_depth ?domains ?engine ?budget ?sink ?on_level ?frontier_log
+    ?cancel ?checkpoint ?resume ?restrict ?max_depth ~n () =
   let max_depth = match max_depth with Some d -> d | None -> n in
-  run ?domains ?engine ?budget ?sink ?on_level ?cancel ?checkpoint ?resume
-    ~max_depth
+  run ?domains ?engine ?budget ?sink ?on_level ?frontier_log ?cancel
+    ?checkpoint ?resume ~max_depth
     (network_system ?restrict ~n ())
 
 let witness_network ~n layers =

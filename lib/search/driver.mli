@@ -180,6 +180,7 @@ val run :
   ?budget:budget ->
   ?sink:Sink.t ->
   ?on_level:(level:int -> frontier:int -> stats -> unit) ->
+  ?frontier_log:(level:int -> State.t list -> unit) ->
   ?cancel:Cancel.t ->
   ?checkpoint:string * float ->
   ?resume:resume_state ->
@@ -192,7 +193,10 @@ val run :
     runs single-domain and ignores the fan-out. [sink] (default {!Sink.null}) receives the per-level
     and closing span events; [on_level ~level ~frontier stats] fires
     after each {e completed} level with the surviving frontier size
-    and a cumulative stats snapshot. [cancel] is polled by every
+    and a cumulative stats snapshot. [frontier_log ~level states]
+    receives each completed level's surviving states in frontier
+    order — identical on both engines — the feed certificate emitters
+    consume. [cancel] is polled by every
     worker domain between expansions and at level boundaries; once
     tripped the fan-out drains and the run returns [Interrupted].
     [checkpoint:(path, interval)] snapshots progress at level
@@ -223,6 +227,7 @@ val network_system : ?restrict:bool -> n:int -> unit -> layer system
 val optimal_depth :
   ?domains:int -> ?engine:engine -> ?budget:budget -> ?sink:Sink.t ->
   ?on_level:(level:int -> frontier:int -> stats -> unit) ->
+  ?frontier_log:(level:int -> State.t list -> unit) ->
   ?cancel:Cancel.t -> ?checkpoint:string * float -> ?resume:resume_state ->
   ?restrict:bool -> ?max_depth:int ->
   n:int -> unit -> layer outcome

@@ -97,6 +97,44 @@ let subsumes (sa, fa) (sb, fb) =
 
 let subsumes_states a b = subsumes (a, fingerprint a) (b, fingerprint b)
 
+(* Same search as [subsumes], but hands back the witnessing wire
+   permutation so a certificate can cite it. *)
+let subsumes_perm (sa, fa) (sb, fb) =
+  if State.n sa <> State.n sb then
+    invalid_arg "Subsume.subsumes_perm: states of different widths";
+  let n = State.n sa in
+  if State.subset sa sb then Some (Array.init n Fun.id)
+  else if not (fa.card <= fb.card && level_cards_le fa fb) then None
+  else
+    let cand = channel_candidates fa fb in
+    if not (Array.for_all (fun l -> l <> []) cand) then None
+    else begin
+      let order = Array.init n Fun.id in
+      Array.sort
+        (fun c c' -> compare (List.length cand.(c)) (List.length cand.(c')))
+        order;
+      let pi = Array.make n (-1) in
+      let used = Array.make n false in
+      let rec assign i =
+        if i = n then
+          State.for_all_masks (fun m -> State.mem sb (permute_mask pi m)) sa
+        else
+          let c = order.(i) in
+          List.exists
+            (fun c' ->
+              (not used.(c'))
+              && begin
+                   pi.(c) <- c';
+                   used.(c') <- true;
+                   let r = assign (i + 1) in
+                   used.(c') <- false;
+                   r
+                 end)
+            cand.(c)
+      in
+      if assign 0 then Some pi else None
+    end
+
 (* --- canonical wire-permutation form --- *)
 
 (* Channels are grouped into classes by their per-level ones histogram

@@ -53,6 +53,13 @@ val subsumes_states : State.t -> State.t -> bool
 (** [subsumes] computing both fingerprints on the fly (tests, one-off
     queries). *)
 
+val subsumes_perm :
+  State.t * fingerprint -> State.t * fingerprint -> int array option
+(** Like {!subsumes}, but returns the witnessing permutation as an
+    image array ([pi.(c)] is where channel [c] lands), so certificate
+    emitters can cite it; [Some] of the identity when [subset a b]
+    short-circuits. @raise Invalid_argument on width mismatch. *)
+
 (** {1 Canonical wire-permutation form}
 
     Two networks are {e isomorphic} here when some wire permutation

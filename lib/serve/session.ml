@@ -68,6 +68,30 @@ let witness_fields = function
   | None -> []
   | Some w -> [ ("witness", Wire.ints_json w) ]
 
+(* Proof-carrying responses: on request (want_cert), the verdict is
+   accompanied by snlb-cert text the client can hand to the
+   independent checker (`snlb check`). Emission is best-effort — a
+   verdict the certificate emitters cannot back (e.g. bounds-domain
+   undecided above the exact cutoff) reports a [cert_error] field, it
+   never fails the request. *)
+let cert_fields ~exact_max_wires ~dead want nw =
+  if not want then []
+  else
+    match Analysis_cert.sortedness ~exact_max_wires nw with
+    | Error e -> [ ("cert_error", Json.Str e) ]
+    | Ok sc ->
+        let dead_certs =
+          if not dead then []
+          else
+            match Analysis_cert.dead_gates ~exact_max_wires nw with
+            | Ok (Some dc) -> [ dc ]
+            | Ok None | Error _ -> []
+        in
+        [ ( "cert",
+            Json.Str
+              (String.concat "\n"
+                 (List.map Cert.to_string (sc :: dead_certs))) ) ]
+
 let dispatch config req nw =
   match req.Wire.verb with
   | Wire.Verify ->
@@ -81,7 +105,9 @@ let dispatch config req nw =
            ("coalesced", Json.Int r.Batcher.coalesced);
            ("key", Json.Str key_digest);
          ]
-        @ witness_fields r.Batcher.witness)
+        @ witness_fields r.Batcher.witness
+        @ cert_fields ~exact_max_wires:config.exact_max_wires ~dead:false
+            req.Wire.want_cert nw)
   | Wire.Certify -> (
       (* uncached, unbatched, independently re-checked: the verdict a
          client can audit. Negative: the witness is re-evaluated
@@ -96,7 +122,9 @@ let dispatch config req nw =
                ("rechecked", Json.Bool (not (Sortedness.is_sorted out)));
                ("output", Wire.ints_json out);
              ]
-            @ witness_fields (Some w))
+            @ witness_fields (Some w)
+            @ cert_fields ~exact_max_wires:config.exact_max_wires ~dead:false
+                req.Wire.want_cert nw)
       | Ok () ->
           let cross =
             if Network.wires nw <= 20 then
@@ -109,24 +137,28 @@ let dispatch config req nw =
                 "internal: engine and interpretive sweeps disagree" )
           else
             Ok
-              [ ("sorts", Json.Bool true);
-                ("cross_checked", Json.Bool (cross = Some true));
-              ])
+              ([ ("sorts", Json.Bool true);
+                 ("cross_checked", Json.Bool (cross = Some true));
+               ]
+              @ cert_fields ~exact_max_wires:config.exact_max_wires
+                  ~dead:false req.Wire.want_cert nw))
   | Wire.Lint ->
       let r = Analysis.analyze ~exact_max_wires:config.exact_max_wires nw in
       let f = r.Analysis.facts in
       Ok
-        [ ("wires", Json.Int f.Analysis.wires);
-          ("levels", Json.Int f.Analysis.levels);
-          ("depth", Json.Int f.Analysis.depth);
-          ("comparators", Json.Int f.Analysis.comparators);
-          ("exchanges", Json.Int f.Analysis.exchanges);
-          ("exact", Json.Bool f.Analysis.exact);
-          ("sortedness", sortedness_json f.Analysis.sortedness);
-          ("dead", Json.Int (List.length f.Analysis.dead));
-          ("redundant", Json.Int (List.length f.Analysis.redundant));
-          ("diags", Json.List (List.map diag_json r.Analysis.diags));
-        ]
+        ([ ("wires", Json.Int f.Analysis.wires);
+           ("levels", Json.Int f.Analysis.levels);
+           ("depth", Json.Int f.Analysis.depth);
+           ("comparators", Json.Int f.Analysis.comparators);
+           ("exchanges", Json.Int f.Analysis.exchanges);
+           ("exact", Json.Bool f.Analysis.exact);
+           ("sortedness", sortedness_json f.Analysis.sortedness);
+           ("dead", Json.Int (List.length f.Analysis.dead));
+           ("redundant", Json.Int (List.length f.Analysis.redundant));
+           ("diags", Json.List (List.map diag_json r.Analysis.diags));
+         ]
+        @ cert_fields ~exact_max_wires:config.exact_max_wires ~dead:true
+            req.Wire.want_cert nw)
   | Wire.Eval -> (
       let input = Option.get req.Wire.input in
       if Array.length input <> Network.wires nw then

@@ -8,6 +8,9 @@
      network  the network in snlb text format, OR
      algo,n   a registry sorter by name and width
      input    (eval only) the input values, one per wire
+     cert     (verify/certify/lint) true to request a proof-carrying
+              certificate for the verdict, in the snlb-cert text
+              format `snlb check` validates
 
    A response carries the request [id], a server-assigned [trace] id
    (the correlation key into --trace NDJSON spans), [ok], and either
@@ -29,6 +32,7 @@ type request = {
   verb : verb;
   net : net_spec;
   input : int array option;
+  want_cert : bool;
 }
 
 (* stable error codes (append-only, mirrored in README) *)
@@ -81,11 +85,19 @@ let request_of_json j =
             Error (e_bad_request, "input must be a list of integers"))
     | Some _ -> Error (e_bad_request, "input must be a list of integers")
   in
+  let* want_cert =
+    match Json.member "cert" j with
+    | None -> Ok false
+    | Some (Json.Bool b) -> Ok b
+    | Some _ -> Error (e_bad_request, "cert must be a boolean")
+  in
   match (verb, input) with
   | Eval, None -> Error (e_bad_request, "eval needs an input")
   | (Verify | Certify | Lint), Some _ ->
       Error (e_bad_request, "input is only meaningful for eval")
-  | _ -> Ok { id; verb; net; input }
+  | Eval, Some _ when want_cert ->
+      Error (e_bad_request, "cert is only meaningful for verify/certify/lint")
+  | _ -> Ok { id; verb; net; input; want_cert }
 
 let parse_request payload =
   match Json.of_string payload with

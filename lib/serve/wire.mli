@@ -20,6 +20,10 @@ type request = {
   verb : verb;
   net : net_spec;
   input : int array option;  (** [eval] only *)
+  want_cert : bool;
+      (** [verify]/[certify]/[lint] only: client asked for a
+          proof-carrying certificate of the verdict (the response's
+          [cert] field, snlb-cert text) *)
 }
 
 (** {1 Stable error codes} (append-only) *)

@@ -1,0 +1,123 @@
+Proof-carrying verdicts: the analyzer, the exhaustive searcher, and
+the lower-bound adversary can each emit a certificate in a portable
+text format, and `snlb check` re-validates it with an independent
+checker that shares no code with the component that produced the
+verdict.
+
+Sortedness in the exact reach domain (per-level reachable-set
+annotations the checker re-walks):
+
+  $ snlb lint --algo odd-even-merge -n 4 --emit-cert oem4.cert > /dev/null
+  $ snlb check oem4.cert
+  cert 1 (sortedness): OK
+  all 1 certificate OK
+
+Sortedness by the approximate order-bounds domain: forcing the exact
+cutoff below n makes the analyzer fall back (the typed SNL206
+diagnostic) and certify with order-matrix facts instead:
+
+  $ snlb lint --algo transposition -n 6 --exact-max 4 --emit-cert tr6.cert | head -1
+  info[SNL206] exact 0-1 domain unavailable at 6 wires (cap 4): sortedness and gate verdicts use the approximate bounds domain
+  $ snlb lint --algo transposition -n 6 --exact-max 4 --emit-cert tr6.cert > /dev/null
+  $ snlb check tr6.cert
+  cert 1 (sortedness): OK
+  all 1 certificate OK
+
+Refutation carries a concrete 0-1 witness the checker replays through
+the embedded network:
+
+  $ printf 'snlb-network 1\nwires 4\nlevel\ncmp 0 1\ncmp 2 3\nlevel\ncmp 0 2\ncmp 1 3\n' > notsort.txt
+  $ snlb lint notsort.txt --emit-cert notsort.cert > /dev/null
+  $ snlb check notsort.cert
+  cert 1 (refutation): OK
+  all 1 certificate OK
+
+Dead-comparator facts ride along with the sortedness certificate in
+one file (a re-compare after the network already sorted):
+
+  $ printf 'snlb-network 1\nwires 4\nlevel\ncmp 0 1\ncmp 2 3\nlevel\ncmp 0 2\ncmp 1 3\nlevel\ncmp 1 2\nlevel\ncmp 1 2\n' > dead.txt
+  $ snlb lint dead.txt --emit-cert dead.cert > /dev/null
+  $ snlb check dead.cert
+  cert 1 (sortedness): OK
+  cert 2 (dead): OK
+  all 2 certificates OK
+
+The searcher's negative claim becomes an exhaustion certificate: the
+logged frontiers plus a subsumption witness for every expanded child:
+
+  $ snlb search -n 5 --max-depth 4 --emit-cert ex5.cert
+  no sorting network of depth <= 4 for n=5 (exhaustive)
+  nodes: 3451  pruned: 0  deduped: 338  subsumed: 0  redundant: 0  peak frontier: 119
+  1 certificate written to ex5.cert
+  $ snlb check ex5.cert
+  cert 1 (exhaustion): OK
+  all 1 certificate OK
+
+An --optimal run that finds a depth-d sorter proves optimality with
+exhaustion at d-1 plus a sortedness certificate for the witness:
+
+  $ snlb search -n 4 --optimal --emit-cert opt4.cert
+  optimal depth for n=4: 3 (witness verified: true)
+    layer 1: (0,1)(2,3)
+    layer 2: (0,2)(1,3)
+    layer 3: (1,2)
+  nodes: 46  pruned: 0  deduped: 3  subsumed: 0  redundant: 0  peak frontier: 6
+  2 certificates written to opt4.cert
+  $ snlb check opt4.cert
+  cert 1 (exhaustion): OK
+  cert 2 (sortedness): OK
+  all 2 certificates OK
+
+The adversary's fooling pair becomes a register-model transcript the
+checker replays move for move:
+
+  $ snlb certify --kind all-plus -n 4 --blocks 2 --emit-cert lb4.cert | tail -1
+  1 certificate written to lb4.cert
+  $ snlb check lb4.cert
+  cert 1 (lower-bound): OK
+  all 1 certificate OK
+
+Corrupted certificates are rejected with typed CRT*** diagnostics,
+never accepted. A doctored refutation witness that actually sorts:
+
+  $ sed 's/^witness .*/witness 0/' notsort.cert > c.cert && snlb check c.cert
+  cert 1 (refutation): REJECTED CRT211 witness: input 0 evaluates to sorted output 0
+  [1]
+
+A reach annotation that no longer contains the level's image:
+
+  $ sed 's/^set 3 .*/set 3 0/' oem4.cert > c.cert && snlb check c.cert
+  cert 1 (sortedness): REJECTED CRT201 set 3: level 3 maps mask 8 to 8, outside the annotation
+  [1]
+
+An order fact the bounds rules cannot derive:
+
+  $ sed 's/^leq 1 /leq 1 5 0 /' tr6.cert > c.cert && snlb check c.cert
+  cert 1 (sortedness): REJECTED CRT203 leq 1: claimed fact 5 <= 0 is not derivable at level 1
+  [1]
+
+A dead claim against a gate that provably fires:
+
+  $ sed 's/^dead 4 0/dead 1 0/' dead.cert > c.cert && snlb check c.cert
+  cert 1 (sortedness): OK
+  cert 2 (dead): REJECTED CRT221 claim: dead claim at level 1 gate 0: the gate exchanges a reachable vector
+  [1]
+
+A lower-bound transcript whose witness values are not adjacent:
+
+  $ sed 's/^values .*/values 0 3/' lb4.cert > c.cert && snlb check c.cert
+  cert 1 (lower-bound): REJECTED CRT231 values: witness values 0, 3 are not adjacent
+  [1]
+
+An exhaustion log with a deleted cover line (the remaining covers no
+longer match the children the checker re-derives):
+
+  $ sed '0,/^cover /{/^cover /d}' ex5.cert > c.cert && snlb check c.cert
+  cert 1 (exhaustion): REJECTED CRT242 level 1 parent 0 matching 1: pool entry 1 does not embed into the child under the stated permutation
+  [1]
+
+A truncated file fails parsing, with a line number:
+
+  $ head -5 oem4.cert > c.cert && snlb check c.cert
+  REJECTED CRT001 line 3: unterminated network block
+  [1]

@@ -34,6 +34,14 @@ Machine consumers get NDJSON with stable codes and spans:
   {"code":"SNL201","severity":"warning","level":4,"gate":0,"message":"dead comparator (0,1): never exchanges on any reachable input; removable"}
   {"code":"SNL204","severity":"info","message":"sorting network: proved over all 16 zero-one inputs (exact domain)"}
 
+Above the exact cutoff the analyzer announces the fallback with a
+typed diagnostic (SNL206) and proves what it can in the sound
+order-bounds domain:
+
+  $ snlb lint --algo transposition -n 16 | head -2
+  info[SNL206] exact 0-1 domain unavailable at 16 wires (cap 12): sortedness and gate verdicts use the approximate bounds domain
+  info[SNL205] sorting network: proved by the order-bounds domain
+
 A truncated sorter is refuted, not just "unknown" -- the exact domain
 exhibits a reachable unsorted output:
 
